@@ -1,0 +1,833 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation plus the ablations listed in DESIGN.md.
+
+     dune exec bench/main.exe                 -- all experiments, quick scale
+     dune exec bench/main.exe -- figure2 --window 240 --runs 3
+     dune exec bench/main.exe -- list
+
+   Quick scale uses shorter measurement windows than the paper's 240 s; the
+   reported ratios are window-relative, so the shapes are comparable. *)
+
+open Ds_core
+open Ds_server
+open Ds_workload
+module Tablefmt = Ds_util.Tablefmt
+
+let section title =
+  Printf.printf "\n==============================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "==============================================================\n%!"
+
+let note fmt = Printf.printf (fmt ^^ "\n%!")
+
+(* ------------------------------------------------------------------ *)
+(* Shared measurement machinery                                       *)
+(* ------------------------------------------------------------------ *)
+
+let native_run ~clients ~window ~seed ~log =
+  Native_sim.run
+    {
+      Native_sim.default_config with
+      Native_sim.n_clients = clients;
+      duration = window;
+      seed;
+      log_schedule = log;
+    }
+
+(* Averaged MU statistics + SU replay time for one client count. *)
+type mu_point = {
+  clients : int;
+  committed_stmts : float;
+  su_time : float;
+  ratio_pct : float;  (** MU window / SU replay of the committed schedule *)
+  deadlocks : float;
+  cpu_util : float;
+}
+
+let measure_mu ~window ~runs clients =
+  let stmts = ref 0. and su = ref 0. and dl = ref 0. and cpu = ref 0. in
+  for r = 1 to runs do
+    let s = native_run ~clients ~window ~seed:(41 + r) ~log:true in
+    stmts := !stmts +. float_of_int s.Native_sim.committed_stmts;
+    su := !su +. Replay.single_user_time Cost_model.default s.Native_sim.schedule;
+    dl := !dl +. float_of_int s.Native_sim.deadlocks;
+    cpu := !cpu +. s.Native_sim.cpu_utilization
+  done;
+  let f = float_of_int runs in
+  let su_time = !su /. f in
+  {
+    clients;
+    committed_stmts = !stmts /. f;
+    su_time;
+    ratio_pct = 100. *. window /. su_time;
+    deadlocks = !dl /. f;
+    cpu_util = !cpu /. f;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E1 — Figure 2                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let figure2 ~window ~runs () =
+  section
+    (Printf.sprintf
+       "Figure 2: execution time MU / execution time SU (%%), %.0f s window, \
+        %d run(s) per point"
+       window runs);
+  let points = [ 1; 25; 50; 100; 150; 200; 250; 300; 350; 400; 450; 500; 550; 600 ] in
+  let t =
+    Tablefmt.create
+      ~aligns:[ Tablefmt.Right; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right ]
+      [ "clients"; "MU stmts"; "SU time (s)"; "MU/SU (%)"; "deadlocks" ]
+  in
+  let series = ref [] in
+  List.iter
+    (fun clients ->
+      let p = measure_mu ~window ~runs clients in
+      series := (clients, p.ratio_pct) :: !series;
+      Tablefmt.add_row t
+        [
+          string_of_int clients;
+          Printf.sprintf "%.0f" p.committed_stmts;
+          Printf.sprintf "%.1f" p.su_time;
+          Printf.sprintf "%.0f" p.ratio_pct;
+          Printf.sprintf "%.0f" p.deadlocks;
+        ])
+    points;
+  Tablefmt.print t;
+  (* ASCII rendition of the figure (log-scale y, like the paper's plot). *)
+  note "";
+  note "log10(MU/SU %%) vs clients  (paper: ~100%% at 1 client, knee before 500)";
+  List.iter
+    (fun (c, ratio) ->
+      let stars = int_of_float ((log10 (Float.max 100. ratio) -. 1.9) *. 25.) in
+      note "%5d | %s %.0f%%" c (String.make (max 1 stars) '#') ratio)
+    (List.rev !series)
+
+(* ------------------------------------------------------------------ *)
+(* E2 — §4.2.2 native scheduler overhead                              *)
+(* ------------------------------------------------------------------ *)
+
+let native_overhead ~window ~runs () =
+  section
+    (Printf.sprintf
+       "Native scheduler overhead (paper 4.2.2; paper at 240 s: 300 clients \
+        -> 550055 stmts, SU 194 s, overhead 46 s; 500 clients -> 48267 \
+        stmts, SU 15 s, overhead 225 s)"
+       );
+  let t =
+    Tablefmt.create
+      ~aligns:
+        [ Tablefmt.Right; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right ]
+      [ "clients"; "MU stmts"; "SU time (s)"; "overhead (s)"; "CPU util (%)" ]
+  in
+  List.iter
+    (fun clients ->
+      let p = measure_mu ~window ~runs clients in
+      Tablefmt.add_row t
+        [
+          string_of_int clients;
+          Printf.sprintf "%.0f" p.committed_stmts;
+          Printf.sprintf "%.1f" p.su_time;
+          Printf.sprintf "%.1f" (window -. p.su_time);
+          Printf.sprintf "%.0f" (100. *. p.cpu_util);
+        ])
+    [ 300; 500 ];
+  Tablefmt.print t;
+  note "window = %.0f s; 'overhead' = window - SU replay time (paper's method)"
+    window
+
+(* ------------------------------------------------------------------ *)
+(* E3 — §4.3.2 declarative scheduling overhead                        *)
+(* ------------------------------------------------------------------ *)
+
+let declarative_overhead ~runs () =
+  section
+    "Declarative scheduling overhead (paper 4.3.2; paper: 358 ms per cycle at \
+     300 clients, 545 ms at 500; qualified ~ clients/2)";
+  let t =
+    Tablefmt.create
+      ~aligns:
+        [
+          Tablefmt.Right; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right;
+          Tablefmt.Right; Tablefmt.Right;
+        ]
+      [
+        "clients"; "pending"; "history"; "qualified"; "cycle (ms)"; "query (ms)";
+      ]
+  in
+  List.iter
+    (fun clients ->
+      let m =
+        Overhead_probe.measure ~runs
+          { Overhead_probe.default_setup with Overhead_probe.n_clients = clients }
+          Builtin.ss2pl_sql
+      in
+      Tablefmt.add_row t
+        [
+          string_of_int clients;
+          string_of_int m.Overhead_probe.pending;
+          string_of_int m.Overhead_probe.history;
+          string_of_int m.Overhead_probe.qualified;
+          Printf.sprintf "%.3f" (1000. *. m.Overhead_probe.cycle_time);
+          Printf.sprintf "%.3f" (1000. *. m.Overhead_probe.query_time);
+        ])
+    [ 50; 100; 200; 300; 400; 500; 600 ];
+  Tablefmt.print t;
+  note
+    "One cycle = drain queue + insert pending + run Listing 1 + move \
+     qualified to history (the paper's 4.3.1 measurement)."
+
+(* ------------------------------------------------------------------ *)
+(* E3b — crossover: native vs declarative amortized overhead           *)
+(* ------------------------------------------------------------------ *)
+
+let crossover ~window ~runs ~cycle_scale () =
+  section
+    (Printf.sprintf
+       "Crossover: native scheduling overhead vs amortized declarative \
+        overhead (cycle-time scale factor %.0fx)"
+       cycle_scale);
+  note
+    "The paper (2010, commercial DBMS as query processor) found the \
+     crossover between 300 and 500 clients. Our in-process OCaml engine \
+     evaluates Listing 1 orders of magnitude faster, which moves the \
+     crossover to much lower client counts; --cycle-scale emulates a slower \
+     scheduler database.";
+  let t =
+    Tablefmt.create
+      ~aligns:
+        [
+          Tablefmt.Right; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right;
+          Tablefmt.Left;
+        ]
+      [
+        "clients"; "native ovh (s)"; "declarative ovh (s)"; "cycles needed";
+        "winner";
+      ]
+  in
+  List.iter
+    (fun clients ->
+      let p = measure_mu ~window ~runs clients in
+      let m =
+        Overhead_probe.measure ~runs
+          { Overhead_probe.default_setup with Overhead_probe.n_clients = clients }
+          Builtin.ss2pl_sql
+      in
+      let native_ovh = window -. p.su_time in
+      let decl_ovh =
+        cycle_scale
+        *. Overhead_probe.amortized_overhead m
+             ~total_stmts:(int_of_float p.committed_stmts)
+      in
+      let cycles_needed =
+        p.committed_stmts /. float_of_int (max 1 m.Overhead_probe.qualified)
+      in
+      Tablefmt.add_row t
+        [
+          string_of_int clients;
+          Printf.sprintf "%.1f" native_ovh;
+          Printf.sprintf "%.1f" decl_ovh;
+          Printf.sprintf "%.0f" cycles_needed;
+          (if decl_ovh < native_ovh then "declarative" else "native");
+        ])
+    [ 1; 10; 25; 50; 100; 200; 300; 400; 500 ];
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* E4 — Table 1                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  section
+    "Table 1: related approaches (P performance, QoS, D declarativity, F \
+     flexibility, HS high scalability)";
+  print_string (Related.render_table ())
+
+(* ------------------------------------------------------------------ *)
+(* E5 — Table 2                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let table2 () =
+  section "Table 2: attributes of the requests / history / rte tables";
+  let t = Tablefmt.create [ "Attribute"; "Description" ] in
+  List.iter (Tablefmt.add_row t)
+    [
+      [ "ID"; "Consecutive request number" ];
+      [ "TA"; "Transaction number" ];
+      [ "INTRATA"; "Request number within a transaction" ];
+      [ "Operation"; "Operation type (read/write/abort/commit)" ];
+      [ "Object"; "Object number" ];
+    ];
+  Tablefmt.print t;
+  let s = Relations.schema ~extended:false in
+  note "Implemented schema: %s"
+    (Format.asprintf "%a" Ds_relal.Schema.pp s);
+  note "Extended (QoS) schema: %s"
+    (Format.asprintf "%a" Ds_relal.Schema.pp (Relations.schema ~extended:true))
+
+(* ------------------------------------------------------------------ *)
+(* E6/A2 — Listing 1 microbenchmark via Bechamel                       *)
+(* ------------------------------------------------------------------ *)
+
+let listing1_micro ~clients () =
+  section
+    (Printf.sprintf
+       "Listing 1 evaluation cost at %d clients (Bechamel; optimizer ablation \
+        A2)"
+       clients);
+  (* Time the protocol query on a standard probe fill: 20 history rows per
+     active transaction, one pending request each. *)
+  let make_test level name =
+    let rels = Relations.create () in
+    let rng = Ds_sim.Rng.create 42 in
+    let gen = Generator.create Spec.paper_default rng in
+    for c = 1 to clients do
+      let txn = Generator.next_txn gen ~ta:c in
+      List.iteri
+        (fun i (r : Ds_model.Request.t) ->
+          if i < 20 then
+            Ds_relal.Table.insert rels.Relations.history
+              (Relations.row_of_request ~extended:false r)
+          else if i = 20 then
+            Ds_relal.Table.insert rels.Relations.requests
+              (Relations.row_of_request ~extended:false r))
+        txn.Ds_model.Txn.requests
+    done;
+    let plan =
+      Ds_sql.Exec.prepare ~optimize:level rels.Relations.catalog Queries.ss2pl
+    in
+    Bechamel.Test.make ~name
+      (Bechamel.Staged.stage (fun () -> ignore (Ds_sql.Exec.run_plan plan)))
+  in
+  let tests =
+    [
+      make_test `None "ss2pl-noopt";
+      make_test `Basic "ss2pl-basic";
+      make_test `Full "ss2pl-full";
+    ]
+  in
+  let benchmark test =
+    let open Bechamel in
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:(Some 100) () in
+    Benchmark.all cfg instances test
+  in
+  let open Bechamel in
+  List.iter
+    (fun test ->
+      let results = benchmark test in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false
+             ~predictors:[| Measure.run |])
+          Toolkit.Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> note "%-14s %10.3f ms/run" name (est /. 1e6)
+          | _ -> note "%-14s (no estimate)" name)
+        ols)
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* A1 — trigger policies                                              *)
+(* ------------------------------------------------------------------ *)
+
+let middleware_cfg ~protocol ~trigger ~clients ~duration ~spec =
+  {
+    Middleware.default_config with
+    Middleware.n_clients = clients;
+    duration;
+    spec;
+    protocol;
+    trigger;
+    charge_scheduler_time = true;
+  }
+
+let trigger_policies ~duration () =
+  section
+    "Ablation A1: trigger policy (paper 3.3: 'the best condition has to be \
+     evaluated experimentally')";
+  let spec = { Spec.paper_default with Spec.n_objects = 20_000 } in
+  let t =
+    Tablefmt.create
+      ~aligns:
+        [ Tablefmt.Left; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right ]
+      [ "trigger"; "committed txns"; "cycles"; "mean batch"; "p95 latency (s)" ]
+  in
+  List.iter
+    (fun trigger ->
+      let s =
+        Middleware.run
+          (middleware_cfg ~protocol:Builtin.ss2pl_ocaml ~trigger ~clients:100
+             ~duration ~spec)
+      in
+      Tablefmt.add_row t
+        [
+          Trigger.to_string trigger;
+          string_of_int s.Middleware.committed_txns;
+          string_of_int s.Middleware.cycles;
+          Printf.sprintf "%.1f" s.Middleware.mean_batch;
+          Printf.sprintf "%.3f" s.Middleware.p95_txn_latency;
+        ])
+    [
+      Trigger.Time_lapse 0.002;
+      Trigger.Time_lapse 0.01;
+      Trigger.Time_lapse 0.05;
+      Trigger.Fill_level 25;
+      Trigger.Fill_level 100;
+      Trigger.Hybrid (0.01, 100);
+    ];
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* A3 — SQL vs Datalog vs hand-coded                                  *)
+(* ------------------------------------------------------------------ *)
+
+let succinctness () =
+  section
+    "Ablation A3a: specification size (paper 3.4 productivity metric, lines)";
+  let t =
+    Tablefmt.create
+      ~aligns:[ Tablefmt.Left; Tablefmt.Left; Tablefmt.Right ]
+      [ "protocol"; "language"; "spec lines" ]
+  in
+  List.iter
+    (fun (p : Protocol.t) ->
+      Tablefmt.add_row t
+        [
+          p.Protocol.name;
+          (match p.Protocol.language with
+          | `Sql -> "SQL"
+          | `Datalog -> "Datalog"
+          | `Ocaml -> "OCaml (imperative)");
+          string_of_int p.Protocol.spec_loc;
+        ])
+    [
+      Builtin.ss2pl_sql;
+      Builtin.ss2pl_datalog;
+      Builtin.ss2pl_ocaml;
+      Builtin.ss2pl_ordered_sql;
+      Builtin.ss2pl_ordered_datalog;
+      Builtin.read_committed_sql;
+      Builtin.read_committed_datalog;
+    ];
+  Tablefmt.print t
+
+let datalog_vs_sql ~runs () =
+  section "Ablation A3b: protocol evaluation cost, SQL vs Datalog vs OCaml";
+  let t =
+    Tablefmt.create
+      ~aligns:[ Tablefmt.Right; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right ]
+      [ "clients"; "SQL (ms)"; "Datalog (ms)"; "OCaml (ms)" ]
+  in
+  List.iter
+    (fun clients ->
+      let time proto =
+        let m =
+          Overhead_probe.measure ~runs
+            { Overhead_probe.default_setup with Overhead_probe.n_clients = clients }
+            proto
+        in
+        1000. *. m.Overhead_probe.cycle_time
+      in
+      Tablefmt.add_row t
+        [
+          string_of_int clients;
+          Printf.sprintf "%.2f" (time Builtin.ss2pl_sql);
+          Printf.sprintf "%.2f" (time Builtin.ss2pl_datalog);
+          Printf.sprintf "%.2f" (time Builtin.ss2pl_ocaml);
+        ])
+    [ 50; 150; 300; 500 ];
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* A2 — optimizer ablation (table form)                               *)
+(* ------------------------------------------------------------------ *)
+
+let optimizer_ablation ~runs () =
+  section
+    "Ablation A2: optimizer level for Listing 1 (same declarative spec, \
+     different plans)";
+  let t =
+    Tablefmt.create
+      ~aligns:
+        [
+          Tablefmt.Right; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right;
+          Tablefmt.Right;
+        ]
+      [ "clients"; "no-opt (ms)"; "basic (ms)"; "full (ms)"; "full, no index (ms)" ]
+  in
+  List.iter
+    (fun clients ->
+      let time ?(indexes = true) level =
+        let saved = !Ds_relal.Eval.use_table_indexes in
+        Ds_relal.Eval.use_table_indexes := indexes;
+        let m =
+          Overhead_probe.measure ~runs
+            { Overhead_probe.default_setup with Overhead_probe.n_clients = clients }
+            (Builtin.ss2pl_sql_at level)
+        in
+        Ds_relal.Eval.use_table_indexes := saved;
+        1000. *. m.Overhead_probe.query_time
+      in
+      Tablefmt.add_row t
+        [
+          string_of_int clients;
+          Printf.sprintf "%.2f" (time `None);
+          Printf.sprintf "%.2f" (time `Basic);
+          Printf.sprintf "%.2f" (time `Full);
+          Printf.sprintf "%.2f" (time ~indexes:false `Full);
+        ])
+    [ 50; 150; 300 ];
+  Tablefmt.print t;
+  note
+    "The specification is identical in all three columns; only plan \
+     rewriting differs (the paper's 1 'optimization without affecting the \
+     scheduler specification')."
+
+(* ------------------------------------------------------------------ *)
+(* A4 — relaxed consistency under load                                *)
+(* ------------------------------------------------------------------ *)
+
+let relaxed_consistency ~duration () =
+  section
+    "Ablation A4: relaxed consistency under contention (paper 1: 'reduced \
+     consistency criteria may be used during times of high load')";
+  let spec = { Spec.paper_default with Spec.n_objects = 3_000 } in
+  let t =
+    Tablefmt.create
+      ~aligns:[ Tablefmt.Left; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right ]
+      [ "protocol"; "committed txns"; "starvation aborts"; "p95 latency (s)" ]
+  in
+  List.iter
+    (fun (proto : Protocol.t) ->
+      let s =
+        Middleware.run
+          (middleware_cfg ~protocol:proto ~trigger:(Trigger.Hybrid (0.01, 60))
+             ~clients:60 ~duration ~spec)
+      in
+      Tablefmt.add_row t
+        [
+          proto.Protocol.name;
+          string_of_int s.Middleware.committed_txns;
+          string_of_int s.Middleware.aborted_txns;
+          Printf.sprintf "%.3f" s.Middleware.p95_txn_latency;
+        ])
+    [
+      Builtin.ss2pl_sql;
+      Builtin.read_committed_sql;
+      Builtin.rationing ~threshold:300;
+      Adaptive.protocol
+        (Adaptive.ss2pl_with_relief ~high_watermark:40 ~low_watermark:10);
+      Builtin.fcfs;
+    ];
+  Tablefmt.print t;
+  (* Read-mostly variant (80% read-only transactions): the regime where the
+     Ganymed-style reader offload (paper 2) pays off. *)
+  note "";
+  note "Read-mostly variant (80%% read-only transactions):";
+  let spec =
+    { spec with Spec.read_only_fraction = 0.8; updates_per_txn = 6; selects_per_txn = 14 }
+  in
+  let t2 =
+    Tablefmt.create
+      ~aligns:[ Tablefmt.Left; Tablefmt.Right; Tablefmt.Right ]
+      [ "protocol"; "committed txns"; "p95 latency (s)" ]
+  in
+  List.iter
+    (fun (proto : Protocol.t) ->
+      let s =
+        Middleware.run
+          (middleware_cfg ~protocol:proto ~trigger:(Trigger.Hybrid (0.01, 60))
+             ~clients:60 ~duration ~spec)
+      in
+      Tablefmt.add_row t2
+        [
+          proto.Protocol.name;
+          string_of_int s.Middleware.committed_txns;
+          Printf.sprintf "%.3f" s.Middleware.p95_txn_latency;
+        ])
+    [ Builtin.ss2pl_sql; Builtin.read_committed_sql; Builtin.reader_offload ];
+  Tablefmt.print t2
+
+(* ------------------------------------------------------------------ *)
+(* A5 — batch size sweep                                              *)
+(* ------------------------------------------------------------------ *)
+
+let batch_sweep ~duration () =
+  section "Ablation A5: fill-level (batch size) sweep";
+  let spec = { Spec.paper_default with Spec.n_objects = 20_000 } in
+  let t =
+    Tablefmt.create
+      ~aligns:[ Tablefmt.Right; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right ]
+      [ "fill level"; "committed txns"; "mean cycle (ms)"; "p95 latency (s)" ]
+  in
+  List.iter
+    (fun k ->
+      let s =
+        Middleware.run
+          (middleware_cfg ~protocol:Builtin.ss2pl_ocaml
+             ~trigger:(Trigger.Hybrid (0.1, k)) ~clients:120 ~duration ~spec)
+      in
+      Tablefmt.add_row t
+        [
+          string_of_int k;
+          string_of_int s.Middleware.committed_txns;
+          Printf.sprintf "%.3f" (1000. *. s.Middleware.mean_cycle_time);
+          Printf.sprintf "%.3f" s.Middleware.p95_txn_latency;
+        ])
+    [ 10; 30; 60; 120; 240 ];
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* MPL ablation: external admission control on the native scheduler    *)
+(* ------------------------------------------------------------------ *)
+
+let mpl_ablation ~window ~runs () =
+  section
+    "Ablation: multiprogramming limit at 500 clients (the EQMS-style MPL \
+     tuning of Schroeder et al., paper 2) - admission control avoids the \
+     thrashing the declarative scheduler also avoids";
+  let t =
+    Tablefmt.create
+      ~aligns:[ Tablefmt.Left; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right ]
+      [ "MPL"; "MU stmts"; "deadlocks"; "CPU util (%)" ]
+  in
+  List.iter
+    (fun mpl ->
+      let stmts = ref 0. and dl = ref 0. and cpu = ref 0. in
+      for r = 1 to runs do
+        let s =
+          Native_sim.run
+            {
+              Native_sim.default_config with
+              Native_sim.n_clients = 500;
+              duration = window;
+              seed = 60 + r;
+              mpl;
+            }
+        in
+        stmts := !stmts +. float_of_int s.Native_sim.committed_stmts;
+        dl := !dl +. float_of_int s.Native_sim.deadlocks;
+        cpu := !cpu +. s.Native_sim.cpu_utilization
+      done;
+      let f = float_of_int runs in
+      Tablefmt.add_row t
+        [
+          (match mpl with None -> "unlimited" | Some k -> string_of_int k);
+          Printf.sprintf "%.0f" (!stmts /. f);
+          Printf.sprintf "%.0f" (!dl /. f);
+          Printf.sprintf "%.0f" (100. *. !cpu /. f);
+        ])
+    [ None; Some 300; Some 150; Some 75; Some 25 ];
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* Open-loop saturation sweep (the paper's 4.3 operating mode)          *)
+(* ------------------------------------------------------------------ *)
+
+let open_loop ~duration () =
+  section
+    "Open-loop batch scheduling: whole transactions arrive as a Poisson \
+     stream (the paper's pre-scheduled workloads); saturation sweep over the \
+     arrival rate (server capacity ~ 69 txns/s at 41 ops per txn)";
+  let spec = { Spec.paper_default with Spec.n_objects = 50_000 } in
+  let t =
+    Tablefmt.create
+      ~aligns:
+        [
+          Tablefmt.Right; Tablefmt.Left; Tablefmt.Right; Tablefmt.Right;
+          Tablefmt.Right; Tablefmt.Right;
+        ]
+      [
+        "txns/s"; "protocol"; "completed"; "p95 latency (s)"; "peak backlog";
+        "residual";
+      ]
+  in
+  List.iter
+    (fun rate ->
+      List.iter
+        (fun (proto : Protocol.t) ->
+          let s =
+            Batch_sim.run
+              {
+                Batch_sim.default_config with
+                Batch_sim.arrival_rate = rate;
+                duration;
+                spec;
+                protocol = proto;
+              }
+          in
+          Tablefmt.add_row t
+            [
+              Printf.sprintf "%.0f" rate;
+              proto.Protocol.name;
+              string_of_int s.Batch_sim.completed_txns;
+              Printf.sprintf "%.3f" s.Batch_sim.p95_latency;
+              string_of_int s.Batch_sim.peak_backlog;
+              string_of_int s.Batch_sim.residual_pending;
+            ])
+        [ Builtin.ss2pl_ocaml; Builtin.c2pl; Builtin.fcfs ])
+    [ 20.; 40.; 60.; 80. ];
+  Tablefmt.print t;
+  note
+    "Beyond saturation (~69 txns/s) completions cap at server capacity and \
+     latency explodes: the excess queues in front of the server, while the \
+     scheduler-side backlog stays bounded at this (low) contention level. \
+     The protocols coincide here because conflicts are rare; the closed-loop \
+     'relaxed' experiment covers the contended regime."
+
+(* ------------------------------------------------------------------ *)
+(* Deadlock policy ablation                                             *)
+(* ------------------------------------------------------------------ *)
+
+let deadlock_policy_ablation ~window ~runs () =
+  section
+    "Ablation: deadlock handling in the native scheduler (detection vs \
+     wound-wait), 300 clients on a contended store";
+  let t =
+    Tablefmt.create
+      ~aligns:
+        [ Tablefmt.Left; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right ]
+      [ "policy"; "MU stmts"; "deadlocks"; "wounds"; "wasted stmts" ]
+  in
+  List.iter
+    (fun (name, policy) ->
+      let stmts = ref 0. and dl = ref 0. and wo = ref 0. and wasted = ref 0. in
+      for r = 1 to runs do
+        let s =
+          Native_sim.run
+            {
+              Native_sim.default_config with
+              Native_sim.n_clients = 300;
+              duration = window;
+              seed = 70 + r;
+              spec = { Spec.paper_default with Spec.n_objects = 20_000 };
+              deadlock_policy = policy;
+            }
+        in
+        stmts := !stmts +. float_of_int s.Native_sim.committed_stmts;
+        dl := !dl +. float_of_int s.Native_sim.deadlocks;
+        wo := !wo +. float_of_int s.Native_sim.wounds;
+        wasted := !wasted +. float_of_int s.Native_sim.wasted_stmts
+      done;
+      let f = float_of_int runs in
+      Tablefmt.add_row t
+        [
+          name;
+          Printf.sprintf "%.0f" (!stmts /. f);
+          Printf.sprintf "%.0f" (!dl /. f);
+          Printf.sprintf "%.0f" (!wo /. f);
+          Printf.sprintf "%.0f" (!wasted /. f);
+        ])
+    [ ("detection", `Detection); ("wound-wait", `Wound_wait) ];
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* History pruning ablation                                            *)
+(* ------------------------------------------------------------------ *)
+
+let history_pruning ~duration () =
+  section "Ablation: history pruning on/off";
+  let spec = { Spec.paper_default with Spec.n_objects = 20_000 } in
+  let t =
+    Tablefmt.create
+      ~aligns:[ Tablefmt.Left; Tablefmt.Right; Tablefmt.Right ]
+      [ "pruning"; "committed txns"; "mean cycle (ms)" ]
+  in
+  List.iter
+    (fun prune ->
+      let cfg =
+        {
+          (middleware_cfg ~protocol:Builtin.ss2pl_sql
+             ~trigger:(Trigger.Hybrid (0.01, 60)) ~clients:60 ~duration ~spec)
+          with
+          Middleware.prune_history = prune;
+        }
+      in
+      let s = Middleware.run cfg in
+      Tablefmt.add_row t
+        [
+          (if prune then "every cycle" else "never");
+          string_of_int s.Middleware.committed_txns;
+          Printf.sprintf "%.3f" (1000. *. s.Middleware.mean_cycle_time);
+        ])
+    [ true; false ];
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let all_experiments ~window ~runs ~duration ~cycle_scale () =
+  table1 ();
+  table2 ();
+  figure2 ~window ~runs ();
+  native_overhead ~window ~runs ();
+  declarative_overhead ~runs ();
+  crossover ~window ~runs ~cycle_scale ();
+  succinctness ();
+  datalog_vs_sql ~runs ();
+  optimizer_ablation ~runs ();
+  trigger_policies ~duration ();
+  relaxed_consistency ~duration ();
+  batch_sweep ~duration ();
+  open_loop ~duration ();
+  mpl_ablation ~window ~runs ();
+  deadlock_policy_ablation ~window ~runs ();
+  history_pruning ~duration ()
+
+let () =
+  let open Cmdliner in
+  let window =
+    Arg.(value & opt float 24. & info [ "window" ] ~doc:"MU measurement window (virtual s); the paper uses 240.")
+  in
+  let runs = Arg.(value & opt int 2 & info [ "runs" ] ~doc:"Runs per point (averaged).") in
+  let duration =
+    Arg.(value & opt float 5. & info [ "duration" ] ~doc:"Middleware experiment duration (virtual s).")
+  in
+  let cycle_scale =
+    Arg.(value & opt float 1. & info [ "cycle-scale" ] ~doc:"Scale factor on declarative cycle times (emulates the paper's slower scheduler DBMS; try 100).")
+  in
+  let experiment =
+    Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT"
+           ~doc:"One of: all, table1, table2, figure2, native-overhead, declarative-overhead, crossover, listing1-micro, succinctness, datalog-vs-sql, optimizer, triggers, relaxed, batch-sweep, open-loop, mpl, deadlock-policy, pruning, list.")
+  in
+  let main experiment window runs duration cycle_scale =
+    match experiment with
+    | "all" -> all_experiments ~window ~runs ~duration ~cycle_scale ()
+    | "table1" -> table1 ()
+    | "table2" -> table2 ()
+    | "figure2" -> figure2 ~window ~runs ()
+    | "native-overhead" -> native_overhead ~window ~runs ()
+    | "declarative-overhead" -> declarative_overhead ~runs ()
+    | "crossover" -> crossover ~window ~runs ~cycle_scale ()
+    | "listing1-micro" -> listing1_micro ~clients:300 ()
+    | "succinctness" -> succinctness ()
+    | "datalog-vs-sql" -> datalog_vs_sql ~runs ()
+    | "optimizer" -> optimizer_ablation ~runs ()
+    | "triggers" -> trigger_policies ~duration ()
+    | "relaxed" -> relaxed_consistency ~duration ()
+    | "batch-sweep" -> batch_sweep ~duration ()
+    | "open-loop" -> open_loop ~duration ()
+    | "mpl" -> mpl_ablation ~window ~runs ()
+    | "deadlock-policy" -> deadlock_policy_ablation ~window ~runs ()
+    | "pruning" -> history_pruning ~duration ()
+    | "list" ->
+      print_endline
+        "all table1 table2 figure2 native-overhead declarative-overhead \
+         crossover listing1-micro succinctness datalog-vs-sql optimizer \
+         triggers relaxed batch-sweep open-loop mpl deadlock-policy pruning"
+    | other ->
+      Printf.eprintf "unknown experiment %s (try 'list')\n" other;
+      exit 2
+  in
+  let term = Term.(const main $ experiment $ window $ runs $ duration $ cycle_scale) in
+  let info =
+    Cmd.info "bench"
+      ~doc:"Regenerate the paper's tables and figures plus DESIGN.md ablations"
+  in
+  exit (Cmd.eval (Cmd.v info term))

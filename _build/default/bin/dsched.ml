@@ -1,0 +1,308 @@
+(* dsched — command-line front end for the declarative scheduler.
+
+     dsched protocols                 list built-in protocols
+     dsched table1                    print the related-work matrix
+     dsched sql -e "SELECT ..."       run SQL against the scheduler relations
+     dsched demo                      single-cycle walk-through
+     dsched run --protocol ss2pl-sql --clients 50 --duration 5
+     dsched native --clients 300 --window 24
+     dsched rules FILE                compile a rule-language protocol and
+                                      show what it qualifies on a demo batch
+*)
+
+open Ds_core
+open Ds_model
+open Cmdliner
+
+let protocols_cmd =
+  let doc = "List the built-in scheduling protocols." in
+  let run () =
+    List.iter
+      (fun (p : Protocol.t) ->
+        Format.printf "%-24s %a@." p.Protocol.name Protocol.pp p)
+      Builtin.all
+  in
+  Cmd.v (Cmd.info "protocols" ~doc) Term.(const run $ const ())
+
+let table1_cmd =
+  let doc = "Print the paper's Table 1 (related approaches)." in
+  let run () = print_string (Related.render_table ()) in
+  Cmd.v (Cmd.info "table1" ~doc) Term.(const run $ const ())
+
+let sql_cmd =
+  let doc =
+    "Run SQL statements against a fresh scheduler database (tables: requests, \
+     history, rte)."
+  in
+  let stmt =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "e"; "execute" ] ~docv:"SQL" ~doc:"Statement(s), ';'-separated.")
+  in
+  let extended =
+    Arg.(value & flag & info [ "extended" ] ~doc:"Use the extended (QoS) schema.")
+  in
+  let run extended stmt =
+    let rels = Relations.create ~extended () in
+    match Ds_sql.Exec.exec_script rels.Relations.catalog stmt with
+    | Ds_sql.Exec.Rows (schema, rows) ->
+      print_string (Ds_sql.Exec.render schema rows)
+    | Ds_sql.Exec.Affected n -> Printf.printf "%d row(s)\n" n
+    | Ds_sql.Exec.Done -> print_endline "ok"
+    | exception Ds_sql.Exec.Exec_error m -> Printf.eprintf "error: %s\n" m
+    | exception Ds_sql.Compile.Compile_error m ->
+      Printf.eprintf "compile error: %s\n" m
+    | exception Ds_sql.Parser.Parse_error (m, pos) ->
+      Printf.eprintf "parse error at %d: %s\n" pos m
+  in
+  Cmd.v (Cmd.info "sql" ~doc) Term.(const run $ extended $ stmt)
+
+let demo_cmd =
+  let doc = "Walk through one scheduler cycle on a small conflicting batch." in
+  let run () =
+    let sched = Scheduler.create Builtin.ss2pl_sql in
+    let batch =
+      [
+        Request.v 1 1 Op.Read 10;
+        Request.v 2 1 Op.Write 10;
+        Request.v 2 2 Op.Read 20;
+        Request.v 3 1 Op.Write 30;
+        Request.terminal 4 1 Op.Commit;
+      ]
+    in
+    Printf.printf "Incoming queue:\n";
+    List.iter (fun r -> Printf.printf "  %s\n" (Request.to_string r)) batch;
+    List.iter (Scheduler.submit sched) batch;
+    let qualified, stats = Scheduler.cycle sched in
+    Printf.printf
+      "\nCycle: drained=%d qualified=%d (query %.2f ms)\nExecutable now:\n"
+      stats.Scheduler.drained stats.Scheduler.qualified
+      (1000. *. stats.Scheduler.times.Scheduler.query);
+    List.iter (fun r -> Printf.printf "  %s\n" (Request.to_string r)) qualified;
+    Printf.printf
+      "\n(w2[x10] waits: T1 read-locked object 10 in the same batch.)\n"
+  in
+  Cmd.v (Cmd.info "demo" ~doc) Term.(const run $ const ())
+
+let protocol_arg =
+  let conv_protocol =
+    let parse name =
+      match Builtin.find name with
+      | Some p -> Ok p
+      | None ->
+        Error (`Msg (Printf.sprintf "unknown protocol %s (see 'dsched protocols')" name))
+    in
+    Arg.conv (parse, fun ppf (p : Protocol.t) -> Format.fprintf ppf "%s" p.Protocol.name)
+  in
+  Arg.(
+    value
+    & opt conv_protocol Builtin.ss2pl_sql
+    & info [ "protocol" ] ~docv:"NAME" ~doc:"Scheduling protocol (see 'dsched protocols').")
+
+let run_cmd =
+  let doc = "Run the end-to-end middleware simulation (Figure 1)." in
+  let clients = Arg.(value & opt int 50 & info [ "clients" ] ~doc:"Concurrent clients.") in
+  let duration =
+    Arg.(value & opt float 5. & info [ "duration" ] ~doc:"Virtual seconds.")
+  in
+  let objects =
+    Arg.(value & opt int 20_000 & info [ "objects" ] ~doc:"Database objects.")
+  in
+  let passthrough =
+    Arg.(value & flag & info [ "passthrough" ] ~doc:"Non-scheduling mode (3.3).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let run protocol clients duration objects passthrough seed =
+    let cfg =
+      {
+        Middleware.default_config with
+        Middleware.n_clients = clients;
+        duration;
+        seed;
+        protocol;
+        passthrough;
+        spec =
+          { Ds_workload.Spec.paper_default with Ds_workload.Spec.n_objects = objects };
+      }
+    in
+    let s = Middleware.run cfg in
+    Format.printf "%a@." Middleware.pp_stats s;
+    List.iter
+      (fun (tier, mean, p95, n) ->
+        Format.printf "  %-8s n=%d latency mean=%.3fs p95=%.3fs@."
+          (Sla.tier_to_string tier) n mean p95)
+      s.Middleware.latency_by_tier
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ protocol_arg $ clients $ duration $ objects $ passthrough $ seed)
+
+let native_cmd =
+  let doc = "Run the native (lock-based) scheduler experiment (4.2)." in
+  let clients = Arg.(value & opt int 300 & info [ "clients" ] ~doc:"Concurrent clients.") in
+  let window =
+    Arg.(value & opt float 24. & info [ "window" ] ~doc:"Virtual window (paper: 240).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let run clients window seed =
+    let s =
+      Ds_server.Native_sim.run
+        {
+          Ds_server.Native_sim.default_config with
+          Ds_server.Native_sim.n_clients = clients;
+          duration = window;
+          seed;
+          log_schedule = true;
+        }
+    in
+    Format.printf "%a@." Ds_server.Native_sim.pp_stats s;
+    let su =
+      Ds_server.Replay.single_user_time Ds_server.Cost_model.default
+        s.Ds_server.Native_sim.schedule
+    in
+    Format.printf "single-user replay: %.1fs  MU/SU = %.0f%%@." su
+      (100. *. window /. su)
+  in
+  Cmd.v (Cmd.info "native" ~doc) Term.(const run $ clients $ window $ seed)
+
+let rules_cmd =
+  let doc = "Compile a rule-language protocol file and run it on a demo batch." in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Protocol definition.")
+  in
+  let run file =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let src = really_input_string ic n in
+    close_in ic;
+    match Rule_lang.compile src with
+    | proto ->
+      Format.printf "compiled: %a@." Protocol.pp proto;
+      let sched = Scheduler.create ~extended:true proto in
+      let mk sla ta obj =
+        Request.make ~sla ~arrival:(float_of_int ta) ~id:ta ~ta ~intrata:1
+          ~op:Op.Read ~obj ()
+      in
+      List.iter (Scheduler.submit sched)
+        [ mk Sla.free 1 10; mk Sla.premium 2 20; mk Sla.standard 3 30 ];
+      let qualified, _ = Scheduler.cycle sched in
+      Format.printf "demo batch qualified order:@.";
+      List.iter
+        (fun r -> Format.printf "  %s (%s)@." (Request.to_string r)
+            (Sla.tier_to_string r.Request.sla.Sla.tier))
+        qualified
+    | exception Rule_lang.Rule_error m -> Printf.eprintf "rule error: %s\n" m
+  in
+  Cmd.v (Cmd.info "rules" ~doc) Term.(const run $ file)
+
+let trace_gen_cmd =
+  let doc =
+    "Generate a request trace (CSV): the paper's 'pre-scheduled workload'."
+  in
+  let out =
+    Arg.(required & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let txns = Arg.(value & opt int 20 & info [ "txns" ] ~doc:"Transactions to generate.") in
+  let objects = Arg.(value & opt int 1000 & info [ "objects" ] ~doc:"Database objects.") in
+  let stmts = Arg.(value & opt int 4 & info [ "stmts" ] ~doc:"SELECTs and UPDATEs per transaction (each).") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let run out txns objects stmts seed =
+    let spec =
+      {
+        Ds_workload.Spec.paper_default with
+        Ds_workload.Spec.n_objects = objects;
+        selects_per_txn = stmts;
+        updates_per_txn = stmts;
+      }
+    in
+    let gen = Ds_workload.Generator.create spec (Ds_sim.Rng.create seed) in
+    let txn_list = Ds_workload.Generator.txns gen ~first_ta:1 txns in
+    let stream = Ds_workload.Generator.interleave txn_list in
+    Ds_workload.Trace.save out stream;
+    Printf.printf "wrote %d requests (%d transactions) to %s\n"
+      (List.length stream) txns out
+  in
+  Cmd.v (Cmd.info "trace-gen" ~doc)
+    Term.(const run $ out $ txns $ objects $ stmts $ seed)
+
+let qualify_cmd =
+  let doc =
+    "Schedule a recorded trace: run scheduler cycles until the trace drains, \
+     printing the qualified execution order."
+  in
+  let trace =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace CSV (see trace-gen).")
+  in
+  let batch =
+    Arg.(value & opt int 50 & info [ "batch" ] ~doc:"Requests drained per cycle.")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"Only print the summary.") in
+  let run protocol trace batch quiet =
+    let requests = Ds_workload.Trace.load trace in
+    let sched = Scheduler.create ~extended:true protocol in
+    let remaining = ref requests in
+    let order = ref 0 in
+    let cycles = ref 0 in
+    let spin = ref 0 in
+    (* Feed [batch] requests per cycle; requeue nothing (unqualified requests
+       stay pending and retry automatically); stop when drained or stuck. *)
+    while (!remaining <> [] || Scheduler.pending_count sched > 0) && !spin < 1000 do
+      let rec feed k =
+        if k > 0 then
+          match !remaining with
+          | [] -> ()
+          | r :: rest ->
+            Scheduler.submit sched r;
+            remaining := rest;
+            feed (k - 1)
+      in
+      feed batch;
+      incr cycles;
+      let qualified, _ = Scheduler.cycle sched in
+      if qualified = [] then incr spin else spin := 0;
+      List.iter
+        (fun r ->
+          incr order;
+          if not quiet then
+            Printf.printf "%4d  %s\n" !order (Request.to_string r))
+        qualified
+    done;
+    let stuck = Scheduler.pending_count sched in
+    Printf.printf "# %d executed in %d cycles under %s%s\n" !order !cycles
+      protocol.Protocol.name
+      (if stuck > 0 then
+         Printf.sprintf " (%d requests permanently blocked)" stuck
+       else "")
+  in
+  Cmd.v (Cmd.info "qualify" ~doc)
+    Term.(const run $ protocol_arg $ trace $ batch $ quiet)
+
+let recover_cmd =
+  let doc = "Inspect a scheduler journal: recovered pending/history state." in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"JOURNAL" ~doc:"Journal file.")
+  in
+  let run file =
+    let r = Journal.recover file in
+    Printf.printf "replayed %d entries\n" r.Journal.replayed;
+    Printf.printf "pending (%d):\n" (List.length r.Journal.pending);
+    List.iter
+      (fun req -> Printf.printf "  %s\n" (Request.to_string req))
+      r.Journal.pending;
+    Printf.printf "history (%d executed)\n" (List.length r.Journal.history);
+    if r.Journal.aborted <> [] then
+      Printf.printf "aborted transactions: %s\n"
+        (String.concat ", " (List.map string_of_int r.Journal.aborted))
+  in
+  Cmd.v (Cmd.info "recover" ~doc) Term.(const run $ file)
+
+let () =
+  let doc = "declarative request scheduler (EDBT'10 reproduction)" in
+  let info = Cmd.info "dsched" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            protocols_cmd; table1_cmd; sql_cmd; demo_cmd; run_cmd; native_cmd;
+            rules_cmd; trace_gen_cmd; qualify_cmd; recover_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builtin Ds_core Ds_model Ds_sql Format List Op Printf Protocol Relations Request Scheduler

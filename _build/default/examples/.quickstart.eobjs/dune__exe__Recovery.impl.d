@@ -1,0 +1,1 @@
+examples/recovery.ml: Builtin Ds_core Ds_model Filename Journal List Op Printf Relations Request Scheduler String Sys

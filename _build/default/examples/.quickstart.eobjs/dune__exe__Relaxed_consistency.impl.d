@@ -1,0 +1,1 @@
+examples/relaxed_consistency.ml: Builtin Ds_core Ds_workload Format Middleware Printf Protocol Spec Trigger

@@ -1,0 +1,1 @@
+examples/sla_tiers.ml: Builtin Ds_core Ds_model Ds_workload Float Format List Middleware Printf Rule_lang Sla Spec Trigger

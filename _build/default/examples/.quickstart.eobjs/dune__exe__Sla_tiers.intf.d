@@ -1,0 +1,1 @@
+examples/sla_tiers.mli:

@@ -1,0 +1,1 @@
+examples/webshop.ml: Builtin Ds_core Ds_model Ds_relal Format List Op Printf Protocol Relations Request Rule_lang Scheduler

@@ -1,0 +1,74 @@
+(* Quickstart: the declarative scheduler in five steps.
+
+     dune exec examples/quickstart.exe
+
+   1. create a scheduler programmed with a declarative protocol (the paper's
+      Listing 1, i.e. strong 2PL as a SQL query);
+   2. submit concurrent client requests to the incoming queue;
+   3. run a scheduler cycle: requests become rows, the protocol query picks
+      the executable subset, qualified requests move to the history;
+   4. peek at the scheduler's relations with plain SQL;
+   5. swap in a different protocol — two lines, no scheduler code. *)
+
+open Ds_core
+open Ds_model
+
+let banner title = Printf.printf "\n--- %s ---\n" title
+
+let show r = Printf.printf "  %s\n" (Request.to_string r)
+
+let () =
+  (* 1. A scheduler programmed with Listing 1. *)
+  let sched = Scheduler.create Builtin.ss2pl_sql in
+  Printf.printf "protocol: %s\n"
+    (Format.asprintf "%a" Protocol.pp (Scheduler.protocol sched));
+
+  (* 2. Three clients race: T1 reads object 7, T2 wants to write it, T3
+        works elsewhere. *)
+  banner "incoming requests";
+  let batch =
+    [
+      Request.v 1 1 Op.Read 7;
+      Request.v 2 1 Op.Write 7;
+      Request.v 3 1 Op.Write 99;
+    ]
+  in
+  List.iter show batch;
+  List.iter (Scheduler.submit sched) batch;
+
+  (* 3. One cycle: T2's write must wait for T1 (SS2PL), everything else
+        runs. *)
+  let qualified, stats = Scheduler.cycle sched in
+  banner "qualified by SS2PL";
+  List.iter show qualified;
+  Printf.printf "  (%d of %d; protocol query took %.2f ms)\n"
+    stats.Scheduler.qualified stats.Scheduler.drained
+    (1000. *. stats.Scheduler.times.Scheduler.query);
+
+  (* 4. The scheduler state is just tables — inspect it with SQL. *)
+  banner "scheduler state (SQL)";
+  let rels = Scheduler.relations sched in
+  let schema, rows =
+    Ds_sql.Exec.query rels.Relations.catalog
+      "SELECT ta, intrata, operation, object FROM requests ORDER BY id"
+  in
+  Printf.printf "still pending:\n%s" (Ds_sql.Exec.render schema rows);
+
+  (* T1 commits; its locks disappear from the logical lock table and T2's
+     write qualifies on the next cycle. *)
+  Scheduler.submit sched (Request.terminal 1 2 Op.Commit);
+  ignore (Scheduler.cycle sched);
+  let unblocked, _ = Scheduler.cycle sched in
+  banner "after T1 commits";
+  List.iter show unblocked;
+
+  (* 5. Changing the protocol is changing a value, not rewriting a
+        scheduler. *)
+  banner "same system, relaxed protocol";
+  let relaxed = Scheduler.create Builtin.read_committed_sql in
+  List.iter (Scheduler.submit relaxed)
+    [ Request.v 1 1 Op.Read 7; Request.v 2 1 Op.Write 7 ];
+  let q, _ = Scheduler.cycle relaxed in
+  List.iter show q;
+  Printf.printf
+    "  (read-committed drops read locks: the write no longer waits)\n"

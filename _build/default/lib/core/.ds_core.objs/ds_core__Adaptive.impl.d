@@ -1,0 +1,1 @@
+lib/core/adaptive.ml: Builtin Option Printf Protocol Relations

@@ -1,0 +1,1 @@
+lib/core/batch_sim.ml: Builtin Dist Ds_model Ds_server Ds_sim Ds_stats Ds_workload Engine Format Generator Hashtbl List Protocol Request Rng Scheduler Spec Txn

@@ -1,0 +1,1 @@
+lib/core/batch_sim.mli: Ds_server Ds_workload Format Protocol Spec

@@ -1,0 +1,1 @@
+lib/core/builtin.ml: Datalog_rules Ds_relal List Oracle Printf Protocol Queries

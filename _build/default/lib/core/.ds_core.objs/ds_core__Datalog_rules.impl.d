@@ -1,0 +1,1 @@
+lib/core/datalog_rules.ml:

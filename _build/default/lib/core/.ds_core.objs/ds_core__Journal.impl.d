@@ -1,0 +1,1 @@
+lib/core/journal.ml: Array Ds_model Ds_relal Ds_workload Hashtbl List Op Printf Relations Request Stdlib String

@@ -1,0 +1,1 @@
+lib/core/middleware.ml: Array Builtin Ds_model Ds_server Ds_sim Ds_stats Ds_workload Engine Format Generator Hashtbl List Op Protocol Request Rng Scheduler Sla Spec Trigger Txn

@@ -1,0 +1,1 @@
+lib/core/middleware.mli: Ds_model Ds_server Ds_workload Format Protocol Scheduler Sla Spec Trigger

@@ -1,0 +1,1 @@
+lib/core/oracle.ml: Ds_model Hashtbl Int List Op Option Request Set

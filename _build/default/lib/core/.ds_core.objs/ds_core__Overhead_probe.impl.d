@@ -1,0 +1,1 @@
+lib/core/overhead_probe.ml: Ds_model Ds_relal Ds_sim Ds_workload Generator Relations Request Scheduler Spec Txn

@@ -1,0 +1,1 @@
+lib/core/overhead_probe.mli: Ds_workload Protocol Spec

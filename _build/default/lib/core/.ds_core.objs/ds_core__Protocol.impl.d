@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Array Ds_datalog Ds_model Ds_relal Ds_sql Eval Format Hashtbl Int List Op Printf Queries Ra Relations Request Schema String Value

@@ -1,0 +1,1 @@
+lib/core/protocol.mli: Ds_model Ds_relal Format Relations Request

@@ -1,0 +1,1 @@
+lib/core/related.ml: Ds_util List Tablefmt

@@ -1,0 +1,1 @@
+lib/core/relations.ml: Array Ds_model Ds_relal Ds_sql Hashtbl List Op Request Schema Sla String Table Value

@@ -1,0 +1,1 @@
+lib/core/relations.mli: Ds_model Ds_relal Ds_sql Request Schema Table Value

@@ -1,0 +1,1 @@
+lib/core/rule_lang.ml: Builtin Ds_model Float Format Hashtbl Int List Option Protocol Queries Relations Request Sla String

@@ -1,0 +1,1 @@
+lib/core/rule_lang.mli: Protocol

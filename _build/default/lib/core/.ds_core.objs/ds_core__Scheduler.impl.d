@@ -1,0 +1,1 @@
+lib/core/scheduler.ml: Array Ds_model Ds_relal Journal List Op Option Protocol Queue Relations Request Unix

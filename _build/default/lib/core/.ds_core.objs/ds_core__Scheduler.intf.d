@@ -1,0 +1,1 @@
+lib/core/scheduler.mli: Ds_model Journal Protocol Relations Request

@@ -1,0 +1,60 @@
+type state = { mutable mode : [ `Strict | `Relaxed ]; mutable switches : int }
+
+type t = { proto : Protocol.t; state : state }
+
+let make ?name ~(strict : Protocol.t) ~(relaxed : Protocol.t) ~high_watermark
+    ~low_watermark () =
+  if low_watermark > high_watermark then
+    invalid_arg "Adaptive.make: low_watermark > high_watermark";
+  let name =
+    Option.value name
+      ~default:
+        (Printf.sprintf "adaptive(%s->%s)" strict.Protocol.name
+           relaxed.Protocol.name)
+  in
+  let state = { mode = `Strict; switches = 0 } in
+  let prepare rels =
+    let run_strict = strict.Protocol.prepare rels in
+    let run_relaxed = relaxed.Protocol.prepare rels in
+    fun () ->
+      let backlog = Relations.pending_count rels in
+      let next_mode =
+        match state.mode with
+        | `Strict when backlog >= high_watermark -> `Relaxed
+        | `Relaxed when backlog <= low_watermark -> `Strict
+        | m -> m
+      in
+      if next_mode <> state.mode then begin
+        state.mode <- next_mode;
+        state.switches <- state.switches + 1
+      end;
+      match state.mode with
+      | `Strict -> run_strict ()
+      | `Relaxed -> run_relaxed ()
+  in
+  let proto =
+    {
+      Protocol.name;
+      description =
+        Printf.sprintf
+          "runs %s; degrades to %s when the pending backlog exceeds %d, \
+           recovers below %d"
+          strict.Protocol.name relaxed.Protocol.name high_watermark
+          low_watermark;
+      guarantee = Protocol.Custom "adaptive";
+      language = strict.Protocol.language;
+      spec_loc = strict.Protocol.spec_loc + relaxed.Protocol.spec_loc;
+      prepare;
+    }
+  in
+  { proto; state }
+
+let protocol t = t.proto
+
+let mode t = t.state.mode
+
+let switches t = t.state.switches
+
+let ss2pl_with_relief ~high_watermark ~low_watermark =
+  make ~strict:Builtin.ss2pl_sql ~relaxed:Builtin.read_committed_sql
+    ~high_watermark ~low_watermark ()

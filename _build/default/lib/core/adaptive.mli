@@ -1,0 +1,33 @@
+(** Adaptive consistency (the paper's §5 outlook: "an adaptive consistency
+    scheduler which varies the applied consistency protocols based on
+    metadata and business application requirements", citing Finkelstein et
+    al.'s principles for inconsistency).
+
+    The adaptive protocol watches the scheduler's own metadata — the size of
+    the pending-requests backlog at cycle time, a direct measure of how much
+    the strict protocol is blocking — and switches from the strict to the
+    relaxed rule set when the backlog crosses a high watermark, falling back
+    once it drains below a low watermark (hysteresis prevents flapping). *)
+
+type t
+
+(** @raise Invalid_argument unless [low_watermark <= high_watermark]. *)
+val make :
+  ?name:string ->
+  strict:Protocol.t ->
+  relaxed:Protocol.t ->
+  high_watermark:int ->
+  low_watermark:int ->
+  unit ->
+  t
+
+val protocol : t -> Protocol.t
+
+(** Mode currently in force (as of the last cycle). *)
+val mode : t -> [ `Strict | `Relaxed ]
+
+(** Number of mode changes so far. *)
+val switches : t -> int
+
+(** Convenience: SS2PL that degrades to read-committed under load. *)
+val ss2pl_with_relief : high_watermark:int -> low_watermark:int -> t

@@ -1,0 +1,40 @@
+let ss2pl =
+  {|% Strong two-phase locking, equivalent to the paper's Listing 1.
+finished(TA)   :- history_terminal(_, TA, _, 'c').
+finished(TA)   :- history_terminal(_, TA, _, 'a').
+wrote(TA, O)   :- history(_, TA, _, 'w', O).
+wlocked(O, TA) :- wrote(TA, O), not finished(TA).
+rlocked(O, TA) :- history(_, TA, _, 'r', O), not finished(TA), not wrote(TA, O).
+blocked(TA, I) :- requests(_, TA, I, _, O), wlocked(O, T2), TA <> T2.
+blocked(TA, I) :- requests(_, TA, I, 'w', O), rlocked(O, T2), TA <> T2.
+blocked(TA, I) :- requests(_, TA, I, 'w', O), requests(_, T1, _, _, O), TA > T1.
+blocked(TA, I) :- requests(_, TA, I, _, O), requests(_, T1, _, 'w', O), TA > T1.
+qualified(TA, I) :- requests(_, TA, I, _, _), not blocked(TA, I).
+qualified(TA, I) :- terminal_requests(_, TA, I, _).|}
+
+let ss2pl_ordered =
+  {|% SS2PL plus intra-transaction ordering: nothing overtakes an earlier
+% pending request of its own transaction (terminals included).
+finished(TA)   :- history_terminal(_, TA, _, 'c').
+finished(TA)   :- history_terminal(_, TA, _, 'a').
+wrote(TA, O)   :- history(_, TA, _, 'w', O).
+wlocked(O, TA) :- wrote(TA, O), not finished(TA).
+rlocked(O, TA) :- history(_, TA, _, 'r', O), not finished(TA), not wrote(TA, O).
+blocked(TA, I) :- requests(_, TA, I, _, O), wlocked(O, T2), TA <> T2.
+blocked(TA, I) :- requests(_, TA, I, 'w', O), rlocked(O, T2), TA <> T2.
+blocked(TA, I) :- requests(_, TA, I, 'w', O), requests(_, T1, _, _, O), TA > T1.
+blocked(TA, I) :- requests(_, TA, I, _, O), requests(_, T1, _, 'w', O), TA > T1.
+blocked(TA, I) :- requests(_, TA, I, _, _), requests(_, TA, J, _, _), I > J.
+blocked(TA, I) :- terminal_requests(_, TA, I, _), requests(_, TA, J, _, _), I > J.
+qualified(TA, I) :- requests(_, TA, I, _, _), not blocked(TA, I).
+qualified(TA, I) :- terminal_requests(_, TA, I, _), not blocked(TA, I).|}
+
+let read_committed =
+  {|% Relaxed: no read locks; writers never wait for readers.
+finished(TA)   :- history_terminal(_, TA, _, 'c').
+finished(TA)   :- history_terminal(_, TA, _, 'a').
+wlocked(O, TA) :- history(_, TA, _, 'w', O), not finished(TA).
+blocked(TA, I) :- requests(_, TA, I, _, O), wlocked(O, T2), TA <> T2.
+blocked(TA, I) :- requests(_, TA, I, _, O), requests(_, T1, _, 'w', O), TA > T1.
+qualified(TA, I) :- requests(_, TA, I, _, _), not blocked(TA, I).
+qualified(TA, I) :- terminal_requests(_, TA, I, _).|}

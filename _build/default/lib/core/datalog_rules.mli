@@ -1,0 +1,15 @@
+(** SS2PL and variants as Datalog programs — the "specialized, more succinct
+    scheduler language" direction of the paper's §5 (Datalog is one of the
+    candidate languages named in §3.1).
+
+    Fact schema (loaded per cycle by {!Protocol.of_datalog}):
+    - [requests(Id, Ta, Intrata, Op, Obj)] — pending data operations;
+    - [terminal_requests(Id, Ta, Intrata, Op)] — pending commits/aborts;
+    - [history(Id, Ta, Intrata, Op, Obj)] — executed data operations;
+    - [history_terminal(Id, Ta, Intrata, Op)] — executed commits/aborts.
+
+    Each program derives [qualified(Ta, Intrata)]. *)
+
+val ss2pl : string
+val ss2pl_ordered : string
+val read_committed : string

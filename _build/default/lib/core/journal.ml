@@ -1,0 +1,147 @@
+open Ds_model
+
+type t = { oc : out_channel }
+
+let open_ path =
+  { oc = open_out_gen [ Open_append; Open_creat ] 0o644 path }
+
+let close t = close_out t.oc
+
+let log_submit t r =
+  output_string t.oc ("S " ^ Ds_workload.Trace.line_of_request r ^ "\n")
+
+let log_qualified t keys =
+  List.iter
+    (fun (ta, intrata) ->
+      output_string t.oc (Printf.sprintf "Q %d %d\n" ta intrata))
+    keys
+
+let log_abort t ta = output_string t.oc (Printf.sprintf "A %d\n" ta)
+
+let log_prune t = output_string t.oc "P\n"
+
+let flush t = Stdlib.flush t.oc
+
+type recovered = {
+  pending : Request.t list;
+  history : Request.t list;
+  aborted : int list;
+  replayed : int;
+}
+
+(* State machine over journal lines. *)
+type replay_state = {
+  mutable submitted : (int * int, Request.t) Hashtbl.t;
+  mutable order : (int * int) list;  (* submission order, reversed *)
+  mutable hist : Request.t list;  (* reversed *)
+  mutable aborts : int list;  (* reversed *)
+}
+
+let apply st lineno line =
+  let fail msg = failwith (Printf.sprintf "journal line %d: %s" lineno msg) in
+  if String.length line < 1 then fail "empty line"
+  else
+    match (line.[0], if String.length line > 2 then String.sub line 2 (String.length line - 2) else "") with
+    | 'S', rest ->
+      let r = Ds_workload.Trace.request_of_line ~lineno rest in
+      Hashtbl.replace st.submitted (Request.key r) r;
+      st.order <- Request.key r :: st.order
+    | 'Q', rest -> (
+      match String.split_on_char ' ' (String.trim rest) with
+      | [ ta; intrata ] -> (
+        match (int_of_string_opt ta, int_of_string_opt intrata) with
+        | Some ta, Some intrata -> (
+          let key = (ta, intrata) in
+          match Hashtbl.find_opt st.submitted key with
+          | Some r ->
+            Hashtbl.remove st.submitted key;
+            st.hist <- r :: st.hist
+          | None -> fail "qualified a request that was never submitted")
+        | _ -> fail "malformed Q entry")
+      | _ -> fail "malformed Q entry")
+    | 'A', rest -> (
+      match int_of_string_opt (String.trim rest) with
+      | Some ta ->
+        (* Drop the transaction's pending requests, as abort_txn did. *)
+        Hashtbl.iter
+          (fun key (r : Request.t) ->
+            if r.Request.ta = ta then Hashtbl.remove st.submitted key |> ignore)
+          (Hashtbl.copy st.submitted);
+        st.aborts <- ta :: st.aborts
+      | None -> fail "malformed A entry")
+    | 'P', _ -> () (* pruning is an optimization; replay keeps full history *)
+    | _ -> fail "unknown entry kind"
+
+let recover path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = Array.of_list (List.rev !lines) in
+  let st =
+    { submitted = Hashtbl.create 64; order = []; hist = []; aborts = [] }
+  in
+  let replayed = ref 0 in
+  let n = Array.length lines in
+  (try
+     for i = 0 to n - 1 do
+       let line = String.trim lines.(i) in
+       if line <> "" then begin
+         match apply st (i + 1) line with
+         | () -> incr replayed
+         | exception (Failure _ as e) | exception (Ds_workload.Trace.Malformed _ as e)
+           ->
+           (* A torn final line is expected after a crash; garbage earlier in
+              the file is corruption. *)
+           if i = n - 1 then raise Exit
+           else
+             failwith
+               (match e with
+               | Failure m -> m
+               | Ds_workload.Trace.Malformed (m, l) ->
+                 Printf.sprintf "line %d: %s" l m
+               | _ -> "journal corruption")
+       end
+     done
+   with Exit -> ());
+  let pending =
+    List.rev st.order
+    |> List.filter_map (fun key -> Hashtbl.find_opt st.submitted key)
+    (* A key can appear twice in [order] after requeue; dedup keeps first. *)
+    |> List.fold_left
+         (fun (seen, acc) r ->
+           let k = Request.key r in
+           if List.mem k seen then (seen, acc) else (k :: seen, r :: acc))
+         ([], [])
+    |> snd
+    |> List.rev
+  in
+  {
+    pending;
+    history = List.rev st.hist;
+    aborted = List.rev st.aborts;
+    replayed = !replayed;
+  }
+
+let restore recovered rels =
+  Relations.clear rels;
+  List.iter
+    (fun r ->
+      Ds_relal.Table.insert rels.Relations.history
+        (Relations.row_of_request ~extended:rels.Relations.extended r))
+    recovered.history;
+  (* Abort markers release the logical locks of middleware-aborted txns. *)
+  List.iteri
+    (fun i ta ->
+      let marker =
+        Request.make
+          ~id:(2_000_000_000 + i)
+          ~ta ~intrata:998 ~op:Op.Abort ()
+      in
+      Ds_relal.Table.insert rels.Relations.history
+        (Relations.row_of_request ~extended:rels.Relations.extended marker))
+    recovered.aborted;
+  Relations.insert_pending_batch rels recovered.pending

@@ -1,0 +1,52 @@
+(** Write-ahead journal for the scheduler state.
+
+    In the paper's architecture the request relations live in a DBMS and are
+    durable; our embedded relations are not, so a middleware crash would lose
+    the pending backlog. The journal records every state transition as one
+    line:
+
+    {v
+    S id,ta,intrata,op,obj,sla,arrival    request submitted (Trace format)
+    Q ta intrata                          request qualified -> history
+    A ta                                  transaction aborted by the scheduler
+    P                                     history pruned
+    v}
+
+    Recovery replays a journal — possibly truncated mid-write by a crash —
+    into a fresh relation set: submitted-but-unqualified requests are pending
+    again, qualified ones are back in history, and a trailing partial line is
+    ignored. The replay is protocol-independent: scheduling decisions are
+    facts in the log, not re-derived. *)
+
+open Ds_model
+
+type t
+
+(** [open_ path] appends to [path] (created if missing). *)
+val open_ : string -> t
+
+val close : t -> unit
+val log_submit : t -> Request.t -> unit
+val log_qualified : t -> (int * int) list -> unit
+val log_abort : t -> int -> unit
+val log_prune : t -> unit
+
+(** Flushes buffered entries to the OS (called by the scheduler at the end of
+    every cycle). *)
+val flush : t -> unit
+
+type recovered = {
+  pending : Request.t list;  (** submitted, not yet qualified, not aborted *)
+  history : Request.t list;  (** qualified, in qualification order *)
+  aborted : int list;  (** transactions aborted by the middleware *)
+  replayed : int;  (** journal lines applied *)
+}
+
+(** Replays a journal file. Unparseable trailing data is tolerated (torn
+    write); unparseable data in the middle raises [Failure]. *)
+val recover : string -> recovered
+
+(** Rebuilds a relation set from a recovery result: pending requests are
+    reinserted into [requests]; the history is restored in order, with abort
+    markers for aborted transactions. *)
+val restore : recovered -> Relations.t -> unit

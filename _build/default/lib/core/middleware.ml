@@ -1,0 +1,313 @@
+open Ds_model
+open Ds_sim
+open Ds_workload
+
+type config = {
+  n_clients : int;
+  duration : float;
+  spec : Spec.t;
+  cost : Ds_server.Cost_model.t;
+  seed : int;
+  protocol : Protocol.t;
+  trigger : Trigger.t;
+  extended_relations : bool;
+  charge_scheduler_time : bool;
+  prune_history : bool;
+  starvation_cycles : int;
+  passthrough : bool;
+}
+
+let default_config =
+  {
+    n_clients = 10;
+    duration = 10.;
+    spec = Spec.paper_default;
+    cost = Ds_server.Cost_model.default;
+    seed = 42;
+    protocol = Builtin.ss2pl_ocaml;
+    trigger = Trigger.Hybrid (0.01, 50);
+    extended_relations = false;
+    charge_scheduler_time = true;
+    prune_history = true;
+    starvation_cycles = 50;
+    passthrough = false;
+  }
+
+type stats = {
+  committed_txns : int;
+  committed_stmts : int;
+  aborted_txns : int;
+  cycles : int;
+  mean_cycle_time : float;
+  p95_cycle_time : float;
+  mean_batch : float;
+  mean_pending : float;
+  scheduler_time : float;
+  mean_txn_latency : float;
+  p95_txn_latency : float;
+  latency_by_tier : (Sla.tier * float * float * int) list;
+}
+
+type client = {
+  cid : int;
+  gen : Generator.t;
+  mutable txn : Txn.t;
+  mutable remaining : Request.t list;
+  mutable txn_start : float;
+  mutable outstanding : (int * int) option;
+  mutable stall_cycles : int;
+  mutable data_stmts : int;  (** executed data statements of current txn *)
+}
+
+type sim = {
+  cfg : config;
+  engine : Engine.t;
+  backend : Ds_server.Backend.t;
+  sched : Scheduler.t;
+  clients : client array;
+  by_ta : (int, client) Hashtbl.t;
+  rng : Rng.t;
+  mutable ta_counter : int;
+  mutable req_counter : int;
+  mutable cycle_fire_pending : bool;
+  mutable last_cycle_at : float;
+  mutable committed_txns : int;
+  mutable committed_stmts : int;
+  mutable aborted_txns : int;
+  cycle_times : Ds_stats.Summary.t;
+  cycle_times_hist : Ds_stats.Histogram.t;
+  batch_sizes : Ds_stats.Summary.t;
+  pending_sizes : Ds_stats.Summary.t;
+  latencies : Ds_stats.Histogram.t;
+  tier_latencies : (Sla.tier, Ds_stats.Histogram.t * int ref) Hashtbl.t;
+}
+
+let fresh_ta sim client =
+  sim.ta_counter <- sim.ta_counter + 1;
+  Hashtbl.replace sim.by_ta sim.ta_counter client;
+  sim.ta_counter
+
+let renumber sim (r : Request.t) =
+  sim.req_counter <- sim.req_counter + 1;
+  { r with Request.id = sim.req_counter; arrival = Engine.now sim.engine }
+
+let rec start_txn sim client =
+  let ta = fresh_ta sim client in
+  client.txn <- Generator.next_txn client.gen ~ta;
+  client.remaining <- client.txn.Txn.requests;
+  client.txn_start <- Engine.now sim.engine;
+  client.data_stmts <- 0;
+  client.stall_cycles <- 0;
+  submit_next sim client
+
+and submit_next sim client =
+  match client.remaining with
+  | [] -> ()
+  | req :: rest ->
+    client.remaining <- rest;
+    let req = renumber sim req in
+    client.outstanding <- Some (Request.key req);
+    client.stall_cycles <- 0;
+    Scheduler.submit sim.sched req;
+    maybe_fire sim
+
+and maybe_fire sim =
+  let elapsed = Engine.now sim.engine -. sim.last_cycle_at in
+  if
+    (not sim.cycle_fire_pending)
+    && Trigger.due sim.cfg.trigger
+         ~queue_len:(Scheduler.queue_length sim.sched)
+         ~elapsed
+  then begin
+    sim.cycle_fire_pending <- true;
+    ignore (Engine.schedule sim.engine ~after:0. (fun () -> run_cycle sim))
+  end
+
+and run_cycle sim =
+  sim.cycle_fire_pending <- false;
+  sim.last_cycle_at <- Engine.now sim.engine;
+  if Scheduler.queue_length sim.sched > 0 || Scheduler.pending_count sim.sched > 0
+  then begin
+    let qualified, stats =
+      Scheduler.cycle ~passthrough:sim.cfg.passthrough sim.sched
+    in
+    let dt = Scheduler.total_time stats.Scheduler.times in
+    Ds_stats.Summary.add sim.cycle_times dt;
+    Ds_stats.Histogram.add sim.cycle_times_hist dt;
+    Ds_stats.Summary.add sim.batch_sizes (float_of_int stats.Scheduler.qualified);
+    Ds_stats.Summary.add sim.pending_sizes
+      (float_of_int stats.Scheduler.pending_before);
+    (* Starvation accounting: clients whose outstanding request is still
+       pending after this cycle. *)
+    let qualified_keys = Hashtbl.create 64 in
+    List.iter
+      (fun r -> Hashtbl.replace qualified_keys (Request.key r) ())
+      qualified;
+    Array.iter
+      (fun c ->
+        match c.outstanding with
+        | Some key when not (Hashtbl.mem qualified_keys key) ->
+          c.stall_cycles <- c.stall_cycles + 1;
+          if c.stall_cycles >= sim.cfg.starvation_cycles then begin
+            let ta = fst key in
+            ignore (Scheduler.abort_txn sim.sched ta);
+            Hashtbl.remove sim.by_ta ta;
+            sim.aborted_txns <- sim.aborted_txns + 1;
+            c.outstanding <- None;
+            let backoff = 0.001 *. (1. +. Rng.float sim.rng) in
+            ignore
+              (Engine.schedule sim.engine ~after:backoff (fun () ->
+                   start_txn sim c))
+          end
+        | _ -> ())
+      sim.clients;
+    let dispatch_delay = if sim.cfg.charge_scheduler_time then dt else 0. in
+    ignore
+      (Engine.schedule sim.engine ~after:dispatch_delay (fun () ->
+           Ds_server.Backend.execute_seq sim.backend qualified
+             ~on_each:(deliver sim) (fun () -> ())))
+  end
+
+and deliver sim (req : Request.t) =
+  match Hashtbl.find_opt sim.by_ta req.Request.ta with
+  | None -> () (* aborted meanwhile *)
+  | Some client -> (
+    match client.outstanding with
+    | Some key when key = Request.key req ->
+      client.outstanding <- None;
+      if Request.is_data req then begin
+        client.data_stmts <- client.data_stmts + 1;
+        submit_next sim client
+      end
+      else begin
+        (* Terminal executed: transaction complete. *)
+        let now = Engine.now sim.engine in
+        Hashtbl.remove sim.by_ta req.Request.ta;
+        if now <= sim.cfg.duration && Op.equal req.Request.op Op.Commit then begin
+          sim.committed_txns <- sim.committed_txns + 1;
+          sim.committed_stmts <- sim.committed_stmts + client.data_stmts;
+          let latency = now -. client.txn_start in
+          Ds_stats.Histogram.add sim.latencies latency;
+          let tier = client.txn.Txn.sla.Sla.tier in
+          let hist, count =
+            match Hashtbl.find_opt sim.tier_latencies tier with
+            | Some entry -> entry
+            | None ->
+              let entry = (Ds_stats.Histogram.create (), ref 0) in
+              Hashtbl.add sim.tier_latencies tier entry;
+              entry
+          in
+          Ds_stats.Histogram.add hist latency;
+          incr count
+        end;
+        start_txn sim client
+      end
+    | Some _ | None -> ())
+
+let run_full (cfg : config) =
+  (match Spec.validate cfg.spec with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Middleware.run: " ^ m));
+  let engine = Engine.create () in
+  let master = Rng.create cfg.seed in
+  let sched =
+    Scheduler.create ~extended:cfg.extended_relations
+      ~prune_history_each_cycle:cfg.prune_history cfg.protocol
+  in
+  let sim =
+    {
+      cfg;
+      engine;
+      backend = Ds_server.Backend.create engine cfg.cost;
+      sched;
+      clients =
+        Array.init cfg.n_clients (fun i ->
+            {
+              cid = i;
+              gen = Generator.create cfg.spec (Rng.split master);
+              txn = Txn.make ~ta:0 [ (Op.Commit, None) ];
+              remaining = [];
+              txn_start = 0.;
+              outstanding = None;
+              stall_cycles = 0;
+              data_stmts = 0;
+            });
+      by_ta = Hashtbl.create (4 * cfg.n_clients);
+      rng = Rng.split master;
+      ta_counter = 0;
+      req_counter = 0;
+      cycle_fire_pending = false;
+      last_cycle_at = 0.;
+      committed_txns = 0;
+      committed_stmts = 0;
+      aborted_txns = 0;
+      cycle_times = Ds_stats.Summary.create ();
+      cycle_times_hist = Ds_stats.Histogram.create ();
+      batch_sizes = Ds_stats.Summary.create ();
+      pending_sizes = Ds_stats.Summary.create ();
+      latencies = Ds_stats.Histogram.create ();
+      tier_latencies = Hashtbl.create 4;
+    }
+  in
+  (* Periodic timer for time-based triggers; it re-checks pending work even
+     when no client is submitting. *)
+  (match Trigger.period cfg.trigger with
+  | Some dt ->
+    let rec tick () =
+      maybe_fire sim;
+      if Engine.now engine < cfg.duration then
+        ignore (Engine.schedule engine ~after:dt tick)
+    in
+    ignore (Engine.schedule engine ~after:dt tick)
+  | None ->
+    (* Pure fill triggers can stall when every client is blocked; a slow
+       fallback timer keeps re-evaluating pending requests. *)
+    let rec tick () =
+      if Scheduler.pending_count sim.sched > 0 && not sim.cycle_fire_pending
+      then begin
+        sim.cycle_fire_pending <- true;
+        ignore (Engine.schedule engine ~after:0. (fun () -> run_cycle sim))
+      end;
+      if Engine.now engine < cfg.duration then
+        ignore (Engine.schedule engine ~after:0.05 tick)
+    in
+    ignore (Engine.schedule engine ~after:0.05 tick));
+  Array.iter
+    (fun c -> ignore (Engine.schedule engine ~after:0. (fun () -> start_txn sim c)))
+    sim.clients;
+  Engine.run_until engine ~until:cfg.duration;
+  let tiers =
+    Hashtbl.fold
+      (fun tier (hist, count) acc ->
+        (tier, Ds_stats.Histogram.mean hist, Ds_stats.Histogram.p95 hist, !count)
+        :: acc)
+      sim.tier_latencies []
+    |> List.sort (fun (a, _, _, _) (b, _, _, _) -> Sla.compare_urgency { Sla.premium with tier = a } { Sla.premium with tier = b })
+  in
+  ( {
+      committed_txns = sim.committed_txns;
+      committed_stmts = sim.committed_stmts;
+      aborted_txns = sim.aborted_txns;
+      cycles = Scheduler.cycles_run sim.sched;
+      mean_cycle_time = Ds_stats.Summary.mean sim.cycle_times;
+      p95_cycle_time = Ds_stats.Histogram.p95 sim.cycle_times_hist;
+      mean_batch = Ds_stats.Summary.mean sim.batch_sizes;
+      mean_pending = Ds_stats.Summary.mean sim.pending_sizes;
+      scheduler_time = Ds_stats.Summary.sum sim.cycle_times;
+      mean_txn_latency = Ds_stats.Histogram.mean sim.latencies;
+      p95_txn_latency = Ds_stats.Histogram.p95 sim.latencies;
+      latency_by_tier = tiers;
+    },
+    sched )
+
+let run cfg = fst (run_full cfg)
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf
+    "committed=%d stmts=%d aborted=%d cycles=%d cycle(mean=%.2fms p95=%.2fms) \
+     batch=%.1f pending=%.1f sched_time=%.2fs latency(mean=%.3fs p95=%.3fs)"
+    s.committed_txns s.committed_stmts s.aborted_txns s.cycles
+    (1000. *. s.mean_cycle_time)
+    (1000. *. s.p95_cycle_time)
+    s.mean_batch s.mean_pending s.scheduler_time s.mean_txn_latency
+    s.p95_txn_latency

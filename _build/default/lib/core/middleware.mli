@@ -1,0 +1,60 @@
+(** End-to-end middleware simulation (the architecture of Figure 1): clients
+    connect to the scheduler, client workers buffer their requests in the
+    incoming queue, a trigger periodically fires the scheduler cycle, and
+    qualified requests are executed by the server as a batch with its own
+    scheduling disabled. Results return to the clients, which then submit
+    their next request (closed loop).
+
+    Scheduler cycles run for real on the embedded relational engine; the
+    measured wall-clock time of each cycle is charged to the simulated clock
+    (configurable), so throughput reflects genuine declarative-scheduling
+    overhead rather than a model of it.
+
+    Transactions whose pending request makes no progress for
+    [starvation_cycles] scheduler cycles are aborted and retried with a fresh
+    transaction number — the middleware analogue of the native scheduler's
+    deadlock handling. *)
+
+open Ds_model
+open Ds_workload
+
+type config = {
+  n_clients : int;
+  duration : float;  (** virtual seconds *)
+  spec : Spec.t;
+  cost : Ds_server.Cost_model.t;
+  seed : int;
+  protocol : Protocol.t;
+  trigger : Trigger.t;
+  extended_relations : bool;
+  charge_scheduler_time : bool;
+  prune_history : bool;
+  starvation_cycles : int;
+  passthrough : bool;  (** non-scheduling mode (§3.3) *)
+}
+
+val default_config : config
+
+type stats = {
+  committed_txns : int;
+  committed_stmts : int;
+  aborted_txns : int;
+  cycles : int;
+  mean_cycle_time : float;  (** real seconds per scheduler cycle *)
+  p95_cycle_time : float;
+  mean_batch : float;  (** qualified requests per cycle *)
+  mean_pending : float;  (** pending-table size at cycle start *)
+  scheduler_time : float;  (** total real time spent in cycles *)
+  mean_txn_latency : float;
+  p95_txn_latency : float;
+  latency_by_tier : (Sla.tier * float * float * int) list;
+      (** (tier, mean, p95, committed txns) *)
+}
+
+val run : config -> stats
+
+(** Like {!run}, also returning the scheduler so callers can inspect the
+    relations afterwards (e.g. the [rte] execution log). *)
+val run_full : config -> stats * Scheduler.t
+
+val pp_stats : Format.formatter -> stats -> unit

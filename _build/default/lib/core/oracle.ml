@@ -1,0 +1,79 @@
+open Ds_model
+
+module Int_set = Set.Make (Int)
+
+let ss2pl_qualify ~pending ~history =
+  (* Finished transactions hold no locks. *)
+  let finished =
+    List.fold_left
+      (fun acc (r : Request.t) ->
+        if Request.is_terminal r then Int_set.add r.Request.ta acc else acc)
+      Int_set.empty history
+  in
+  (* Write locks: (object, ta) for uncommitted writes. *)
+  let wlocks = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Request.t) ->
+      match (r.Request.op, r.Request.obj) with
+      | Op.Write, Some obj when not (Int_set.mem r.Request.ta finished) ->
+        Hashtbl.replace wlocks (obj, r.Request.ta) ()
+      | _ -> ())
+    history;
+  (* Read locks: uncommitted reads not superseded by an own write. *)
+  let rlocks = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Request.t) ->
+      match (r.Request.op, r.Request.obj) with
+      | Op.Read, Some obj
+        when (not (Int_set.mem r.Request.ta finished))
+             && not (Hashtbl.mem wlocks (obj, r.Request.ta)) ->
+        Hashtbl.replace rlocks (obj, r.Request.ta) ()
+      | _ -> ())
+    history;
+  (* Per-object holder lists for conflict probes. *)
+  let w_holders = Hashtbl.create 64 and r_holders = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun (obj, ta) () ->
+      Hashtbl.replace w_holders obj
+        (ta :: Option.value ~default:[] (Hashtbl.find_opt w_holders obj)))
+    wlocks;
+  Hashtbl.iter
+    (fun (obj, ta) () ->
+      Hashtbl.replace r_holders obj
+        (ta :: Option.value ~default:[] (Hashtbl.find_opt r_holders obj)))
+    rlocks;
+  (* Pending-pending conflicts: a request is blocked when an earlier (lower
+     TA) pending request conflicts on its object. *)
+  let pending_by_obj = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Request.t) ->
+      match r.Request.obj with
+      | Some obj ->
+        Hashtbl.replace pending_by_obj obj
+          (r :: Option.value ~default:[] (Hashtbl.find_opt pending_by_obj obj))
+      | None -> ())
+    pending;
+  let blocked (r : Request.t) =
+    match r.Request.obj with
+    | None -> false (* terminal operations always qualify *)
+    | Some obj ->
+      let other ta = ta <> r.Request.ta in
+      List.exists other
+        (Option.value ~default:[] (Hashtbl.find_opt w_holders obj))
+      || (Op.equal r.Request.op Op.Write
+         && List.exists other
+              (Option.value ~default:[] (Hashtbl.find_opt r_holders obj)))
+      || List.exists
+           (fun (r1 : Request.t) ->
+             r1.Request.ta < r.Request.ta
+             && (Op.equal r1.Request.op Op.Write
+                || Op.equal r.Request.op Op.Write))
+           (Option.value ~default:[] (Hashtbl.find_opt pending_by_obj obj))
+  in
+  List.filter (fun r -> not (blocked r)) pending
+  |> List.sort (fun (a : Request.t) b -> Int.compare a.Request.id b.Request.id)
+  |> List.map Request.key
+
+(* The qualifier above, from its first binding to its last line; a unit test
+   recounts the file so the number stays honest. *)
+let implementation_loc = 75

@@ -1,0 +1,15 @@
+(** Hand-coded SS2PL qualifier: the imperative implementation a developer
+    would write today (the paper's state of the art, §1). It doubles as the
+    test oracle the declarative formulations are verified against, and as the
+    "function points / lines of code" comparison subject of §3.4. *)
+
+open Ds_model
+
+(** Semantics identical to Listing 1 (see {!Queries.ss2pl}): returns the
+    (TA, INTRATA) keys of pending requests executable under SS2PL given
+    [history], ordered by request id. *)
+val ss2pl_qualify :
+  pending:Request.t list -> history:Request.t list -> (int * int) list
+
+(** Line count of this module's implementation (kept in sync by a test). *)
+val implementation_loc : int

@@ -1,0 +1,80 @@
+open Ds_model
+open Ds_workload
+
+type setup = { n_clients : int; spec : Spec.t; seed : int; mean_progress : float }
+
+let default_setup =
+  { n_clients = 300; spec = Spec.paper_default; seed = 42; mean_progress = 0.5 }
+
+type measurement = {
+  n_clients : int;
+  pending : int;
+  history : int;
+  qualified : int;
+  cycle_time : float;
+  query_time : float;
+}
+
+(* One active transaction per client: a random executed prefix (uniform in
+   [0, 2 * mean_progress * length], so the mean matches) goes to history;
+   the first unexecuted request is the client's pending request. *)
+let fill setup sched run_idx =
+  let rng = Ds_sim.Rng.create (setup.seed + (1000 * run_idx)) in
+  let gen = Generator.create setup.spec rng in
+  let rels = Scheduler.relations sched in
+  Relations.clear rels;
+  let n_stmts = Spec.statements_per_txn setup.spec - 1 in
+  let max_prefix =
+    min n_stmts (int_of_float (2. *. setup.mean_progress *. float_of_int n_stmts))
+  in
+  for c = 1 to setup.n_clients do
+    let txn = Generator.next_txn gen ~ta:c in
+    let prefix_len = Ds_sim.Rng.int rng (max_prefix + 1) in
+    (* The executed prefix is history; the first unexecuted request is the
+       client's pending request (closed-loop clients issue one at a time). *)
+    let rec walk i = function
+      | [] -> ()
+      | (r : Request.t) :: rest ->
+        if i < prefix_len then begin
+          Ds_relal.Table.insert rels.Relations.history
+            (Relations.row_of_request ~extended:rels.Relations.extended r);
+          walk (i + 1) rest
+        end
+        else Scheduler.submit sched r
+    in
+    walk 0 txn.Txn.requests
+  done
+
+let measure ?(runs = 5) setup protocol =
+  if runs <= 0 then invalid_arg "Overhead_probe.measure: runs <= 0";
+  let sched = Scheduler.create ~prune_history_each_cycle:false protocol in
+  let acc_cycle = ref 0. and acc_query = ref 0. in
+  let acc_qualified = ref 0 and acc_pending = ref 0 and acc_history = ref 0 in
+  for run_idx = 1 to runs do
+    fill setup sched run_idx;
+    let pending_queue = Scheduler.queue_length sched in
+    let history = Relations.history_count (Scheduler.relations sched) in
+    let _, stats = Scheduler.cycle sched in
+    acc_cycle := !acc_cycle +. Scheduler.total_time stats.Scheduler.times;
+    acc_query := !acc_query +. stats.Scheduler.times.Scheduler.query;
+    acc_qualified := !acc_qualified + stats.Scheduler.qualified;
+    acc_pending := !acc_pending + pending_queue;
+    acc_history := !acc_history + history
+  done;
+  let f = float_of_int runs in
+  {
+    n_clients = setup.n_clients;
+    pending = !acc_pending / runs;
+    history = !acc_history / runs;
+    qualified = !acc_qualified / runs;
+    cycle_time = !acc_cycle /. f;
+    query_time = !acc_query /. f;
+  }
+
+let amortized_overhead m ~total_stmts =
+  if m.qualified <= 0 then infinity
+  else
+    let runs_needed =
+      float_of_int total_stmts /. float_of_int m.qualified
+    in
+    runs_needed *. m.cycle_time

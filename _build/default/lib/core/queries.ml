@@ -1,0 +1,217 @@
+(* The SS2PL query is the paper's Listing 1, verbatim modulo whitespace. *)
+let ss2pl =
+  {|WITH RLockedObjects AS
+ (SELECT a.object, a.ta, a.Operation
+  FROM history a
+  WHERE NOT EXISTS
+   (SELECT * FROM history b
+    WHERE (a.ta=b.ta AND a.object=b.object AND b.operation='w')
+       OR (a.ta=b.ta AND (b.operation='a' OR b.operation='c')))),
+WLockedObjects AS
+ (SELECT DISTINCT a.object, a.ta, a.operation
+  FROM history a LEFT JOIN
+   (SELECT ta FROM history
+    WHERE operation='a' OR operation='c') AS finishedTAs
+  ON a.ta = finishedTAs.ta
+  WHERE a.operation='w' AND finishedTAs.ta IS NULL),
+OperationsOnWLockedObjects AS
+ (SELECT r.ta, r.intrata
+  FROM requests r, WLockedObjects wlo
+  WHERE r.object=wlo.object AND r.ta<>wlo.ta),
+OperationsOnRLockedObjects AS
+ (SELECT wOpsOnRLObj.ta, wOpsOnRLObj.intrata
+  FROM requests wOpsOnRLObj, RLockedObjects rl
+  WHERE wOpsOnRLObj.object=rl.object
+    AND wOpsOnRLObj.operation='w'
+    AND wOpsOnRLObj.ta<>rl.ta),
+OpsOnSameObjAsPriorSelectOps AS
+ (SELECT r2.ta, r2.intrata
+  FROM requests r2, requests r1
+  WHERE r2.object=r1.object AND r2.ta>r1.ta
+    AND ((r1.operation='w') OR (r2.operation='w'))),
+QualifiedSS2PLOps AS
+ ((SELECT ta, intrata FROM requests)
+  EXCEPT (
+   (SELECT * FROM OperationsOnWLockedObjects)
+   UNION ALL
+   (SELECT * FROM OpsOnSameObjAsPriorSelectOps)
+   UNION ALL
+   (SELECT * FROM OperationsOnRLockedObjects)))
+SELECT r2.*
+FROM requests r2, QualifiedSS2PLOps ss2PL
+WHERE r2.ta=ss2PL.ta AND r2.intrata=ss2PL.intrata|}
+
+(* Textual rule editing: find [marker] in [text] and replace its first
+   occurrence by [replacement]. Deriving protocol variants as small edits of
+   the SS2PL rules is the paper's flexibility argument made concrete. *)
+let splice text ~marker ~replacement =
+  let n = String.length marker in
+  let rec find i =
+    if i + n > String.length text then invalid_arg "queries: marker not found"
+    else if String.sub text i n = marker then i
+    else find (i + 1)
+  in
+  let idx = find 0 in
+  String.sub text 0 idx ^ replacement
+  ^ String.sub text (idx + n) (String.length text - idx - n)
+
+let ss2pl_ordered =
+  (* One extra blocking rule: requests behind an earlier pending request of
+     the same transaction wait for it. *)
+  let base =
+    splice ss2pl
+      ~marker:"   UNION ALL\n   (SELECT * FROM OperationsOnRLockedObjects)"
+      ~replacement:
+        "   UNION ALL\n   (SELECT * FROM OperationsOnRLockedObjects)\n\
+        \   UNION ALL\n\
+        \   (SELECT * FROM EarlierPendingSameTA)"
+  in
+  splice base ~marker:"QualifiedSS2PLOps AS"
+    ~replacement:
+      {|EarlierPendingSameTA AS
+ (SELECT r2.ta, r2.intrata
+  FROM requests r2, requests r1
+  WHERE r2.ta=r1.ta AND r2.intrata>r1.intrata),
+QualifiedSS2PLOps AS|}
+
+let read_committed =
+  {|WITH WLockedObjects AS
+ (SELECT DISTINCT a.object, a.ta, a.operation
+  FROM history a LEFT JOIN
+   (SELECT ta FROM history
+    WHERE operation='a' OR operation='c') AS finishedTAs
+  ON a.ta = finishedTAs.ta
+  WHERE a.operation='w' AND finishedTAs.ta IS NULL),
+OperationsOnWLockedObjects AS
+ (SELECT r.ta, r.intrata
+  FROM requests r, WLockedObjects wlo
+  WHERE r.object=wlo.object AND r.ta<>wlo.ta),
+OpsAfterPriorPendingWrites AS
+ (SELECT r2.ta, r2.intrata
+  FROM requests r2, requests r1
+  WHERE r2.object=r1.object AND r2.ta>r1.ta
+    AND r1.operation='w'),
+QualifiedOps AS
+ ((SELECT ta, intrata FROM requests)
+  EXCEPT (
+   (SELECT * FROM OperationsOnWLockedObjects)
+   UNION ALL
+   (SELECT * FROM OpsAfterPriorPendingWrites)))
+SELECT r2.*
+FROM requests r2, QualifiedOps q
+WHERE r2.ta=q.ta AND r2.intrata=q.intrata|}
+
+let rationing_body t =
+  {|WITH RLockedObjects AS
+ (SELECT a.object, a.ta, a.Operation
+  FROM history a
+  WHERE a.object < |} ^ t
+  ^ {| AND NOT EXISTS
+   (SELECT * FROM history b
+    WHERE (a.ta=b.ta AND a.object=b.object AND b.operation='w')
+       OR (a.ta=b.ta AND (b.operation='a' OR b.operation='c')))),
+WLockedObjects AS
+ (SELECT DISTINCT a.object, a.ta, a.operation
+  FROM history a LEFT JOIN
+   (SELECT ta FROM history
+    WHERE operation='a' OR operation='c') AS finishedTAs
+  ON a.ta = finishedTAs.ta
+  WHERE a.operation='w' AND finishedTAs.ta IS NULL),
+OperationsOnWLockedObjects AS
+ (SELECT r.ta, r.intrata
+  FROM requests r, WLockedObjects wlo
+  WHERE r.object=wlo.object AND r.ta<>wlo.ta
+    AND (r.object < |} ^ t
+  ^ {| OR r.operation='w')),
+OperationsOnRLockedObjects AS
+ (SELECT w.ta, w.intrata
+  FROM requests w, RLockedObjects rl
+  WHERE w.object=rl.object AND w.operation='w' AND w.ta<>rl.ta),
+OpsOnSameObjAsPriorSelectOps AS
+ (SELECT r2.ta, r2.intrata
+  FROM requests r2, requests r1
+  WHERE r2.object=r1.object AND r2.ta>r1.ta
+    AND ((r2.object < |} ^ t
+  ^ {| AND (r1.operation='w' OR r2.operation='w'))
+      OR (r1.operation='w' AND r2.operation='w'))),
+QualifiedOps AS
+ ((SELECT ta, intrata FROM requests)
+  EXCEPT (
+   (SELECT * FROM OperationsOnWLockedObjects)
+   UNION ALL
+   (SELECT * FROM OpsOnSameObjAsPriorSelectOps)
+   UNION ALL
+   (SELECT * FROM OperationsOnRLockedObjects)))
+SELECT r2.*
+FROM requests r2, QualifiedOps q
+WHERE r2.ta=q.ta AND r2.intrata=q.intrata|}
+
+let c2pl =
+  {|WITH RLockedObjects AS
+ (SELECT a.object, a.ta, a.Operation
+  FROM history a
+  WHERE NOT EXISTS
+   (SELECT * FROM history b
+    WHERE (a.ta=b.ta AND a.object=b.object AND b.operation='w')
+       OR (a.ta=b.ta AND (b.operation='a' OR b.operation='c')))),
+WLockedObjects AS
+ (SELECT DISTINCT a.object, a.ta, a.operation
+  FROM history a LEFT JOIN
+   (SELECT ta FROM history
+    WHERE operation='a' OR operation='c') AS finishedTAs
+  ON a.ta = finishedTAs.ta
+  WHERE a.operation='w' AND finishedTAs.ta IS NULL),
+BlockedTxns AS
+ ((SELECT DISTINCT r.ta FROM requests r, WLockedObjects wlo
+   WHERE r.object=wlo.object AND r.ta<>wlo.ta)
+  UNION
+  (SELECT DISTINCT r.ta FROM requests r, RLockedObjects rl
+   WHERE r.object=rl.object AND r.operation='w' AND r.ta<>rl.ta)
+  UNION
+  (SELECT DISTINCT r2.ta FROM requests r2, requests r1
+   WHERE r2.object=r1.object AND r2.ta>r1.ta
+     AND (r1.operation='w' OR r2.operation='w')))
+SELECT r2.*
+FROM requests r2
+WHERE NOT EXISTS (SELECT * FROM BlockedTxns b WHERE b.ta = r2.ta)|}
+
+let reader_offload =
+  {|WITH WLockedObjects AS
+ (SELECT DISTINCT a.object, a.ta, a.operation
+  FROM history a LEFT JOIN
+   (SELECT ta FROM history
+    WHERE operation='a' OR operation='c') AS finishedTAs
+  ON a.ta = finishedTAs.ta
+  WHERE a.operation='w' AND finishedTAs.ta IS NULL),
+WriteOpsOnWLockedObjects AS
+ (SELECT r.ta, r.intrata
+  FROM requests r, WLockedObjects wlo
+  WHERE r.object=wlo.object AND r.ta<>wlo.ta AND r.operation='w'),
+PendingWriteWrite AS
+ (SELECT r2.ta, r2.intrata
+  FROM requests r2, requests r1
+  WHERE r2.object=r1.object AND r2.ta>r1.ta
+    AND r1.operation='w' AND r2.operation='w'),
+QualifiedOps AS
+ ((SELECT ta, intrata FROM requests)
+  EXCEPT (
+   (SELECT * FROM WriteOpsOnWLockedObjects)
+   UNION ALL
+   (SELECT * FROM PendingWriteWrite)))
+SELECT r2.*
+FROM requests r2, QualifiedOps q
+WHERE r2.ta=q.ta AND r2.intrata=q.intrata|}
+
+let rationing ~threshold = rationing_body (string_of_int threshold)
+
+let rationing_parameterized = rationing_body "?"
+
+let sla_ordered =
+  ss2pl ^ "\nORDER BY r2.weight DESC, r2.arrival ASC, r2.id ASC"
+
+let fcfs = "SELECT * FROM requests ORDER BY id"
+
+let spec_loc text =
+  String.split_on_char '\n' text
+  |> List.filter (fun line -> String.trim line <> "")
+  |> List.length

@@ -1,0 +1,109 @@
+type features = {
+  performance : bool;
+  qos : bool;
+  declarative : bool;
+  flexible : bool;
+  high_scalability : bool;
+}
+
+type approach = {
+  name : string;
+  reference : string;
+  features : features;
+  summary : string;
+}
+
+let f p q d fl hs =
+  { performance = p; qos = q; declarative = d; flexible = fl; high_scalability = hs }
+
+let paper_rows =
+  [
+    {
+      name = "EQMS";
+      reference = "Schroeder et al. [20,21]";
+      features = f true true false false false;
+      summary = "external queue management; MPL tuning; external prioritization";
+    };
+    {
+      name = "Ganymed";
+      reference = "Plattner & Alonso [19]";
+      features = f true false false false true;
+      summary = "replication middleware separating update and read-only txns";
+    };
+    {
+      name = "WLMS";
+      reference = "Krompass et al. [16]";
+      features = f true true false false false;
+      summary = "SLO-aware workload management for OLTP/BI mixes";
+    };
+    {
+      name = "C-JDBC";
+      reference = "Cecchet et al. [4]";
+      features = f true false false false true;
+      summary = "RAIDb database clustering middleware";
+    };
+    {
+      name = "GP";
+      reference = "Elnikety et al. [7]";
+      features = f true false false false false;
+      summary = "gatekeeper proxy: admission control + request scheduling";
+    };
+    {
+      name = "WebQoS";
+      reference = "Bhatti & Friedrich [2]";
+      features = f true true false true false;
+      summary = "server QoS with pluggable scheduling policies";
+    };
+    {
+      name = "QShuffler";
+      reference = "Ahmad et al. [1]";
+      features = f true false false false false;
+      summary = "query-interaction-aware batch scheduling for BI";
+    };
+  ]
+
+let declarative_scheduler =
+  {
+    name = "this work";
+    reference = "Tilgner [EDBT'10 workshops]";
+    features = f true true true true true;
+    summary = "protocols as queries over request relations";
+  }
+
+let mark b = if b then "+" else "-"
+
+let render_table () =
+  let open Ds_util in
+  let t =
+    Tablefmt.create
+      ~aligns:
+        [
+          Tablefmt.Left; Tablefmt.Center; Tablefmt.Center; Tablefmt.Center;
+          Tablefmt.Center; Tablefmt.Center;
+        ]
+      [ "Approach"; "P"; "QoS"; "D"; "F"; "HS" ]
+  in
+  List.iter
+    (fun a ->
+      Tablefmt.add_row t
+        [
+          a.name;
+          mark a.features.performance;
+          mark a.features.qos;
+          mark a.features.declarative;
+          mark a.features.flexible;
+          mark a.features.high_scalability;
+        ])
+    paper_rows;
+  Tablefmt.add_sep t;
+  let a = declarative_scheduler in
+  Tablefmt.add_row t
+    [
+      a.name;
+      mark a.features.performance;
+      mark a.features.qos;
+      mark a.features.declarative;
+      mark a.features.flexible;
+      mark a.features.high_scalability;
+    ];
+  Tablefmt.render t

@@ -1,0 +1,28 @@
+(** The related-approaches comparison of the paper's Table 1, as data. Each
+    approach is encoded with the five feature axes the paper uses
+    (performance, QoS, declarativity, flexibility, high scalability), so the
+    table can be regenerated — and our own system classified — from code. *)
+
+type features = {
+  performance : bool;  (** P: improves/ensures performance *)
+  qos : bool;  (** QoS: supports quality-of-service targets *)
+  declarative : bool;  (** D: protocols defined declaratively *)
+  flexible : bool;  (** F: protocols changeable without recoding *)
+  high_scalability : bool;  (** HS: targets very high user counts *)
+}
+
+type approach = {
+  name : string;
+  reference : string;  (** citation key in the paper *)
+  features : features;
+  summary : string;
+}
+
+(** The seven systems of Table 1, in the paper's row order. *)
+val paper_rows : approach list
+
+(** This system's row (P, QoS, D, F, HS all +). *)
+val declarative_scheduler : approach
+
+(** Renders Table 1 (paper rows plus ours) as ASCII. *)
+val render_table : unit -> string

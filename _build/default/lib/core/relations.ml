@@ -1,0 +1,184 @@
+open Ds_model
+open Ds_relal
+
+type t = {
+  catalog : Ds_sql.Catalog.t;
+  requests : Table.t;
+  history : Table.t;
+  rte : Table.t;
+  extended : bool;
+}
+
+let base_columns =
+  [
+    Schema.column "id" Schema.Tint;
+    Schema.column "ta" Schema.Tint;
+    Schema.column "intrata" Schema.Tint;
+    Schema.column "operation" Schema.Tstr;
+    Schema.column "object" Schema.Tint;
+  ]
+
+let extended_columns =
+  [
+    Schema.column "sla" Schema.Tstr;
+    Schema.column "weight" Schema.Tint;
+    Schema.column "arrival" Schema.Tfloat;
+  ]
+
+let schema ~extended =
+  Schema.of_list (if extended then base_columns @ extended_columns else base_columns)
+
+let create ?(extended = false) () =
+  let s = schema ~extended in
+  let requests = Table.create ~name:"requests" s in
+  let history = Table.create ~name:"history" s in
+  let rte = Table.create ~name:"rte" s in
+  (* The protocol queries join on ta and probe objects; declare the indexes
+     the optimizer ablation toggles. *)
+  List.iter
+    (fun t ->
+      Table.create_index t [ 1 ];
+      (* ta *)
+      Table.create_index t [ 4 ];
+      (* object, point lookups *)
+      Table.create_ordered_index t 4 (* object, range predicates (rationing) *))
+    [ requests; history ];
+  let catalog = Ds_sql.Catalog.create () in
+  List.iter (Ds_sql.Catalog.register catalog) [ requests; history; rte ];
+  { catalog; requests; history; rte; extended }
+
+let row_of_request ~extended (r : Request.t) =
+  let obj = match r.Request.obj with Some o -> Value.Int o | None -> Value.Null in
+  let base =
+    [|
+      Value.Int r.Request.id;
+      Value.Int r.Request.ta;
+      Value.Int r.Request.intrata;
+      Value.Str (String.make 1 (Op.to_char r.Request.op));
+      obj;
+    |]
+  in
+  if not extended then base
+  else
+    Array.append base
+      [|
+        Value.Str (Sla.tier_to_string r.Request.sla.Sla.tier);
+        Value.Int r.Request.sla.Sla.weight;
+        Value.Float r.Request.arrival;
+      |]
+
+let request_of_row ~extended row =
+  let fail msg = invalid_arg ("Relations.request_of_row: " ^ msg) in
+  let int_at i =
+    match row.(i) with Value.Int n -> n | _ -> fail "expected INT"
+  in
+  let op =
+    match row.(3) with
+    | Value.Str s when String.length s = 1 -> (
+      match Op.of_char s.[0] with Some op -> op | None -> fail "bad operation")
+    | _ -> fail "expected operation char"
+  in
+  let obj =
+    match row.(4) with
+    | Value.Null -> None
+    | Value.Int o -> Some o
+    | _ -> fail "expected object INT or NULL"
+  in
+  let sla, arrival =
+    if extended && Array.length row >= 8 then begin
+      let tier =
+        match row.(5) with
+        | Value.Str s -> (
+          match Sla.tier_of_string s with
+          | Some t -> t
+          | None -> fail "bad sla tier")
+        | _ -> fail "expected sla TEXT"
+      in
+      let base_sla =
+        match tier with
+        | Sla.Premium -> Sla.premium
+        | Sla.Standard -> Sla.standard
+        | Sla.Free -> Sla.free
+      in
+      let sla =
+        match row.(6) with
+        | Value.Int w -> { base_sla with Sla.weight = w }
+        | _ -> fail "expected weight INT"
+      in
+      let arrival =
+        match row.(7) with
+        | Value.Float f -> f
+        | Value.Int i -> float_of_int i
+        | _ -> fail "expected arrival FLOAT"
+      in
+      (sla, arrival)
+    end
+    else (Sla.standard, 0.)
+  in
+  Request.make ~sla ~arrival ~id:(int_at 0) ~ta:(int_at 1) ~intrata:(int_at 2)
+    ~op ?obj ()
+
+let insert_pending t r =
+  Table.insert t.requests (row_of_request ~extended:t.extended r)
+
+let insert_pending_batch t rs = List.iter (insert_pending t) rs
+
+let pending t =
+  List.map (request_of_row ~extended:t.extended) (Table.rows t.requests)
+
+let history_requests t =
+  List.map (request_of_row ~extended:t.extended) (Table.rows t.history)
+
+let pending_count t = Table.row_count t.requests
+
+let history_count t = Table.row_count t.history
+
+let key_of_row row =
+  match (row.(1), row.(2)) with
+  | Value.Int ta, Value.Int intrata -> (ta, intrata)
+  | _ -> invalid_arg "Relations.key_of_row"
+
+let move_to_history t keys =
+  let key_set = Hashtbl.create (2 * List.length keys) in
+  List.iter (fun k -> Hashtbl.replace key_set k ()) keys;
+  let moved = Hashtbl.create (List.length keys) in
+  ignore
+    (Table.delete_where t.requests (fun row ->
+         let k = key_of_row row in
+         if Hashtbl.mem key_set k then begin
+           Hashtbl.replace moved k row;
+           true
+         end
+         else false));
+  (* Preserve the order of [keys] — it is the execution order the protocol
+     decided on. *)
+  let rows =
+    List.filter_map (fun k -> Hashtbl.find_opt moved k) keys
+  in
+  Table.insert_many t.history rows;
+  Table.insert_many t.rte rows;
+  List.map (request_of_row ~extended:t.extended) rows
+
+let prune_history t =
+  let finished = Hashtbl.create 64 in
+  Table.iter
+    (fun row ->
+      match row.(3) with
+      | Value.Str ("a" | "c") -> (
+        match row.(1) with
+        | Value.Int ta -> Hashtbl.replace finished ta ()
+        | _ -> ())
+      | _ -> ())
+    t.history;
+  Table.delete_where t.history (fun row ->
+      match row.(1) with
+      | Value.Int ta -> Hashtbl.mem finished ta
+      | _ -> false)
+
+let insert_rte t rs =
+  Table.insert_many t.rte (List.map (row_of_request ~extended:t.extended) rs)
+
+let clear t =
+  Table.clear t.requests;
+  Table.clear t.history;
+  Table.clear t.rte

@@ -1,0 +1,54 @@
+(** The scheduler's database (paper §3.3 and Table 2): a [requests] table of
+    pending requests, a [history] table of relevant prior executed requests
+    and an [rte] (ready-to-execute) table, all with attributes
+
+    {v ID | TA | INTRATA | Operation | Object v}
+
+    In [extended] mode three more columns — [sla] (class name), [weight]
+    (scheduling weight) and [arrival] (seconds) — are appended for the QoS
+    protocols; the paper columns keep their exact names and positions either
+    way. *)
+
+open Ds_model
+open Ds_relal
+
+type t = {
+  catalog : Ds_sql.Catalog.t;
+  requests : Table.t;
+  history : Table.t;
+  rte : Table.t;
+  extended : bool;
+}
+
+val create : ?extended:bool -> unit -> t
+
+(** The Table 2 schema (5 columns), or 8 in extended mode. *)
+val schema : extended:bool -> Schema.t
+
+val row_of_request : extended:bool -> Request.t -> Value.t array
+
+(** @raise Invalid_argument on a malformed row. *)
+val request_of_row : extended:bool -> Value.t array -> Request.t
+
+val insert_pending : t -> Request.t -> unit
+val insert_pending_batch : t -> Request.t list -> unit
+val pending : t -> Request.t list
+val history_requests : t -> Request.t list
+val pending_count : t -> int
+val history_count : t -> int
+
+(** [move_to_history t keys] deletes the pending requests with the given
+    (TA, INTRATA) keys and inserts them into [history] (and [rte]); returns
+    them in the order given. Keys not pending are ignored. *)
+val move_to_history : t -> (int * int) list -> Request.t list
+
+(** Removes from [history] all rows of transactions that have a terminal
+    operation there. Under SS2PL their locks are gone, so the rows no longer
+    influence scheduling; pruning bounds history growth (measured by the
+    [history_pruning] ablation). Returns rows removed. *)
+val prune_history : t -> int
+
+(** Appends rows to [rte] without touching [requests] (used by tests). *)
+val insert_rte : t -> Request.t list -> unit
+
+val clear : t -> unit

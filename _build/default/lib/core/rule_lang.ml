@@ -1,0 +1,195 @@
+open Ds_model
+
+exception Rule_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Rule_error s)) fmt
+
+type order_field = Id | Ta | Intrata | Object_ | Weight | Arrival
+
+type definition = {
+  name : string;
+  guarantee : Protocol.guarantee;
+  rules : [ `Builtin of string | `Datalog of string ];
+  order_by : (order_field * [ `Asc | `Desc ]) list;
+  limit : int option;
+}
+
+let field_of_string = function
+  | "id" -> Id
+  | "ta" -> Ta
+  | "intrata" -> Intrata
+  | "object" -> Object_
+  | "weight" -> Weight
+  | "arrival" -> Arrival
+  | s -> fail "unknown order field %s" s
+
+let guarantee_of_string = function
+  | "serializable" -> Protocol.Serializable
+  | "read-committed" -> Protocol.Read_committed
+  | "fifo" -> Protocol.Fifo_only
+  | s -> (
+    match String.index_opt s ':' with
+    | Some i when String.sub s 0 i = "custom" ->
+      Protocol.Custom (String.sub s (i + 1) (String.length s - i - 1))
+    | _ -> fail "unknown guarantee %s" s)
+
+(* Extract an inline datalog block: everything between '{' and the matching
+   final '}'. *)
+let extract_block text start =
+  match String.index_from_opt text start '{' with
+  | None -> fail "rules datalog: expected '{'"
+  | Some open_idx -> (
+    match String.rindex_opt text '}' with
+    | None -> fail "rules datalog: missing closing '}'"
+    | Some close_idx when close_idx > open_idx ->
+      (String.sub text (open_idx + 1) (close_idx - open_idx - 1), close_idx + 1)
+    | Some _ -> fail "rules datalog: missing closing '}'")
+
+let words line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let parse text =
+  (* Pull out any datalog block first so its lines are not parsed as
+     directives. *)
+  let datalog_block = ref None in
+  let text =
+    match
+      (* find "datalog" keyword followed by '{' *)
+      let re_start =
+        let rec find i =
+          if i + 7 > String.length text then None
+          else if String.sub text i 7 = "datalog" then Some i
+          else find (i + 1)
+        in
+        find 0
+      in
+      re_start
+    with
+    | Some i when String.contains_from text i '{' ->
+      let block, after = extract_block text i in
+      datalog_block := Some block;
+      String.sub text 0 i ^ "datalog-inline" ^ String.sub text after (String.length text - after)
+    | Some _ | None -> text
+  in
+  let name = ref None in
+  let guarantee = ref Protocol.Serializable in
+  let rules = ref None in
+  let order_by = ref [] in
+  let limit = ref None in
+  let parse_order rest =
+    (* rest: "by weight desc, arrival asc" *)
+    match rest with
+    | "by" :: spec ->
+      let spec = String.concat " " spec in
+      let keys = String.split_on_char ',' spec in
+      order_by :=
+        List.map
+          (fun k ->
+            match words k with
+            | [ f ] -> (field_of_string f, `Asc)
+            | [ f; "asc" ] -> (field_of_string f, `Asc)
+            | [ f; "desc" ] -> (field_of_string f, `Desc)
+            | _ -> fail "malformed order key %S" k)
+          keys
+    | _ -> fail "expected 'order by ...'"
+  in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         let line =
+           match String.index_opt line '#' with
+           | Some i -> String.sub line 0 i
+           | None -> line
+         in
+         match words (String.lowercase_ascii line) with
+         | [] -> ()
+         | "protocol" :: n :: [] -> name := Some n
+         | "guarantee" :: g :: [] -> guarantee := guarantee_of_string g
+         | "rules" :: "datalog-inline" :: [] -> (
+           match !datalog_block with
+           | Some b -> rules := Some (`Datalog b)
+           | None -> fail "internal: datalog block missing")
+         | "rules" :: r :: [] -> rules := Some (`Builtin r)
+         | "order" :: rest -> parse_order rest
+         | "limit" :: n :: [] -> (
+           match int_of_string_opt n with
+           | Some v when v > 0 -> limit := Some v
+           | _ -> fail "limit expects a positive integer")
+         | w :: _ -> fail "unknown directive %s" w);
+  let name = match !name with Some n -> n | None -> fail "missing 'protocol <name>'" in
+  let rules =
+    match !rules with Some r -> r | None -> fail "missing 'rules <set>'"
+  in
+  { name; guarantee = !guarantee; rules; order_by = !order_by; limit = !limit }
+
+let base_protocol def =
+  match def.rules with
+  | `Datalog program ->
+    Protocol.of_datalog ~name:(def.name ^ "-rules") ~guarantee:def.guarantee
+      program
+  | `Builtin "ss2pl" -> Builtin.ss2pl_sql
+  | `Builtin "ss2pl-ordered" -> Builtin.ss2pl_ordered_sql
+  | `Builtin "read-committed" -> Builtin.read_committed_sql
+  | `Builtin "fcfs" -> Builtin.fcfs
+  | `Builtin other -> fail "unknown rule set %s" other
+
+let field_value (r : Request.t) = function
+  | Id -> float_of_int r.Request.id
+  | Ta -> float_of_int r.Request.ta
+  | Intrata -> float_of_int r.Request.intrata
+  | Object_ -> float_of_int (Option.value ~default:(-1) r.Request.obj)
+  | Weight -> float_of_int r.Request.sla.Sla.weight
+  | Arrival -> r.Request.arrival
+
+let compile text =
+  let def = parse text in
+  let base = base_protocol def in
+  let spec_loc = Queries.spec_loc text in
+  let prepare rels =
+    let run_base = base.Protocol.prepare rels in
+    fun () ->
+      let keys = run_base () in
+      if def.order_by = [] && def.limit = None then keys
+      else begin
+        (* Re-associate keys with full requests for field-based ordering.
+           Qualified requests moved nowhere yet: they are still pending. *)
+        let by_key = Hashtbl.create 64 in
+        List.iter
+          (fun (r : Request.t) -> Hashtbl.replace by_key (Request.key r) r)
+          (Relations.pending rels);
+        let reqs = List.filter_map (Hashtbl.find_opt by_key) keys in
+        let cmp a b =
+          let rec go = function
+            | [] -> Int.compare a.Request.id b.Request.id
+            | (f, dir) :: rest ->
+              let va = field_value a f and vb = field_value b f in
+              let c = Float.compare va vb in
+              let c = match dir with `Asc -> c | `Desc -> -c in
+              if c <> 0 then c else go rest
+          in
+          go def.order_by
+        in
+        let sorted = List.stable_sort cmp reqs in
+        let limited =
+          match def.limit with
+          | None -> sorted
+          | Some n ->
+            let rec take k = function
+              | [] -> []
+              | _ when k = 0 -> []
+              | x :: rest -> x :: take (k - 1) rest
+            in
+            take n sorted
+        in
+        List.map Request.key limited
+      end
+  in
+  {
+    Protocol.name = def.name;
+    description = "rule-language protocol";
+    guarantee = def.guarantee;
+    language = base.Protocol.language;
+    spec_loc;
+    prepare;
+  }

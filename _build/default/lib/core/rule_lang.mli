@@ -1,0 +1,47 @@
+(** A small specialized scheduler-programming language (research objective 4
+    and §5: "a suitable declarative scheduler language which is more succinct
+    than SQL").
+
+    A protocol definition layers ordering and admission control over a
+    consistency rule set, which is either a named built-in or an inline
+    Datalog program:
+
+    {v
+    protocol premium-first
+    guarantee serializable
+    rules ss2pl
+    order by weight desc, arrival asc
+    limit 200
+    v}
+
+    {v
+    protocol no-read-locks
+    guarantee read-committed
+    rules datalog {
+      finished(TA) :- history_terminal(_, TA, _, 'c').
+      ...
+      qualified(TA, I) :- requests(_, TA, I, _, _), not blocked(TA, I).
+    }
+    v}
+
+    Fields available to [order by]: [id], [ta], [intrata], [object],
+    [weight], [arrival]. Named rule sets: [ss2pl], [ss2pl-ordered],
+    [read-committed], [fcfs] (each resolves to its SQL built-in). *)
+
+exception Rule_error of string
+
+(** Parses a protocol definition and compiles it to a runnable protocol. *)
+val compile : string -> Protocol.t
+
+(** The parsed form, exposed for tests. *)
+type order_field = Id | Ta | Intrata | Object_ | Weight | Arrival
+
+type definition = {
+  name : string;
+  guarantee : Protocol.guarantee;
+  rules : [ `Builtin of string | `Datalog of string ];
+  order_by : (order_field * [ `Asc | `Desc ]) list;
+  limit : int option;
+}
+
+val parse : string -> definition

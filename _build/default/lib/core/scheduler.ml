@@ -1,0 +1,145 @@
+open Ds_model
+
+type phase_times = { drain_insert : float; query : float; move : float }
+
+let total_time t = t.drain_insert +. t.query +. t.move
+
+type cycle_stats = {
+  drained : int;
+  pending_before : int;
+  history_before : int;
+  qualified : int;
+  times : phase_times;
+}
+
+type t = {
+  rels : Relations.t;
+  proto : Protocol.t;
+  qualify : unit -> (int * int) list;
+  queue : Request.t Queue.t;
+  prune : bool;
+  journal : Journal.t option;
+  mutable abort_seq : int;
+  mutable cycles : int;
+  mutable cum : phase_times;
+}
+
+let create ?(extended = false) ?(prune_history_each_cycle = true) ?journal proto =
+  let rels = Relations.create ~extended () in
+  {
+    rels;
+    proto;
+    qualify = proto.Protocol.prepare rels;
+    queue = Queue.create ();
+    prune = prune_history_each_cycle;
+    journal;
+    abort_seq = 0;
+    cycles = 0;
+    cum = { drain_insert = 0.; query = 0.; move = 0. };
+  }
+
+let relations t = t.rels
+
+let protocol t = t.proto
+
+let submit t r =
+  Option.iter (fun j -> Journal.log_submit j r) t.journal;
+  Queue.push r t.queue
+
+let queue_length t = Queue.length t.queue
+
+let pending_count t = Relations.pending_count t.rels
+
+let now () = Unix.gettimeofday ()
+
+let drain t =
+  let drained = ref [] in
+  while not (Queue.is_empty t.queue) do
+    drained := Queue.pop t.queue :: !drained
+  done;
+  List.rev !drained
+
+let cycle ?(passthrough = false) t =
+  t.cycles <- t.cycles + 1;
+  if passthrough then begin
+    (* Non-scheduling mode: forward without consulting the relations. *)
+    let reqs = drain t in
+    Option.iter
+      (fun j ->
+        Journal.log_qualified j (List.map Request.key reqs);
+        Journal.flush j)
+      t.journal;
+    let stats =
+      {
+        drained = List.length reqs;
+        pending_before = Relations.pending_count t.rels;
+        history_before = Relations.history_count t.rels;
+        qualified = List.length reqs;
+        times = { drain_insert = 0.; query = 0.; move = 0. };
+      }
+    in
+    (reqs, stats)
+  end
+  else begin
+    let pending_before = Relations.pending_count t.rels in
+    let history_before = Relations.history_count t.rels in
+    let t0 = now () in
+    let incoming = drain t in
+    Relations.insert_pending_batch t.rels incoming;
+    let t1 = now () in
+    let keys = t.qualify () in
+    let t2 = now () in
+    let qualified = Relations.move_to_history t.rels keys in
+    if t.prune then ignore (Relations.prune_history t.rels);
+    Option.iter
+      (fun j ->
+        Journal.log_qualified j (List.map Request.key qualified);
+        if t.prune then Journal.log_prune j;
+        Journal.flush j)
+      t.journal;
+    let t3 = now () in
+    let times = { drain_insert = t1 -. t0; query = t2 -. t1; move = t3 -. t2 } in
+    t.cum <-
+      {
+        drain_insert = t.cum.drain_insert +. times.drain_insert;
+        query = t.cum.query +. times.query;
+        move = t.cum.move +. times.move;
+      };
+    let stats =
+      {
+        drained = List.length incoming;
+        pending_before;
+        history_before;
+        qualified = List.length qualified;
+        times;
+      }
+    in
+    (qualified, stats)
+  end
+
+let abort_txn t ta =
+  Option.iter
+    (fun j ->
+      Journal.log_abort j ta;
+      Journal.flush j)
+    t.journal;
+  let dropped =
+    Ds_relal.Table.delete_where t.rels.Relations.requests (fun row ->
+        match row.(1) with
+        | Ds_relal.Value.Int ta' -> ta' = ta
+        | _ -> false)
+  in
+  (* Record the abort so the protocol sees the transaction's locks as
+     released. *)
+  t.abort_seq <- t.abort_seq + 1;
+  let marker =
+    Request.make ~id:(1_000_000_000 + t.abort_seq) ~ta
+      ~intrata:999 ~op:Op.Abort ()
+  in
+  Ds_relal.Table.insert t.rels.Relations.history
+    (Relations.row_of_request ~extended:t.rels.Relations.extended marker);
+  dropped
+
+let cycles_run t = t.cycles
+
+let cumulative_times t = t.cum

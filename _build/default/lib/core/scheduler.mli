@@ -1,0 +1,67 @@
+(** The declarative scheduler core: incoming queue, scheduler relations and
+    one protocol, executing the cycle of §3.3/§4.3.1:
+
+    + drain the incoming queue into the pending-requests table,
+    + run the protocol query against [requests] + [history],
+    + move the qualified requests to [history] (and [rte]), delete them from
+      [requests],
+    + hand the qualified requests back in execution order.
+
+    Every phase is wall-clock timed; those timings are the declarative
+    scheduling overhead the paper estimates in §4.3.2. *)
+
+open Ds_model
+
+type phase_times = {
+  drain_insert : float;  (** queue -> pending table *)
+  query : float;  (** protocol evaluation *)
+  move : float;  (** delete from pending, insert into history/rte *)
+}
+
+val total_time : phase_times -> float
+
+type cycle_stats = {
+  drained : int;
+  pending_before : int;
+  history_before : int;
+  qualified : int;
+  times : phase_times;
+}
+
+type t
+
+(** [journal] (optional) records every submit, qualification, abort and
+    prune, flushed at the end of each cycle; see {!Journal}. *)
+val create :
+  ?extended:bool ->
+  ?prune_history_each_cycle:bool ->
+  ?journal:Journal.t ->
+  Protocol.t ->
+  t
+
+val relations : t -> Relations.t
+val protocol : t -> Protocol.t
+
+(** Enqueue an incoming request (client-worker side, Figure 1). *)
+val submit : t -> Request.t -> unit
+
+val queue_length : t -> int
+
+(** Pending requests in the scheduler database (not the incoming queue). *)
+val pending_count : t -> int
+
+(** Runs one scheduler cycle. In [passthrough] mode (the paper's
+    non-scheduling mode, §3.3) the queue is drained and returned untouched —
+    the server must schedule itself. *)
+val cycle : ?passthrough:bool -> t -> Request.t list * cycle_stats
+
+(** [abort_txn t ta] removes the transaction's pending requests and records
+    an abort in [history], releasing its logical locks. Returns the number of
+    pending requests dropped. Used by the middleware's timeout handling. *)
+val abort_txn : t -> int -> int
+
+(** Cycles run so far. *)
+val cycles_run : t -> int
+
+(** Cumulative wall-clock phase times across cycles. *)
+val cumulative_times : t -> phase_times

@@ -1,0 +1,18 @@
+type t = Time_lapse of float | Fill_level of int | Hybrid of float * int
+
+let due t ~queue_len ~elapsed =
+  match t with
+  | Time_lapse dt -> elapsed >= dt
+  | Fill_level k -> queue_len >= k
+  | Hybrid (dt, k) -> elapsed >= dt || queue_len >= k
+
+let period = function
+  | Time_lapse dt | Hybrid (dt, _) -> Some dt
+  | Fill_level _ -> None
+
+let to_string = function
+  | Time_lapse dt -> Printf.sprintf "time(%gms)" (1000. *. dt)
+  | Fill_level k -> Printf.sprintf "fill(%d)" k
+  | Hybrid (dt, k) -> Printf.sprintf "hybrid(%gms,%d)" (1000. *. dt) k
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

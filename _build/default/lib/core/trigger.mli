@@ -1,0 +1,19 @@
+(** Scheduler trigger conditions (§3.3: "Possible conditions are, e.g. a
+    lapse of time, a certain fill level of the incoming queue or a hybrid
+    version"; the best one "has to be evaluated experimentally" — ablation
+    A1). *)
+
+type t =
+  | Time_lapse of float  (** run a cycle every [dt] seconds *)
+  | Fill_level of int  (** run a cycle when the queue holds >= [k] requests *)
+  | Hybrid of float * int  (** whichever comes first *)
+
+(** Does a cycle fire now, given the queue length and seconds since the last
+    cycle? *)
+val due : t -> queue_len:int -> elapsed:float -> bool
+
+(** Period of the timer the simulator must run for time-based triggers. *)
+val period : t -> float option
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/datalog/dl_ast.ml: Ds_relal Format List Value

@@ -1,0 +1,1 @@
+lib/datalog/dl_ast.mli: Ds_relal Format Value

@@ -1,0 +1,1 @@
+lib/datalog/dl_engine.ml: Array Dl_ast Ds_relal Format Fun Hashtbl List Option String Value

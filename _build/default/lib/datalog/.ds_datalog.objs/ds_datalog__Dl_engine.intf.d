@@ -1,0 +1,1 @@
+lib/datalog/dl_engine.mli: Dl_ast Ds_relal Value

@@ -1,0 +1,1 @@
+lib/datalog/dl_parser.ml: Buffer Dl_ast Ds_relal List Option Printf String Value

@@ -1,0 +1,1 @@
+lib/datalog/dl_parser.mli: Dl_ast

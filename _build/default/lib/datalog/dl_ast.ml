@@ -1,0 +1,57 @@
+open Ds_relal
+
+type term = Var of string | Wildcard | Const of Value.t
+
+type cmp = Eq | Neq | Lt | Leq | Gt | Geq
+
+type atom = { pred : string; args : term list }
+
+type literal = Pos of atom | Neg of atom | Cmp of cmp * term * term
+
+type rule = { head : atom; body : literal list }
+
+type program = rule list
+
+let pp_term ppf = function
+  | Var v -> Format.pp_print_string ppf v
+  | Wildcard -> Format.pp_print_char ppf '_'
+  | Const v -> Value.pp ppf v
+
+let pp_atom ppf { pred; args } =
+  Format.fprintf ppf "%s(%a)" pred
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_term)
+    args
+
+let cmp_to_string = function
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Leq -> "<="
+  | Gt -> ">"
+  | Geq -> ">="
+
+let pp_literal ppf = function
+  | Pos a -> pp_atom ppf a
+  | Neg a -> Format.fprintf ppf "not %a" pp_atom a
+  | Cmp (c, a, b) ->
+    Format.fprintf ppf "%a %s %a" pp_term a (cmp_to_string c) pp_term b
+
+let pp_rule ppf { head; body } =
+  match body with
+  | [] -> Format.fprintf ppf "%a." pp_atom head
+  | _ ->
+    Format.fprintf ppf "%a :- %a." pp_atom head
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         pp_literal)
+      body
+
+let vars_of terms =
+  List.fold_left
+    (fun acc t ->
+      match t with
+      | Var v -> if List.mem v acc then acc else acc @ [ v ]
+      | Wildcard | Const _ -> acc)
+    [] terms

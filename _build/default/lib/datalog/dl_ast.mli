@@ -1,0 +1,31 @@
+(** Datalog abstract syntax: stratified Datalog with negation and comparison
+    built-ins. Values are {!Ds_relal.Value} so tables can be loaded as fact
+    relations directly. *)
+
+open Ds_relal
+
+type term =
+  | Var of string  (** starts with an uppercase letter *)
+  | Wildcard  (** [_], a fresh variable per occurrence *)
+  | Const of Value.t
+
+type cmp = Eq | Neq | Lt | Leq | Gt | Geq
+
+type atom = { pred : string; args : term list }
+
+type literal =
+  | Pos of atom
+  | Neg of atom  (** [not p(...)]; arguments must be bound *)
+  | Cmp of cmp * term * term  (** both sides must be bound *)
+
+type rule = { head : atom; body : literal list }
+
+type program = rule list
+
+val pp_term : Format.formatter -> term -> unit
+val pp_atom : Format.formatter -> atom -> unit
+val pp_literal : Format.formatter -> literal -> unit
+val pp_rule : Format.formatter -> rule -> unit
+
+(** Variables of a term list, in first-occurrence order, wildcards excluded. *)
+val vars_of : term list -> string list

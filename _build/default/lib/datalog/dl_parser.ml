@@ -1,0 +1,217 @@
+open Ds_relal
+
+exception Parse_error of string * int
+
+type token =
+  | Tident of string  (** lowercase: predicate or symbol constant *)
+  | Tvar of string
+  | Twild
+  | Tint of int
+  | Tfloat of float
+  | Tstr of string
+  | Tsym of string  (** ( ) , . :- = <> < <= > >= *)
+  | Teof
+
+let tokenize src =
+  let n = String.length src in
+  let out = ref [] in
+  let emit t p = out := (t, p) :: !out in
+  let is_lower c = c >= 'a' && c <= 'z' in
+  let is_upper c = c >= 'A' && c <= 'Z' in
+  let is_ident c =
+    is_lower c || is_upper c || (c >= '0' && c <= '9') || c = '_'
+  in
+  let is_digit c = c >= '0' && c <= '9' in
+  let rec loop i =
+    if i >= n then emit Teof i
+    else
+      let c = src.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then loop (i + 1)
+      else if c = '%' then begin
+        let rec eol j = if j >= n || src.[j] = '\n' then j else eol (j + 1) in
+        loop (eol i)
+      end
+      else if c = '_' && (i + 1 >= n || not (is_ident src.[i + 1])) then begin
+        emit Twild i;
+        loop (i + 1)
+      end
+      else if is_lower c || is_upper c || c = '_' then begin
+        let rec fin j = if j < n && is_ident src.[j] then fin (j + 1) else j in
+        let j = fin (i + 1) in
+        let word = String.sub src i (j - i) in
+        if is_upper c || c = '_' then emit (Tvar word) i
+        else if word = "not" then emit (Tsym "not") i
+        else emit (Tident word) i;
+        loop j
+      end
+      else if is_digit c then begin
+        let rec fin j = if j < n && is_digit src.[j] then fin (j + 1) else j in
+        let j = fin (i + 1) in
+        if j < n && src.[j] = '.' && j + 1 < n && is_digit src.[j + 1] then begin
+          let k = fin (j + 1) in
+          emit (Tfloat (float_of_string (String.sub src i (k - i)))) i;
+          loop k
+        end
+        else begin
+          emit (Tint (int_of_string (String.sub src i (j - i)))) i;
+          loop j
+        end
+      end
+      else if c = '\'' then begin
+        let buf = Buffer.create 8 in
+        let rec fin j =
+          if j >= n then raise (Parse_error ("unterminated string", i))
+          else if src.[j] = '\'' then j + 1
+          else begin
+            Buffer.add_char buf src.[j];
+            fin (j + 1)
+          end
+        in
+        let j = fin (i + 1) in
+        emit (Tstr (Buffer.contents buf)) i;
+        loop j
+      end
+      else begin
+        let two = if i + 1 < n then String.sub src i 2 else "" in
+        match two with
+        | ":-" | "<>" | "<=" | ">=" | "!=" ->
+          emit (Tsym (if two = "!=" then "<>" else two)) i;
+          loop (i + 2)
+        | _ -> (
+          match c with
+          | '(' | ')' | ',' | '.' | '=' | '<' | '>' ->
+            emit (Tsym (String.make 1 c)) i;
+            loop (i + 1)
+          | _ -> raise (Parse_error (Printf.sprintf "unexpected character %C" c, i)))
+      end
+  in
+  loop 0;
+  List.rev !out
+
+type state = { mutable toks : (token * int) list }
+
+let err st msg =
+  let pos = match st.toks with (_, p) :: _ -> p | [] -> -1 in
+  raise (Parse_error (msg, pos))
+
+let peek st = match st.toks with (t, _) :: _ -> t | [] -> Teof
+
+let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let eat_sym st s =
+  match peek st with
+  | Tsym x when x = s -> advance st
+  | _ -> err st (Printf.sprintf "expected '%s'" s)
+
+let try_sym st s =
+  match peek st with
+  | Tsym x when x = s ->
+    advance st;
+    true
+  | _ -> false
+
+let parse_term st =
+  match peek st with
+  | Tvar v ->
+    advance st;
+    Dl_ast.Var v
+  | Twild ->
+    advance st;
+    Dl_ast.Wildcard
+  | Tint i ->
+    advance st;
+    Dl_ast.Const (Value.Int i)
+  | Tfloat f ->
+    advance st;
+    Dl_ast.Const (Value.Float f)
+  | Tstr s ->
+    advance st;
+    Dl_ast.Const (Value.Str s)
+  | Tident s ->
+    advance st;
+    Dl_ast.Const (Value.Str s)
+  | _ -> err st "expected a term"
+
+let parse_atom st =
+  match peek st with
+  | Tident pred ->
+    advance st;
+    eat_sym st "(";
+    let rec args acc =
+      let t = parse_term st in
+      if try_sym st "," then args (t :: acc) else List.rev (t :: acc)
+    in
+    let args = if try_sym st ")" then [] else (
+      let a = args [] in
+      eat_sym st ")";
+      a)
+    in
+    { Dl_ast.pred; args }
+  | _ -> err st "expected a predicate"
+
+let cmp_of_sym = function
+  | "=" -> Some Dl_ast.Eq
+  | "<>" -> Some Dl_ast.Neq
+  | "<" -> Some Dl_ast.Lt
+  | "<=" -> Some Dl_ast.Leq
+  | ">" -> Some Dl_ast.Gt
+  | ">=" -> Some Dl_ast.Geq
+  | _ -> None
+
+let parse_literal st =
+  match peek st with
+  | Tsym "not" ->
+    advance st;
+    Dl_ast.Neg (parse_atom st)
+  | Tident _ -> (
+    (* Could be an atom or a symbol constant in a comparison; predicates are
+       always followed by '('. *)
+    match st.toks with
+    | (Tident _, _) :: (Tsym "(", _) :: _ -> Dl_ast.Pos (parse_atom st)
+    | _ ->
+      let a = parse_term st in
+      (match peek st with
+      | Tsym s when cmp_of_sym s <> None ->
+        advance st;
+        let b = parse_term st in
+        Dl_ast.Cmp (Option.get (cmp_of_sym s), a, b)
+      | _ -> err st "expected a comparison operator"))
+  | _ ->
+    let a = parse_term st in
+    (match peek st with
+    | Tsym s when cmp_of_sym s <> None ->
+      advance st;
+      let b = parse_term st in
+      Dl_ast.Cmp (Option.get (cmp_of_sym s), a, b)
+    | _ -> err st "expected a comparison operator")
+
+let parse_rule_inner st =
+  let head = parse_atom st in
+  let body =
+    if try_sym st ":-" then begin
+      let rec loop acc =
+        let l = parse_literal st in
+        if try_sym st "," then loop (l :: acc) else List.rev (l :: acc)
+      in
+      loop []
+    end
+    else []
+  in
+  eat_sym st ".";
+  { Dl_ast.head; body }
+
+let parse_program src =
+  let st = { toks = tokenize src } in
+  let rec loop acc =
+    match peek st with
+    | Teof -> List.rev acc
+    | _ -> loop (parse_rule_inner st :: acc)
+  in
+  loop []
+
+let parse_rule src =
+  let st = { toks = tokenize src } in
+  let r = parse_rule_inner st in
+  match peek st with
+  | Teof -> r
+  | _ -> err st "trailing input after rule"

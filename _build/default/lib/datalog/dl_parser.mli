@@ -1,0 +1,18 @@
+(** Datalog surface syntax.
+
+    {v
+    % line comment
+    finished(TA)    :- history(_, TA, _, 'c', _).
+    wlocked(O, TA)  :- history(_, TA, _, 'w', O), not finished(TA).
+    blocked(TA, I)  :- requests(_, TA, I, _, O), wlocked(O, T2), TA <> T2.
+    qualified(TA,I) :- requests(_, TA, I, _, _), not blocked(TA, I).
+    v}
+
+    Identifiers starting uppercase are variables; [_] is a wildcard; numbers,
+    ['strings'] and lowercase bare words (symbols) are constants. Rules end
+    with a period. *)
+
+exception Parse_error of string * int
+
+val parse_program : string -> Dl_ast.program
+val parse_rule : string -> Dl_ast.rule

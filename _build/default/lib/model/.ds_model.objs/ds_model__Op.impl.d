@@ -1,0 +1,1 @@
+lib/model/op.ml: Format Int

@@ -1,0 +1,1 @@
+lib/model/request.ml: Float Format Int Op Option Sla

@@ -1,0 +1,1 @@
+lib/model/request.mli: Format Op Sla

@@ -1,0 +1,1 @@
+lib/model/sla.ml: Float Format Int Option

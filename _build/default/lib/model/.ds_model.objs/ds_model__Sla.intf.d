@@ -1,0 +1,1 @@
+lib/model/sla.mli: Format

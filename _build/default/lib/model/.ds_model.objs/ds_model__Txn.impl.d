@@ -1,0 +1,1 @@
+lib/model/txn.ml: Format Int List Op Request Sla

@@ -1,0 +1,1 @@
+lib/model/txn.mli: Format Op Request Sla

@@ -1,0 +1,39 @@
+type t = Read | Write | Abort | Commit
+
+let equal a b =
+  match (a, b) with
+  | Read, Read | Write, Write | Abort, Abort | Commit, Commit -> true
+  | (Read | Write | Abort | Commit), _ -> false
+
+let rank = function Read -> 0 | Write -> 1 | Abort -> 2 | Commit -> 3
+
+let compare a b = Int.compare (rank a) (rank b)
+
+let to_char = function Read -> 'r' | Write -> 'w' | Abort -> 'a' | Commit -> 'c'
+
+let of_char = function
+  | 'r' -> Some Read
+  | 'w' -> Some Write
+  | 'a' -> Some Abort
+  | 'c' -> Some Commit
+  | _ -> None
+
+let to_string = function
+  | Read -> "read"
+  | Write -> "write"
+  | Abort -> "abort"
+  | Commit -> "commit"
+
+let pp ppf op = Format.pp_print_string ppf (to_string op)
+
+let is_terminal = function Abort | Commit -> true | Read | Write -> false
+
+let is_data = function Read | Write -> true | Abort | Commit -> false
+
+let conflicts a b =
+  match (a, b) with
+  | Write, (Read | Write) | Read, Write -> true
+  | Read, Read -> false
+  | (Abort | Commit), _ | _, (Abort | Commit) -> false
+
+let all = [ Read; Write; Abort; Commit ]

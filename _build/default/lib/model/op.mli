@@ -1,0 +1,29 @@
+(** Request operation kinds (paper, Table 2: read / write / abort / commit). *)
+
+type t = Read | Write | Abort | Commit
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Single-character encoding used by the paper's SQL query ('r', 'w', 'a',
+    'c'). *)
+val to_char : t -> char
+
+val of_char : char -> t option
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** [is_terminal op] is true for [Abort] and [Commit]: operations that end a
+    transaction. *)
+val is_terminal : t -> bool
+
+(** [is_data op] is true for [Read] and [Write]: operations that touch an
+    object. *)
+val is_data : t -> bool
+
+(** Classical read/write conflict relation: two data operations on the same
+    object conflict iff at least one of them is a write. Terminal operations
+    never conflict. *)
+val conflicts : t -> t -> bool
+
+val all : t list

@@ -1,0 +1,54 @@
+type t = {
+  id : int;
+  ta : int;
+  intrata : int;
+  op : Op.t;
+  obj : int option;
+  sla : Sla.t;
+  arrival : float;
+}
+
+let make ?(sla = Sla.standard) ?(arrival = 0.) ~id ~ta ~intrata ~op ?obj () =
+  (match (op, obj) with
+  | (Op.Read | Op.Write), None ->
+    invalid_arg "Request.make: data operation requires an object"
+  | (Op.Abort | Op.Commit), Some _ ->
+    invalid_arg "Request.make: terminal operation carries no object"
+  | _ -> ());
+  { id; ta; intrata; op; obj; sla; arrival }
+
+let v ta intrata op obj =
+  make ~id:((ta * 1000) + intrata) ~ta ~intrata ~op ~obj ()
+
+let terminal ta intrata op =
+  make ~id:((ta * 1000) + intrata) ~ta ~intrata ~op ()
+
+let equal a b =
+  a.id = b.id && a.ta = b.ta && a.intrata = b.intrata && Op.equal a.op b.op
+  && Option.equal Int.equal a.obj b.obj
+  && Sla.equal a.sla b.sla
+  && Float.equal a.arrival b.arrival
+
+let compare a b = Int.compare a.id b.id
+
+let key r = (r.ta, r.intrata)
+
+let is_terminal r = Op.is_terminal r.op
+
+let is_data r = Op.is_data r.op
+
+let conflicts a b =
+  a.ta <> b.ta
+  &&
+  match (a.obj, b.obj) with
+  | Some oa, Some ob -> oa = ob && Op.conflicts a.op b.op
+  | None, _ | _, None -> false
+
+let pp ppf r =
+  Format.fprintf ppf "#%d %c%d[%a]" r.id (Op.to_char r.op) r.ta
+    (fun ppf -> function
+      | Some o -> Format.fprintf ppf "x%d" o
+      | None -> Format.pp_print_string ppf "-")
+    r.obj
+
+let to_string r = Format.asprintf "%a" pp r

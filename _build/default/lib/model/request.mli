@@ -1,0 +1,44 @@
+(** Scheduler requests.
+
+    This is exactly the record of the paper's Table 2 — ID, TA, INTRATA,
+    Operation, Object — extended with the SLA class and arrival time needed
+    by the QoS protocols and the simulator. *)
+
+type t = {
+  id : int;  (** consecutive request number, unique per run *)
+  ta : int;  (** transaction number *)
+  intrata : int;  (** request number within its transaction, starting at 1 *)
+  op : Op.t;
+  obj : int option;  (** object number; [None] for commit/abort *)
+  sla : Sla.t;
+  arrival : float;  (** arrival time at the middleware, seconds *)
+}
+
+val make :
+  ?sla:Sla.t -> ?arrival:float -> id:int -> ta:int -> intrata:int -> op:Op.t ->
+  ?obj:int -> unit -> t
+
+(** [v ta intrata op obj] — terse constructor used pervasively in tests:
+    id defaults to a per-call counter-free [ta * 1000 + intrata]. *)
+val v : int -> int -> Op.t -> int -> t
+
+(** Terminal request (commit/abort) shorthand. *)
+val terminal : int -> int -> Op.t -> t
+
+val equal : t -> t -> bool
+
+(** Orders by [id] (arrival order). *)
+val compare : t -> t -> int
+
+(** [key r] is the pair (TA, INTRATA) which identifies a request within a
+    workload, mirroring the paper's [QualifiedSS2PLOps] result shape. *)
+val key : t -> int * int
+
+(** Two requests conflict iff they belong to different transactions, both are
+    data operations on the same object, and at least one is a write. *)
+val conflicts : t -> t -> bool
+
+val is_terminal : t -> bool
+val is_data : t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

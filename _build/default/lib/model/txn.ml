@@ -1,0 +1,42 @@
+type t = { ta : int; sla : Sla.t; requests : Request.t list }
+
+let make ~ta ?(sla = Sla.standard) ops =
+  if ops = [] then invalid_arg "Txn.make: empty transaction";
+  let n = List.length ops in
+  let requests =
+    List.mapi
+      (fun i (op, obj) ->
+        let intrata = i + 1 in
+        if Op.is_terminal op && intrata < n then
+          invalid_arg "Txn.make: terminal operation before end of transaction";
+        if (not (Op.is_terminal op)) && intrata = n then
+          invalid_arg "Txn.make: transaction must end in commit or abort";
+        Request.make ~sla ~id:((ta * 1000) + intrata) ~ta ~intrata ~op ?obj ())
+      ops
+  in
+  { ta; sla; requests }
+
+let data_requests t = List.filter Request.is_data t.requests
+
+let terminal t = List.nth t.requests (List.length t.requests - 1)
+
+let commits t = Op.equal (terminal t).op Op.Commit
+
+let length t = List.length t.requests
+
+let objects_of op_filter t =
+  List.filter_map
+    (fun (r : Request.t) -> if op_filter r.op then r.obj else None)
+    t.requests
+  |> List.sort_uniq Int.compare
+
+let read_set = objects_of (Op.equal Op.Read)
+
+let write_set = objects_of (Op.equal Op.Write)
+
+let pp ppf t =
+  Format.fprintf ppf "T%d(%a)" t.ta
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       Request.pp)
+    t.requests

@@ -1,0 +1,30 @@
+(** Transactions: ordered sequences of requests sharing a TA number and ending
+    in a terminal operation. *)
+
+type t = {
+  ta : int;
+  sla : Sla.t;
+  requests : Request.t list;  (** in INTRATA order, terminal op last *)
+}
+
+(** [make ~ta ~sla ops] numbers the operations 1..n, appends nothing — the
+    caller supplies the terminal op in [ops]. [ops] are [(op, obj option)]
+    pairs. Request [id]s are [ta*1000 + intrata].
+    @raise Invalid_argument if the sequence is empty, if a non-final request
+    is terminal, or if the final request is not terminal. *)
+val make : ta:int -> ?sla:Sla.t -> (Op.t * int option) list -> t
+
+(** Read/write data operations of the transaction. *)
+val data_requests : t -> Request.t list
+
+(** The terminal request. *)
+val terminal : t -> Request.t
+
+val commits : t -> bool
+val length : t -> int
+
+(** Objects read (resp. written) by the transaction, deduplicated. *)
+val read_set : t -> int list
+
+val write_set : t -> int list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/relal/eval.ml: Array Float Format Hashtbl List Option Ra Schema Table Value

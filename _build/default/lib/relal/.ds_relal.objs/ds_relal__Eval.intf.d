@@ -1,0 +1,1 @@
+lib/relal/eval.mli: Ra Value

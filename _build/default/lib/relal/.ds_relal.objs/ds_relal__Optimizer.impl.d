@@ -1,0 +1,1 @@
+lib/relal/optimizer.ml: Array Eval Int List Option Ra Schema Set Value

@@ -1,0 +1,1 @@
+lib/relal/optimizer.mli: Ra

@@ -1,0 +1,1 @@
+lib/relal/profile.ml: Buffer Eval List Printf Ra Table Unix

@@ -1,0 +1,1 @@
+lib/relal/profile.mli: Ra Value

@@ -1,0 +1,1 @@
+lib/relal/ra.ml: Format List Option Schema Table Value

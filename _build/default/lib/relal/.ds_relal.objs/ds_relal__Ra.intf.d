@@ -1,0 +1,1 @@
+lib/relal/ra.mli: Format Schema Table Value

@@ -1,0 +1,1 @@
+lib/relal/schema.ml: Array Format Option String

@@ -1,0 +1,1 @@
+lib/relal/schema.mli: Format

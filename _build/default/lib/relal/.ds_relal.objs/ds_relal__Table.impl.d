@@ -1,0 +1,1 @@
+lib/relal/table.ml: Array Ds_util Hashtbl Int List Option Printf Schema Value

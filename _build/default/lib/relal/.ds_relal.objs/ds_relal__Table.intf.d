@@ -1,0 +1,1 @@
+lib/relal/table.mli: Schema Value

@@ -1,0 +1,1 @@
+lib/relal/value.ml: Bool Float Format Hashtbl Int Printf String

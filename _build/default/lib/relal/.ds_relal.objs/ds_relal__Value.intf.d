@@ -1,0 +1,1 @@
+lib/relal/value.mli: Format

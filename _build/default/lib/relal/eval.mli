@@ -1,0 +1,24 @@
+(** Plan evaluation (materializing executor).
+
+    Rows flow as value arrays. [env] is the stack of outer rows for
+    correlated subqueries: [Ra.Outer (1, i)] reads column [i] of the head.
+
+    Comparisons follow SQL three-valued logic: any comparison with NULL is
+    NULL; [Filter] keeps rows whose predicate is exactly TRUE. *)
+
+(** [run ?env plan] evaluates and materializes the result rows in order. *)
+val run : ?env:Value.t array list -> Ra.plan -> Value.t array list
+
+(** [eval_expr ?env ~row e] evaluates a scalar expression against [row]. *)
+val eval_expr : ?env:Value.t array list -> row:Value.t array -> Ra.expr -> Value.t
+
+(** [truthy v] is true iff [v] is [Bool true] (SQL WHERE semantics). *)
+val truthy : Value.t -> bool
+
+(** When true (the default), a hash join whose right side is a base-table
+    scan with a declared index on exactly the join columns probes that index
+    instead of building an ephemeral hash table. The persistent index is
+    shared by every join over the table within a query (Listing 1 probes
+    [history] three times), and across queries until the table changes.
+    Toggled off by the optimizer/index ablation bench. *)
+val use_table_indexes : bool ref

@@ -1,0 +1,40 @@
+(** Rule-based plan rewriting. The point of the paper's architecture is that
+    "optimization techniques from declarative query processing can be used to
+    improve scheduler performance without affecting the scheduler
+    specification" (§1) — this module is that lever, and the
+    [optimizer_ablation] bench measures it.
+
+    Levels:
+    - [`None]: plan untouched (evaluates correlated subqueries by nested
+      re-execution, crosses by enumeration).
+    - [`Basic]: constant folding; conjunction splitting; predicate pushdown
+      through project/cross/join/set-ops; equi-join detection over cross
+      products (hash joins).
+    - [`Full]: [`Basic] plus decorrelation of (NOT) EXISTS subqueries into
+      hash semi/anti joins, factoring common conjuncts out of disjunctions to
+      expose join keys (this is what turns Listing 1's correlated NOT EXISTS
+      into a hash anti join on TA). *)
+
+type level = [ `None | `Basic | `Full ]
+
+val optimize : ?level:level -> Ra.plan -> Ra.plan
+
+(** Exposed for tests. *)
+
+(** Splits nested [And]s into a conjunct list. *)
+val conjuncts : Ra.expr -> Ra.expr list
+
+val conjoin : Ra.expr list -> Ra.expr
+
+(** [(A and B...) or (A and C...) --> A and (B... or C...)] for syntactically
+    equal conjuncts. *)
+val factor_common_disjunction : Ra.expr -> Ra.expr
+
+(** [split_join_on ~left_arity on] splits a join's ON predicate (written over
+    the concatenated row) into hash keys and a residual:
+    [(lkeys, rkeys, residual)] where [lkeys] read left rows, [rkeys] read
+    right rows (columns shifted down by [left_arity]) and [residual] keeps the
+    concatenated-row numbering. Used when lowering LEFT JOIN, whose outer
+    semantics require keys at plan-build time. *)
+val split_join_on :
+  left_arity:int -> Ra.expr -> Ra.expr list * Ra.expr list * Ra.expr option

@@ -1,0 +1,21 @@
+(** Instrumented plan evaluation (EXPLAIN ANALYZE): evaluates a plan once,
+    bottom-up, recording output cardinality and wall-clock time per node.
+
+    Implementation note: each child's result is materialized and substituted
+    as a literal relation before its parent is timed, so a node's time covers
+    that node's own work only. A join whose right side is an indexed base
+    table keeps the real scan so the index fast path stays on the measured
+    path. Only valid for top-level plans (no outer-row references). *)
+
+type node_stats = {
+  label : string;  (** node kind, e.g. "Filter", "INNERJoin" *)
+  rows : int;  (** output cardinality *)
+  time : float;  (** seconds spent in this node alone *)
+  children : node_stats list;
+}
+
+(** Evaluates and profiles; returns the final rows and the stats tree. *)
+val run : Ra.plan -> Value.t array list * node_stats
+
+(** Multi-line tree rendering with per-node rows and milliseconds. *)
+val render : node_stats -> string

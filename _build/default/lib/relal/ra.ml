@@ -1,0 +1,286 @@
+type cmp = Eq | Neq | Lt | Leq | Gt | Geq
+
+type arith = Add | Sub | Mul | Div | Mod
+
+type expr =
+  | Col of int
+  | Outer of int * int
+  | Const of Value.t
+  | Param of Value.t ref
+  | Cmp of cmp * expr * expr
+  | Arith of arith * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+  | Is_null of expr
+  | Exists of plan
+  | In_list of expr * Value.t list
+  | Case of (expr * expr) list * expr
+
+and join_kind = Inner | Left | Semi | Anti
+
+and join = {
+  kind : join_kind;
+  lkeys : expr list;
+  rkeys : expr list;
+  residual : expr option;
+  left : plan;
+  right : plan;
+}
+
+and agg_fn = Count_star | Count of expr | Sum of expr | Min of expr | Max of expr | Avg of expr
+
+and group = {
+  keys : (expr * Schema.column) list;
+  aggs : (agg_fn * Schema.column) list;
+  input : plan;
+}
+
+and plan =
+  | Scan of Table.t * string option
+  | Values of Schema.t * Value.t array list
+  | Filter of expr * plan
+  | Project of (expr * Schema.column) list * plan
+  | Cross of plan * plan
+  | Join of join
+  | Union_all of plan * plan
+  | Union of plan * plan
+  | Except of plan * plan
+  | Intersect of plan * plan
+  | Distinct of plan
+  | Sort of (expr * [ `Asc | `Desc ]) list * plan
+  | Limit of int * plan
+  | Group of group
+
+exception Type_error of string
+
+let rec schema_of = function
+  | Scan (t, alias) -> (
+    let s = Table.schema t in
+    match alias with None -> s | Some a -> Schema.requalify a s)
+  | Values (s, _) -> s
+  | Filter (_, p) | Distinct p | Sort (_, p) | Limit (_, p) -> schema_of p
+  | Project (cols, _) -> Schema.of_list (List.map snd cols)
+  | Cross (l, r) -> Schema.concat (schema_of l) (schema_of r)
+  | Join { kind; left; right; _ } -> (
+    match kind with
+    | Inner | Left -> Schema.concat (schema_of left) (schema_of right)
+    | Semi | Anti -> schema_of left)
+  | Union_all (l, _) | Union (l, _) | Except (l, _) | Intersect (l, _) ->
+    schema_of l
+  | Group { keys; aggs; _ } ->
+    Schema.of_list (List.map snd keys @ List.map snd aggs)
+
+let rec plan_size = function
+  | Scan _ | Values _ -> 1
+  | Filter (e, p) -> 1 + expr_size e + plan_size p
+  | Project (cols, p) ->
+    1 + List.fold_left (fun acc (e, _) -> acc + expr_size e) 0 cols + plan_size p
+  | Cross (l, r) -> 1 + plan_size l + plan_size r
+  | Join { lkeys; rkeys; residual; left; right; _ } ->
+    let exprs = lkeys @ rkeys @ Option.to_list residual in
+    1
+    + List.fold_left (fun acc e -> acc + expr_size e) 0 exprs
+    + plan_size left + plan_size right
+  | Union_all (l, r) | Union (l, r) | Except (l, r) | Intersect (l, r) ->
+    1 + plan_size l + plan_size r
+  | Distinct p | Limit (_, p) -> 1 + plan_size p
+  | Sort (keys, p) ->
+    1 + List.fold_left (fun acc (e, _) -> acc + expr_size e) 0 keys + plan_size p
+  | Group { keys; aggs; input } ->
+    let agg_expr = function
+      | Count_star -> 0
+      | Count e | Sum e | Min e | Max e | Avg e -> expr_size e
+    in
+    1
+    + List.fold_left (fun acc (e, _) -> acc + expr_size e) 0 keys
+    + List.fold_left (fun acc (a, _) -> acc + agg_expr a) 0 aggs
+    + plan_size input
+
+and expr_size = function
+  | Col _ | Outer _ | Const _ | Param _ -> 1
+  | Cmp (_, a, b) | Arith (_, a, b) | And (a, b) | Or (a, b) ->
+    1 + expr_size a + expr_size b
+  | Not e | Is_null e | In_list (e, _) -> 1 + expr_size e
+  | Exists p -> 1 + plan_size p
+  | Case (arms, default) ->
+    1 + expr_size default
+    + List.fold_left (fun acc (c, r) -> acc + expr_size c + expr_size r) 0 arms
+
+let expr_children = function
+  | Col _ | Outer _ | Const _ | Param _ | Exists _ -> []
+  | Cmp (_, a, b) | Arith (_, a, b) | And (a, b) | Or (a, b) -> [ a; b ]
+  | Not e | Is_null e | In_list (e, _) -> [ e ]
+  | Case (arms, default) ->
+    List.concat_map (fun (c, r) -> [ c; r ]) arms @ [ default ]
+
+let rec map_expr_plans f = function
+  | (Col _ | Outer _ | Const _ | Param _) as e -> e
+  | Cmp (c, a, b) -> Cmp (c, map_expr_plans f a, map_expr_plans f b)
+  | Arith (o, a, b) -> Arith (o, map_expr_plans f a, map_expr_plans f b)
+  | And (a, b) -> And (map_expr_plans f a, map_expr_plans f b)
+  | Or (a, b) -> Or (map_expr_plans f a, map_expr_plans f b)
+  | Not e -> Not (map_expr_plans f e)
+  | Is_null e -> Is_null (map_expr_plans f e)
+  | Exists p -> Exists (f p)
+  | In_list (e, vs) -> In_list (map_expr_plans f e, vs)
+  | Case (arms, default) ->
+    Case
+      ( List.map (fun (c, r) -> (map_expr_plans f c, map_expr_plans f r)) arms,
+        map_expr_plans f default )
+
+(* Depth is relative: entering an Exists increments the threshold. *)
+let rec outer_in_expr d = function
+  | Outer (k, _) -> k >= d
+  | Col _ | Const _ | Param _ -> false
+  | Cmp (_, a, b) | Arith (_, a, b) | And (a, b) | Or (a, b) ->
+    outer_in_expr d a || outer_in_expr d b
+  | Not e | Is_null e | In_list (e, _) -> outer_in_expr d e
+  | Case (arms, default) ->
+    outer_in_expr d default
+    || List.exists (fun (c, r) -> outer_in_expr d c || outer_in_expr d r) arms
+  | Exists p -> outer_in_plan (d + 1) p
+
+and outer_in_plan d = function
+  | Scan _ | Values _ -> false
+  | Filter (e, p) -> outer_in_expr d e || outer_in_plan d p
+  | Project (cols, p) ->
+    List.exists (fun (e, _) -> outer_in_expr d e) cols || outer_in_plan d p
+  | Cross (l, r) -> outer_in_plan d l || outer_in_plan d r
+  | Join { lkeys; rkeys; residual; left; right; _ } ->
+    List.exists (outer_in_expr d) (lkeys @ rkeys @ Option.to_list residual)
+    || outer_in_plan d left || outer_in_plan d right
+  | Union_all (l, r) | Union (l, r) | Except (l, r) | Intersect (l, r) ->
+    outer_in_plan d l || outer_in_plan d r
+  | Distinct p | Limit (_, p) -> outer_in_plan d p
+  | Sort (keys, p) ->
+    List.exists (fun (e, _) -> outer_in_expr d e) keys || outer_in_plan d p
+  | Group { keys; aggs; input } ->
+    List.exists (fun (e, _) -> outer_in_expr d e) keys
+    || List.exists
+         (fun (a, _) ->
+           match a with
+           | Count_star -> false
+           | Count e | Sum e | Min e | Max e | Avg e -> outer_in_expr d e)
+         aggs
+    || outer_in_plan d input
+
+let refers_outer ~depth e = outer_in_expr depth e
+
+let plan_refers_outer ~depth p = outer_in_plan depth p
+
+let cmp_to_string = function
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Leq -> "<="
+  | Gt -> ">"
+  | Geq -> ">="
+
+let arith_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+
+let rec pp_expr ppf = function
+  | Col i -> Format.fprintf ppf "$%d" i
+  | Outer (d, i) -> Format.fprintf ppf "outer(%d,$%d)" d i
+  | Const v -> Value.pp ppf v
+  | Param r -> Format.fprintf ppf "?=%a" Value.pp !r
+  | Cmp (c, a, b) ->
+    Format.fprintf ppf "(%a %s %a)" pp_expr a (cmp_to_string c) pp_expr b
+  | Arith (o, a, b) ->
+    Format.fprintf ppf "(%a %s %a)" pp_expr a (arith_to_string o) pp_expr b
+  | And (a, b) -> Format.fprintf ppf "(%a AND %a)" pp_expr a pp_expr b
+  | Or (a, b) -> Format.fprintf ppf "(%a OR %a)" pp_expr a pp_expr b
+  | Not e -> Format.fprintf ppf "(NOT %a)" pp_expr e
+  | Is_null e -> Format.fprintf ppf "(%a IS NULL)" pp_expr e
+  | Exists p -> Format.fprintf ppf "EXISTS(@[%a@])" pp_plan p
+  | Case (arms, default) ->
+    Format.fprintf ppf "CASE%a ELSE %a END"
+      (Format.pp_print_list
+         ~pp_sep:(fun _ () -> ())
+         (fun ppf (c, r) ->
+           Format.fprintf ppf " WHEN %a THEN %a" pp_expr c pp_expr r))
+      arms pp_expr default
+  | In_list (e, vs) ->
+    Format.fprintf ppf "(%a IN (%a))" pp_expr e
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         Value.pp)
+      vs
+
+and pp_plan ppf plan =
+  let kind_str = function
+    | Inner -> "INNER"
+    | Left -> "LEFT"
+    | Semi -> "SEMI"
+    | Anti -> "ANTI"
+  in
+  match plan with
+  | Scan (t, alias) ->
+    Format.fprintf ppf "Scan(%s%s)" (Table.name t)
+      (match alias with Some a -> " AS " ^ a | None -> "")
+  | Values (s, rows) ->
+    Format.fprintf ppf "Values(arity=%d, rows=%d)" (Schema.arity s)
+      (List.length rows)
+  | Filter (e, p) ->
+    Format.fprintf ppf "@[<v 2>Filter(%a)@,%a@]" pp_expr e pp_plan p
+  | Project (cols, p) ->
+    Format.fprintf ppf "@[<v 2>Project(%a)@,%a@]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         (fun ppf (e, (c : Schema.column)) ->
+           Format.fprintf ppf "%a AS %s" pp_expr e c.name))
+      cols pp_plan p
+  | Cross (l, r) ->
+    Format.fprintf ppf "@[<v 2>Cross@,%a@,%a@]" pp_plan l pp_plan r
+  | Join { kind; lkeys; rkeys; residual; left; right } ->
+    Format.fprintf ppf "@[<v 2>%sJoin(keys=[%a]=[%a]%a)@,%a@,%a@]"
+      (kind_str kind)
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         pp_expr)
+      lkeys
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         pp_expr)
+      rkeys
+      (fun ppf -> function
+        | None -> ()
+        | Some e -> Format.fprintf ppf ", residual=%a" pp_expr e)
+      residual pp_plan left pp_plan right
+  | Union_all (l, r) ->
+    Format.fprintf ppf "@[<v 2>UnionAll@,%a@,%a@]" pp_plan l pp_plan r
+  | Union (l, r) -> Format.fprintf ppf "@[<v 2>Union@,%a@,%a@]" pp_plan l pp_plan r
+  | Except (l, r) ->
+    Format.fprintf ppf "@[<v 2>Except@,%a@,%a@]" pp_plan l pp_plan r
+  | Intersect (l, r) ->
+    Format.fprintf ppf "@[<v 2>Intersect@,%a@,%a@]" pp_plan l pp_plan r
+  | Distinct p -> Format.fprintf ppf "@[<v 2>Distinct@,%a@]" pp_plan p
+  | Sort (keys, p) ->
+    Format.fprintf ppf "@[<v 2>Sort(%a)@,%a@]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         (fun ppf (e, dir) ->
+           Format.fprintf ppf "%a %s" pp_expr e
+             (match dir with `Asc -> "ASC" | `Desc -> "DESC")))
+      keys pp_plan p
+  | Limit (n, p) -> Format.fprintf ppf "@[<v 2>Limit(%d)@,%a@]" n pp_plan p
+  | Group { keys; aggs; input } ->
+    let agg_name = function
+      | Count_star -> "count(*)"
+      | Count _ -> "count"
+      | Sum _ -> "sum"
+      | Min _ -> "min"
+      | Max _ -> "max"
+      | Avg _ -> "avg"
+    in
+    Format.fprintf ppf "@[<v 2>Group(keys=%d, aggs=[%a])@,%a@]"
+      (List.length keys)
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         (fun ppf (a, _) -> Format.pp_print_string ppf (agg_name a)))
+      aggs pp_plan input

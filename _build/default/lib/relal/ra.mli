@@ -1,0 +1,101 @@
+(** Relational algebra: scalar expressions and query plans, with schema
+    inference. Evaluation lives in {!Eval}, rewriting in {!Optimizer}.
+
+    Expressions address columns positionally ([Col i] is position [i] of the
+    current row). Correlated subqueries reference enclosing rows with
+    [Outer (depth, i)]; depth 1 is the nearest enclosing row (the row being
+    filtered by the [Filter] whose predicate contains the subquery). *)
+
+type cmp = Eq | Neq | Lt | Leq | Gt | Geq
+
+type arith = Add | Sub | Mul | Div | Mod
+
+type expr =
+  | Col of int
+  | Outer of int * int
+  | Const of Value.t
+  | Param of Value.t ref
+      (** runtime-settable placeholder ([?] in SQL); the cell is shared by
+          the prepared plan, so protocols can be re-tuned without
+          recompiling *)
+  | Cmp of cmp * expr * expr
+  | Arith of arith * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+  | Is_null of expr
+  | Exists of plan  (** true iff the subplan yields at least one row *)
+  | In_list of expr * Value.t list
+  | Case of (expr * expr) list * expr
+      (** searched CASE: first true condition selects its result, otherwise
+          the default *)
+
+and join_kind =
+  | Inner
+  | Left  (** unmatched left rows padded with NULLs *)
+  | Semi  (** output = left columns of matching left rows *)
+  | Anti  (** output = left columns of non-matching left rows *)
+
+and join = {
+  kind : join_kind;
+  lkeys : expr list;  (** evaluated against left rows *)
+  rkeys : expr list;  (** evaluated against right rows; same length *)
+  residual : expr option;  (** evaluated against the concatenated row *)
+  left : plan;
+  right : plan;
+}
+
+and agg_fn = Count_star | Count of expr | Sum of expr | Min of expr | Max of expr | Avg of expr
+
+and group = {
+  keys : (expr * Schema.column) list;
+  aggs : (agg_fn * Schema.column) list;
+  input : plan;
+}
+
+and plan =
+  | Scan of Table.t * string option  (** optional alias requalifies columns *)
+  | Values of Schema.t * Value.t array list
+  | Filter of expr * plan
+  | Project of (expr * Schema.column) list * plan
+  | Cross of plan * plan
+  | Join of join
+  | Union_all of plan * plan
+  | Union of plan * plan  (** set union (distinct) *)
+  | Except of plan * plan  (** SQL EXCEPT: distinct left rows not in right *)
+  | Intersect of plan * plan
+  | Distinct of plan
+  | Sort of (expr * [ `Asc | `Desc ]) list * plan
+  | Limit of int * plan
+  | Group of group
+
+exception Type_error of string
+
+(** Output schema of a plan. Project/Group columns are as declared; joins
+    concatenate; set operations take the left schema. *)
+val schema_of : plan -> Schema.t
+
+(** Structural size (number of plan nodes), used in tests and the optimizer's
+    fixpoint guard. *)
+val plan_size : plan -> int
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_plan : Format.formatter -> plan -> unit
+
+(** Fold over the immediate sub-expressions of an expression (not descending
+    into subplans). *)
+val expr_children : expr -> expr list
+
+(** [map_expr_plans f e] rewrites every subplan embedded in [e] (inside
+    [Exists]) with [f], recursively through sub-expressions. *)
+val map_expr_plans : (plan -> plan) -> expr -> expr
+
+(** True if the expression references [Outer] at the given depth or deeper.
+    Depth is relative to the expression: entering an [Exists] raises the
+    threshold by one, so a subquery's references to its own enclosing row do
+    not count. *)
+val refers_outer : depth:int -> expr -> bool
+
+(** Same, for every expression inside a plan. [plan_refers_outer ~depth:1 p]
+    is true iff [p] is correlated with its enclosing row. *)
+val plan_refers_outer : depth:int -> plan -> bool

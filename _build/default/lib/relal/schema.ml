@@ -1,0 +1,51 @@
+type ty = Tint | Tfloat | Tstr | Tbool
+
+type column = { rel : string option; name : string; ty : ty }
+
+type t = column array
+
+let column ?rel name ty = { rel; name; ty }
+
+let of_list = Array.of_list
+
+let arity = Array.length
+
+let ty_to_string = function
+  | Tint -> "INT"
+  | Tfloat -> "FLOAT"
+  | Tstr -> "TEXT"
+  | Tbool -> "BOOL"
+
+let pp ppf s =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_seq
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf c ->
+         (match c.rel with
+         | Some r -> Format.fprintf ppf "%s." r
+         | None -> ());
+         Format.fprintf ppf "%s %s" c.name (ty_to_string c.ty)))
+    (Array.to_seq s)
+
+let concat = Array.append
+
+let requalify rel s = Array.map (fun c -> { c with rel = Some rel }) s
+
+let lower = String.lowercase_ascii
+
+let find s ~rel ~name =
+  let name = lower name in
+  let rel = Option.map lower rel in
+  let matches c =
+    lower c.name = name
+    &&
+    match rel with
+    | None -> true
+    | Some r -> ( match c.rel with Some cr -> lower cr = r | None -> false)
+  in
+  let hits = ref [] in
+  Array.iteri (fun i c -> if matches c then hits := i :: !hits) s;
+  match !hits with
+  | [ i ] -> Ok i
+  | [] -> Error `Unknown
+  | _ :: _ :: _ -> Error `Ambiguous

@@ -1,0 +1,32 @@
+(** Relation schemas: ordered, possibly qualified column names. Qualifiers
+    carry table aliases ("a" in "a.object") through plan composition so the
+    binder can resolve names the way SQL scoping requires. *)
+
+type ty = Tint | Tfloat | Tstr | Tbool
+
+type column = { rel : string option; name : string; ty : ty }
+
+type t = column array
+
+val column : ?rel:string -> string -> ty -> column
+val of_list : column list -> t
+val arity : t -> int
+val ty_to_string : ty -> string
+val pp : Format.formatter -> t -> unit
+
+(** [concat a b] appends (join output schema). *)
+val concat : t -> t -> t
+
+(** [requalify rel s] replaces every column's qualifier by [rel] (applied when
+    a subquery or table gets an alias). *)
+val requalify : string -> t -> t
+
+(** [find s ~rel ~name] resolves a (possibly qualified) column reference to
+    its position.
+    - With [rel = Some r]: matches columns whose qualifier is [r].
+    - With [rel = None]: matches by name across all columns.
+    Matching is case-insensitive.
+    @return [Error `Unknown] if no column matches, [Error `Ambiguous] if
+    several do. *)
+val find :
+  t -> rel:string option -> name:string -> (int, [ `Unknown | `Ambiguous ]) result

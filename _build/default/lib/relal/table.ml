@@ -1,0 +1,189 @@
+module Vec = Ds_util.Vec
+
+module Key = struct
+  type t = Value.t list
+
+  let equal = List.equal Value.equal
+
+  let hash k = List.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 k
+end
+
+module Key_tbl = Hashtbl.Make (Key)
+
+type index = { cols : int list; mutable map : int list Key_tbl.t option }
+
+(* Ordered index: rows sorted by one column's value (NULLs excluded). *)
+type ordered_index = {
+  ocol : int;
+  mutable sorted : (Value.t * Value.t array) array option;
+}
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  rows : Value.t array Vec.t;
+  mutable indexes : index list;
+  mutable ordered : ordered_index list;
+}
+
+let create ~name schema =
+  { name; schema; rows = Vec.create (); indexes = []; ordered = [] }
+
+let name t = t.name
+
+let schema t = t.schema
+
+let row_count t = Vec.length t.rows
+
+let invalidate t =
+  List.iter (fun ix -> ix.map <- None) t.indexes;
+  List.iter (fun ox -> ox.sorted <- None) t.ordered
+
+let insert t row =
+  if Array.length row <> Schema.arity t.schema then
+    invalid_arg
+      (Printf.sprintf "Table.insert(%s): arity %d, schema wants %d" t.name
+         (Array.length row) (Schema.arity t.schema));
+  Vec.push t.rows row;
+  invalidate t
+
+let insert_many t rows = List.iter (insert t) rows
+
+let delete_where t p =
+  let kept = Vec.create () in
+  let removed = ref 0 in
+  Vec.iter
+    (fun row -> if p row then incr removed else Vec.push kept row)
+    t.rows;
+  if !removed > 0 then begin
+    Vec.clear t.rows;
+    Vec.iter (Vec.push t.rows) kept;
+    invalidate t
+  end;
+  !removed
+
+let update_where t p f =
+  let touched = ref 0 in
+  Vec.iter
+    (fun row ->
+      if p row then begin
+        f row;
+        incr touched
+      end)
+    t.rows;
+  if !touched > 0 then invalidate t;
+  !touched
+
+let clear t =
+  Vec.clear t.rows;
+  invalidate t
+
+let rows t = Vec.to_list t.rows
+
+let iter f t = Vec.iter f t.rows
+
+let fold f acc t = Vec.fold_left f acc t.rows
+
+let same_cols = List.equal Int.equal
+
+let create_index t cols =
+  List.iter
+    (fun c ->
+      if c < 0 || c >= Schema.arity t.schema then
+        invalid_arg "Table.create_index: column out of range")
+    cols;
+  if not (List.exists (fun ix -> same_cols ix.cols cols) t.indexes) then
+    t.indexes <- { cols; map = None } :: t.indexes
+
+let has_index t cols = List.exists (fun ix -> same_cols ix.cols cols) t.indexes
+
+let key_of_row cols row = List.map (fun c -> row.(c)) cols
+
+let build ix t =
+  let map = Key_tbl.create (max 16 (Vec.length t.rows)) in
+  Vec.iteri
+    (fun pos row ->
+      let key = key_of_row ix.cols row in
+      let prev = Option.value ~default:[] (Key_tbl.find_opt map key) in
+      Key_tbl.replace map key (pos :: prev))
+    t.rows;
+  (* Reverse so probe returns rows in insertion order. *)
+  Key_tbl.filter_map_inplace (fun _ poss -> Some (List.rev poss)) map;
+  ix.map <- Some map;
+  map
+
+let probe t cols key =
+  match List.find_opt (fun ix -> same_cols ix.cols cols) t.indexes with
+  | None -> invalid_arg (Printf.sprintf "Table.probe(%s): no such index" t.name)
+  | Some ix ->
+    let map = match ix.map with Some m -> m | None -> build ix t in
+    (match Key_tbl.find_opt map key with
+    | None -> []
+    | Some positions -> List.map (Vec.get t.rows) positions)
+
+let create_ordered_index t col =
+  if col < 0 || col >= Schema.arity t.schema then
+    invalid_arg "Table.create_ordered_index: column out of range";
+  if not (List.exists (fun ox -> ox.ocol = col) t.ordered) then
+    t.ordered <- { ocol = col; sorted = None } :: t.ordered
+
+let has_ordered_index t col = List.exists (fun ox -> ox.ocol = col) t.ordered
+
+let build_ordered ox t =
+  let cells = Vec.create () in
+  Vec.iter
+    (fun row ->
+      let v = row.(ox.ocol) in
+      if not (Value.is_null v) then Vec.push cells (v, row))
+    t.rows;
+  let arr = Vec.to_array cells in
+  Array.stable_sort (fun (a, _) (b, _) -> Value.compare a b) arr;
+  ox.sorted <- Some arr;
+  arr
+
+let range_probe t col ~lo ~hi =
+  match List.find_opt (fun ox -> ox.ocol = col) t.ordered with
+  | None ->
+    invalid_arg (Printf.sprintf "Table.range_probe(%s): no ordered index" t.name)
+  | Some ox ->
+    let arr = match ox.sorted with Some a -> a | None -> build_ordered ox t in
+    let n = Array.length arr in
+    (* First position whose key satisfies the lower bound. *)
+    let start =
+      match lo with
+      | None -> 0
+      | Some (v, inclusive) ->
+        let rec bisect l r =
+          if l >= r then l
+          else begin
+            let m = (l + r) / 2 in
+            let c = Value.compare (fst arr.(m)) v in
+            if c < 0 || (c = 0 && not inclusive) then bisect (m + 1) r
+            else bisect l m
+          end
+        in
+        bisect 0 n
+    in
+    (* First position whose key violates the upper bound. *)
+    let stop =
+      match hi with
+      | None -> n
+      | Some (v, inclusive) ->
+        let rec bisect l r =
+          if l >= r then l
+          else begin
+            let m = (l + r) / 2 in
+            let c = Value.compare (fst arr.(m)) v in
+            if c < 0 || (c = 0 && inclusive) then bisect (m + 1) r
+            else bisect l m
+          end
+        in
+        bisect 0 n
+    in
+    let out = ref [] in
+    for i = stop - 1 downto start do
+      out := snd arr.(i) :: !out
+    done;
+    !out
+
+let indexed_columns t = List.map (fun ix -> ix.cols) t.indexes

@@ -1,0 +1,67 @@
+(** In-memory mutable tables with hash indexes.
+
+    Rows are value arrays matching the table schema. Indexes map a key (the
+    values of an ordered column subset) to the row positions holding it; they
+    are invalidated by any mutation and rebuilt lazily on the next probe, a
+    good fit for the scheduler's batch insert / query / batch delete cycle. *)
+
+type t
+
+val create : name:string -> Schema.t -> t
+val name : t -> string
+val schema : t -> Schema.t
+val row_count : t -> int
+
+(** @raise Invalid_argument on arity mismatch with the schema. *)
+val insert : t -> Value.t array -> unit
+
+val insert_many : t -> Value.t array list -> unit
+
+(** [delete_where t p] removes rows satisfying [p]; returns how many. *)
+val delete_where : t -> (Value.t array -> bool) -> int
+
+(** [update_where t p f] applies the in-place mutation [f] to each row
+    satisfying [p]; returns how many rows were touched. *)
+val update_where : t -> (Value.t array -> bool) -> (Value.t array -> unit) -> int
+
+val clear : t -> unit
+
+(** Snapshot of live rows in insertion order. *)
+val rows : t -> Value.t array list
+
+val iter : (Value.t array -> unit) -> t -> unit
+val fold : ('acc -> Value.t array -> 'acc) -> 'acc -> t -> 'acc
+
+(** [create_index t cols] declares an index on the column positions [cols]
+    (leftmost significant). Duplicate declarations are no-ops. *)
+val create_index : t -> int list -> unit
+
+val has_index : t -> int list -> bool
+
+(** [probe t cols key] returns all rows whose [cols] values equal [key],
+    using the index (built on demand).
+    @raise Invalid_argument if no such index was declared. *)
+val probe : t -> int list -> Value.t list -> Value.t array list
+
+(** [create_ordered_index t col] declares an ordered index on one column,
+    enabling {!range_probe}. Rebuilt lazily after mutations, like hash
+    indexes. *)
+val create_ordered_index : t -> int -> unit
+
+val has_ordered_index : t -> int -> bool
+
+(** [range_probe t col ~lo ~hi] returns the rows whose [col] value lies in
+    the given range; each bound is [(value, inclusive)], [None] = unbounded.
+    Rows with NULL in [col] are never returned (SQL comparison semantics).
+    Results preserve insertion order within equal keys but are ordered by
+    key, not by insertion.
+    @raise Invalid_argument if no ordered index was declared on [col]. *)
+val range_probe :
+  t ->
+  int ->
+  lo:(Value.t * bool) option ->
+  hi:(Value.t * bool) option ->
+  Value.t array list
+
+(** For the optimizer: lookup cost signal. *)
+val indexed_columns : t -> int list list

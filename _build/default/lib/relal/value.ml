@@ -1,0 +1,69 @@
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+let null = Null
+
+let int i = Int i
+
+let float f = Float f
+
+let str s = Str s
+
+let bool b = Bool b
+
+let is_null = function Null -> true | Int _ | Float _ | Str _ | Bool _ -> false
+
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ | Float _ -> 2
+  | Str _ -> 3
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | Str x, Str y -> String.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | (Null | Int _ | Float _ | Str _ | Bool _), _ -> Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Null -> 0
+  | Int i -> Hashtbl.hash (float_of_int i)
+  | Float f -> Hashtbl.hash f
+  | Str s -> Hashtbl.hash s
+  | Bool b -> if b then 3 else 5
+
+let to_string = function
+  | Null -> "NULL"
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> "'" ^ s ^ "'"
+  | Bool b -> if b then "TRUE" else "FALSE"
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+let as_int = function
+  | Int i -> Some i
+  | Float f -> Some (int_of_float f)
+  | Null | Str _ | Bool _ -> None
+
+let as_float = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | Null | Str _ | Bool _ -> None
+
+let as_bool = function Bool b -> Some b | Null | Int _ | Float _ | Str _ -> None
+
+let as_string = function
+  | Str s -> Some s
+  | Null | Int _ | Float _ | Bool _ -> None

@@ -1,0 +1,1 @@
+lib/server/backend.ml: Cost_model Cpu Ds_model Ds_sim Engine List Op Request

@@ -1,0 +1,1 @@
+lib/server/backend.mli: Cost_model Cpu Ds_model Ds_sim Engine Request

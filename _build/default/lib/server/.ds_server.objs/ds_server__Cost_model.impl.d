@@ -1,0 +1,1 @@
+lib/server/cost_model.ml: Dist Ds_sim

@@ -1,0 +1,1 @@
+lib/server/cost_model.mli: Dist Ds_sim

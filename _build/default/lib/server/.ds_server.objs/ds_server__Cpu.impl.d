@@ -1,0 +1,1 @@
+lib/server/cpu.ml: Array Ds_sim Engine Float

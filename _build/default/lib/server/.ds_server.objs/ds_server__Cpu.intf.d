@@ -1,0 +1,1 @@
+lib/server/cpu.mli: Ds_sim Engine

@@ -1,0 +1,1 @@
+lib/server/deadlock.ml: Hashtbl List

@@ -1,0 +1,1 @@
+lib/server/lock_manager.ml: Hashtbl Int List Option

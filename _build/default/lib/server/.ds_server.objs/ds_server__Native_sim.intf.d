@@ -1,0 +1,1 @@
+lib/server/native_sim.mli: Cost_model Ds_workload Format Row_store Schedule Spec

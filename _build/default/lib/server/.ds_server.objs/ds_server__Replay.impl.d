@@ -1,0 +1,1 @@
+lib/server/replay.ml: Cost_model Cpu Ds_model Ds_sim List Row_store Schedule

@@ -1,0 +1,1 @@
+lib/server/replay.mli: Cost_model Row_store Schedule

@@ -1,0 +1,1 @@
+lib/server/row_store.mli:

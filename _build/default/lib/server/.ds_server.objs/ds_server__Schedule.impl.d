@@ -1,0 +1,1 @@
+lib/server/schedule.ml: Ds_model Ds_util Hashtbl List Op

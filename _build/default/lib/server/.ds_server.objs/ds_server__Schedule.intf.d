@@ -1,0 +1,1 @@
+lib/server/schedule.mli: Ds_model Op

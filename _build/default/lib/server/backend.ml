@@ -1,0 +1,52 @@
+open Ds_model
+open Ds_sim
+
+type t = {
+  engine : Engine.t;
+  cpu_ : Cpu.t;
+  cost : Cost_model.t;
+  mutable executed : int;
+}
+
+let create engine cost =
+  { engine; cpu_ = Cpu.create engine ~n_cores:cost.Cost_model.n_cores; cost; executed = 0 }
+
+let execute_batch t requests k =
+  let work =
+    List.fold_left
+      (fun acc (r : Request.t) ->
+        match r.Request.op with
+        | Op.Read | Op.Write -> acc +. Cost_model.stmt_cost t.cost ~locking:false
+        | Op.Commit | Op.Abort -> acc +. t.cost.Cost_model.commit_service)
+      0. requests
+  in
+  let data =
+    List.length (List.filter (fun r -> Request.is_data r) requests)
+  in
+  if requests = [] then
+    ignore (Engine.schedule t.engine ~after:0. k)
+  else
+    Cpu.submit t.cpu_ ~work (fun () ->
+        t.executed <- t.executed + data;
+        k ())
+
+let request_work t (r : Request.t) =
+  match r.Request.op with
+  | Op.Read | Op.Write -> Cost_model.stmt_cost t.cost ~locking:false
+  | Op.Commit | Op.Abort -> t.cost.Cost_model.commit_service
+
+let execute_seq t requests ~on_each k =
+  let rec step = function
+    | [] -> k ()
+    | r :: rest ->
+      Cpu.submit t.cpu_ ~work:(request_work t r) (fun () ->
+          if Request.is_data r then t.executed <- t.executed + 1;
+          on_each r;
+          step rest)
+  in
+  if requests = [] then ignore (Engine.schedule t.engine ~after:0. k)
+  else step requests
+
+let executed_stmts t = t.executed
+
+let cpu t = t.cpu_

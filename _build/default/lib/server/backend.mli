@@ -1,0 +1,29 @@
+(** Server facade for the middleware architecture (Figure 1): when the
+    declarative scheduler has already decided the execution order, the server
+    runs the qualified requests as a batch job with its own scheduler
+    disabled ("use the schedules produced by our declaratively programmed
+    component", §1). *)
+
+open Ds_model
+open Ds_sim
+
+type t
+
+val create : Engine.t -> Cost_model.t -> t
+
+(** [execute_batch t requests k] charges the CPU for every data statement
+    (without the lock path) and every terminal operation in [requests], then
+    calls [k] at batch completion time. *)
+val execute_batch : t -> Request.t list -> (unit -> unit) -> unit
+
+(** [execute_seq t requests ~on_each k] executes the batch in order, calling
+    [on_each req] at each request's own completion time and [k] at the end.
+    This preserves the schedule's intra-batch ordering, which is what makes
+    SLA-priority ordering observable in response times. *)
+val execute_seq :
+  t -> Request.t list -> on_each:(Request.t -> unit) -> (unit -> unit) -> unit
+
+(** Statements executed so far (data operations only). *)
+val executed_stmts : t -> int
+
+val cpu : t -> Cpu.t

@@ -1,0 +1,27 @@
+open Ds_sim
+
+type t = {
+  n_cores : int;
+  stmt_service : float;
+  commit_service : float;
+  lock_overhead : float;
+  deadlock_check_cost : float;
+  abort_cost_per_stmt : float;
+  restart_delay : float;
+  think_time : Dist.t;
+}
+
+let default =
+  {
+    n_cores = 1;
+    stmt_service = 0.000353;
+    commit_service = 0.0005;
+    lock_overhead = 0.00004;
+    deadlock_check_cost = 0.00002;
+    abort_cost_per_stmt = 0.0002;
+    restart_delay = 0.005;
+    think_time = Dist.Constant 0.;
+  }
+
+let stmt_cost t ~locking =
+  if locking then t.stmt_service +. t.lock_overhead else t.stmt_service

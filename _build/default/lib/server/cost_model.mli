@@ -1,0 +1,27 @@
+(** Service-time model of the simulated server.
+
+    The defaults are calibrated against §4.2.2: in single-user mode the
+    paper's server processed 550 055 statements in 194 s, i.e. ≈ 0.353 ms per
+    statement on its 2.8 GHz single-core machine. Absolute values only set
+    the time scale; the experiments report ratios and shapes. *)
+
+open Ds_sim
+
+type t = {
+  n_cores : int;  (** server CPU cores (paper machine: 1) *)
+  stmt_service : float;  (** CPU seconds to execute one read/write statement *)
+  commit_service : float;  (** commit bookkeeping *)
+  lock_overhead : float;
+      (** extra CPU per statement in multi-user mode: latching, lock table
+          maintenance — the per-statement component of scheduling overhead *)
+  deadlock_check_cost : float;  (** CPU per waits-for search *)
+  abort_cost_per_stmt : float;  (** rollback CPU per statement undone *)
+  restart_delay : float;  (** client backoff before retrying an aborted txn *)
+  think_time : Dist.t;  (** client pause between transactions *)
+}
+
+val default : t
+
+(** [stmt_cost t ~locking] is the CPU demand of one statement with or without
+    the multi-user lock path. *)
+val stmt_cost : t -> locking:bool -> float

@@ -1,0 +1,30 @@
+open Ds_sim
+
+type t = {
+  engine : Engine.t;
+  free_at : float array;  (* per-core next-free time *)
+  mutable busy : float;
+}
+
+let create engine ~n_cores =
+  if n_cores <= 0 then invalid_arg "Cpu.create: n_cores <= 0";
+  { engine; free_at = Array.make n_cores 0.; busy = 0. }
+
+let submit t ~work k =
+  if work < 0. then invalid_arg "Cpu.submit: negative work";
+  let now = Engine.now t.engine in
+  (* Earliest-free core gets the job (FCFS across one queue). *)
+  let core = ref 0 in
+  Array.iteri (fun i f -> if f < t.free_at.(!core) then core := i) t.free_at;
+  let start = Float.max now t.free_at.(!core) in
+  let finish = start +. work in
+  t.free_at.(!core) <- finish;
+  t.busy <- t.busy +. work;
+  ignore (Engine.schedule_at t.engine ~time:finish k)
+
+let busy_time t = t.busy
+
+let utilization t =
+  let now = Engine.now t.engine in
+  if now <= 0. then 0.
+  else t.busy /. (now *. float_of_int (Array.length t.free_at))

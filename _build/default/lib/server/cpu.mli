@@ -1,0 +1,20 @@
+(** The server's CPU(s) as a simulated FCFS resource. Statements queue in
+    submission order; a statement occupies one core for its service demand.
+    Lock *waiting* consumes no CPU — which is exactly why lock thrashing
+    shows up as collapsing throughput: blocked clients leave the CPU idle. *)
+
+open Ds_sim
+
+type t
+
+val create : Engine.t -> n_cores:int -> t
+
+(** [submit t ~work k] enqueues a job needing [work] CPU-seconds; [k] runs at
+    completion (in simulated time). *)
+val submit : t -> work:float -> (unit -> unit) -> unit
+
+(** Accumulated busy CPU-seconds across cores. *)
+val busy_time : t -> float
+
+(** Utilization over [0, now], per core. *)
+val utilization : t -> float

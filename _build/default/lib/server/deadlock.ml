@@ -1,0 +1,27 @@
+let find_cycle ~successors start =
+  (* DFS from [start]; we only care about cycles that pass through [start],
+     which is the transaction that just blocked (any new cycle must contain
+     the new edge). *)
+  let visited = Hashtbl.create 16 in
+  let rec dfs path txn =
+    if Hashtbl.mem visited txn then None
+    else begin
+      Hashtbl.add visited txn ();
+      let rec try_succ = function
+        | [] -> None
+        | s :: rest ->
+          if s = start then Some (List.rev (txn :: path))
+          else (
+            match dfs (txn :: path) s with
+            | Some c -> Some c
+            | None -> try_succ rest)
+      in
+      try_succ (successors txn)
+    end
+  in
+  dfs [] start
+
+let pick_victim cycle =
+  match cycle with
+  | [] -> invalid_arg "Deadlock.pick_victim: empty cycle"
+  | first :: rest -> List.fold_left max first rest

@@ -1,0 +1,10 @@
+(** Waits-for-graph cycle detection. The native scheduler calls this whenever
+    a transaction blocks; a returned cycle triggers victim selection. *)
+
+(** [find_cycle ~successors start] follows waits-for edges from [start] and
+    returns a cycle containing [start] if one exists (as the list of
+    transactions on it, starting and ending implicitly at [start]). *)
+val find_cycle : successors:(int -> int list) -> int -> int list option
+
+(** Youngest transaction (largest id) on the cycle: the default victim. *)
+val pick_victim : int list -> int

@@ -1,0 +1,174 @@
+type mode = S | X
+
+type request = { txn : int; mode : mode; upgrade : bool }
+
+type entry = {
+  mutable granted : (int * mode) list;  (* (txn, mode), strongest mode held *)
+  mutable queue : request list;  (* FIFO; upgrades sit at the front *)
+}
+
+type t = {
+  objects : (int, entry) Hashtbl.t;
+  held : (int, (int, mode) Hashtbl.t) Hashtbl.t;  (* txn -> obj -> mode *)
+  waiting : (int, int) Hashtbl.t;  (* txn -> obj *)
+}
+
+let create () =
+  { objects = Hashtbl.create 1024; held = Hashtbl.create 64; waiting = Hashtbl.create 64 }
+
+let entry t obj =
+  match Hashtbl.find_opt t.objects obj with
+  | Some e -> e
+  | None ->
+    let e = { granted = []; queue = [] } in
+    Hashtbl.add t.objects obj e;
+    e
+
+let held_tbl t txn =
+  match Hashtbl.find_opt t.held txn with
+  | Some h -> h
+  | None ->
+    let h = Hashtbl.create 8 in
+    Hashtbl.add t.held txn h;
+    h
+
+let compatible a b = match (a, b) with S, S -> true | _ -> false
+
+let note_grant t txn obj mode =
+  Hashtbl.replace (held_tbl t txn) obj mode
+
+let holds t ~txn ~obj ~mode =
+  match Hashtbl.find_opt t.held txn with
+  | None -> false
+  | Some h -> (
+    match Hashtbl.find_opt h obj with
+    | Some X -> true
+    | Some S -> mode = S
+    | None -> false)
+
+let waiting_on t ~txn = Hashtbl.find_opt t.waiting txn
+
+type outcome = Granted | Blocked
+
+let acquire t ~txn ~obj ~mode =
+  if Hashtbl.mem t.waiting txn then
+    invalid_arg "Lock_manager.acquire: transaction already blocked";
+  if holds t ~txn ~obj ~mode then Granted
+  else begin
+    let e = entry t obj in
+    let holds_s = holds t ~txn ~obj ~mode:S in
+    if holds_s && mode = X then begin
+      (* Upgrade request. *)
+      match e.granted with
+      | [ (only, _) ] when only = txn ->
+        e.granted <- [ (txn, X) ];
+        note_grant t txn obj X;
+        Granted
+      | _ ->
+        e.queue <- { txn; mode = X; upgrade = true } :: e.queue;
+        Hashtbl.replace t.waiting txn obj;
+        Blocked
+    end
+    else if
+      e.queue = []
+      && List.for_all (fun (_, m) -> compatible mode m) e.granted
+    then begin
+      e.granted <- (txn, mode) :: e.granted;
+      note_grant t txn obj mode;
+      Granted
+    end
+    else begin
+      e.queue <- e.queue @ [ { txn; mode; upgrade = false } ];
+      Hashtbl.replace t.waiting txn obj;
+      Blocked
+    end
+  end
+
+(* Promote queue heads while possible; returns newly granted (txn, obj). *)
+let promote t obj e =
+  let granted = ref [] in
+  let rec loop () =
+    match e.queue with
+    | [] -> ()
+    | req :: rest ->
+      let others =
+        List.filter (fun (holder, _) -> holder <> req.txn) e.granted
+      in
+      let ok =
+        if req.upgrade then others = []
+        else List.for_all (fun (_, m) -> compatible req.mode m) e.granted
+      in
+      if ok then begin
+        e.queue <- rest;
+        e.granted <-
+          (req.txn, req.mode)
+          :: List.filter (fun (holder, _) -> holder <> req.txn) e.granted;
+        note_grant t req.txn obj req.mode;
+        Hashtbl.remove t.waiting req.txn;
+        granted := (req.txn, obj) :: !granted;
+        loop ()
+      end
+  in
+  loop ();
+  List.rev !granted
+
+let release_all t ~txn =
+  let newly = ref [] in
+  (* Cancel a blocked request if any. *)
+  (match Hashtbl.find_opt t.waiting txn with
+  | Some obj ->
+    let e = entry t obj in
+    e.queue <- List.filter (fun r -> r.txn <> txn) e.queue;
+    Hashtbl.remove t.waiting txn;
+    (* Removing a queue head may unblock those behind it. *)
+    newly := !newly @ promote t obj e
+  | None -> ());
+  (match Hashtbl.find_opt t.held txn with
+  | Some h ->
+    let objs = Hashtbl.fold (fun obj _ acc -> obj :: acc) h [] in
+    Hashtbl.remove t.held txn;
+    List.iter
+      (fun obj ->
+        let e = entry t obj in
+        e.granted <- List.filter (fun (holder, _) -> holder <> txn) e.granted;
+        newly := !newly @ promote t obj e;
+        if e.granted = [] && e.queue = [] then Hashtbl.remove t.objects obj)
+      (List.sort Int.compare objs)
+  | None -> ());
+  !newly
+
+let blockers t ~txn =
+  match Hashtbl.find_opt t.waiting txn with
+  | None -> []
+  | Some obj ->
+    let e = entry t obj in
+    let mine =
+      List.find_opt (fun r -> r.txn = txn) e.queue
+      |> Option.value ~default:{ txn; mode = X; upgrade = false }
+    in
+    let holder_blockers =
+      List.filter_map
+        (fun (holder, m) ->
+          if holder <> txn && not (compatible mine.mode m) then Some holder
+          else None)
+        e.granted
+    in
+    (* Earlier incompatible waiters also precede us (FIFO). *)
+    let rec earlier acc = function
+      | [] -> acc
+      | r :: _ when r.txn = txn -> acc
+      | r :: rest ->
+        if compatible mine.mode r.mode then earlier acc rest
+        else earlier (r.txn :: acc) rest
+    in
+    List.sort_uniq Int.compare (holder_blockers @ earlier [] e.queue)
+
+let held_count t ~txn =
+  match Hashtbl.find_opt t.held txn with
+  | None -> 0
+  | Some h -> Hashtbl.length h
+
+let total_held t =
+  Hashtbl.fold (fun _ h acc -> acc + Hashtbl.length h) t.held 0
+
+let blocked_txns t = Hashtbl.fold (fun txn _ acc -> txn :: acc) t.waiting []

@@ -1,0 +1,49 @@
+(** Row-level lock manager with shared/exclusive modes, FIFO wait queues and
+    in-place upgrades — the machinery behind the "native, lock-based
+    scheduler of the DBMS" the paper benchmarks against.
+
+    Grant discipline:
+    - S is compatible with S; X is compatible with nothing;
+    - re-acquisition of an already-held (or weaker) mode is a no-op grant;
+    - an S→X upgrade is granted immediately when the transaction is the sole
+      holder, otherwise it waits at the *front* of the queue (ahead of plain
+      requests, preventing the trivial upgrade deadlock against later
+      arrivals);
+    - plain requests are granted iff compatible with all current holders and
+      no one is queued ahead (strict FIFO, no starvation). *)
+
+type mode = S | X
+
+type t
+
+val create : unit -> t
+
+type outcome = Granted | Blocked
+
+(** [acquire t ~txn ~obj ~mode]. A transaction may have at most one
+    outstanding blocked request. @raise Invalid_argument if it already has
+    one. *)
+val acquire : t -> txn:int -> obj:int -> mode:mode -> outcome
+
+(** Releases everything [txn] holds and cancels its queued request if any;
+    returns the [(txn, obj)] pairs granted as a result, in grant order. *)
+val release_all : t -> txn:int -> (int * int) list
+
+val holds : t -> txn:int -> obj:int -> mode:mode -> bool
+
+(** The object a blocked transaction is waiting on. *)
+val waiting_on : t -> txn:int -> int option
+
+(** Transactions that must release before [txn]'s blocked request can be
+    granted: incompatible holders plus incompatible earlier waiters. Empty if
+    [txn] is not blocked. This is the waits-for relation used for deadlock
+    detection. *)
+val blockers : t -> txn:int -> int list
+
+(** Number of locks currently held by [txn]. *)
+val held_count : t -> txn:int -> int
+
+(** Total locks held across all transactions. *)
+val total_held : t -> int
+
+val blocked_txns : t -> int list

@@ -1,0 +1,23 @@
+let single_user_time (cost : Cost_model.t) entries =
+  (* One exclusive table lock, every statement without the lock path, one
+     final commit: the whole log is one transaction. *)
+  let stmt = Cost_model.stmt_cost cost ~locking:false in
+  (float_of_int (List.length entries) *. stmt) +. cost.Cost_model.commit_service
+
+let single_user_time_simulated (cost : Cost_model.t) entries =
+  let engine = Ds_sim.Engine.create () in
+  let cpu = Cpu.create engine ~n_cores:1 in
+  let stmt = Cost_model.stmt_cost cost ~locking:false in
+  List.iter (fun _ -> Cpu.submit cpu ~work:stmt (fun () -> ())) entries;
+  Cpu.submit cpu ~work:cost.Cost_model.commit_service (fun () -> ());
+  Ds_sim.Engine.run engine;
+  Ds_sim.Engine.now engine
+
+let apply_to_store store entries =
+  List.iter
+    (fun (e : Schedule.entry) ->
+      match e.Schedule.op with
+      | Ds_model.Op.Read -> ignore (Row_store.read store e.Schedule.obj)
+      | Ds_model.Op.Write -> Row_store.write store e.Schedule.obj e.Schedule.value
+      | Ds_model.Op.Abort | Ds_model.Op.Commit -> ())
+    entries

@@ -1,0 +1,15 @@
+(** Single-user replay (§4.1/§4.2.1): the logged multi-user schedule is rerun
+    as one transaction holding an exclusive table lock, with row locking
+    disabled. The run time is the lower bound the paper divides by in
+    Figure 2. *)
+
+val single_user_time : Cost_model.t -> Schedule.entry list -> float
+
+(** Replays through the simulator rather than arithmetically (used by tests
+    to confirm both agree). *)
+val single_user_time_simulated : Cost_model.t -> Schedule.entry list -> float
+
+(** Applies a logged schedule to a store sequentially. Under a correct
+    strict-2PL run, applying the committed schedule to a fresh store must
+    yield the multi-user run's final state. *)
+val apply_to_store : Row_store.t -> Schedule.entry list -> unit

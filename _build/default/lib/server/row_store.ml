@@ -1,0 +1,38 @@
+type t = { data : int array; mutable reads : int; mutable writes : int }
+
+let create ~n_rows =
+  if n_rows <= 0 then invalid_arg "Row_store.create: n_rows <= 0";
+  { data = Array.make n_rows 0; reads = 0; writes = 0 }
+
+let n_rows t = Array.length t.data
+
+let check t row =
+  if row < 0 || row >= Array.length t.data then
+    invalid_arg "Row_store: row out of range"
+
+let read t row =
+  check t row;
+  t.reads <- t.reads + 1;
+  t.data.(row)
+
+let write t row v =
+  check t row;
+  t.writes <- t.writes + 1;
+  t.data.(row) <- v
+
+let reads t = t.reads
+
+let writes t = t.writes
+
+let checksum t =
+  let acc = ref 0 in
+  Array.iteri (fun i v -> if v <> 0 then acc := !acc lxor ((i * 1_000_003) + v)) t.data;
+  !acc
+
+let diff a b =
+  if n_rows a <> n_rows b then invalid_arg "Row_store.diff: different sizes";
+  let out = ref [] in
+  for i = n_rows a - 1 downto 0 do
+    if a.data.(i) <> b.data.(i) then out := i :: !out
+  done;
+  !out

@@ -1,0 +1,23 @@
+(** The server's data: the single 100 000-row table of §4.2.1, reduced to one
+    integer payload per row. Enough to make execution *observable*: the
+    faithfulness test checks that the multi-user run's final state equals a
+    sequential replay of the committed schedule, which only holds if locking,
+    rollback and the schedule log are all correct. *)
+
+type t
+
+val create : n_rows:int -> t
+val n_rows : t -> int
+
+(** @raise Invalid_argument on out-of-range rows. *)
+val read : t -> int -> int
+
+val write : t -> int -> int -> unit
+val reads : t -> int
+val writes : t -> int
+
+(** Order-independent digest of the current contents. *)
+val checksum : t -> int
+
+(** Rows whose value differs between two stores (for diagnostics). *)
+val diff : t -> t -> int list

@@ -1,0 +1,77 @@
+type t =
+  | Constant of float
+  | Uniform of float * float
+  | Exponential of float
+  | Normal of float * float
+
+let sample d rng =
+  match d with
+  | Constant c -> c
+  | Uniform (lo, hi) -> lo +. (Rng.float rng *. (hi -. lo))
+  | Exponential mean ->
+    let u = Rng.float rng in
+    (* Guard against log 0. *)
+    let u = if u <= 0. then epsilon_float else u in
+    -.mean *. log u
+  | Normal (mu, sigma) ->
+    (* Box–Muller; truncated at 0 because all durations are non-negative. *)
+    let u1 = Float.max epsilon_float (Rng.float rng) in
+    let u2 = Rng.float rng in
+    let z = sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2) in
+    Float.max 0. (mu +. (sigma *. z))
+
+let mean = function
+  | Constant c -> c
+  | Uniform (lo, hi) -> (lo +. hi) /. 2.
+  | Exponential m -> m
+  | Normal (mu, _) -> mu
+
+let pp ppf = function
+  | Constant c -> Format.fprintf ppf "const(%g)" c
+  | Uniform (lo, hi) -> Format.fprintf ppf "uniform(%g,%g)" lo hi
+  | Exponential m -> Format.fprintf ppf "exp(mean=%g)" m
+  | Normal (mu, sigma) -> Format.fprintf ppf "normal(%g,%g)" mu sigma
+
+module Zipf = struct
+  type gen = { n : int; theta : float; zetan : float; alpha : float; eta : float }
+
+  let zeta n theta =
+    let acc = ref 0. in
+    for i = 1 to n do
+      acc := !acc +. (1. /. Float.pow (float_of_int i) theta)
+    done;
+    !acc
+
+  let create ~n ~theta =
+    if n <= 0 then invalid_arg "Zipf.create: n <= 0";
+    if theta < 0. || theta >= 1. then invalid_arg "Zipf.create: theta in [0,1)";
+    if theta = 0. then { n; theta; zetan = 0.; alpha = 0.; eta = 0. }
+    else begin
+      let zetan = zeta n theta in
+      let zeta2 = zeta 2 theta in
+      let alpha = 1. /. (1. -. theta) in
+      let eta =
+        (1. -. Float.pow (2. /. float_of_int n) (1. -. theta))
+        /. (1. -. (zeta2 /. zetan))
+      in
+      { n; theta; zetan; alpha; eta }
+    end
+
+  (* Gray et al.'s quick Zipf sampler ("Quickly generating billion-record
+     synthetic databases", SIGMOD '94). *)
+  let sample g rng =
+    if g.theta = 0. then Rng.int rng g.n
+    else begin
+      let u = Rng.float rng in
+      let uz = u *. g.zetan in
+      if uz < 1. then 0
+      else if uz < 1. +. Float.pow 0.5 g.theta then 1
+      else
+        let v =
+          float_of_int g.n
+          *. Float.pow ((g.eta *. u) -. g.eta +. 1.) g.alpha
+        in
+        let i = int_of_float v in
+        if i >= g.n then g.n - 1 else i
+    end
+end

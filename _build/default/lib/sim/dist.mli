@@ -1,0 +1,21 @@
+(** Random distributions over a {!Rng.t} stream. *)
+
+type t =
+  | Constant of float
+  | Uniform of float * float  (** inclusive lo, exclusive hi *)
+  | Exponential of float  (** mean *)
+  | Normal of float * float  (** mean, stddev; truncated at 0 *)
+
+val sample : t -> Rng.t -> float
+val mean : t -> float
+val pp : Format.formatter -> t -> unit
+
+(** Zipf-distributed integers over [0, n): skew [theta] in (0, 1) typical;
+    [theta = 0.] degenerates to uniform. Uses the standard rejection-free
+    inverse-harmonic approximation with precomputed normalization. *)
+module Zipf : sig
+  type gen
+
+  val create : n:int -> theta:float -> gen
+  val sample : gen -> Rng.t -> int
+end

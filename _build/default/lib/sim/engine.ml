@@ -1,0 +1,37 @@
+type t = { mutable now : float; heap : (unit -> unit) Event_heap.t }
+
+let create () = { now = 0.; heap = Event_heap.create () }
+
+let now t = t.now
+
+let schedule_at t ~time f =
+  if time < t.now then invalid_arg "Engine.schedule_at: time in the past";
+  Event_heap.push t.heap ~time f
+
+let schedule t ~after f =
+  if after < 0. then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.now +. after) f
+
+let cancel = Event_heap.cancel
+
+let pending t = Event_heap.size t.heap
+
+let step t =
+  match Event_heap.pop t.heap with
+  | None -> false
+  | Some (time, f) ->
+    t.now <- time;
+    f ();
+    true
+
+let run t = while step t do () done
+
+let run_until t ~until =
+  let rec loop () =
+    match Event_heap.peek_time t.heap with
+    | Some time when time <= until ->
+      if step t then loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  if t.now < until then t.now <- until

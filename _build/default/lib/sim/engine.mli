@@ -1,0 +1,32 @@
+(** Discrete-event simulation engine: a virtual clock plus an event queue of
+    callbacks. All "time" in experiments is virtual time of this clock, which
+    is what makes 600 concurrent clients reproducible on one core. *)
+
+type t
+
+val create : unit -> t
+
+(** Current virtual time, seconds. *)
+val now : t -> float
+
+(** [schedule t ~after f] runs [f ()] at [now t +. after].
+    @raise Invalid_argument if [after < 0]. *)
+val schedule : t -> after:float -> (unit -> unit) -> Event_heap.token
+
+(** [schedule_at t ~time f] runs [f ()] at absolute [time >= now]. *)
+val schedule_at : t -> time:float -> (unit -> unit) -> Event_heap.token
+
+val cancel : Event_heap.token -> unit
+
+(** Number of pending (non-cancelled) events. *)
+val pending : t -> int
+
+(** Runs events until the queue empties. *)
+val run : t -> unit
+
+(** Runs events with time <= [until]; afterwards [now t = until] (even if the
+    queue emptied earlier) so measurement windows close crisply. *)
+val run_until : t -> until:float -> unit
+
+(** Runs at most one event; false if the queue was empty. *)
+val step : t -> bool

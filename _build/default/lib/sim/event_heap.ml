@@ -1,0 +1,97 @@
+type token = { mutable live : bool; cancelled_count : int ref }
+
+type 'a entry = { time : float; seq : int; payload : 'a; tok : token }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable len : int;
+  mutable seq : int;
+  cancelled : int ref;
+}
+
+let create () = { data = [||]; len = 0; seq = 0; cancelled = ref 0 }
+
+let size h = h.len - !(h.cancelled)
+
+let is_empty h = size h = 0
+
+let lt a b = a.time < b.time || (Float.equal a.time b.time && a.seq < b.seq)
+
+let swap h i j =
+  let tmp = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt h.data.(i) h.data.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.len && lt h.data.(l) h.data.(!smallest) then smallest := l;
+  if r < h.len && lt h.data.(r) h.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h ~time payload =
+  let tok = { live = true; cancelled_count = h.cancelled } in
+  let entry = { time; seq = h.seq; payload; tok } in
+  h.seq <- h.seq + 1;
+  if h.len = Array.length h.data then begin
+    let cap = max 16 (2 * h.len) in
+    let data = Array.make cap entry in
+    Array.blit h.data 0 data 0 h.len;
+    h.data <- data
+  end;
+  h.data.(h.len) <- entry;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1);
+  tok
+
+let cancel tok =
+  if tok.live then begin
+    tok.live <- false;
+    incr tok.cancelled_count
+  end
+
+let pop_raw h =
+  if h.len = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.data.(0) <- h.data.(h.len);
+      sift_down h 0
+    end;
+    Some top
+  end
+
+let rec pop h =
+  match pop_raw h with
+  | None -> None
+  | Some e ->
+    if e.tok.live then Some (e.time, e.payload)
+    else begin
+      decr h.cancelled;
+      pop h
+    end
+
+let rec peek_time h =
+  if h.len = 0 then None
+  else
+    let top = h.data.(0) in
+    if top.tok.live then Some top.time
+    else begin
+      (* Drop the dead head so peek stays cheap. *)
+      ignore (pop_raw h);
+      decr h.cancelled;
+      peek_time h
+    end

@@ -1,0 +1,22 @@
+(** Binary min-heap of timestamped events. Ties on the timestamp break by
+    insertion sequence number, which makes simulation runs fully
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** [push h ~time x] returns a token usable with {!cancel}. *)
+type token
+
+val push : 'a t -> time:float -> 'a -> token
+
+(** O(1) lazy cancellation: the entry is skipped when popped. *)
+val cancel : token -> unit
+
+(** Earliest (time, payload); cancelled entries are transparently dropped. *)
+val pop : 'a t -> (float * 'a) option
+
+val peek_time : 'a t -> float option

@@ -1,0 +1,33 @@
+(** Deterministic splittable PRNG (SplitMix64). Every experiment takes an
+    explicit seed so runs are exactly reproducible; [split] derives
+    statistically independent streams for per-client generators. *)
+
+type t
+
+val create : int -> t
+
+(** An independent stream derived from [t]'s current state. *)
+val split : t -> t
+
+val copy : t -> t
+
+(** Uniform in [0, 2^62). *)
+val int63 : t -> int
+
+(** [int t bound] uniform in [0, bound). @raise Invalid_argument if
+    [bound <= 0]. *)
+val int : t -> int -> int
+
+(** Uniform in [0, 1). *)
+val float : t -> float
+
+val bool : t -> bool
+
+(** [range t lo hi] uniform integer in [lo, hi] inclusive. *)
+val range : t -> int -> int -> int
+
+(** Fisher–Yates shuffle (in place). *)
+val shuffle : t -> 'a array -> unit
+
+(** [pick t arr] uniform element. @raise Invalid_argument on empty array. *)
+val pick : t -> 'a array -> 'a

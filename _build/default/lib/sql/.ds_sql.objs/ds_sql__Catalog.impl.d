@@ -1,0 +1,1 @@
+lib/sql/catalog.ml: Ds_relal Hashtbl List String Table

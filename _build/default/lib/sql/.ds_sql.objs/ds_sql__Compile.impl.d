@@ -1,0 +1,1 @@
+lib/sql/compile.ml: Array Ast Catalog Ds_relal Eval Format Hashtbl List Optimizer Option Printf Ra Schema String Value

@@ -1,0 +1,1 @@
+lib/sql/compile.mli: Ast Catalog Ds_relal Hashtbl Ra Schema Value

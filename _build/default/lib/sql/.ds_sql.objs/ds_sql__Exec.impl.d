@@ -1,0 +1,1 @@
+lib/sql/exec.ml: Array Ast Catalog Compile Ds_relal Ds_util Eval Format Hashtbl List Optimizer Parser Profile Ra Schema String Table Value

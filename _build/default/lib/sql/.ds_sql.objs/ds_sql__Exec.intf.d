@@ -1,0 +1,1 @@
+lib/sql/exec.mli: Catalog Ds_relal Optimizer Ra Schema Value

@@ -1,0 +1,1 @@
+lib/sql/parser.ml: Ast Ds_relal Lexer List Option Printf Token

@@ -1,0 +1,1 @@
+lib/sql/token.ml: Format Hashtbl List Printf String

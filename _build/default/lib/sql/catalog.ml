@@ -1,0 +1,21 @@
+open Ds_relal
+
+type t = (string, Table.t) Hashtbl.t
+
+exception Unknown_table of string
+
+let create () = Hashtbl.create 16
+
+let key name = String.lowercase_ascii name
+
+let register t table = Hashtbl.replace t (key (Table.name table)) table
+
+let find_opt t name = Hashtbl.find_opt t (key name)
+
+let find t name =
+  match find_opt t name with Some table -> table | None -> raise (Unknown_table name)
+
+let drop t name = Hashtbl.remove t (key name)
+
+let names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t [] |> List.sort String.compare

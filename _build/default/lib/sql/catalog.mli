@@ -1,0 +1,19 @@
+(** Named table registry: the database a SQL session runs against. *)
+
+open Ds_relal
+
+type t
+
+exception Unknown_table of string
+
+val create : unit -> t
+
+(** Registers under [Table.name]; replaces an existing entry. *)
+val register : t -> Table.t -> unit
+
+(** Case-insensitive lookup. @raise Unknown_table *)
+val find : t -> string -> Table.t
+
+val find_opt : t -> string -> Table.t option
+val drop : t -> string -> unit
+val names : t -> string list

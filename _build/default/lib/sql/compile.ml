@@ -1,0 +1,622 @@
+open Ds_relal
+
+exception Compile_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Compile_error s)) fmt
+
+type env = {
+  catalog : Catalog.t;
+  (* CTEs in scope: name -> compiled plan (inlined at each reference). *)
+  ctes : (string * Ra.plan) list;
+  (* Placeholder cells, allocated on first use; shared with the caller so a
+     prepared plan can be re-parameterized. *)
+  params : (int, Value.t ref) Hashtbl.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let binop_cmp : Ast.binop -> Ra.cmp option = function
+  | Ast.Eq -> Some Ra.Eq
+  | Ast.Neq -> Some Ra.Neq
+  | Ast.Lt -> Some Ra.Lt
+  | Ast.Leq -> Some Ra.Leq
+  | Ast.Gt -> Some Ra.Gt
+  | Ast.Geq -> Some Ra.Geq
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod | Ast.And | Ast.Or -> None
+
+let binop_arith : Ast.binop -> Ra.arith option = function
+  | Ast.Add -> Some Ra.Add
+  | Ast.Sub -> Some Ra.Sub
+  | Ast.Mul -> Some Ra.Mul
+  | Ast.Div -> Some Ra.Div
+  | Ast.Mod -> Some Ra.Mod
+  | Ast.Eq | Ast.Neq | Ast.Lt | Ast.Leq | Ast.Gt | Ast.Geq | Ast.And | Ast.Or ->
+    None
+
+(* Lift an already-compiled expression one scope deeper: its current-row
+   references become references to the first enclosing row. Used when a probe
+   expression is moved inside a subquery (IN lowering). [d] tracks how many
+   Exists boundaries we have descended into within the expression itself. *)
+let lift_expr e =
+  let rec in_expr d = function
+    | Ra.Col i -> if d = 0 then Ra.Outer (1, i) else Ra.Col i
+    | Ra.Outer (k, i) -> if k > d then Ra.Outer (k + 1, i) else Ra.Outer (k, i)
+    | (Ra.Const _ | Ra.Param _) as e -> e
+    | Ra.Cmp (c, a, b) -> Ra.Cmp (c, in_expr d a, in_expr d b)
+    | Ra.Arith (o, a, b) -> Ra.Arith (o, in_expr d a, in_expr d b)
+    | Ra.And (a, b) -> Ra.And (in_expr d a, in_expr d b)
+    | Ra.Or (a, b) -> Ra.Or (in_expr d a, in_expr d b)
+    | Ra.Not e -> Ra.Not (in_expr d e)
+    | Ra.Is_null e -> Ra.Is_null (in_expr d e)
+    | Ra.In_list (e, vs) -> Ra.In_list (in_expr d e, vs)
+    | Ra.Case (arms, default) ->
+      Ra.Case
+        ( List.map (fun (c, r) -> (in_expr d c, in_expr d r)) arms,
+          in_expr d default )
+    | Ra.Exists p -> Ra.Exists (in_plan (d + 1) p)
+  and in_plan d = function
+    | (Ra.Scan _ | Ra.Values _) as p -> p
+    | Ra.Filter (e, p) -> Ra.Filter (in_expr d e, in_plan d p)
+    | Ra.Project (cols, p) ->
+      Ra.Project (List.map (fun (e, c) -> (in_expr d e, c)) cols, in_plan d p)
+    | Ra.Cross (l, r) -> Ra.Cross (in_plan d l, in_plan d r)
+    | Ra.Join j ->
+      Ra.Join
+        {
+          j with
+          lkeys = List.map (in_expr d) j.lkeys;
+          rkeys = List.map (in_expr d) j.rkeys;
+          residual = Option.map (in_expr d) j.residual;
+          left = in_plan d j.left;
+          right = in_plan d j.right;
+        }
+    | Ra.Union_all (l, r) -> Ra.Union_all (in_plan d l, in_plan d r)
+    | Ra.Union (l, r) -> Ra.Union (in_plan d l, in_plan d r)
+    | Ra.Except (l, r) -> Ra.Except (in_plan d l, in_plan d r)
+    | Ra.Intersect (l, r) -> Ra.Intersect (in_plan d l, in_plan d r)
+    | Ra.Distinct p -> Ra.Distinct (in_plan d p)
+    | Ra.Limit (n, p) -> Ra.Limit (n, in_plan d p)
+    | Ra.Sort (keys, p) ->
+      Ra.Sort (List.map (fun (e, dir) -> (in_expr d e, dir)) keys, in_plan d p)
+    | Ra.Group { keys; aggs; input } ->
+      let map_agg = function
+        | Ra.Count_star -> Ra.Count_star
+        | Ra.Count e -> Ra.Count (in_expr d e)
+        | Ra.Sum e -> Ra.Sum (in_expr d e)
+        | Ra.Min e -> Ra.Min (in_expr d e)
+        | Ra.Max e -> Ra.Max (in_expr d e)
+        | Ra.Avg e -> Ra.Avg (in_expr d e)
+      in
+      Ra.Group
+        {
+          keys = List.map (fun (e, c) -> (in_expr d e, c)) keys;
+          aggs = List.map (fun (a, c) -> (map_agg a, c)) aggs;
+          input = in_plan d input;
+        }
+  in
+  in_expr 0 e
+
+(* Best-effort output type inference for projected columns (display only). *)
+let rec infer_ty (schemas : Schema.t list) (e : Ra.expr) : Schema.ty =
+  match e with
+  | Ra.Col i -> (
+    match schemas with
+    | s :: _ when i < Schema.arity s -> s.(i).Schema.ty
+    | _ -> Schema.Tint)
+  | Ra.Outer (d, i) -> (
+    match List.nth_opt schemas d with
+    | Some s when i < Schema.arity s -> s.(i).Schema.ty
+    | _ -> Schema.Tint)
+  | Ra.Const (Value.Int _) -> Schema.Tint
+  | Ra.Const (Value.Float _) -> Schema.Tfloat
+  | Ra.Const (Value.Str _) -> Schema.Tstr
+  | Ra.Const (Value.Bool _) -> Schema.Tbool
+  | Ra.Const Value.Null -> Schema.Tint
+  | Ra.Param _ -> Schema.Tint
+  | Ra.Cmp _ | Ra.And _ | Ra.Or _ | Ra.Not _ | Ra.Is_null _ | Ra.Exists _
+  | Ra.In_list _ -> Schema.Tbool
+  | Ra.Arith (_, a, b) -> (
+    match (infer_ty schemas a, infer_ty schemas b) with
+    | Schema.Tfloat, _ | _, Schema.Tfloat -> Schema.Tfloat
+    | _ -> Schema.Tint)
+  | Ra.Case (arms, default) -> (
+    match arms with
+    | (_, r) :: _ -> infer_ty schemas r
+    | [] -> infer_ty schemas default)
+
+(* ------------------------------------------------------------------ *)
+(* Expression compilation                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* [scopes]: head is the current row's schema, tail the enclosing rows'. *)
+let rec compile_expr env (scopes : Schema.t list) (e : Ast.expr) : Ra.expr =
+  match e with
+  | Ast.Int_lit i -> Ra.Const (Value.Int i)
+  | Ast.Float_lit f -> Ra.Const (Value.Float f)
+  | Ast.Str_lit s -> Ra.Const (Value.Str s)
+  | Ast.Bool_lit b -> Ra.Const (Value.Bool b)
+  | Ast.Null_lit -> Ra.Const Value.Null
+  | Ast.Ref (rel, name) -> resolve scopes ~rel ~name
+  | Ast.Placeholder k ->
+    let cell =
+      match Hashtbl.find_opt env.params k with
+      | Some cell -> cell
+      | None ->
+        let cell = ref Value.Null in
+        Hashtbl.add env.params k cell;
+        cell
+    in
+    Ra.Param cell
+  | Ast.Bin (op, a, b) -> (
+    match op with
+    | Ast.And -> Ra.And (compile_expr env scopes a, compile_expr env scopes b)
+    | Ast.Or -> Ra.Or (compile_expr env scopes a, compile_expr env scopes b)
+    | _ -> (
+      match binop_cmp op with
+      | Some c -> Ra.Cmp (c, compile_expr env scopes a, compile_expr env scopes b)
+      | None ->
+        let o = Option.get (binop_arith op) in
+        Ra.Arith (o, compile_expr env scopes a, compile_expr env scopes b)))
+  | Ast.Neg e ->
+    Ra.Arith (Ra.Sub, Ra.Const (Value.Int 0), compile_expr env scopes e)
+  | Ast.Not e -> Ra.Not (compile_expr env scopes e)
+  | Ast.Is_null (e, negated) ->
+    let x = Ra.Is_null (compile_expr env scopes e) in
+    if negated then Ra.Not x else x
+  | Ast.Exists q -> Ra.Exists (compile_full_query env ~outer:scopes q)
+  | Ast.In_list (e, items, negated) ->
+    let probe = compile_expr env scopes e in
+    let consts =
+      List.map
+        (fun item ->
+          match compile_expr env scopes item with
+          | Ra.Const v -> v
+          | _ -> fail "IN list elements must be constants")
+        items
+    in
+    let x = Ra.In_list (probe, consts) in
+    if negated then Ra.Not x else x
+  | Ast.In_query (e, q, negated) ->
+    (* e IN (SELECT c FROM ...)  ~>  EXISTS (SELECT ... WHERE c = e') *)
+    let probe = compile_expr env scopes e in
+    let sub = compile_full_query env ~outer:scopes q in
+    let sub_schema = Ra.schema_of sub in
+    if Schema.arity sub_schema <> 1 then
+      fail "IN subquery must return exactly one column";
+    let filtered = Ra.Filter (Ra.Cmp (Ra.Eq, Ra.Col 0, lift_expr probe), sub) in
+    let x = Ra.Exists filtered in
+    if negated then Ra.Not x else x
+  | Ast.Case (operand, arms, default) ->
+    let default =
+      match default with
+      | Some d -> compile_expr env scopes d
+      | None -> Ra.Const Value.Null
+    in
+    let arms =
+      match operand with
+      | None ->
+        List.map
+          (fun (w, r) -> (compile_expr env scopes w, compile_expr env scopes r))
+          arms
+      | Some e ->
+        (* Simple form: compare the operand against each WHEN value. The
+           operand expression is duplicated per arm; fine for the small
+           expressions protocols use. *)
+        let op = compile_expr env scopes e in
+        List.map
+          (fun (w, r) ->
+            (Ra.Cmp (Ra.Eq, op, compile_expr env scopes w), compile_expr env scopes r))
+          arms
+    in
+    Ra.Case (arms, default)
+  | Ast.Agg_call _ -> fail "aggregate used outside SELECT list or HAVING"
+
+and resolve scopes ~rel ~name =
+  let rec loop depth = function
+    | [] -> (
+      match rel with
+      | Some r -> fail "unknown column %s.%s" r name
+      | None -> fail "unknown column %s" name)
+    | s :: rest -> (
+      match Schema.find s ~rel ~name with
+      | Ok i -> if depth = 0 then Ra.Col i else Ra.Outer (depth, i)
+      | Error `Ambiguous ->
+        (match rel with
+        | Some r -> fail "ambiguous column %s.%s" r name
+        | None -> fail "ambiguous column %s" name)
+      | Error `Unknown -> loop (depth + 1) rest)
+  in
+  loop 0 scopes
+
+(* ------------------------------------------------------------------ *)
+(* FROM clause                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Identity projection renaming all columns to qualifier [rel], preserving
+   column names. *)
+and requalified_view rel plan =
+  let s = Ra.schema_of plan in
+  let cols =
+    Array.to_list
+      (Array.mapi
+         (fun i (c : Schema.column) ->
+           (Ra.Col i, { c with Schema.rel = Some rel }))
+         s)
+  in
+  Ra.Project (cols, plan)
+
+and compile_from_item env ~outer (f : Ast.from_item) : Ra.plan =
+  match f with
+  | Ast.From_table (name, alias) -> (
+    let alias = Option.value ~default:name alias in
+    match List.assoc_opt name env.ctes with
+    | Some plan -> requalified_view alias plan
+    | None -> (
+      match Catalog.find_opt env.catalog name with
+      | Some t -> Ra.Scan (t, Some alias)
+      | None -> fail "unknown table %s" name))
+  | Ast.From_sub (q, alias) ->
+    requalified_view alias (compile_full_query env ~outer q)
+  | Ast.From_join (l, kind, r, on) -> (
+    let pl = compile_from_item env ~outer l in
+    let pr = compile_from_item env ~outer r in
+    let left_arity = Schema.arity (Ra.schema_of pl) in
+    let joined_schema = Schema.concat (Ra.schema_of pl) (Ra.schema_of pr) in
+    match kind with
+    | Ast.Jinner -> (
+      match on with
+      | None -> Ra.Cross (pl, pr)
+      | Some on ->
+        let pred = compile_expr env (joined_schema :: outer) on in
+        Ra.Filter (pred, Ra.Cross (pl, pr)))
+    | Ast.Jleft ->
+      let lkeys, rkeys, residual =
+        match on with
+        | None -> ([], [], None)
+        | Some on ->
+          let pred = compile_expr env (joined_schema :: outer) on in
+          Optimizer.split_join_on ~left_arity pred
+      in
+      Ra.Join { kind = Ra.Left; lkeys; rkeys; residual; left = pl; right = pr })
+
+(* ------------------------------------------------------------------ *)
+(* SELECT bodies                                                      *)
+(* ------------------------------------------------------------------ *)
+
+and compile_select env ~outer (b : Ast.select_body) : Ra.plan =
+  let from_plan =
+    match b.from with
+    | [] -> Ra.Values ([||], [ [||] ])
+    | f :: rest ->
+      List.fold_left
+        (fun acc f -> Ra.Cross (acc, compile_from_item env ~outer f))
+        (compile_from_item env ~outer f)
+        rest
+  in
+  let row_schema = Ra.schema_of from_plan in
+  let scopes = row_schema :: outer in
+  let filtered =
+    match b.where with
+    | None -> from_plan
+    | Some w -> Ra.Filter (compile_expr env scopes w, from_plan)
+  in
+  let has_aggregates =
+    let rec expr_has_agg = function
+      | Ast.Agg_call _ -> true
+      | Ast.Bin (_, a, b) -> expr_has_agg a || expr_has_agg b
+      | Ast.Neg e | Ast.Not e | Ast.Is_null (e, _) -> expr_has_agg e
+      | Ast.In_list (e, items, _) -> List.exists expr_has_agg (e :: items)
+      | Ast.In_query (e, _, _) -> expr_has_agg e
+      | Ast.Case (operand, arms, default) ->
+        Option.fold ~none:false ~some:expr_has_agg operand
+        || List.exists (fun (w, r) -> expr_has_agg w || expr_has_agg r) arms
+        || Option.fold ~none:false ~some:expr_has_agg default
+      | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Str_lit _ | Ast.Bool_lit _
+      | Ast.Null_lit | Ast.Ref _ | Ast.Placeholder _ | Ast.Exists _ -> false
+    in
+    b.group_by <> []
+    || Option.fold ~none:false ~some:expr_has_agg b.having
+    || List.exists
+         (function Ast.Item (e, _) -> expr_has_agg e | Ast.Star | Ast.Rel_star _ -> false)
+         b.items
+  in
+  let plan =
+    if has_aggregates then compile_aggregate env ~scopes ~filtered b
+    else compile_plain env ~scopes ~row_schema ~filtered b
+  in
+  if b.distinct then Ra.Distinct plan else plan
+
+and item_name i (item : Ast.select_item) =
+  match item with
+  | Ast.Item (_, Some alias) -> alias
+  | Ast.Item (Ast.Ref (_, name), None) -> name
+  | Ast.Item (_, None) -> Printf.sprintf "col%d" i
+  | Ast.Star | Ast.Rel_star _ -> assert false
+
+and compile_plain env ~scopes ~row_schema ~filtered (b : Ast.select_body) =
+  match b.items with
+  | [ Ast.Star ] -> filtered (* SELECT * keeps the row as is *)
+  | items ->
+    let cols =
+      List.concat
+        (List.mapi
+           (fun i item ->
+             match item with
+             | Ast.Star ->
+               Array.to_list
+                 (Array.mapi (fun j (c : Schema.column) -> (Ra.Col j, c)) row_schema)
+             | Ast.Rel_star rel ->
+               let matching =
+                 List.filteri
+                   (fun _ ((_, c) : Ra.expr * Schema.column) ->
+                     match c.Schema.rel with
+                     | Some r -> String.lowercase_ascii r = String.lowercase_ascii rel
+                     | None -> false)
+                   (Array.to_list
+                      (Array.mapi
+                         (fun j (c : Schema.column) -> ((Ra.Col j : Ra.expr), c))
+                         row_schema))
+               in
+               if matching = [] then fail "%s.* matches no columns" rel
+               else matching
+             | Ast.Item (e, _) ->
+               let compiled = compile_expr env scopes e in
+               let name = item_name i item in
+               let ty = infer_ty scopes compiled in
+               [ (compiled, Schema.column name ty) ])
+           items)
+    in
+    Ra.Project (cols, filtered)
+
+and compile_aggregate env ~scopes ~filtered (b : Ast.select_body) =
+  (* Collect every syntactically distinct aggregate call from the SELECT list
+     and HAVING. *)
+  let agg_calls = ref [] in
+  let note e =
+    let rec walk = function
+      | Ast.Agg_call _ as a ->
+        if not (List.exists (fun x -> x = a) !agg_calls) then
+          agg_calls := !agg_calls @ [ a ]
+      | Ast.Bin (_, x, y) ->
+        walk x;
+        walk y
+      | Ast.Neg x | Ast.Not x | Ast.Is_null (x, _) -> walk x
+      | Ast.In_list (x, items, _) -> List.iter walk (x :: items)
+      | Ast.In_query (x, _, _) -> walk x
+      | Ast.Case (operand, arms, default) ->
+        Option.iter walk operand;
+        List.iter
+          (fun (w, r) ->
+            walk w;
+            walk r)
+          arms;
+        Option.iter walk default
+      | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Str_lit _ | Ast.Bool_lit _
+      | Ast.Null_lit | Ast.Ref _ | Ast.Placeholder _ | Ast.Exists _ -> ()
+    in
+    walk e
+  in
+  List.iter
+    (function
+      | Ast.Item (e, _) -> note e
+      | Ast.Star | Ast.Rel_star _ -> fail "* not allowed with GROUP BY / aggregates")
+    b.items;
+  Option.iter note b.having;
+  let keys =
+    List.mapi
+      (fun i e ->
+        let compiled = compile_expr env scopes e in
+        let name =
+          match e with Ast.Ref (_, n) -> n | _ -> Printf.sprintf "k%d" i
+        in
+        (compiled, Schema.column name (infer_ty scopes compiled)))
+      b.group_by
+  in
+  let compile_agg (a : Ast.expr) =
+    match a with
+    | Ast.Agg_call (Ast.Count_star, _) -> Ra.Count_star
+    | Ast.Agg_call (fn, Some arg) -> (
+      let e = compile_expr env scopes arg in
+      match fn with
+      | Ast.Count -> Ra.Count e
+      | Ast.Sum -> Ra.Sum e
+      | Ast.Min -> Ra.Min e
+      | Ast.Max -> Ra.Max e
+      | Ast.Avg -> Ra.Avg e
+      | Ast.Count_star -> assert false)
+    | _ -> fail "malformed aggregate"
+  in
+  let aggs =
+    List.mapi
+      (fun i a ->
+        let ty =
+          match a with
+          | Ast.Agg_call ((Ast.Count_star | Ast.Count), _) -> Schema.Tint
+          | Ast.Agg_call (Ast.Avg, _) -> Schema.Tfloat
+          | _ -> Schema.Tint
+        in
+        (compile_agg a, Schema.column (Printf.sprintf "agg%d" i) ty))
+      !agg_calls
+  in
+  let group = Ra.Group { keys; aggs; input = filtered } in
+  let nkeys = List.length keys in
+  (* Rewrite post-aggregation expressions over the Group output row:
+     a group-by expression becomes its key column, an aggregate its agg
+     column. *)
+  let rec rewrite (e : Ast.expr) : Ra.expr =
+    let key_index =
+      List.find_index (fun g -> g = e) b.group_by
+    in
+    match key_index with
+    | Some i -> Ra.Col i
+    | None -> (
+      match List.find_index (fun a -> a = e) !agg_calls with
+      | Some i -> Ra.Col (nkeys + i)
+      | None -> (
+        match e with
+        | Ast.Int_lit i -> Ra.Const (Value.Int i)
+        | Ast.Float_lit f -> Ra.Const (Value.Float f)
+        | Ast.Str_lit s -> Ra.Const (Value.Str s)
+        | Ast.Bool_lit b -> Ra.Const (Value.Bool b)
+        | Ast.Null_lit -> Ra.Const Value.Null
+        | Ast.Bin (op, a, b) -> (
+          match op with
+          | Ast.And -> Ra.And (rewrite a, rewrite b)
+          | Ast.Or -> Ra.Or (rewrite a, rewrite b)
+          | _ -> (
+            match binop_cmp op with
+            | Some c -> Ra.Cmp (c, rewrite a, rewrite b)
+            | None -> Ra.Arith (Option.get (binop_arith op), rewrite a, rewrite b)))
+        | Ast.Neg x -> Ra.Arith (Ra.Sub, Ra.Const (Value.Int 0), rewrite x)
+        | Ast.Not x -> Ra.Not (rewrite x)
+        | Ast.Is_null (x, neg) ->
+          let r = Ra.Is_null (rewrite x) in
+          if neg then Ra.Not r else r
+        | Ast.Placeholder _ -> fail "placeholders not allowed after GROUP BY"
+        | Ast.Ref (_, n) ->
+          fail "column %s must appear in GROUP BY or inside an aggregate" n
+        | _ -> fail "unsupported expression over aggregated result"))
+  in
+  let group_schema = Ra.schema_of group in
+  let having_filtered =
+    match b.having with
+    | None -> group
+    | Some h -> Ra.Filter (rewrite h, group)
+  in
+  let cols =
+    List.mapi
+      (fun i item ->
+        match item with
+        | Ast.Item (e, _) ->
+          let compiled = rewrite e in
+          (compiled, Schema.column (item_name i item) (infer_ty [ group_schema ] compiled))
+        | Ast.Star | Ast.Rel_star _ -> assert false)
+      b.items
+  in
+  Ra.Project (cols, having_filtered)
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                            *)
+(* ------------------------------------------------------------------ *)
+
+and compile_set_query env ~outer (q : Ast.query) : Ra.plan =
+  match q with
+  | Ast.Select b -> compile_select env ~outer b
+  | Ast.Set_op (op, all, l, r) ->
+    let pl = compile_set_query env ~outer l in
+    let pr = compile_set_query env ~outer r in
+    let la = Schema.arity (Ra.schema_of pl)
+    and ra = Schema.arity (Ra.schema_of pr) in
+    if la <> ra then
+      fail "set operation arity mismatch: %d vs %d columns" la ra;
+    (match (op, all) with
+    | Ast.Union, true -> Ra.Union_all (pl, pr)
+    | Ast.Union, false -> Ra.Union (pl, pr)
+    | Ast.Except, _ -> Ra.Except (pl, pr)
+    | Ast.Intersect, _ -> Ra.Intersect (pl, pr))
+
+and compile_full_query env ?(outer = []) (q : Ast.full_query) : Ra.plan =
+  (* CTEs see earlier CTEs but not enclosing-query columns. *)
+  let env =
+    List.fold_left
+      (fun env (name, cq) ->
+        let plan = compile_full_query env ~outer:[] cq in
+        { env with ctes = (name, plan) :: env.ctes })
+      env q.withs
+  in
+  let body = compile_set_query env ~outer q.body in
+  let sorted =
+    match q.order_by with [] -> body | keys -> compile_order env body keys
+  in
+  match q.limit with None -> sorted | Some n -> Ra.Limit (n, sorted)
+
+(* ORDER BY keys resolve against the output columns (including aliases) and,
+   as in standard SQL, may also reference underlying FROM columns that were
+   not projected. The latter are carried through the projection as hidden
+   columns, used for sorting, then dropped. *)
+and compile_order env body keys =
+  let out_schema = Ra.schema_of body in
+  let compile_key (e, asc) =
+    let dir = if asc then `Asc else `Desc in
+    match e with
+    | Ast.Int_lit n ->
+      if n < 1 || n > Schema.arity out_schema then
+        fail "ORDER BY position %d out of range" n;
+      (`Output (Ra.Col (n - 1)), dir)
+    | e -> (
+      match compile_expr env [ out_schema ] e with
+      | compiled -> (`Output compiled, dir)
+      | exception Compile_error _ -> (`Underlying e, dir))
+  in
+  let compiled = List.map compile_key keys in
+  if List.for_all (function `Output _, _ -> true | _ -> false) compiled then
+    Ra.Sort
+      ( List.map
+          (function `Output k, dir -> (k, dir) | `Underlying _, _ -> assert false)
+          compiled,
+        body )
+  else begin
+    (* Need hidden sort columns; only possible directly above a projection. *)
+    match body with
+    | Ra.Project (cols, sub) ->
+      let sub_schema = Ra.schema_of sub in
+      let n_visible = List.length cols in
+      let hidden = ref [] in
+      let keys =
+        List.map
+          (fun (k, dir) ->
+            match k with
+            | `Output (Ra.Col i) -> ((Ra.Col i : Ra.expr), dir)
+            | `Output e -> (e, dir)
+            | `Underlying ast ->
+              let compiled = compile_expr env [ sub_schema ] ast in
+              let pos = n_visible + List.length !hidden in
+              hidden :=
+                !hidden
+                @ [
+                    ( compiled,
+                      Schema.column
+                        (Printf.sprintf "__sort%d" (List.length !hidden))
+                        (infer_ty [ sub_schema ] compiled) );
+                  ];
+              (Ra.Col pos, dir))
+          compiled
+      in
+      let extended = Ra.Project (cols @ !hidden, sub) in
+      let sorted = Ra.Sort (keys, extended) in
+      (* Drop the hidden columns again. *)
+      let visible =
+        List.mapi (fun i (_, c) -> ((Ra.Col i : Ra.expr), c)) cols
+      in
+      Ra.Project (visible, sorted)
+    | _ ->
+      fail
+        "ORDER BY column not in the select list (unsupported over DISTINCT or \
+         set operations)"
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_env catalog = { catalog; ctes = []; params = Hashtbl.create 4 }
+
+let compile_query_params catalog q =
+  let env = fresh_env catalog in
+  let plan = compile_full_query env ~outer:[] q in
+  (plan, env.params)
+
+let compile_query catalog q = fst (compile_query_params catalog q)
+
+let compile_predicate catalog schema e =
+  compile_expr (fresh_env catalog) [ schema ] e
+
+let const_value e =
+  let compiled = compile_expr (fresh_env (Catalog.create ())) [ [||] ] e in
+  match compiled with
+  | Ra.Const v -> v
+  | e -> (
+    try Eval.eval_expr ~row:[||] e
+    with _ -> fail "expected a constant expression")

@@ -1,0 +1,32 @@
+(** Binder and lowering: SQL AST → {!Ds_relal.Ra} plans.
+
+    Name resolution is lexically scoped: references first resolve against the
+    current SELECT's FROM row, then against enclosing queries (producing
+    [Ra.Outer] references, i.e. correlated subqueries).
+
+    Deviations from full SQL, documented for users:
+    - [IN (subquery)] lowers to an equality-filtered [EXISTS], so a NULL probe
+      value yields FALSE rather than UNKNOWN (indistinguishable in WHERE) and
+      [NOT IN] over a subquery containing NULLs yields TRUE for non-matching
+      rows rather than UNKNOWN;
+    - CTEs cannot reference columns of enclosing queries (as in standard SQL);
+    - set operations require equal arity but do not coerce types. *)
+
+open Ds_relal
+
+exception Compile_error of string
+
+val compile_query : Catalog.t -> Ast.full_query -> Ra.plan
+
+(** Like {!compile_query}, also returning the placeholder cells ([?]s,
+    numbered left to right from 0) so the caller can bind them before
+    evaluation. *)
+val compile_query_params :
+  Catalog.t -> Ast.full_query -> Ra.plan * (int, Value.t ref) Hashtbl.t
+
+(** [compile_predicate cat schema e] compiles a boolean expression against a
+    single-row scope (used for DELETE/UPDATE WHERE). *)
+val compile_predicate : Catalog.t -> Schema.t -> Ast.expr -> Ra.expr
+
+(** Compile a constant expression (INSERT VALUES); evaluated immediately. *)
+val const_value : Ast.expr -> Value.t

@@ -1,0 +1,44 @@
+(** Statement execution against a {!Catalog}: the "database" a declarative
+    scheduler runs its protocol queries on. *)
+
+open Ds_relal
+
+type result =
+  | Rows of Schema.t * Value.t array list  (** SELECT *)
+  | Affected of int  (** INSERT/DELETE/UPDATE row count *)
+  | Done  (** DDL *)
+
+exception Exec_error of string
+
+(** [exec ?optimize cat sql] parses, compiles, optimizes (default [`Full])
+    and runs one statement. *)
+val exec : ?optimize:Optimizer.level -> Catalog.t -> string -> result
+
+(** SELECT only; @raise Exec_error if the statement is not a query. *)
+val query : ?optimize:Optimizer.level -> Catalog.t -> string -> Schema.t * Value.t array list
+
+(** Runs a semicolon-separated script, returning the last result. *)
+val exec_script : ?optimize:Optimizer.level -> Catalog.t -> string -> result
+
+(** Compile a query once for repeated execution (the scheduler compiles its
+    protocol query at configuration time, then re-runs it every cycle). *)
+val prepare : ?optimize:Optimizer.level -> Catalog.t -> string -> Ra.plan
+
+(** A prepared statement with [?] placeholders. *)
+type prepared
+
+(** @raise Exec_error if the query uses no placeholders it later binds. *)
+val prepare_params : ?optimize:Optimizer.level -> Catalog.t -> string -> prepared
+
+val prepared_plan : prepared -> Ra.plan
+
+(** [bind p k v] sets placeholder [k] (0-based, left to right).
+    @raise Exec_error on an unknown placeholder index. *)
+val bind : prepared -> int -> Value.t -> unit
+
+val run_prepared : prepared -> Value.t array list
+
+val run_plan : Ra.plan -> Value.t array list
+
+(** Renders a result set as an ASCII table (for the CLI and examples). *)
+val render : Schema.t -> Value.t array list -> string

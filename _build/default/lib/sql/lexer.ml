@@ -1,0 +1,88 @@
+exception Lex_error of string * int
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let out = ref [] in
+  let emit tok pos = out := (tok, pos) :: !out in
+  let rec skip_block_comment i depth =
+    if i + 1 >= n then raise (Lex_error ("unterminated comment", i))
+    else if src.[i] = '*' && src.[i + 1] = '/' then
+      if depth = 1 then i + 2 else skip_block_comment (i + 2) (depth - 1)
+    else if src.[i] = '/' && src.[i + 1] = '*' then
+      skip_block_comment (i + 2) (depth + 1)
+    else skip_block_comment (i + 1) depth
+  in
+  let rec loop i =
+    if i >= n then emit Token.Eof i
+    else
+      let c = src.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then loop (i + 1)
+      else if c = '-' && i + 1 < n && src.[i + 1] = '-' then begin
+        let rec eol j = if j >= n || src.[j] = '\n' then j else eol (j + 1) in
+        loop (eol (i + 2))
+      end
+      else if c = '/' && i + 1 < n && src.[i + 1] = '*' then
+        loop (skip_block_comment (i + 2) 1)
+      else if is_ident_start c then begin
+        let rec fin j = if j < n && is_ident_char src.[j] then fin (j + 1) else j in
+        let j = fin (i + 1) in
+        let word = String.sub src i (j - i) in
+        if Token.is_keyword word then emit (Token.Kw (String.uppercase_ascii word)) i
+        else emit (Token.Ident (String.lowercase_ascii word)) i;
+        loop j
+      end
+      else if is_digit c then begin
+        let rec fin j = if j < n && is_digit src.[j] then fin (j + 1) else j in
+        let j = fin (i + 1) in
+        if j < n && src.[j] = '.' && j + 1 < n && is_digit src.[j + 1] then begin
+          let k = fin (j + 1) in
+          emit (Token.Float_lit (float_of_string (String.sub src i (k - i)))) i;
+          loop k
+        end
+        else begin
+          emit (Token.Int_lit (int_of_string (String.sub src i (j - i)))) i;
+          loop j
+        end
+      end
+      else if c = '\'' then begin
+        let buf = Buffer.create 16 in
+        let rec fin j =
+          if j >= n then raise (Lex_error ("unterminated string literal", i))
+          else if src.[j] = '\'' then
+            if j + 1 < n && src.[j + 1] = '\'' then begin
+              Buffer.add_char buf '\'';
+              fin (j + 2)
+            end
+            else j + 1
+          else begin
+            Buffer.add_char buf src.[j];
+            fin (j + 1)
+          end
+        in
+        let j = fin (i + 1) in
+        emit (Token.Str_lit (Buffer.contents buf)) i;
+        loop j
+      end
+      else begin
+        let two = if i + 1 < n then String.sub src i 2 else "" in
+        match two with
+        | "<>" | "<=" | ">=" | "!=" ->
+          emit (Token.Sym (if two = "!=" then "<>" else two)) i;
+          loop (i + 2)
+        | _ -> (
+          match c with
+          | '(' | ')' | ',' | '.' | ';' | '=' | '<' | '>' | '+' | '-' | '*'
+          | '/' | '%' | '?' ->
+            emit (Token.Sym (String.make 1 c)) i;
+            loop (i + 1)
+          | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, i)))
+      end
+  in
+  loop 0;
+  List.rev !out

@@ -1,0 +1,7 @@
+(** Hand-written SQL lexer. Supports [--] line comments and [/* */] block
+    comments; string literals use single quotes with [''] escaping. *)
+
+exception Lex_error of string * int  (** message, byte offset *)
+
+(** Tokens with their starting byte offsets; ends with [(Eof, _)]. *)
+val tokenize : string -> (Token.t * int) list

@@ -1,0 +1,16 @@
+(** SQL tokens. Keywords are recognized case-insensitively by the lexer and
+    carried as [Kw]; identifiers are lower-cased ([Ident]). *)
+
+type t =
+  | Ident of string
+  | Kw of string  (** upper-cased keyword *)
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Sym of string  (** punctuation / operator: ( ) , . ; = <> < <= > >= + - * / % *)
+  | Eof
+
+val keywords : string list
+val is_keyword : string -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

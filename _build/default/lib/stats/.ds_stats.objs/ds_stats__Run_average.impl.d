@@ -1,0 +1,1 @@
+lib/stats/run_average.ml: Hashtbl Int List Summary

@@ -1,0 +1,30 @@
+type t = { mutable v : int }
+
+type registry = (string, t) Hashtbl.t
+
+let create_registry () = Hashtbl.create 16
+
+let counter reg name =
+  match Hashtbl.find_opt reg name with
+  | Some c -> c
+  | None ->
+    let c = { v = 0 } in
+    Hashtbl.add reg name c;
+    c
+
+let incr c = c.v <- c.v + 1
+
+let add c n = c.v <- c.v + n
+
+let value c = c.v
+
+let reset c = c.v <- 0
+
+let reset_all reg = Hashtbl.iter (fun _ c -> reset c) reg
+
+let dump reg =
+  Hashtbl.fold (fun name c acc -> (name, c.v) :: acc) reg []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp_registry ppf reg =
+  List.iter (fun (name, v) -> Format.fprintf ppf "%s=%d@ " name v) (dump reg)

@@ -1,0 +1,23 @@
+(** Named monotonic counters grouped in a registry, for experiment
+    bookkeeping (statements executed, deadlocks, aborts, ...). *)
+
+type t
+
+type registry
+
+val create_registry : unit -> registry
+
+(** [counter reg name] returns the counter registered under [name], creating
+    it at zero on first use. *)
+val counter : registry -> string -> t
+
+val incr : t -> unit
+val add : t -> int -> unit
+val value : t -> int
+val reset : t -> unit
+val reset_all : registry -> unit
+
+(** All counters as [(name, value)], sorted by name. *)
+val dump : registry -> (string * int) list
+
+val pp_registry : Format.formatter -> registry -> unit

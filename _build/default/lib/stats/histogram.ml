@@ -1,0 +1,96 @@
+type t = {
+  lo : float;
+  log_lo : float;
+  scale : float; (* buckets per log10 unit *)
+  nbuckets : int; (* regular buckets, excluding under/overflow *)
+  counts : int array; (* 0 = underflow, nbuckets+1 = overflow *)
+  mutable n : int;
+  mutable sum : float;
+  mutable max_seen : float;
+}
+
+let create ?(lo = 1e-6) ?(hi = 1e4) ?(buckets_per_decade = 20) () =
+  if lo <= 0. || hi <= lo then invalid_arg "Histogram.create: need 0 < lo < hi";
+  let decades = log10 hi -. log10 lo in
+  let nbuckets =
+    int_of_float (ceil (decades *. float_of_int buckets_per_decade))
+  in
+  {
+    lo;
+    log_lo = log10 lo;
+    scale = float_of_int buckets_per_decade;
+    nbuckets;
+    counts = Array.make (nbuckets + 2) 0;
+    n = 0;
+    sum = 0.;
+    max_seen = neg_infinity;
+  }
+
+let bucket_of t x =
+  if x < t.lo then 0
+  else
+    let b = int_of_float ((log10 x -. t.log_lo) *. t.scale) in
+    if b >= t.nbuckets then t.nbuckets + 1 else b + 1
+
+let add t x =
+  if x < 0. || Float.is_nan x then invalid_arg "Histogram.add: negative or NaN";
+  let b = bucket_of t x in
+  t.counts.(b) <- t.counts.(b) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  if x > t.max_seen then t.max_seen <- x
+
+let count t = t.n
+
+let mean t = if t.n = 0 then 0. else t.sum /. float_of_int t.n
+
+let bucket_mid t b =
+  if b = 0 then t.lo /. 2.
+  else if b = t.nbuckets + 1 then t.max_seen
+  else
+    let lo_exp = t.log_lo +. (float_of_int (b - 1) /. t.scale) in
+    let hi_exp = t.log_lo +. (float_of_int b /. t.scale) in
+    Float.pow 10. ((lo_exp +. hi_exp) /. 2.)
+
+let quantile t q =
+  if q < 0. || q > 1. then invalid_arg "Histogram.quantile";
+  if t.n = 0 then 0.
+  else begin
+    let target = int_of_float (ceil (q *. float_of_int t.n)) in
+    let target = if target < 1 then 1 else target in
+    let rec loop b acc =
+      if b > t.nbuckets + 1 then t.max_seen
+      else
+        let acc = acc + t.counts.(b) in
+        if acc >= target then bucket_mid t b else loop (b + 1) acc
+    in
+    loop 0 0
+  end
+
+let median t = quantile t 0.5
+
+let p95 t = quantile t 0.95
+
+let p99 t = quantile t 0.99
+
+let max_observed t = if t.n = 0 then 0. else t.max_seen
+
+let clear t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.n <- 0;
+  t.sum <- 0.;
+  t.max_seen <- neg_infinity
+
+let merge_into ~dst src =
+  if
+    dst.nbuckets <> src.nbuckets
+    || not (Float.equal dst.lo src.lo && Float.equal dst.scale src.scale)
+  then invalid_arg "Histogram.merge_into: incompatible shapes";
+  Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) src.counts;
+  dst.n <- dst.n + src.n;
+  dst.sum <- dst.sum +. src.sum;
+  if src.max_seen > dst.max_seen then dst.max_seen <- src.max_seen
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%.4g p50=%.4g p95=%.4g p99=%.4g max=%.4g" t.n
+    (mean t) (median t) (p95 t) (p99 t) (max_observed t)

@@ -1,0 +1,27 @@
+(** Latency histograms with geometric (log-scaled) buckets and quantile
+    estimation, HDR-histogram style but minimal. Values are non-negative
+    floats (typically seconds or milliseconds). *)
+
+type t
+
+(** [create ~lo ~hi ~buckets_per_decade ()] covers [lo, hi] with geometric
+    buckets; values below [lo] land in an underflow bucket, above [hi] in an
+    overflow bucket. Defaults: [lo = 1e-6], [hi = 1e4],
+    [buckets_per_decade = 20]. *)
+val create : ?lo:float -> ?hi:float -> ?buckets_per_decade:int -> unit -> t
+
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+
+(** [quantile t q] with [0 <= q <= 1]; 0.0 when empty. The estimate is the
+    geometric midpoint of the bucket containing the q-th sample. *)
+val quantile : t -> float -> float
+
+val median : t -> float
+val p95 : t -> float
+val p99 : t -> float
+val max_observed : t -> float
+val clear : t -> unit
+val merge_into : dst:t -> t -> unit
+val pp : Format.formatter -> t -> unit

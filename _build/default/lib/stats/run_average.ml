@@ -1,0 +1,28 @@
+type t = (int, Summary.t) Hashtbl.t
+
+let create () = Hashtbl.create 16
+
+let summary t key =
+  match Hashtbl.find_opt t key with
+  | Some s -> s
+  | None ->
+    let s = Summary.create () in
+    Hashtbl.add t key s;
+    s
+
+let observe t ~key v = Summary.add (summary t key) v
+
+let find t key =
+  match Hashtbl.find_opt t key with Some s -> s | None -> raise Not_found
+
+let mean t ~key = Summary.mean (find t key)
+
+let stddev t ~key = Summary.stddev (find t key)
+
+let runs t ~key = Summary.count (find t key)
+
+let rows t =
+  Hashtbl.fold
+    (fun key s acc -> (key, Summary.mean s, Summary.stddev s, Summary.count s) :: acc)
+    t []
+  |> List.sort (fun (a, _, _, _) (b, _, _, _) -> Int.compare a b)

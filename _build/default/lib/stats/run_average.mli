@@ -1,0 +1,19 @@
+(** Averaging a keyed metric over repeated experiment runs, as the paper does
+    ("averaged results over multiple runs"). Keys are the x-axis points of a
+    sweep (e.g. client counts). *)
+
+type t
+
+val create : unit -> t
+
+(** [observe t ~key value] records one run's measurement at [key]. *)
+val observe : t -> key:int -> float -> unit
+
+(** Mean over runs at [key]; @raise Not_found if never observed. *)
+val mean : t -> key:int -> float
+
+val stddev : t -> key:int -> float
+val runs : t -> key:int -> int
+
+(** Sorted [(key, mean, stddev, runs)] rows. *)
+val rows : t -> (int * float * float * int) list

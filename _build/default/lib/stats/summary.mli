@@ -1,0 +1,29 @@
+(** Online summary statistics (Welford's algorithm): mean, variance, min, max
+    over a stream of floats, in O(1) memory. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+
+(** 0.0 when empty. *)
+val mean : t -> float
+
+(** Unbiased sample variance; 0.0 with fewer than two samples. *)
+val variance : t -> float
+
+val stddev : t -> float
+
+(** @raise Invalid_argument when empty. *)
+val min : t -> float
+
+val max : t -> float
+val sum : t -> float
+val clear : t -> unit
+
+(** [merge a b] is a fresh summary equivalent to having observed both
+    streams. *)
+val merge : t -> t -> t
+
+val pp : Format.formatter -> t -> unit

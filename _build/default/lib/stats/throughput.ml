@@ -1,0 +1,55 @@
+type t = {
+  window : float;
+  buckets : (int, int) Hashtbl.t;
+  mutable total : int;
+  mutable t_min : float;
+  mutable t_max : float;
+}
+
+let create ?(window = 1.0) () =
+  if window <= 0. then invalid_arg "Throughput.create: window <= 0";
+  {
+    window;
+    buckets = Hashtbl.create 64;
+    total = 0;
+    t_min = infinity;
+    t_max = neg_infinity;
+  }
+
+let idx t time = int_of_float (floor (time /. t.window))
+
+let record_n t time n =
+  let i = idx t time in
+  let cur = Option.value ~default:0 (Hashtbl.find_opt t.buckets i) in
+  Hashtbl.replace t.buckets i (cur + n);
+  t.total <- t.total + n;
+  if time < t.t_min then t.t_min <- time;
+  if time > t.t_max then t.t_max <- time
+
+let record t time = record_n t time 1
+
+let total t = t.total
+
+let series t =
+  if t.total = 0 then []
+  else begin
+    let lo = idx t t.t_min and hi = idx t t.t_max in
+    let out = ref [] in
+    for i = hi downto lo do
+      let c = Option.value ~default:0 (Hashtbl.find_opt t.buckets i) in
+      out := (float_of_int i *. t.window, c) :: !out
+    done;
+    !out
+  end
+
+let in_range t t0 t1 =
+  List.fold_left
+    (fun acc (w, c) -> if w >= t0 && w < t1 then acc + c else acc)
+    0 (series t)
+
+let rate t =
+  if t.total = 0 then 0.
+  else
+    let span = t.t_max -. t.t_min in
+    if span <= 0. then float_of_int t.total
+    else float_of_int t.total /. span

@@ -1,0 +1,24 @@
+(** Windowed throughput tracking over simulated time: events are recorded
+    with a timestamp; the series reports events per window. *)
+
+type t
+
+(** [create ~window ()] with [window] in seconds (default 1.0). *)
+val create : ?window:float -> unit -> t
+
+val record : t -> float -> unit
+
+(** [record_n t time n] records [n] simultaneous events. *)
+val record_n : t -> float -> int -> unit
+
+val total : t -> int
+
+(** [(window_start, events)] pairs in time order; empty windows between
+    populated ones are included with 0. *)
+val series : t -> (float * int) list
+
+(** Events in [\[t0, t1)]. *)
+val in_range : t -> float -> float -> int
+
+(** Average events/second over the populated span; 0 when empty. *)
+val rate : t -> float

@@ -1,0 +1,76 @@
+type align = Left | Right | Center
+
+type line = Row of string list | Sep
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  mutable lines : line list; (* reversed *)
+}
+
+let create ?aligns headers =
+  let aligns =
+    match aligns with
+    | Some a ->
+      if List.length a <> List.length headers then
+        invalid_arg "Tablefmt.create: aligns arity mismatch";
+      a
+    | None -> List.map (fun _ -> Left) headers
+  in
+  { headers; aligns; lines = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Tablefmt.add_row: arity mismatch";
+  t.lines <- Row row :: t.lines
+
+let add_sep t = t.lines <- Sep :: t.lines
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = width - n in
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+    | Center ->
+      let l = fill / 2 in
+      String.make l ' ' ^ s ^ String.make (fill - l) ' '
+
+let render t =
+  let lines = List.rev t.lines in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let update row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  List.iter (function Row r -> update r | Sep -> ()) lines;
+  let buf = Buffer.create 256 in
+  let sep_line () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let data_line row =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i cell ->
+        let align = List.nth t.aligns i in
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad align widths.(i) cell);
+        Buffer.add_string buf " |")
+      row;
+    Buffer.add_char buf '\n'
+  in
+  sep_line ();
+  data_line t.headers;
+  sep_line ();
+  List.iter (function Row r -> data_line r | Sep -> sep_line ()) lines;
+  sep_line ();
+  Buffer.contents buf
+
+let print t = print_string (render t)

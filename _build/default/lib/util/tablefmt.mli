@@ -1,0 +1,20 @@
+(** Plain-text table rendering for experiment reports (paper-style tables). *)
+
+type align = Left | Right | Center
+
+type t
+
+(** [create headers] starts a table with the given column headers. All rows
+    must have the same arity as [headers]. *)
+val create : ?aligns:align list -> string list -> t
+
+val add_row : t -> string list -> unit
+
+(** Adds a horizontal separator line at the current position. *)
+val add_sep : t -> unit
+
+(** Renders with box-drawing in ASCII ([+---+] style). *)
+val render : t -> string
+
+(** [print t] renders to stdout followed by a newline. *)
+val print : t -> unit

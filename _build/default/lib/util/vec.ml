@@ -1,0 +1,127 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let make n x = { data = Array.make n x; len = n }
+
+let length v = v.len
+
+let is_empty v = v.len = 0
+
+let check v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec: index out of bounds"
+
+let get v i =
+  check v i;
+  Array.unsafe_get v.data i
+
+let set v i x =
+  check v i;
+  Array.unsafe_set v.data i x
+
+let ensure_capacity v extra =
+  let needed = v.len + extra in
+  let cap = Array.length v.data in
+  if needed > cap then begin
+    let new_cap = max needed (max 8 (2 * cap)) in
+    (* [v.len > 0] guarantees a seed element for [Array.make]. *)
+    let data =
+      if v.len = 0 then Array.make new_cap (Obj.magic 0)
+      else begin
+        let d = Array.make new_cap v.data.(0) in
+        Array.blit v.data 0 d 0 v.len;
+        d
+      end
+    in
+    v.data <- data
+  end
+
+let push v x =
+  if v.len = Array.length v.data then begin
+    let new_cap = max 8 (2 * v.len) in
+    let data = Array.make new_cap x in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end;
+  Array.unsafe_set v.data v.len x;
+  v.len <- v.len + 1
+
+let pop v =
+  if v.len = 0 then invalid_arg "Vec.pop: empty";
+  v.len <- v.len - 1;
+  Array.unsafe_get v.data v.len
+
+let last v =
+  if v.len = 0 then invalid_arg "Vec.last: empty";
+  Array.unsafe_get v.data (v.len - 1)
+
+let clear v = v.len <- 0
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f (Array.unsafe_get v.data i)
+  done
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i (Array.unsafe_get v.data i)
+  done
+
+let fold_left f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc (Array.unsafe_get v.data i)
+  done;
+  !acc
+
+let exists p v =
+  let rec loop i = i < v.len && (p (Array.unsafe_get v.data i) || loop (i + 1)) in
+  loop 0
+
+let to_list v =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (get v i :: acc) in
+  loop (v.len - 1) []
+
+let of_list l =
+  let v = create () in
+  List.iter (push v) l;
+  v
+
+let to_array v = Array.sub v.data 0 v.len
+
+let of_array a = { data = Array.copy a; len = Array.length a }
+
+let map f v =
+  if v.len = 0 then create ()
+  else begin
+    let out = make v.len (f (get v 0)) in
+    for i = 1 to v.len - 1 do
+      set out i (f (get v i))
+    done;
+    out
+  end
+
+let filter p v =
+  let out = create () in
+  iter (fun x -> if p x then push out x) v;
+  out
+
+let append v w =
+  ensure_capacity v (length w);
+  iter (push v) w
+
+let truncate v n =
+  if n < 0 then invalid_arg "Vec.truncate";
+  if n < v.len then v.len <- n
+
+let sort cmp v =
+  let a = to_array v in
+  Array.stable_sort cmp a;
+  Array.blit a 0 v.data 0 v.len
+
+let swap_remove v i =
+  check v i;
+  let x = Array.unsafe_get v.data i in
+  v.len <- v.len - 1;
+  if i < v.len then Array.unsafe_set v.data i (Array.unsafe_get v.data v.len);
+  x

@@ -1,0 +1,43 @@
+(** Growable arrays (OCaml 5.1 has no [Dynarray]; this is the small subset the
+    rest of the code base needs). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val make : int -> 'a -> 'a t
+
+(** [length v] is the number of elements currently stored. *)
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> unit
+
+(** [pop v] removes and returns the last element. @raise Invalid_argument on
+    an empty vector. *)
+val pop : 'a t -> 'a
+
+val last : 'a t -> 'a
+val clear : 'a t -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val exists : ('a -> bool) -> 'a t -> bool
+val map : ('a -> 'b) -> 'a t -> 'b t
+val filter : ('a -> bool) -> 'a t -> 'a t
+val to_list : 'a t -> 'a list
+val of_list : 'a list -> 'a t
+val to_array : 'a t -> 'a array
+val of_array : 'a array -> 'a t
+val append : 'a t -> 'a t -> unit
+
+(** [truncate v n] drops all elements at index [>= n]. *)
+val truncate : 'a t -> int -> unit
+
+(** In-place stable sort. *)
+val sort : ('a -> 'a -> int) -> 'a t -> unit
+
+(** [swap_remove v i] removes element [i] by moving the last element into its
+    place; O(1), does not preserve order. *)
+val swap_remove : 'a t -> int -> 'a

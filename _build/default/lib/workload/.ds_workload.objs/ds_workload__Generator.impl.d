@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Array Dist Ds_model Ds_sim Hashtbl List Op Option Rng Spec Txn

@@ -1,0 +1,1 @@
+lib/workload/generator.mli: Ds_model Ds_sim Request Rng Sla Spec Txn

@@ -1,0 +1,1 @@
+lib/workload/spec.ml: Ds_model Format List Printf Sla

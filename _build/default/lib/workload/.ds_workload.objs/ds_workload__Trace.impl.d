@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Ds_model Format Fun List Op Printf Request Sla String

@@ -1,0 +1,117 @@
+open Ds_model
+open Ds_sim
+
+type t = {
+  spec : Spec.t;
+  rng : Rng.t;
+  zipf : Dist.Zipf.gen option;
+  total_sla_weight : float;
+}
+
+let create spec rng =
+  (match Spec.validate spec with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Generator.create: " ^ msg));
+  let zipf =
+    match spec.Spec.access with
+    | Spec.Zipf theta -> Some (Dist.Zipf.create ~n:spec.Spec.n_objects ~theta)
+    | Spec.Uniform | Spec.Hotspot _ -> None
+  in
+  let total_sla_weight =
+    List.fold_left (fun acc (_, w) -> acc +. w) 0. spec.Spec.sla_mix
+  in
+  { spec; rng; zipf; total_sla_weight }
+
+let draw_sla t =
+  let x = Rng.float t.rng *. t.total_sla_weight in
+  let rec pick acc = function
+    | [] -> fst (List.hd (List.rev t.spec.Spec.sla_mix))
+    | (sla, w) :: rest -> if x < acc +. w then sla else pick (acc +. w) rest
+  in
+  pick 0. t.spec.Spec.sla_mix
+
+let draw_object t =
+  let spec = t.spec in
+  match spec.Spec.access with
+  | Spec.Uniform -> Rng.int t.rng spec.Spec.n_objects
+  | Spec.Zipf _ -> Dist.Zipf.sample (Option.get t.zipf) t.rng
+  | Spec.Hotspot (frac, prob) ->
+    let hot_count = max 1 (int_of_float (frac *. float_of_int spec.Spec.n_objects)) in
+    if Rng.float t.rng < prob then Rng.int t.rng hot_count
+    else hot_count + Rng.int t.rng (spec.Spec.n_objects - hot_count)
+
+let draw_objects t n =
+  if not t.spec.Spec.distinct_objects then List.init n (fun _ -> draw_object t)
+  else begin
+    let seen = Hashtbl.create (2 * n) in
+    let rec draw acc k =
+      if k = 0 then List.rev acc
+      else
+        let o = draw_object t in
+        if Hashtbl.mem seen o then draw acc k
+        else begin
+          Hashtbl.add seen o ();
+          draw (o :: acc) (k - 1)
+        end
+    in
+    draw [] n
+  end
+
+let next_txn t ~ta =
+  let spec = t.spec in
+  let ns = spec.Spec.selects_per_txn and nu = spec.Spec.updates_per_txn in
+  (* A read-only transaction does the same number of statements, all reads. *)
+  let ns, nu =
+    if
+      spec.Spec.read_only_fraction > 0.
+      && Rng.float t.rng < spec.Spec.read_only_fraction
+    then (ns + nu, 0)
+    else (ns, nu)
+  in
+  let objects = Array.of_list (draw_objects t (ns + nu)) in
+  let ops =
+    match spec.Spec.order with
+    | Spec.Reads_first ->
+      List.init ns (fun i -> (Op.Read, Some objects.(i)))
+      @ List.init nu (fun i -> (Op.Write, Some objects.(ns + i)))
+    | Spec.Interleaved ->
+      (* Alternate while both kinds remain, then the surplus kind. *)
+      let rec weave i r w acc =
+        if r = 0 && w = 0 then List.rev acc
+        else if (i mod 2 = 0 && r > 0) || w = 0 then
+          weave (i + 1) (r - 1) w ((Op.Read, Some objects.(ns - r)) :: acc)
+        else weave (i + 1) r (w - 1) ((Op.Write, Some objects.(ns + nu - w)) :: acc)
+      in
+      weave 0 ns nu []
+    | Spec.Shuffled ->
+      let kinds =
+        Array.append (Array.make ns Op.Read) (Array.make nu Op.Write)
+      in
+      Rng.shuffle t.rng kinds;
+      Array.to_list (Array.mapi (fun i k -> (k, Some objects.(i))) kinds)
+  in
+  let terminal =
+    if Rng.float t.rng < spec.Spec.abort_fraction then Op.Abort else Op.Commit
+  in
+  let sla = draw_sla t in
+  Txn.make ~ta ~sla (ops @ [ (terminal, None) ])
+
+let txns t ~first_ta n = List.init n (fun i -> next_txn t ~ta:(first_ta + i))
+
+let interleave txn_list =
+  let queues = List.map (fun (txn : Txn.t) -> ref txn.Txn.requests) txn_list in
+  let out = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    List.iter
+      (fun q ->
+        match !q with
+        | [] -> ()
+        | r :: rest ->
+          q := rest;
+          out := r :: !out;
+          continue_ := true)
+      queues
+  done;
+  List.rev !out

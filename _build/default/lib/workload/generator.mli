@@ -1,0 +1,24 @@
+(** Transaction generation from a {!Spec}. Generation is deterministic in the
+    RNG stream, so a seed fully determines a workload. *)
+
+open Ds_model
+open Ds_sim
+
+type t
+
+val create : Spec.t -> Rng.t -> t
+
+(** [next_txn t ~ta] draws the next transaction, numbered [ta]. *)
+val next_txn : t -> ta:int -> Txn.t
+
+(** [txns t ~first_ta n] draws [n] transactions numbered consecutively. *)
+val txns : t -> first_ta:int -> int -> Txn.t list
+
+(** Flattens transactions into an arrival-interleaved request stream: the
+    requests of concurrently-issued transactions alternate round-robin, the
+    shape an external scheduler's incoming queue sees when many clients
+    submit at once. *)
+val interleave : Txn.t list -> Request.t list
+
+(** Draws an SLA class according to the spec's mix. *)
+val draw_sla : t -> Sla.t

@@ -1,0 +1,89 @@
+open Ds_model
+
+type order = Interleaved | Reads_first | Shuffled
+
+type access = Uniform | Zipf of float | Hotspot of float * float
+
+type t = {
+  n_objects : int;
+  selects_per_txn : int;
+  updates_per_txn : int;
+  order : order;
+  access : access;
+  abort_fraction : float;
+  read_only_fraction : float;
+  sla_mix : (Sla.t * float) list;
+  distinct_objects : bool;
+}
+
+let paper_default =
+  {
+    n_objects = 100_000;
+    selects_per_txn = 20;
+    updates_per_txn = 20;
+    order = Shuffled;
+    access = Uniform;
+    abort_fraction = 0.;
+    read_only_fraction = 0.;
+    sla_mix = [ (Sla.standard, 1.) ];
+    distinct_objects = true;
+  }
+
+let small =
+  {
+    paper_default with
+    n_objects = 100;
+    selects_per_txn = 3;
+    updates_per_txn = 3;
+  }
+
+let contended =
+  {
+    paper_default with
+    n_objects = 10_000;
+    access = Hotspot (0.01, 0.75);
+  }
+
+let statements_per_txn t = t.selects_per_txn + t.updates_per_txn + 1
+
+let validate t =
+  if t.n_objects <= 0 then Error "n_objects must be positive"
+  else if t.selects_per_txn < 0 || t.updates_per_txn < 0 then
+    Error "statement counts must be non-negative"
+  else if t.selects_per_txn + t.updates_per_txn = 0 then
+    Error "transactions must contain at least one statement"
+  else if t.abort_fraction < 0. || t.abort_fraction > 1. then
+    Error "abort_fraction must be within [0,1]"
+  else if t.read_only_fraction < 0. || t.read_only_fraction > 1. then
+    Error "read_only_fraction must be within [0,1]"
+  else if t.sla_mix = [] then Error "sla_mix must be non-empty"
+  else if List.exists (fun (_, w) -> w < 0.) t.sla_mix then
+    Error "sla_mix weights must be non-negative"
+  else if List.fold_left (fun acc (_, w) -> acc +. w) 0. t.sla_mix <= 0. then
+    Error "sla_mix weights must not all be zero"
+  else if
+    t.distinct_objects
+    && t.selects_per_txn + t.updates_per_txn > t.n_objects
+  then Error "distinct_objects needs n_objects >= statements per transaction"
+  else
+    match t.access with
+    | Zipf theta when theta < 0. || theta >= 1. ->
+      Error "zipf skew must be within [0,1)"
+    | Hotspot (frac, prob)
+      when frac <= 0. || frac >= 1. || prob < 0. || prob > 1. ->
+      Error "hotspot parameters out of range"
+    | Uniform | Zipf _ | Hotspot _ -> Ok ()
+
+let pp ppf t =
+  Format.fprintf ppf
+    "{objects=%d; selects=%d; updates=%d; order=%s; access=%s; aborts=%.2f}"
+    t.n_objects t.selects_per_txn t.updates_per_txn
+    (match t.order with
+    | Interleaved -> "interleaved"
+    | Reads_first -> "reads-first"
+    | Shuffled -> "shuffled")
+    (match t.access with
+    | Uniform -> "uniform"
+    | Zipf theta -> Printf.sprintf "zipf(%.2f)" theta
+    | Hotspot (f, p) -> Printf.sprintf "hotspot(%.2f,%.2f)" f p)
+    t.abort_fraction

@@ -1,0 +1,47 @@
+(** Workload specifications.
+
+    [paper_default] reproduces §4.2.1: "transactions with 20 SELECT and 20
+    UPDATE statements against a single table of 100000 rows. Each statement
+    affected exactly one random row, with a uniform probability for each
+    row"; additionally each transaction touches an object at most once, the
+    assumption the paper's Listing 1 makes explicit. *)
+
+open Ds_model
+
+type order =
+  | Interleaved  (** select, update, select, update, ... *)
+  | Reads_first  (** all selects then all updates *)
+  | Shuffled  (** random permutation per transaction *)
+
+type access =
+  | Uniform
+  | Zipf of float  (** skew theta in [0,1) *)
+  | Hotspot of float * float  (** (hot fraction of objects, prob of hot access) *)
+
+type t = {
+  n_objects : int;
+  selects_per_txn : int;
+  updates_per_txn : int;
+  order : order;
+  access : access;
+  abort_fraction : float;  (** transactions ending in abort instead of commit *)
+  read_only_fraction : float;
+      (** fraction of transactions that are read-only: their updates are
+          replaced by additional selects (browsing traffic, the workload the
+          Ganymed-style protocols exploit) *)
+  sla_mix : (Sla.t * float) list;  (** weighted SLA classes; must be non-empty *)
+  distinct_objects : bool;  (** sample objects without replacement per txn *)
+}
+
+val paper_default : t
+
+(** Smaller variant for unit tests (fewer objects/statements). *)
+val small : t
+
+(** High-contention variant (hotspot access, used by the relaxed-consistency
+    experiments). *)
+val contended : t
+
+val statements_per_txn : t -> int
+val validate : t -> (unit, string) result
+val pp : Format.formatter -> t -> unit

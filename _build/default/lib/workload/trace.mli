@@ -1,0 +1,30 @@
+(** Request traces: save and load request streams as CSV, so experiments can
+    run from recorded workloads — the "pre-scheduled workloads" the paper's
+    naive approach consumes (§5), and a way to feed identical inputs to
+    different protocols.
+
+    Format: one request per line, header included:
+
+    {v
+    id,ta,intrata,operation,object,sla,arrival
+    1,1,1,r,42,standard,0.000
+    2,1,2,w,17,standard,0.001
+    3,1,3,c,,standard,0.002
+    v}
+
+    [object] is empty for commit/abort. Unknown SLA names default to
+    [standard]. *)
+
+open Ds_model
+
+exception Malformed of string * int  (** message, 1-based line *)
+
+val to_channel : out_channel -> Request.t list -> unit
+val of_channel : in_channel -> Request.t list
+val save : string -> Request.t list -> unit
+val load : string -> Request.t list
+
+(** Render/parse a single request (exposed for tests). *)
+val line_of_request : Request.t -> string
+
+val request_of_line : lineno:int -> string -> Request.t

@@ -1,0 +1,1 @@
+test/helpers.ml: Ds_model Ds_sim Int List Op Request String

@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Array Dl_ast Dl_engine Dl_parser Ds_core Ds_datalog Ds_relal Format List QCheck2 QCheck_alcotest Set Value

@@ -1,0 +1,1 @@
+test/test_edges.ml: Alcotest Array Ds_core Ds_datalog Ds_relal Ds_server Ds_sim Ds_stats Eval Float Format List Ra Schema String Table Value

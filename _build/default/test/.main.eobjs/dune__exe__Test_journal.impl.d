@@ -1,0 +1,1 @@
+test/test_journal.ml: Alcotest Builtin Ds_core Ds_model Ds_sim Filename Fun Helpers Journal List Op QCheck2 QCheck_alcotest Relations Request Scheduler Sys

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Ds_model List Op Option Request Sla Txn

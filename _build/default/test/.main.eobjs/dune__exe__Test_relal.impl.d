@@ -1,0 +1,1 @@
+test/test_relal.ml: Alcotest Array Ds_relal Ds_sim Eval List Optimizer QCheck2 QCheck_alcotest Ra Schema Table Value

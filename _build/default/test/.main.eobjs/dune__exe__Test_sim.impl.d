@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Dist Ds_sim Engine Event_heap Float Fun Hashtbl Int List Option QCheck2 QCheck_alcotest Rng

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Array Ast Catalog Compile Ds_core Ds_relal Ds_sql Eval Exec Helpers Int Lexer List Parser Printf Profile Schema String Token Value

@@ -1,0 +1,1 @@
+test/test_sql_random.ml: Array Catalog Char Ds_relal Ds_sim Ds_sql Eval Exec Fun List Printf QCheck2 QCheck_alcotest String Table Value

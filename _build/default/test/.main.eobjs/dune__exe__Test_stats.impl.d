@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Counter Ds_stats Float Histogram List QCheck2 QCheck_alcotest Run_average Summary Throughput

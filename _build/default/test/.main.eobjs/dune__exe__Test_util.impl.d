@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Ds_util Helpers Int List QCheck2 QCheck_alcotest Tablefmt Vec

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Ds_model Ds_sim Ds_workload Filename Float Fun Generator Int List Op Printf QCheck2 QCheck_alcotest Request Sla Spec Sys Trace Txn

@@ -1,0 +1,44 @@
+(* Shared helpers for the test suite. *)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  if n = 0 then true
+  else begin
+    let rec loop i =
+      if i + n > h then false
+      else if String.sub haystack i n = needle then true
+      else loop (i + 1)
+    in
+    loop 0
+  end
+
+(* Deterministic request-batch generator used by several suites: random
+   pending/history request sets with controlled conflicts. *)
+open Ds_model
+
+let random_requests rng ~n_txns ~ops_per_txn ~n_objects =
+  let id = ref 0 in
+  List.concat_map
+    (fun ta ->
+      List.init ops_per_txn (fun i ->
+          incr id;
+          let op =
+            if i = ops_per_txn - 1 && Ds_sim.Rng.float rng < 0.3 then
+              if Ds_sim.Rng.bool rng then Op.Commit else Op.Abort
+            else if Ds_sim.Rng.bool rng then Op.Read
+            else Op.Write
+          in
+          match op with
+          | Op.Commit | Op.Abort ->
+            Request.make ~id:!id ~ta ~intrata:(i + 1) ~op ()
+          | Op.Read | Op.Write ->
+            Request.make ~id:!id ~ta ~intrata:(i + 1) ~op
+              ~obj:(Ds_sim.Rng.int rng n_objects) ()))
+    (List.init n_txns (fun i -> i + 1))
+
+(* Sorted (ta, intrata) pairs for set comparison. *)
+let sorted_keys keys =
+  List.sort_uniq
+    (fun (a1, a2) (b1, b2) ->
+      match Int.compare a1 b1 with 0 -> Int.compare a2 b2 | c -> c)
+    keys

@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "declarative_scheduling"
+    [
+      ("util", Test_util.tests);
+      ("stats", Test_stats.tests);
+      ("sim", Test_sim.tests);
+      ("model", Test_model.tests);
+      ("relal", Test_relal.tests);
+      ("sql", Test_sql.tests);
+      ("sql-random", Test_sql_random.tests);
+      ("datalog", Test_datalog.tests);
+      ("workload", Test_workload.tests);
+      ("server", Test_server.tests);
+      ("core", Test_core.tests);
+      ("journal", Test_journal.tests);
+      ("integration", Test_integration.tests);
+      ("edges", Test_edges.tests);
+    ]

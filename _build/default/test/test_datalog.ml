@@ -1,0 +1,207 @@
+(* Tests for Ds_datalog. *)
+
+open Ds_datalog
+open Ds_relal
+
+let vi i = Value.Int i
+let vs s = Value.Str s
+
+let engine_of src = Dl_engine.create (Dl_parser.parse_program src)
+
+let sorted_rows rows = List.sort compare (List.map Array.to_list rows)
+
+let test_parser () =
+  let p =
+    Dl_parser.parse_program
+      {|% comment
+edge(1, 2).
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z), X <> Z.
+labelled(X, 'hot') :- edge(X, _).|}
+  in
+  Alcotest.(check int) "rules" 4 (List.length p);
+  match List.nth p 2 with
+  | { Dl_ast.head = { Dl_ast.pred = "path"; args = [ Dl_ast.Var "X"; Dl_ast.Var "Z" ] }; body } ->
+    Alcotest.(check int) "body literals" 3 (List.length body)
+  | _ -> Alcotest.fail "rule shape"
+
+let test_parser_errors () =
+  let expect src =
+    match Dl_parser.parse_program src with
+    | exception Dl_parser.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error: %s" src
+  in
+  expect "p(X) :- q(X)";
+  (* missing period *)
+  expect "p(X :- q(X).";
+  expect "p(X) :- 'lit.";
+  expect "p(X) :- X.";
+  (* bare term, no comparison *)
+  ()
+
+let test_transitive_closure () =
+  let e = engine_of {|path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).|} in
+  List.iter
+    (fun (a, b) -> Dl_engine.add_fact e "edge" [ vi a; vi b ])
+    [ (1, 2); (2, 3); (3, 4) ];
+  let paths = sorted_rows (Dl_engine.query e "path") in
+  Alcotest.(check int) "path count" 6 (List.length paths);
+  Alcotest.(check bool) "1 reaches 4" true
+    (List.mem [ vi 1; vi 4 ] paths)
+
+let test_incremental_facts_invalidate () =
+  let e = engine_of {|path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).|} in
+  Dl_engine.add_fact e "edge" [ vi 1; vi 2 ];
+  Alcotest.(check int) "one path" 1 (List.length (Dl_engine.query e "path"));
+  Dl_engine.add_fact e "edge" [ vi 2; vi 3 ];
+  Alcotest.(check int) "recomputed" 3 (List.length (Dl_engine.query e "path"));
+  Dl_engine.clear_facts e;
+  Alcotest.(check int) "cleared" 0 (List.length (Dl_engine.query e "path"))
+
+let test_negation_stratified () =
+  let e =
+    engine_of
+      {|reachable(X, Y) :- edge(X, Y).
+reachable(X, Z) :- reachable(X, Y), edge(Y, Z).
+node(X) :- edge(X, _).
+node(Y) :- edge(_, Y).
+isolated_from_one(X) :- node(X), not reachable(1, X).|}
+  in
+  List.iter
+    (fun (a, b) -> Dl_engine.add_fact e "edge" [ vi a; vi b ])
+    [ (1, 2); (3, 4) ];
+  let iso = sorted_rows (Dl_engine.query e "isolated_from_one") in
+  Alcotest.(check bool) "3 and 4 unreachable, 1 too (no self edge)" true
+    (iso = [ [ vi 1 ]; [ vi 3 ]; [ vi 4 ] ]);
+  let strata = Dl_engine.strata e in
+  Alcotest.(check int) "two strata" 2 (List.length strata)
+
+let test_not_stratifiable () =
+  match engine_of "p(X) :- q(X), not p(X).\nq(1)." with
+  | exception Dl_engine.Datalog_error _ -> ()
+  | _ -> Alcotest.fail "expected stratification error"
+
+let test_safety_errors () =
+  let expect src =
+    match engine_of src with
+    | exception Dl_engine.Datalog_error _ -> ()
+    | _ -> Alcotest.failf "expected safety error: %s" src
+  in
+  expect "p(X) :- q(Y).";
+  (* head var unbound *)
+  expect "p(X) :- q(X), not r(Z).";
+  (* negated var unbound *)
+  expect "p(X) :- q(X), Z > 1.";
+  (* compared var unbound *)
+  expect "p(_) :- q(X).";
+  (* wildcard in head *)
+  expect "p(X) :- q(X), not r(_)."
+(* wildcard under negation *)
+
+let test_arity_errors () =
+  (match engine_of "p(X) :- q(X).\np(X, Y) :- q(X), q(Y)." with
+  | exception Dl_engine.Datalog_error _ -> ()
+  | _ -> Alcotest.fail "inconsistent arity");
+  let e = engine_of "p(X) :- q(X)." in
+  match Dl_engine.add_fact e "q" [ vi 1; vi 2 ] with
+  | exception Dl_engine.Datalog_error _ -> ()
+  | _ -> Alcotest.fail "fact arity"
+
+let test_idb_facts_rejected () =
+  let e = engine_of "p(X) :- q(X)." in
+  match Dl_engine.add_fact e "p" [ vi 1 ] with
+  | exception Dl_engine.Datalog_error _ -> ()
+  | _ -> Alcotest.fail "expected rejection of IDB fact"
+
+let test_comparisons_and_strings () =
+  let e =
+    engine_of
+      {|big(X) :- val(X, N), N >= 10.
+hot(X) :- tag(X, 'hot').|}
+  in
+  Dl_engine.add_fact e "val" [ vs "a"; vi 5 ];
+  Dl_engine.add_fact e "val" [ vs "b"; vi 15 ];
+  Dl_engine.add_fact e "tag" [ vs "b"; vs "hot" ];
+  Alcotest.(check bool) "big" true
+    (sorted_rows (Dl_engine.query e "big") = [ [ vs "b" ] ]);
+  Alcotest.(check bool) "hot" true
+    (sorted_rows (Dl_engine.query e "hot") = [ [ vs "b" ] ])
+
+let test_same_generation () =
+  (* A classic recursive benchmark program. *)
+  let e =
+    engine_of
+      {|sg(X, Y) :- sibling(X, Y).
+sg(X, Y) :- parent(X, XP), sg(XP, YP), parent(Y, YP).|}
+  in
+  List.iter
+    (fun (c, p) -> Dl_engine.add_fact e "parent" [ vs c; vs p ])
+    [ ("c1", "b1"); ("c2", "b2"); ("b1", "a"); ("b2", "a") ];
+  Dl_engine.add_fact e "sibling" [ vs "b1"; vs "b2" ];
+  let sg = sorted_rows (Dl_engine.query e "sg") in
+  Alcotest.(check bool) "cousins same generation" true
+    (List.mem [ vs "c1"; vs "c2" ] sg)
+
+let semi_naive_matches_reference =
+  (* On random small graphs, transitive closure from the engine equals a
+     plain OCaml fixpoint. *)
+  QCheck2.Test.make ~name:"datalog TC = reference fixpoint" ~count:100
+    QCheck2.Gen.(list_size (int_range 0 30) (pair (int_range 0 8) (int_range 0 8)))
+    (fun edges ->
+      let e = engine_of "path(X, Y) :- edge(X, Y).\npath(X, Z) :- path(X, Y), edge(Y, Z)." in
+      List.iter (fun (a, b) -> Dl_engine.add_fact e "edge" [ vi a; vi b ]) edges;
+      let got =
+        List.sort_uniq compare
+          (List.map
+             (fun t -> match t with [| Value.Int a; Value.Int b |] -> (a, b) | _ -> (-1, -1))
+             (Dl_engine.query e "path"))
+      in
+      (* reference *)
+      let module PS = Set.Make (struct
+        type t = int * int
+
+        let compare = compare
+      end) in
+      let edges_u = List.sort_uniq compare edges in
+      let step s =
+        PS.fold
+          (fun (a, b) acc ->
+            List.fold_left
+              (fun acc (c, d) -> if b = c then PS.add (a, d) acc else acc)
+              acc edges_u)
+          s s
+      in
+      let rec fix s =
+        let s' = step s in
+        if PS.equal s s' then s else fix s'
+      in
+      let expect = PS.elements (fix (PS.of_list edges_u)) in
+      got = expect)
+
+let test_rule_count_and_pp () =
+  let src = Ds_core.Datalog_rules.ss2pl in
+  let e = engine_of src in
+  Alcotest.(check int) "ss2pl rule count" 11 (Dl_engine.rule_count e);
+  let r = Dl_parser.parse_rule "p(X) :- q(X, 'a'), not r(X), X > 1." in
+  let printed = Format.asprintf "%a" Dl_ast.pp_rule r in
+  Alcotest.(check string) "pretty printing"
+    "p(X) :- q(X, 'a'), not r(X), X > 1." printed
+
+let tests =
+  [
+    Alcotest.test_case "parser" `Quick test_parser;
+    Alcotest.test_case "parser errors" `Quick test_parser_errors;
+    Alcotest.test_case "transitive closure" `Quick test_transitive_closure;
+    Alcotest.test_case "fact invalidation" `Quick test_incremental_facts_invalidate;
+    Alcotest.test_case "stratified negation" `Quick test_negation_stratified;
+    Alcotest.test_case "not stratifiable" `Quick test_not_stratifiable;
+    Alcotest.test_case "safety errors" `Quick test_safety_errors;
+    Alcotest.test_case "arity errors" `Quick test_arity_errors;
+    Alcotest.test_case "idb facts rejected" `Quick test_idb_facts_rejected;
+    Alcotest.test_case "comparisons and strings" `Quick test_comparisons_and_strings;
+    Alcotest.test_case "same generation" `Quick test_same_generation;
+    QCheck_alcotest.to_alcotest semi_naive_matches_reference;
+    Alcotest.test_case "rule count / pp" `Quick test_rule_count_and_pp;
+  ]

@@ -1,0 +1,113 @@
+(* Write-ahead journal and crash recovery. *)
+
+open Ds_core
+open Ds_model
+
+let with_journal_file f =
+  let path = Filename.temp_file "ds_journal" ".log" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let sorted_pending rels =
+  Helpers.sorted_keys (List.map Request.key (Relations.pending rels))
+
+let test_roundtrip () =
+  with_journal_file (fun path ->
+      let journal = Journal.open_ path in
+      let sched = Scheduler.create ~journal Builtin.ss2pl_sql in
+      (* Two conflicting writers plus an independent read. *)
+      List.iter (Scheduler.submit sched)
+        [
+          Request.v 1 1 Op.Write 5;
+          Request.v 2 1 Op.Write 5;
+          Request.v 3 1 Op.Read 9;
+        ];
+      ignore (Scheduler.cycle sched);
+      (* T2 still pending; abort T1 to release its lock, then crash. *)
+      ignore (Scheduler.abort_txn sched 1);
+      Journal.close journal;
+      let recovered = Journal.recover path in
+      Alcotest.(check int) "one request still pending" 1
+        (List.length recovered.Journal.pending);
+      Alcotest.(check (list int)) "abort recorded" [ 1 ] recovered.Journal.aborted;
+      Alcotest.(check bool) "replayed something" true
+        (recovered.Journal.replayed >= 5);
+      (* Restore into a fresh scheduler: same pending set, and the next SS2PL
+         cycle makes the same decision the live scheduler would (T2 unblocked
+         because T1 aborted). *)
+      let fresh = Scheduler.create Builtin.ss2pl_sql in
+      Journal.restore recovered (Scheduler.relations fresh);
+      Alcotest.(check (list (pair int int))) "pending restored" [ (2, 1) ]
+        (sorted_pending (Scheduler.relations fresh));
+      let q, _ = Scheduler.cycle fresh in
+      Alcotest.(check (list (pair int int))) "t2 qualifies after recovery"
+        [ (2, 1) ]
+        (List.map Request.key q))
+
+let test_torn_tail_tolerated () =
+  with_journal_file (fun path ->
+      let journal = Journal.open_ path in
+      let sched = Scheduler.create ~journal Builtin.ss2pl_sql in
+      Scheduler.submit sched (Request.v 1 1 Op.Read 5);
+      ignore (Scheduler.cycle sched);
+      Journal.close journal;
+      (* Simulate a crash mid-write. *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "S 99,99,1,r";
+      close_out oc;
+      let recovered = Journal.recover path in
+      Alcotest.(check int) "torn line ignored" 0
+        (List.length recovered.Journal.pending);
+      Alcotest.(check int) "history intact" 1
+        (List.length recovered.Journal.history))
+
+let test_mid_file_corruption_rejected () =
+  with_journal_file (fun path ->
+      let oc = open_out path in
+      output_string oc "S 1,1,1,r,5,standard,0.0\nGARBAGE LINE\nQ 1 1\n";
+      close_out oc;
+      match Journal.recover path with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "corruption in the middle must be rejected")
+
+let test_unknown_qualified_rejected () =
+  with_journal_file (fun path ->
+      let oc = open_out path in
+      output_string oc "Q 7 1\nS 1,1,1,r,5,standard,0.0\n";
+      close_out oc;
+      match Journal.recover path with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "Q without S must be rejected")
+
+let journal_matches_live_state =
+  QCheck2.Test.make ~name:"recovered pending = live pending" ~count:40
+    QCheck2.Gen.(pair small_int (int_range 1 6))
+    (fun (seed, n_txns) ->
+      with_journal_file (fun path ->
+          let journal = Journal.open_ path in
+          let sched = Scheduler.create ~journal Builtin.ss2pl_sql in
+          let rng = Ds_sim.Rng.create seed in
+          let reqs =
+            Helpers.random_requests rng ~n_txns ~ops_per_txn:4 ~n_objects:6
+          in
+          List.iteri
+            (fun i r ->
+              Scheduler.submit sched r;
+              if i mod 3 = 2 then ignore (Scheduler.cycle sched))
+            reqs;
+          ignore (Scheduler.cycle sched);
+          Journal.close journal;
+          let recovered = Journal.recover path in
+          let fresh = Relations.create () in
+          Journal.restore recovered fresh;
+          sorted_pending fresh = sorted_pending (Scheduler.relations sched)))
+
+let tests =
+  [
+    Alcotest.test_case "journal roundtrip + recovery decision" `Quick
+      test_roundtrip;
+    Alcotest.test_case "torn tail tolerated" `Quick test_torn_tail_tolerated;
+    Alcotest.test_case "mid-file corruption rejected" `Quick
+      test_mid_file_corruption_rejected;
+    Alcotest.test_case "Q without S rejected" `Quick test_unknown_qualified_rejected;
+    QCheck_alcotest.to_alcotest journal_matches_live_state;
+  ]

@@ -1,0 +1,81 @@
+(* Tests for Ds_model. *)
+
+open Ds_model
+
+let test_op () =
+  Alcotest.(check (option char)) "roundtrip r" (Some 'r')
+    (Option.map Op.to_char (Op.of_char 'r'));
+  List.iter
+    (fun op ->
+      Alcotest.(check bool) "roundtrip all" true
+        (Op.of_char (Op.to_char op) = Some op))
+    Op.all;
+  Alcotest.(check (option Alcotest.reject)) "bad char" None
+    (Option.map (fun _ -> assert false) (Op.of_char 'x'));
+  Alcotest.(check bool) "rw conflict" true (Op.conflicts Op.Read Op.Write);
+  Alcotest.(check bool) "rr no conflict" false (Op.conflicts Op.Read Op.Read);
+  Alcotest.(check bool) "commit never conflicts" false
+    (Op.conflicts Op.Commit Op.Write);
+  Alcotest.(check bool) "terminal" true (Op.is_terminal Op.Abort);
+  Alcotest.(check bool) "data" true (Op.is_data Op.Write)
+
+let test_request_constructors () =
+  let r = Request.v 3 2 Op.Read 42 in
+  Alcotest.(check (pair int int)) "key" (3, 2) (Request.key r);
+  Alcotest.(check bool) "conflict w/w same obj" true
+    (Request.conflicts (Request.v 1 1 Op.Write 5) (Request.v 2 1 Op.Write 5));
+  Alcotest.(check bool) "no conflict same txn" false
+    (Request.conflicts (Request.v 1 1 Op.Write 5) (Request.v 1 2 Op.Read 5));
+  Alcotest.(check bool) "no conflict r/r" false
+    (Request.conflicts (Request.v 1 1 Op.Read 5) (Request.v 2 1 Op.Read 5));
+  Alcotest.(check bool) "terminal no obj conflict" false
+    (Request.conflicts (Request.terminal 1 3 Op.Commit) (Request.v 2 1 Op.Write 5));
+  Alcotest.check_raises "data op needs object"
+    (Invalid_argument "Request.make: data operation requires an object")
+    (fun () -> ignore (Request.make ~id:1 ~ta:1 ~intrata:1 ~op:Op.Read ()));
+  Alcotest.check_raises "terminal carries no object"
+    (Invalid_argument "Request.make: terminal operation carries no object")
+    (fun () -> ignore (Request.make ~id:1 ~ta:1 ~intrata:1 ~op:Op.Commit ~obj:3 ()))
+
+let test_txn () =
+  let t =
+    Txn.make ~ta:7
+      [ (Op.Read, Some 1); (Op.Write, Some 2); (Op.Commit, None) ]
+  in
+  Alcotest.(check int) "length" 3 (Txn.length t);
+  Alcotest.(check bool) "commits" true (Txn.commits t);
+  Alcotest.(check (list int)) "read set" [ 1 ] (Txn.read_set t);
+  Alcotest.(check (list int)) "write set" [ 2 ] (Txn.write_set t);
+  Alcotest.(check int) "intrata numbering" 2
+    (List.nth t.Txn.requests 1).Request.intrata;
+  Alcotest.check_raises "must end terminal"
+    (Invalid_argument "Txn.make: transaction must end in commit or abort")
+    (fun () -> ignore (Txn.make ~ta:1 [ (Op.Read, Some 1) ]));
+  Alcotest.check_raises "terminal must be last"
+    (Invalid_argument "Txn.make: terminal operation before end of transaction")
+    (fun () ->
+      ignore (Txn.make ~ta:1 [ (Op.Commit, None); (Op.Commit, None) ]));
+  Alcotest.check_raises "non-empty"
+    (Invalid_argument "Txn.make: empty transaction") (fun () ->
+      ignore (Txn.make ~ta:1 []))
+
+let test_sla () =
+  Alcotest.(check bool) "premium most urgent" true
+    (Sla.compare_urgency Sla.premium Sla.free < 0);
+  Alcotest.(check bool) "tier roundtrip" true
+    (List.for_all
+       (fun t -> Sla.tier_of_string (Sla.tier_to_string t) = Some t)
+       Sla.all_tiers);
+  Alcotest.(check (option Alcotest.reject)) "unknown tier" None
+    (Option.map (fun _ -> assert false) (Sla.tier_of_string "gold"));
+  Alcotest.(check bool) "weights ordered" true
+    (Sla.premium.Sla.weight > Sla.standard.Sla.weight
+    && Sla.standard.Sla.weight > Sla.free.Sla.weight)
+
+let tests =
+  [
+    Alcotest.test_case "op" `Quick test_op;
+    Alcotest.test_case "request" `Quick test_request_constructors;
+    Alcotest.test_case "txn" `Quick test_txn;
+    Alcotest.test_case "sla" `Quick test_sla;
+  ]

@@ -1,0 +1,223 @@
+(* Tests for Ds_sim: RNG, distributions, event heap, engine. *)
+
+open Ds_sim
+
+let test_rng_determinism () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  let xs = List.init 100 (fun _ -> Rng.int63 a) in
+  let ys = List.init 100 (fun _ -> Rng.int63 b) in
+  Alcotest.(check bool) "same seed, same stream" true (xs = ys);
+  let c = Rng.create 124 in
+  let zs = List.init 100 (fun _ -> Rng.int63 c) in
+  Alcotest.(check bool) "different seed differs" true (xs <> zs)
+
+let test_rng_split_independent () =
+  let a = Rng.create 5 in
+  let s1 = Rng.split a in
+  let s2 = Rng.split a in
+  let xs = List.init 50 (fun _ -> Rng.int63 s1) in
+  let ys = List.init 50 (fun _ -> Rng.int63 s2) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let rng_int_bounds =
+  QCheck2.Test.make ~name:"Rng.int within bounds" ~count:500
+    QCheck2.Gen.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let r = Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let v = Rng.int r bound in
+        if v < 0 || v >= bound then ok := false
+      done;
+      !ok)
+
+let rng_float_unit =
+  QCheck2.Test.make ~name:"Rng.float in [0,1)" ~count:200 QCheck2.Gen.small_int
+    (fun seed ->
+      let r = Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let f = Rng.float r in
+        if f < 0. || f >= 1. then ok := false
+      done;
+      !ok)
+
+let test_rng_uniformity () =
+  (* Coarse chi-square-free check: each of 10 cells gets 5-20% of draws. *)
+  let r = Rng.create 99 in
+  let cells = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 10 in
+    cells.(v) <- cells.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "cell within bounds" true (c > 500 && c < 2000))
+    cells
+
+let test_shuffle_permutes () =
+  let r = Rng.create 3 in
+  let a = Array.init 100 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort Int.compare sorted;
+  Alcotest.(check bool) "is permutation" true (sorted = Array.init 100 Fun.id);
+  Alcotest.(check bool) "actually moved" true (a <> Array.init 100 Fun.id)
+
+let test_dist_means () =
+  let r = Rng.create 11 in
+  let sample_mean d n =
+    let acc = ref 0. in
+    for _ = 1 to n do
+      acc := !acc +. Dist.sample d r
+    done;
+    !acc /. float_of_int n
+  in
+  Alcotest.(check (float 1e-12)) "constant" 5. (sample_mean (Dist.Constant 5.) 10);
+  let m = sample_mean (Dist.Exponential 2.) 20_000 in
+  Alcotest.(check bool) "exponential mean" true (Float.abs (m -. 2.) < 0.1);
+  let u = sample_mean (Dist.Uniform (1., 3.)) 20_000 in
+  Alcotest.(check bool) "uniform mean" true (Float.abs (u -. 2.) < 0.05);
+  let n = sample_mean (Dist.Normal (10., 1.)) 20_000 in
+  Alcotest.(check bool) "normal mean" true (Float.abs (n -. 10.) < 0.1)
+
+let test_zipf () =
+  let r = Rng.create 17 in
+  let g = Dist.Zipf.create ~n:1000 ~theta:0.9 in
+  let counts = Hashtbl.create 64 in
+  for _ = 1 to 20_000 do
+    let v = Dist.Zipf.sample g r in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 1000);
+    Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  done;
+  let c0 = Option.value ~default:0 (Hashtbl.find_opt counts 0) in
+  let c500 = Option.value ~default:0 (Hashtbl.find_opt counts 500) in
+  Alcotest.(check bool) "hot key dominates" true (c0 > 50 * max 1 c500);
+  (* theta = 0 degenerates to uniform *)
+  let u = Dist.Zipf.create ~n:10 ~theta:0. in
+  let seen = Array.make 10 0 in
+  for _ = 1 to 1000 do
+    let v = Dist.Zipf.sample u r in
+    seen.(v) <- 1 + seen.(v)
+  done;
+  Alcotest.(check bool) "uniform hits all" true (Array.for_all (fun c -> c > 0) seen)
+
+let test_heap_ordering () =
+  let h = Event_heap.create () in
+  let order = [ 5.; 1.; 3.; 2.; 4. ] in
+  List.iter (fun t -> ignore (Event_heap.push h ~time:t t)) order;
+  let popped = ref [] in
+  let rec drain () =
+    match Event_heap.pop h with
+    | Some (_, v) ->
+      popped := v :: !popped;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list (float 0.))) "sorted" [ 1.; 2.; 3.; 4.; 5. ]
+    (List.rev !popped)
+
+let test_heap_fifo_ties () =
+  let h = Event_heap.create () in
+  ignore (Event_heap.push h ~time:1. "a");
+  ignore (Event_heap.push h ~time:1. "b");
+  ignore (Event_heap.push h ~time:1. "c");
+  let next () = snd (Option.get (Event_heap.pop h)) in
+  Alcotest.(check string) "fifo 1" "a" (next ());
+  Alcotest.(check string) "fifo 2" "b" (next ());
+  Alcotest.(check string) "fifo 3" "c" (next ())
+
+let test_heap_cancel () =
+  let h = Event_heap.create () in
+  let _t1 = Event_heap.push h ~time:1. "a" in
+  let t2 = Event_heap.push h ~time:2. "b" in
+  let _t3 = Event_heap.push h ~time:3. "c" in
+  Event_heap.cancel t2;
+  Alcotest.(check int) "size after cancel" 2 (Event_heap.size h);
+  Alcotest.(check (option (float 0.))) "peek" (Some 1.) (Event_heap.peek_time h);
+  let vs = ref [] in
+  let rec drain () =
+    match Event_heap.pop h with
+    | Some (_, v) ->
+      vs := v :: !vs;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "cancelled skipped" [ "a"; "c" ] (List.rev !vs)
+
+let heap_sorted_prop =
+  QCheck2.Test.make ~name:"Event_heap pops in time order" ~count:200
+    QCheck2.Gen.(list (float_bound_inclusive 1000.))
+    (fun ts ->
+      let h = Event_heap.create () in
+      List.iter (fun t -> ignore (Event_heap.push h ~time:(Float.abs t) ())) ts;
+      let rec drain last =
+        match Event_heap.pop h with
+        | None -> true
+        | Some (t, ()) -> t >= last && drain t
+      in
+      drain neg_infinity)
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule e ~after:2. (fun () -> log := "b" :: !log));
+  ignore (Engine.schedule e ~after:1. (fun () -> log := "a" :: !log));
+  ignore
+    (Engine.schedule e ~after:1. (fun () ->
+         (* events scheduled during execution run in order *)
+         ignore (Engine.schedule e ~after:0. (fun () -> log := "a2" :: !log))));
+  Engine.run e;
+  Alcotest.(check (list string)) "order" [ "a"; "a2"; "b" ] (List.rev !log);
+  Alcotest.(check (float 0.)) "clock at end" 2. (Engine.now e)
+
+let test_engine_run_until () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  ignore (Engine.schedule e ~after:1. (fun () -> incr fired));
+  ignore (Engine.schedule e ~after:5. (fun () -> incr fired));
+  Engine.run_until e ~until:3.;
+  Alcotest.(check int) "only first fired" 1 !fired;
+  Alcotest.(check (float 0.)) "clock clamped" 3. (Engine.now e);
+  Alcotest.(check int) "one pending" 1 (Engine.pending e)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let tok = Engine.schedule e ~after:1. (fun () -> fired := true) in
+  Engine.cancel tok;
+  Engine.run e;
+  Alcotest.(check bool) "cancelled did not fire" false !fired
+
+let test_engine_errors () =
+  let e = Engine.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: negative delay") (fun () ->
+      ignore (Engine.schedule e ~after:(-1.) (fun () -> ())));
+  ignore (Engine.schedule e ~after:1. (fun () -> ()));
+  Engine.run e;
+  Alcotest.check_raises "past schedule"
+    (Invalid_argument "Engine.schedule_at: time in the past") (fun () ->
+      ignore (Engine.schedule_at e ~time:0.5 (fun () -> ())))
+
+let tests =
+  [
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    QCheck_alcotest.to_alcotest rng_int_bounds;
+    QCheck_alcotest.to_alcotest rng_float_unit;
+    Alcotest.test_case "rng uniformity" `Quick test_rng_uniformity;
+    Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+    Alcotest.test_case "distribution means" `Slow test_dist_means;
+    Alcotest.test_case "zipf" `Quick test_zipf;
+    Alcotest.test_case "heap ordering" `Quick test_heap_ordering;
+    Alcotest.test_case "heap fifo ties" `Quick test_heap_fifo_ties;
+    Alcotest.test_case "heap cancel" `Quick test_heap_cancel;
+    QCheck_alcotest.to_alcotest heap_sorted_prop;
+    Alcotest.test_case "engine ordering" `Quick test_engine_ordering;
+    Alcotest.test_case "engine run_until" `Quick test_engine_run_until;
+    Alcotest.test_case "engine cancel" `Quick test_engine_cancel;
+    Alcotest.test_case "engine errors" `Quick test_engine_errors;
+  ]

@@ -1,0 +1,129 @@
+(* Tests for Ds_stats. *)
+
+open Ds_stats
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let test_summary () =
+  let s = Summary.create () in
+  Alcotest.(check int) "empty count" 0 (Summary.count s);
+  Alcotest.(check (float 0.)) "empty mean" 0. (Summary.mean s);
+  List.iter (Summary.add s) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  Alcotest.(check int) "count" 8 (Summary.count s);
+  Alcotest.(check bool) "mean" true (feq (Summary.mean s) 5.);
+  (* Sample variance of this classic set is 32/7. *)
+  Alcotest.(check bool) "variance" true (feq (Summary.variance s) (32. /. 7.));
+  Alcotest.(check (float 0.)) "min" 2. (Summary.min s);
+  Alcotest.(check (float 0.)) "max" 9. (Summary.max s);
+  Alcotest.(check (float 0.)) "sum" 40. (Summary.sum s)
+
+let summary_merge_prop =
+  QCheck2.Test.make ~name:"Summary.merge = concat" ~count:200
+    QCheck2.Gen.(pair (list (float_bound_inclusive 100.)) (list (float_bound_inclusive 100.)))
+    (fun (xs, ys) ->
+      let a = Summary.create () and b = Summary.create () and c = Summary.create () in
+      List.iter (Summary.add a) xs;
+      List.iter (Summary.add b) ys;
+      List.iter (Summary.add c) (xs @ ys);
+      let m = Summary.merge a b in
+      Summary.count m = Summary.count c
+      && feq ~eps:1e-6 (Summary.mean m) (Summary.mean c)
+      && feq ~eps:1e-4 (Summary.variance m) (Summary.variance c))
+
+let test_histogram () =
+  let h = Histogram.create () in
+  Alcotest.(check (float 0.)) "empty quantile" 0. (Histogram.quantile h 0.5);
+  for i = 1 to 1000 do
+    Histogram.add h (float_of_int i /. 1000.)
+  done;
+  Alcotest.(check int) "count" 1000 (Histogram.count h);
+  let p50 = Histogram.median h in
+  Alcotest.(check bool) "median within bucket error" true
+    (p50 > 0.4 && p50 < 0.65);
+  let p99 = Histogram.p99 h in
+  Alcotest.(check bool) "p99 near 0.99" true (p99 > 0.85 && p99 < 1.15);
+  Alcotest.(check bool) "mean" true (feq ~eps:1e-6 (Histogram.mean h) 0.5005)
+
+let test_histogram_errors () =
+  let h = Histogram.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Histogram.add: negative or NaN")
+    (fun () -> Histogram.add h (-1.));
+  Alcotest.check_raises "bad quantile" (Invalid_argument "Histogram.quantile")
+    (fun () -> ignore (Histogram.quantile h 1.5))
+
+let histogram_quantile_monotone =
+  QCheck2.Test.make ~name:"Histogram quantiles are monotone" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 200) (float_bound_inclusive 1000.))
+    (fun xs ->
+      let h = Histogram.create () in
+      List.iter (fun x -> Histogram.add h (Float.abs x)) xs;
+      let qs = List.map (Histogram.quantile h) [ 0.1; 0.5; 0.9; 0.99 ] in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b +. 1e-9 && mono rest
+        | _ -> true
+      in
+      mono qs)
+
+let test_histogram_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  List.iter (Histogram.add a) [ 0.1; 0.2 ];
+  List.iter (Histogram.add b) [ 10.; 20. ];
+  Histogram.merge_into ~dst:a b;
+  Alcotest.(check int) "merged count" 4 (Histogram.count a);
+  Alcotest.(check bool) "max" true (feq (Histogram.max_observed a) 20.)
+
+let test_counter () =
+  let reg = Counter.create_registry () in
+  let c = Counter.counter reg "commits" in
+  Counter.incr c;
+  Counter.add c 4;
+  Alcotest.(check int) "value" 5 (Counter.value c);
+  Alcotest.(check bool) "same counter" true (Counter.counter reg "commits" == c);
+  let d = Counter.counter reg "aborts" in
+  Counter.incr d;
+  Alcotest.(check (list (pair string int)))
+    "dump sorted"
+    [ ("aborts", 1); ("commits", 5) ]
+    (Counter.dump reg);
+  Counter.reset_all reg;
+  Alcotest.(check int) "reset" 0 (Counter.value c)
+
+let test_throughput () =
+  let t = Throughput.create ~window:1.0 () in
+  Throughput.record t 0.5;
+  Throughput.record t 0.9;
+  Throughput.record t 2.1;
+  Throughput.record_n t 2.2 3;
+  Alcotest.(check int) "total" 6 (Throughput.total t);
+  Alcotest.(check (list (pair (float 0.) int)))
+    "series with gap"
+    [ (0., 2); (1., 0); (2., 4) ]
+    (Throughput.series t);
+  Alcotest.(check int) "in_range" 2 (Throughput.in_range t 0. 1.)
+
+let test_run_average () =
+  let r = Run_average.create () in
+  Run_average.observe r ~key:10 1.0;
+  Run_average.observe r ~key:10 3.0;
+  Run_average.observe r ~key:20 5.0;
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Run_average.mean r ~key:10);
+  Alcotest.(check int) "runs" 2 (Run_average.runs r ~key:10);
+  (match Run_average.rows r with
+  | [ (10, m1, _, 2); (20, m2, _, 1) ] ->
+    Alcotest.(check bool) "rows" true (feq m1 2.0 && feq m2 5.0)
+  | _ -> Alcotest.fail "unexpected rows");
+  Alcotest.check_raises "missing key" Not_found (fun () ->
+      ignore (Run_average.mean r ~key:99))
+
+let tests =
+  [
+    Alcotest.test_case "summary" `Quick test_summary;
+    QCheck_alcotest.to_alcotest summary_merge_prop;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "histogram errors" `Quick test_histogram_errors;
+    QCheck_alcotest.to_alcotest histogram_quantile_monotone;
+    Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+    Alcotest.test_case "counter registry" `Quick test_counter;
+    Alcotest.test_case "throughput windows" `Quick test_throughput;
+    Alcotest.test_case "run average" `Quick test_run_average;
+  ]

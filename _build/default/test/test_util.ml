@@ -1,0 +1,95 @@
+(* Tests for Ds_util: Vec and Tablefmt. *)
+
+open Ds_util
+
+let test_vec_basic () =
+  let v = Vec.create () in
+  Alcotest.(check bool) "fresh is empty" true (Vec.is_empty v);
+  Vec.push v 1;
+  Vec.push v 2;
+  Vec.push v 3;
+  Alcotest.(check int) "length" 3 (Vec.length v);
+  Alcotest.(check int) "get 0" 1 (Vec.get v 0);
+  Alcotest.(check int) "last" 3 (Vec.last v);
+  Vec.set v 1 9;
+  Alcotest.(check (list int)) "to_list" [ 1; 9; 3 ] (Vec.to_list v);
+  Alcotest.(check int) "pop" 3 (Vec.pop v);
+  Alcotest.(check int) "length after pop" 2 (Vec.length v)
+
+let test_vec_bounds () =
+  let v = Vec.of_list [ 1; 2 ] in
+  Alcotest.check_raises "get out of range"
+    (Invalid_argument "Vec: index out of bounds") (fun () ->
+      ignore (Vec.get v 2));
+  Alcotest.check_raises "pop empty" (Invalid_argument "Vec.pop: empty")
+    (fun () -> ignore (Vec.pop (Vec.create ())))
+
+let test_vec_grow () =
+  let v = Vec.create () in
+  for i = 0 to 999 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 1000 (Vec.length v);
+  Alcotest.(check int) "sum" (999 * 1000 / 2) (Vec.fold_left ( + ) 0 v)
+
+let test_vec_swap_remove () =
+  let v = Vec.of_list [ 10; 20; 30; 40 ] in
+  let removed = Vec.swap_remove v 1 in
+  Alcotest.(check int) "removed" 20 removed;
+  Alcotest.(check (list int)) "after" [ 10; 40; 30 ] (Vec.to_list v)
+
+let test_vec_misc () =
+  let v = Vec.of_list [ 3; 1; 2 ] in
+  Vec.sort Int.compare v;
+  Alcotest.(check (list int)) "sort" [ 1; 2; 3 ] (Vec.to_list v);
+  let w = Vec.map string_of_int v in
+  Alcotest.(check (list string)) "map" [ "1"; "2"; "3" ] (Vec.to_list w);
+  let f = Vec.filter (fun x -> x > 1) v in
+  Alcotest.(check (list int)) "filter" [ 2; 3 ] (Vec.to_list f);
+  Vec.append v f;
+  Alcotest.(check (list int)) "append" [ 1; 2; 3; 2; 3 ] (Vec.to_list v);
+  Vec.truncate v 2;
+  Alcotest.(check (list int)) "truncate" [ 1; 2 ] (Vec.to_list v)
+
+let vec_model =
+  QCheck2.Test.make ~name:"Vec.push/to_list agrees with list model" ~count:200
+    QCheck2.Gen.(list int)
+    (fun xs ->
+      let v = Vec.create () in
+      List.iter (Vec.push v) xs;
+      Vec.to_list v = xs && Vec.length v = List.length xs)
+
+let vec_of_array_roundtrip =
+  QCheck2.Test.make ~name:"Vec array roundtrip" ~count:200
+    QCheck2.Gen.(array int)
+    (fun a -> Vec.to_array (Vec.of_array a) = a)
+
+let test_tablefmt () =
+  let t = Tablefmt.create ~aligns:[ Tablefmt.Left; Tablefmt.Right ] [ "a"; "bb" ] in
+  Tablefmt.add_row t [ "xx"; "1" ];
+  Tablefmt.add_sep t;
+  Tablefmt.add_row t [ "y"; "22" ];
+  let s = Tablefmt.render t in
+  Alcotest.(check bool) "contains header" true
+    (Helpers.contains s "| a  | bb |");
+  Alcotest.(check bool) "right-aligned" true
+    (Helpers.contains s "| xx |  1 |")
+
+let test_tablefmt_arity () =
+  let t = Tablefmt.create [ "a" ] in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Tablefmt.add_row: arity mismatch") (fun () ->
+      Tablefmt.add_row t [ "x"; "y" ])
+
+let tests =
+  [
+    Alcotest.test_case "vec basic" `Quick test_vec_basic;
+    Alcotest.test_case "vec bounds" `Quick test_vec_bounds;
+    Alcotest.test_case "vec grow" `Quick test_vec_grow;
+    Alcotest.test_case "vec swap_remove" `Quick test_vec_swap_remove;
+    Alcotest.test_case "vec sort/map/filter/append/truncate" `Quick test_vec_misc;
+    QCheck_alcotest.to_alcotest vec_model;
+    QCheck_alcotest.to_alcotest vec_of_array_roundtrip;
+    Alcotest.test_case "tablefmt render" `Quick test_tablefmt;
+    Alcotest.test_case "tablefmt arity" `Quick test_tablefmt_arity;
+  ]

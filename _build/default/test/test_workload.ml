@@ -1,0 +1,201 @@
+(* Tests for Ds_workload. *)
+
+open Ds_model
+open Ds_workload
+
+let gen_of ?(spec = Spec.paper_default) seed =
+  Generator.create spec (Ds_sim.Rng.create seed)
+
+let test_paper_shape () =
+  let g = gen_of 1 in
+  let t = Generator.next_txn g ~ta:5 in
+  Alcotest.(check int) "41 requests (40 stmts + commit)" 41 (Txn.length t);
+  let reads, writes =
+    List.partition
+      (fun (r : Request.t) -> Op.equal r.Request.op Op.Read)
+      (Txn.data_requests t)
+  in
+  Alcotest.(check int) "20 selects" 20 (List.length reads);
+  Alcotest.(check int) "20 updates" 20 (List.length writes);
+  Alcotest.(check bool) "commits" true (Txn.commits t);
+  Alcotest.(check int) "ta" 5 t.Txn.ta
+
+let test_distinct_objects () =
+  let g = gen_of 2 in
+  for ta = 1 to 50 do
+    let t = Generator.next_txn g ~ta in
+    let objs =
+      List.filter_map (fun (r : Request.t) -> r.Request.obj) t.Txn.requests
+    in
+    let uniq = List.sort_uniq Int.compare objs in
+    Alcotest.(check int) "objects distinct within txn" (List.length objs)
+      (List.length uniq);
+    List.iter
+      (fun o ->
+        Alcotest.(check bool) "in range" true (o >= 0 && o < 100_000))
+      objs
+  done
+
+let test_determinism () =
+  let a = Generator.txns (gen_of 3) ~first_ta:1 5 in
+  let b = Generator.txns (gen_of 3) ~first_ta:1 5 in
+  Alcotest.(check bool) "same seed, same workload" true
+    (List.for_all2
+       (fun (x : Txn.t) (y : Txn.t) ->
+         List.for_all2 Request.equal x.Txn.requests y.Txn.requests)
+       a b)
+
+let test_order_modes () =
+  let spec = { Spec.paper_default with Spec.order = Spec.Reads_first } in
+  let t = Generator.next_txn (gen_of 4 ~spec) ~ta:1 in
+  let kinds = List.map (fun (r : Request.t) -> r.Request.op) (Txn.data_requests t) in
+  let first20 = List.filteri (fun i _ -> i < 20) kinds in
+  Alcotest.(check bool) "reads first" true
+    (List.for_all (Op.equal Op.Read) first20);
+  let spec = { Spec.paper_default with Spec.order = Spec.Interleaved } in
+  let t = Generator.next_txn (gen_of 4 ~spec) ~ta:1 in
+  (match Txn.data_requests t with
+  | a :: b :: _ ->
+    Alcotest.(check bool) "alternates" true
+      (Op.equal a.Request.op Op.Read && Op.equal b.Request.op Op.Write)
+  | _ -> Alcotest.fail "too short")
+
+let test_abort_fraction () =
+  let spec = { Spec.small with Spec.abort_fraction = 1.0 } in
+  let t = Generator.next_txn (gen_of 5 ~spec) ~ta:1 in
+  Alcotest.(check bool) "aborts" true (not (Txn.commits t))
+
+let test_sla_mix () =
+  let spec =
+    { Spec.small with Spec.sla_mix = [ (Sla.premium, 1.); (Sla.free, 1.) ] }
+  in
+  let g = gen_of 6 ~spec in
+  let tiers =
+    List.init 200 (fun i ->
+        (Generator.next_txn g ~ta:(i + 1)).Txn.sla.Sla.tier)
+  in
+  let premium = List.length (List.filter (fun t -> t = Sla.Premium) tiers) in
+  Alcotest.(check bool) "roughly balanced" true (premium > 60 && premium < 140)
+
+let test_hotspot () =
+  let spec = Spec.contended in
+  let g = gen_of 7 ~spec in
+  let hits = ref 0 and total = ref 0 in
+  for ta = 1 to 50 do
+    let t = Generator.next_txn g ~ta in
+    List.iter
+      (fun (r : Request.t) ->
+        match r.Request.obj with
+        | Some o ->
+          incr total;
+          if o < 100 then incr hits
+        | None -> ())
+      t.Txn.requests
+  done;
+  let frac = float_of_int !hits /. float_of_int !total in
+  Alcotest.(check bool) "hot fraction near 0.75" true (frac > 0.6 && frac < 0.9)
+
+let test_interleave () =
+  let t1 = Txn.make ~ta:1 [ (Op.Read, Some 1); (Op.Commit, None) ] in
+  let t2 = Txn.make ~ta:2 [ (Op.Read, Some 2); (Op.Read, Some 3); (Op.Commit, None) ] in
+  let stream = Generator.interleave [ t1; t2 ] in
+  let tas = List.map (fun (r : Request.t) -> r.Request.ta) stream in
+  Alcotest.(check (list int)) "round robin" [ 1; 2; 1; 2; 2 ] tas
+
+let test_validate () =
+  let bad = { Spec.paper_default with Spec.n_objects = 10 } in
+  (match Spec.validate bad with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "distinct objects must not fit");
+  (match Spec.validate { Spec.small with Spec.abort_fraction = 1.5 } with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "bad abort fraction");
+  match Spec.validate { Spec.small with Spec.sla_mix = [] } with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "empty sla mix"
+
+let test_read_only_fraction () =
+  let spec = { Spec.small with Spec.read_only_fraction = 0.5 } in
+  let g = gen_of 11 ~spec in
+  let read_only = ref 0 and total = 200 in
+  for ta = 1 to total do
+    let t = Generator.next_txn g ~ta in
+    Alcotest.(check int) "same statement count" 7 (Txn.length t);
+    if Txn.write_set t = [] then incr read_only
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "about half read-only (%d/200)" !read_only)
+    true
+    (!read_only > 60 && !read_only < 140)
+
+let test_trace_roundtrip () =
+  let g = gen_of 9 ~spec:Spec.small in
+  let stream = Generator.interleave (Generator.txns g ~first_ta:1 5) in
+  let path = Filename.temp_file "ds_trace" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.save path stream;
+      let loaded = Trace.load path in
+      Alcotest.(check int) "count" (List.length stream) (List.length loaded);
+      List.iter2
+        (fun (a : Request.t) (b : Request.t) ->
+          Alcotest.(check bool) "request preserved" true
+            (Request.key a = Request.key b
+            && Op.equal a.Request.op b.Request.op
+            && a.Request.obj = b.Request.obj
+            && a.Request.sla.Sla.tier = b.Request.sla.Sla.tier))
+        stream loaded)
+
+let test_trace_line_roundtrip () =
+  let r =
+    Request.make ~sla:Sla.premium ~arrival:1.25 ~id:7 ~ta:3 ~intrata:2
+      ~op:Op.Write ~obj:99 ()
+  in
+  let r' = Trace.request_of_line ~lineno:2 (Trace.line_of_request r) in
+  Alcotest.(check bool) "roundtrip" true
+    (Request.key r = Request.key r'
+    && r'.Request.obj = Some 99
+    && r'.Request.sla.Sla.tier = Sla.Premium
+    && Float.abs (r'.Request.arrival -. 1.25) < 1e-6);
+  let t = Request.terminal 3 5 Op.Commit in
+  let t' = Trace.request_of_line ~lineno:2 (Trace.line_of_request t) in
+  Alcotest.(check bool) "terminal has no object" true (t'.Request.obj = None)
+
+let test_trace_malformed () =
+  let expect line =
+    match Trace.request_of_line ~lineno:3 line with
+    | exception Trace.Malformed (_, 3) -> ()
+    | _ -> Alcotest.failf "expected Malformed for %S" line
+  in
+  expect "1,2,3";
+  expect "x,1,1,r,5,standard,0.0";
+  expect "1,1,1,z,5,standard,0.0";
+  expect "1,1,1,r,,standard,0.0";
+  (* data op without object *)
+  expect "1,1,1,r,5,standard,xyz"
+
+let txn_ids_unique =
+  QCheck2.Test.make ~name:"request ids unique within txn" ~count:100
+    QCheck2.Gen.small_int (fun seed ->
+      let t = Generator.next_txn (gen_of seed ~spec:Spec.small) ~ta:3 in
+      let ids = List.map (fun (r : Request.t) -> r.Request.id) t.Txn.requests in
+      List.length (List.sort_uniq Int.compare ids) = List.length ids)
+
+let tests =
+  [
+    Alcotest.test_case "paper shape" `Quick test_paper_shape;
+    Alcotest.test_case "distinct objects" `Quick test_distinct_objects;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "order modes" `Quick test_order_modes;
+    Alcotest.test_case "abort fraction" `Quick test_abort_fraction;
+    Alcotest.test_case "sla mix" `Quick test_sla_mix;
+    Alcotest.test_case "hotspot access" `Quick test_hotspot;
+    Alcotest.test_case "interleave" `Quick test_interleave;
+    Alcotest.test_case "spec validation" `Quick test_validate;
+    Alcotest.test_case "read-only fraction" `Quick test_read_only_fraction;
+    Alcotest.test_case "trace roundtrip" `Quick test_trace_roundtrip;
+    Alcotest.test_case "trace line roundtrip" `Quick test_trace_line_roundtrip;
+    Alcotest.test_case "trace malformed" `Quick test_trace_malformed;
+    QCheck_alcotest.to_alcotest txn_ids_unique;
+  ]
