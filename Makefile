@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples clean doc
+.PHONY: all build test check bench examples clean doc
 
 all: build
 
@@ -9,6 +9,14 @@ build:
 
 test:
 	dune runtest
+
+# Everything CI runs: build, the full test suite, and a differential fuzz
+# smoke (100 seeds through oracle + SQL + Datalog + native 2PL, with the
+# serializability battery on every schedule).
+check:
+	dune build @all
+	dune runtest
+	dune exec bin/dsched.exe -- check --fuzz 100
 
 # Quick-scale run of every paper table/figure + ablations.
 bench:

@@ -113,7 +113,16 @@ let run_cmd =
     Arg.(value & flag & info [ "passthrough" ] ~doc:"Non-scheduling mode (3.3).")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
-  let run protocol clients duration objects passthrough seed =
+  let log_rte =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log-rte" ] ~docv:"FILE"
+          ~doc:
+            "Save the rte execution log as a trace CSV (validate it with \
+             'dsched check FILE').")
+  in
+  let run protocol clients duration objects passthrough seed log_rte =
     let cfg =
       {
         Middleware.default_config with
@@ -126,16 +135,25 @@ let run_cmd =
           { Ds_workload.Spec.paper_default with Ds_workload.Spec.n_objects = objects };
       }
     in
-    let s = Middleware.run cfg in
+    let s, sched = Middleware.run_full cfg in
     Format.printf "%a@." Middleware.pp_stats s;
     List.iter
       (fun (tier, mean, p95, n) ->
         Format.printf "  %-8s n=%d latency mean=%.3fs p95=%.3fs@."
           (Sla.tier_to_string tier) n mean p95)
-      s.Middleware.latency_by_tier
+      s.Middleware.latency_by_tier;
+    match log_rte with
+    | None -> ()
+    | Some file ->
+      let log = Relations.rte_requests (Scheduler.relations sched) in
+      Ds_workload.Trace.save file log;
+      Printf.printf "rte execution log (%d requests) written to %s\n"
+        (List.length log) file
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ protocol_arg $ clients $ duration $ objects $ passthrough $ seed)
+    Term.(
+      const run $ protocol_arg $ clients $ duration $ objects $ passthrough
+      $ seed $ log_rte)
 
 let native_cmd =
   let doc = "Run the native (lock-based) scheduler experiment (4.2)." in
@@ -277,6 +295,71 @@ let qualify_cmd =
   Cmd.v (Cmd.info "qualify" ~doc)
     Term.(const run $ protocol_arg $ trace $ batch $ quiet)
 
+let check_cmd =
+  let doc =
+    "Validate a logged schedule (serializability, strictness, rigor, commit \
+     order) or differentially fuzz the scheduler formulations."
+  in
+  let trace =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE"
+          ~doc:
+            "Execution log to validate (CSV in request-trace format; produce \
+             one with 'dsched run --log-rte FILE').")
+  in
+  let fuzz =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuzz" ] ~docv:"N"
+          ~doc:"Run $(docv) differential fuzz iterations instead.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"First seed.") in
+  let no_native =
+    Arg.(
+      value & flag
+      & info [ "no-native" ]
+          ~doc:"Skip the native 2PL server in fuzz iterations.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every outcome.")
+  in
+  let run trace fuzz seed no_native verbose =
+    match (trace, fuzz) with
+    | Some file, _ ->
+      let log = Ds_workload.Trace.load file in
+      let events = Ds_check.Conflict_graph.events_of_requests log in
+      let report = Ds_check.Serializability.check_committed events in
+      Format.printf "%s: %a@." file Ds_check.Serializability.pp_report report;
+      if not (Ds_check.Serializability.is_clean report) then exit 1
+    | None, Some n ->
+      let config =
+        {
+          Ds_check.Differential.default_config with
+          Ds_check.Differential.include_native = not no_native;
+        }
+      in
+      let seeds = List.init n (fun i -> seed + i) in
+      if verbose then
+        List.iter
+          (fun s ->
+            let o = Ds_check.Differential.run_one ~config ~seed:s () in
+            Format.printf "%a@." Ds_check.Differential.pp_outcome o)
+          seeds
+      else begin
+        let s = Ds_check.Differential.run ~config ~seeds () in
+        Format.printf "%a@." Ds_check.Differential.pp_summary s;
+        if s.Ds_check.Differential.failed <> [] then exit 1
+      end
+    | None, None ->
+      prerr_endline "check: need a TRACE to validate or --fuzz N";
+      exit 2
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const run $ trace $ fuzz $ seed $ no_native $ verbose)
+
 let recover_cmd =
   let doc = "Inspect a scheduler journal: recovered pending/history state." in
   let file =
@@ -304,5 +387,5 @@ let () =
        (Cmd.group info
           [
             protocols_cmd; table1_cmd; sql_cmd; demo_cmd; run_cmd; native_cmd;
-            rules_cmd; trace_gen_cmd; qualify_cmd; recover_cmd;
+            rules_cmd; trace_gen_cmd; qualify_cmd; check_cmd; recover_cmd;
           ]))

@@ -1,0 +1,295 @@
+open Ds_model
+open Ds_core
+
+type config = {
+  n_txns : int;
+  selects_per_txn : int;
+  updates_per_txn : int;
+  n_objects : int;
+  abort_fraction : float;
+  stall_abort_after : int;
+  include_native : bool;
+  native_clients : int;
+  native_duration : float;
+}
+
+let default_config =
+  {
+    n_txns = 8;
+    selects_per_txn = 3;
+    updates_per_txn = 3;
+    n_objects = 12;
+    abort_fraction = 0.15;
+    stall_abort_after = 2;
+    include_native = true;
+    native_clients = 6;
+    native_duration = 0.3;
+  }
+
+type failure =
+  | Divergence of {
+      formulation : string;
+      cycle : int;
+      expected : (int * int) list;
+      got : (int * int) list;
+    }
+  | Stuck of { cycle : int; pending : int }
+  | Unclean of { formulation : string; report : Serializability.report }
+
+type outcome = {
+  seed : int;
+  cycles : int;
+  executed : int;
+  committed_txns : int;
+  aborted_txns : int;
+  failures : failure list;
+}
+
+let clean o = o.failures = []
+
+let default_subjects () =
+  [
+    ("ss2pl-sql", false, Builtin.ss2pl_sql);
+    ("ss2pl-sql-extended", true, Builtin.ss2pl_sql);
+    ("ss2pl-datalog", false, Builtin.ss2pl_datalog);
+  ]
+
+(* A closed-loop client: one transaction, at most one outstanding request. *)
+type client = {
+  ta : int;
+  mutable remaining : Request.t list;
+  mutable outstanding : (int * int) option;
+  mutable aborted : bool;
+}
+
+exception Stop
+
+let spec_of config =
+  {
+    Ds_workload.Spec.small with
+    Ds_workload.Spec.n_objects = config.n_objects;
+    selects_per_txn = config.selects_per_txn;
+    updates_per_txn = config.updates_per_txn;
+    abort_fraction = config.abort_fraction;
+  }
+
+let run_one ?(config = default_config) ?(subjects = default_subjects ())
+    ~seed () =
+  let rng = Ds_sim.Rng.create seed in
+  let gen = Ds_workload.Generator.create (spec_of config) rng in
+  let txns = Ds_workload.Generator.txns gen ~first_ta:1 config.n_txns in
+  let clients =
+    List.map
+      (fun (t : Txn.t) ->
+        {
+          ta = t.Txn.ta;
+          remaining = t.Txn.requests;
+          outstanding = None;
+          aborted = false;
+        })
+      txns
+  in
+  let reference = Scheduler.create Builtin.ss2pl_ocaml in
+  let schedulers =
+    ("ss2pl-ocaml", reference)
+    :: List.map
+         (fun (name, extended, proto) ->
+           (name, Scheduler.create ~extended proto))
+         subjects
+  in
+  let failures = ref [] in
+  let cycles = ref 0 in
+  let executed = ref 0 in
+  let committed = ref 0 in
+  let starved = ref 0 in
+  let req_counter = ref 0 in
+  let stall = ref 0 in
+  (* Generous bound: every request needs at most a handful of cycles, plus
+     the starvation-abort budget. *)
+  let total_requests =
+    List.fold_left (fun acc (t : Txn.t) -> acc + Txn.length t) 0 txns
+  in
+  let max_cycles =
+    (total_requests * (config.stall_abort_after + 2)) + 100
+  in
+  (try
+     while List.exists (fun c -> not c.aborted && c.remaining <> []) clients
+           || List.exists (fun c -> c.outstanding <> None) clients
+     do
+       incr cycles;
+       if !cycles > max_cycles then begin
+         failures :=
+           Stuck { cycle = !cycles; pending = Scheduler.pending_count reference }
+           :: !failures;
+         raise Stop
+       end;
+       (* Closed loop: a client submits its next request once the previous
+          one has been delivered. Every scheduler sees the same stream. *)
+       let submitted = ref 0 in
+       List.iter
+         (fun c ->
+           match (c.aborted, c.outstanding, c.remaining) with
+           | false, None, r :: rest ->
+             c.remaining <- rest;
+             incr req_counter;
+             let r = { r with Request.id = !req_counter } in
+             c.outstanding <- Some (Request.key r);
+             List.iter (fun (_, s) -> Scheduler.submit s r) schedulers;
+             incr submitted
+           | _ -> ())
+         clients;
+       let keys_of (_, s) =
+         let q, _ = Scheduler.cycle s in
+         List.map Request.key q
+       in
+       let reference_keys = keys_of (List.hd schedulers) in
+       List.iter
+         (fun ((name, _) as entry) ->
+           let got = keys_of entry in
+           if got <> reference_keys then begin
+             failures :=
+               Divergence
+                 { formulation = name; cycle = !cycles;
+                   expected = reference_keys; got }
+               :: !failures;
+             raise Stop
+           end)
+         (List.tl schedulers);
+       executed := !executed + List.length reference_keys;
+       (* Deliveries. *)
+       List.iter
+         (fun key ->
+           List.iter
+             (fun c ->
+               if c.outstanding = Some key then begin
+                 c.outstanding <- None;
+                 if c.remaining = [] then incr committed
+                 (* terminal delivered: transaction done (commit or
+                    intrinsic abort) *)
+               end)
+             clients)
+         reference_keys;
+       (* Starvation handling: SS2PL's incremental lock acquisition can
+          deadlock; when nothing qualified and nothing could be submitted,
+          abort the youngest stalled transaction in every scheduler. *)
+       if reference_keys = [] && !submitted = 0 then begin
+         incr stall;
+         if !stall >= config.stall_abort_after then begin
+           stall := 0;
+           let victim =
+             List.fold_left
+               (fun acc c ->
+                 if c.outstanding <> None then
+                   match acc with
+                   | Some v when v.ta > c.ta -> acc
+                   | _ -> Some c
+                 else acc)
+               None clients
+           in
+           match victim with
+           | None ->
+             failures :=
+               Stuck
+                 { cycle = !cycles;
+                   pending = Scheduler.pending_count reference }
+               :: !failures;
+             raise Stop
+           | Some c ->
+             c.aborted <- true;
+             c.outstanding <- None;
+             c.remaining <- [];
+             incr starved;
+             List.iter (fun (_, s) -> ignore (Scheduler.abort_txn s c.ta)) schedulers
+         end
+       end
+       else stall := 0
+     done
+   with Stop -> ());
+  (* Schedule-level checks: every formulation's execution log must be
+     conflict-serializable, strict, rigorous and commit-ordered on its
+     committed projection. *)
+  if !failures = [] then
+    List.iter
+      (fun (name, s) ->
+        let events =
+          Conflict_graph.events_of_requests
+            (Relations.rte_requests (Scheduler.relations s))
+        in
+        let report = Serializability.check_committed events in
+        if not (Serializability.is_clean report) then
+          failures := Unclean { formulation = name; report } :: !failures)
+      schedulers;
+  (* The native lock-based server from the same seed: its committed schedule
+     (including commit points) must pass the same battery un-projected. *)
+  if config.include_native then begin
+    let stats =
+      Ds_server.Native_sim.run
+        {
+          Ds_server.Native_sim.default_config with
+          Ds_server.Native_sim.n_clients = config.native_clients;
+          duration = config.native_duration;
+          seed;
+          log_schedule = true;
+          spec = spec_of config;
+          deadlock_policy =
+            (if seed mod 2 = 0 then `Detection else `Wound_wait);
+        }
+    in
+    let events =
+      Conflict_graph.events_of_schedule stats.Ds_server.Native_sim.schedule
+    in
+    let report = Serializability.check events in
+    if not (Serializability.is_clean report) then
+      failures := Unclean { formulation = "native-2pl"; report } :: !failures
+  end;
+  {
+    seed;
+    cycles = !cycles;
+    executed = !executed;
+    committed_txns = !committed;
+    aborted_txns = !starved;
+    failures = List.rev !failures;
+  }
+
+type summary = {
+  runs : int;
+  clean_runs : int;
+  total_executed : int;
+  failed : outcome list;
+}
+
+let run ?(config = default_config) ?subjects ~seeds () =
+  let outcomes = List.map (fun seed -> run_one ~config ?subjects ~seed ()) seeds in
+  {
+    runs = List.length outcomes;
+    clean_runs = List.length (List.filter clean outcomes);
+    total_executed = List.fold_left (fun acc o -> acc + o.executed) 0 outcomes;
+    failed = List.filter (fun o -> not (clean o)) outcomes;
+  }
+
+let pp_keys ppf keys =
+  Format.fprintf ppf "[%s]"
+    (String.concat "; "
+       (List.map (fun (ta, i) -> Printf.sprintf "(%d,%d)" ta i) keys))
+
+let pp_failure ppf = function
+  | Divergence { formulation; cycle; expected; got } ->
+    Format.fprintf ppf "%s diverged at cycle %d: oracle %a, got %a" formulation
+      cycle pp_keys expected pp_keys got
+  | Stuck { cycle; pending } ->
+    Format.fprintf ppf "no progress at cycle %d (%d pending)" cycle pending
+  | Unclean { formulation; report } ->
+    Format.fprintf ppf "%s produced a dirty schedule: %a" formulation
+      Serializability.pp_report report
+
+let pp_outcome ppf o =
+  Format.fprintf ppf
+    "seed=%d cycles=%d executed=%d committed=%d starvation_aborts=%d%s" o.seed
+    o.cycles o.executed o.committed_txns o.aborted_txns
+    (if o.failures = [] then " clean" else "");
+  List.iter (fun f -> Format.fprintf ppf "@.  FAIL %a" pp_failure f) o.failures
+
+let pp_summary ppf s =
+  Format.fprintf ppf "%d/%d iterations clean (%d requests executed)"
+    s.clean_runs s.runs s.total_executed;
+  List.iter (fun o -> Format.fprintf ppf "@.%a" pp_outcome o) s.failed

@@ -1,0 +1,94 @@
+(** Differential fuzzing of the scheduler formulations.
+
+    One iteration draws a random closed-loop workload from a seed and drives
+    it, cycle by cycle and in lockstep, through the hand-coded {!Ds_core.Oracle}
+    (the reference) and every subject formulation — by default SS2PL through
+    the SQL engine on base relations, on extended relations, and through the
+    Datalog engine. Each transaction behaves like a middleware client: it has
+    at most one outstanding request, and submits its next one only after the
+    previous qualified. Starved transactions (SS2PL's incremental lock
+    acquisition can deadlock) are aborted deterministically in every
+    scheduler at once, mirroring the middleware's starvation handling.
+
+    Checked per iteration:
+    - the qualified (TA, INTRATA) sequence of every subject equals the
+      oracle's, cycle by cycle;
+    - every formulation's [rte] execution log passes the full
+      {!Serializability} battery on its committed projection;
+    - (optionally) a native strict-2PL server run from the same seed
+      produces a checker-clean committed schedule.
+
+    Failures carry the seed, so any report reproduces by rerunning
+    [run_one ~seed]. No shrinking: workloads are small enough to read. *)
+
+open Ds_core
+
+type config = {
+  n_txns : int;
+  selects_per_txn : int;
+  updates_per_txn : int;
+  n_objects : int;  (** small = contended; must be >= statements per txn *)
+  abort_fraction : float;
+  stall_abort_after : int;
+      (** cycles with no qualification and nothing submittable before the
+          youngest stalled transaction is aborted everywhere *)
+  include_native : bool;
+  native_clients : int;
+  native_duration : float;  (** virtual seconds *)
+}
+
+val default_config : config
+
+type failure =
+  | Divergence of {
+      formulation : string;
+      cycle : int;
+      expected : (int * int) list;  (** the oracle's qualified keys *)
+      got : (int * int) list;
+    }
+  | Stuck of { cycle : int; pending : int }
+      (** the reference made no progress despite starvation aborts *)
+  | Unclean of { formulation : string; report : Serializability.report }
+
+type outcome = {
+  seed : int;
+  cycles : int;
+  executed : int;  (** requests the reference qualified *)
+  committed_txns : int;
+  aborted_txns : int;  (** starvation aborts *)
+  failures : failure list;
+}
+
+val clean : outcome -> bool
+
+(** (name, extended relations, protocol). *)
+val default_subjects : unit -> (string * bool * Protocol.t) list
+
+(** One differential iteration. [subjects] overrides the formulations under
+    test (the reference is always the OCaml oracle) — used by the harness's
+    own self-test, which checks that a wrong protocol is actually caught. *)
+val run_one :
+  ?config:config ->
+  ?subjects:(string * bool * Protocol.t) list ->
+  seed:int ->
+  unit ->
+  outcome
+
+type summary = {
+  runs : int;
+  clean_runs : int;
+  total_executed : int;
+  failed : outcome list;
+}
+
+(** [run ~seeds ()] executes one iteration per seed. *)
+val run :
+  ?config:config ->
+  ?subjects:(string * bool * Protocol.t) list ->
+  seeds:int list ->
+  unit ->
+  summary
+
+val pp_failure : Format.formatter -> failure -> unit
+val pp_outcome : Format.formatter -> outcome -> unit
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,58 @@
+(** Schedule-level correctness predicates.
+
+    Given a normalized event sequence ({!Conflict_graph.event}), decide:
+
+    - {b conflict-serializability}: the conflict graph is acyclic (witness
+      cycle reported otherwise);
+    - {b strictness}: no transaction reads or overwrites an object another
+      transaction has written until that writer has committed or aborted;
+    - {b rigor}: strictness plus no overwriting of an object another
+      transaction has read before that reader terminates (rigorous schedules
+      are exactly what strict 2PL with long read locks — SS2PL — produces);
+    - {b commit-order consistency}: for every conflict edge [a -> b] between
+      committed transactions, [a]'s commit precedes [b]'s commit in the
+      schedule. SS2PL must yield commit-ordered conflicts.
+
+    A correct SS2PL scheduler — native or declarative — must produce
+    schedules whose committed projection satisfies all four. *)
+
+type violation =
+  | Cycle of int list
+      (** witness cycle in the conflict graph (conflict-serializability) *)
+  | Dirty_access of { writer : int; accessor : int; obj : int; pos : int }
+      (** [accessor] read or overwrote [obj] at [pos] while [writer]'s write
+          was still uncommitted (strictness) *)
+  | Unrigorous of { reader : int; writer : int; obj : int; pos : int }
+      (** [writer] overwrote [obj] at [pos] while [reader]'s read lock was
+          still live (rigor; excludes pairs already flagged as dirty) *)
+  | Commit_disorder of { first : int; second : int; obj : int }
+      (** conflict edge [first -> second] but [second] committed first *)
+
+type report = {
+  events : int;
+  txns : int;
+  committed : int;
+  conflict_edges : int;
+  violations : violation list;
+}
+
+(** Run every predicate on the (already projected, if desired) event
+    sequence. *)
+val check : Conflict_graph.event list -> report
+
+(** Convenience: committed projection, then {!check} — the form used on
+    scheduler logs, which may end mid-transaction. *)
+val check_committed : Conflict_graph.event list -> report
+
+val is_clean : report -> bool
+
+(** Individual predicates, exposed for targeted tests. Each returns its
+    violations (empty = predicate holds). *)
+val serializable : Conflict_graph.t -> violation list
+
+val strict : Conflict_graph.event list -> violation list
+val rigorous : Conflict_graph.event list -> violation list
+val commit_ordered : Conflict_graph.event list -> violation list
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp_report : Format.formatter -> report -> unit

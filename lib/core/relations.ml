@@ -175,6 +175,11 @@ let prune_history t =
       | Value.Int ta -> Hashtbl.mem finished ta
       | _ -> false)
 
+let rte_requests t =
+  List.map (request_of_row ~extended:t.extended) (Table.rows t.rte)
+
+let rte_count t = Table.row_count t.rte
+
 let insert_rte t rs =
   Table.insert_many t.rte (List.map (row_of_request ~extended:t.extended) rs)
 

@@ -48,6 +48,13 @@ val move_to_history : t -> (int * int) list -> Request.t list
     [history_pruning] ablation). Returns rows removed. *)
 val prune_history : t -> int
 
+(** The [rte] execution log decoded back into requests, in execution order —
+    the schedule the declarative scheduler produced, as consumed by the
+    [ds_check] correctness tooling. *)
+val rte_requests : t -> Request.t list
+
+val rte_count : t -> int
+
 (** Appends rows to [rte] without touching [requests] (used by tests). *)
 val insert_rte : t -> Request.t list -> unit
 

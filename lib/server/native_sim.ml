@@ -254,6 +254,11 @@ and do_commit sim client =
       if client.attempt <> attempt0 || client.aborting then
         () (* wounded before commit *)
       else begin
+      (* Log the commit point itself: the correctness checker needs terminal
+         positions to decide strictness and commit ordering. *)
+      if sim.cfg.log_schedule then
+        Schedule.append sim.log
+          { Schedule.ta = client.attempt; op = Op.Commit; obj = -1; value = 0 };
       let now = Engine.now sim.engine in
       if now <= sim.cfg.duration then begin
         sim.committed_txns <- sim.committed_txns + 1;

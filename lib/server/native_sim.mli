@@ -46,7 +46,9 @@ type stats = {
   cpu_utilization : float;
   mean_txn_latency : float;
   p95_txn_latency : float;
-  schedule : Schedule.entry list;  (** committed statements, execution order *)
+  schedule : Schedule.entry list;
+      (** committed transactions' statements and commit points, execution
+          order *)
   final_store : Row_store.t;
       (** the data after the run; under correct strict 2PL it must equal a
           sequential replay of [schedule] on a fresh store

@@ -1,14 +1,22 @@
+(* Only data statements are replayed; per-transaction terminals in the log
+   collapse into the single final commit of the one replay transaction. *)
+let data_entries entries =
+  List.filter
+    (fun (e : Schedule.entry) -> Ds_model.Op.is_data e.Schedule.op)
+    entries
+
 let single_user_time (cost : Cost_model.t) entries =
   (* One exclusive table lock, every statement without the lock path, one
      final commit: the whole log is one transaction. *)
   let stmt = Cost_model.stmt_cost cost ~locking:false in
-  (float_of_int (List.length entries) *. stmt) +. cost.Cost_model.commit_service
+  (float_of_int (List.length (data_entries entries)) *. stmt)
+  +. cost.Cost_model.commit_service
 
 let single_user_time_simulated (cost : Cost_model.t) entries =
   let engine = Ds_sim.Engine.create () in
   let cpu = Cpu.create engine ~n_cores:1 in
   let stmt = Cost_model.stmt_cost cost ~locking:false in
-  List.iter (fun _ -> Cpu.submit cpu ~work:stmt (fun () -> ())) entries;
+  List.iter (fun _ -> Cpu.submit cpu ~work:stmt (fun () -> ())) (data_entries entries);
   Cpu.submit cpu ~work:cost.Cost_model.commit_service (fun () -> ());
   Ds_sim.Engine.run engine;
   Ds_sim.Engine.now engine

@@ -16,6 +16,11 @@ let entries t = Vec.to_list t
 let filter t p =
   Vec.fold_left (fun acc e -> if p e.ta then e :: acc else acc) [] t |> List.rev
 
+let to_ops entries =
+  List.map
+    (fun e -> (e.ta, e.op, if Op.is_data e.op then Some e.obj else None))
+    entries
+
 (* Conflict graph: edge ta1 -> ta2 when an operation of ta1 precedes a
    conflicting operation of ta2 in the log. Cycle detection by DFS. *)
 let conflict_graph_acyclic entries =

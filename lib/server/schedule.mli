@@ -23,6 +23,11 @@ val entries : t -> entry list
     log to committed transactions). *)
 val filter : t -> (int -> bool) -> entry list
 
+(** Normalized (ta, op, object) view of a log, in execution order; terminal
+    entries (whose [obj] is a placeholder) come out with [None]. This is the
+    event shape the [ds_check] conflict-graph tooling consumes. *)
+val to_ops : entry list -> (int * Op.t * int option) list
+
 (** Sanity check used in tests: under SS2PL the log must be
     conflict-serializable in commit order — no entry of a transaction may
     follow a conflicting entry of a transaction that committed after it

@@ -13,6 +13,8 @@ let () =
       ("server", Test_server.tests);
       ("core", Test_core.tests);
       ("journal", Test_journal.tests);
+      ("check", Test_check.tests);
+      ("differential", Test_differential.tests);
       ("integration", Test_integration.tests);
       ("edges", Test_edges.tests);
     ]

@@ -327,6 +327,44 @@ let test_passthrough_mode () =
   Alcotest.(check (float 0.)) "no query time" 0. s.Scheduler.times.Scheduler.query;
   Alcotest.(check int) "nothing retained" 0 (Scheduler.pending_count sched)
 
+let test_passthrough_preserves_tables () =
+  (* Passthrough must be a pure FIFO drain: pre-existing scheduler-database
+     state (a history row from an earlier qualified request, a pending row
+     from a blocked one) stays exactly as it was, and the batch comes back in
+     submission order even when it is full of conflicts. *)
+  let sched = Scheduler.create Builtin.ss2pl_sql in
+  Scheduler.submit sched (Request.v 7 1 Op.Write 99);
+  ignore (Scheduler.cycle sched);
+  (* T7 holds 99 in history *)
+  Scheduler.submit sched (Request.v 8 1 Op.Write 99);
+  ignore (Scheduler.cycle sched);
+  (* T8 blocked, stays pending *)
+  let rels = Scheduler.relations sched in
+  let pending_before = Relations.pending_count rels in
+  let history_before = Relations.history_count rels in
+  Alcotest.(check int) "setup: one pending" 1 pending_before;
+  let batch =
+    [
+      Request.v 1 1 Op.Write 5;
+      Request.v 2 1 Op.Write 5;
+      Request.v 3 1 Op.Read 5;
+      Request.terminal 1 2 Op.Commit;
+    ]
+  in
+  List.iter (Scheduler.submit sched) batch;
+  let q, _ = Scheduler.cycle ~passthrough:true sched in
+  Alcotest.(check (list (pair int int))) "fifo submission order"
+    (List.map Request.key batch) (List.map Request.key q);
+  Alcotest.(check int) "queue drained" 0 (Scheduler.queue_length sched);
+  Alcotest.(check int) "pending untouched" pending_before
+    (Relations.pending_count rels);
+  Alcotest.(check int) "history untouched" history_before
+    (Relations.history_count rels);
+  (* Back in scheduling mode, the pre-existing blocked request is still
+     there and still blocked by T7's write lock. *)
+  let q, _ = Scheduler.cycle sched in
+  Alcotest.(check int) "t8 still blocked" 0 (List.length q)
+
 let test_abort_txn_releases () =
   let sched = Scheduler.create Builtin.ss2pl_sql in
   (* T1 writes 5 and stalls; T2 waits on it. *)
@@ -339,6 +377,32 @@ let test_abort_txn_releases () =
   Alcotest.(check int) "nothing pending for t1" 0 dropped;
   let q, _ = Scheduler.cycle sched in
   Alcotest.(check (list (pair int int))) "released" [ (2, 1) ]
+    (List.map Request.key q)
+
+let test_abort_txn_drops_pending () =
+  (* abort_txn on a transaction with a *pending* (blocked) request: the row
+     is dropped from [requests], its logical locks are released, and a
+     previously blocked conflicting request qualifies on the next cycle. *)
+  let sched = Scheduler.create Builtin.ss2pl_sql in
+  Scheduler.submit sched (Request.v 3 1 Op.Write 7);
+  ignore (Scheduler.cycle sched);
+  (* T3 holds 7 *)
+  Scheduler.submit sched (Request.v 1 1 Op.Write 5);
+  ignore (Scheduler.cycle sched);
+  (* T1 holds 5 *)
+  Scheduler.submit sched (Request.v 1 2 Op.Write 7);
+  (* T1 blocked by T3 *)
+  Scheduler.submit sched (Request.v 2 1 Op.Write 5);
+  (* T2 blocked by T1 *)
+  let q, _ = Scheduler.cycle sched in
+  Alcotest.(check int) "both blocked" 0 (List.length q);
+  Alcotest.(check int) "both pending" 2 (Scheduler.pending_count sched);
+  let dropped = Scheduler.abort_txn sched 1 in
+  Alcotest.(check int) "t1's pending request dropped" 1 dropped;
+  Alcotest.(check int) "only t2 left pending" 1 (Scheduler.pending_count sched);
+  let q, _ = Scheduler.cycle sched in
+  Alcotest.(check (list (pair int int))) "t2 acquired t1's released lock"
+    [ (2, 1) ]
     (List.map Request.key q)
 
 (* --- trigger ----------------------------------------------------------- *)
@@ -619,7 +683,11 @@ let tests =
     Alcotest.test_case "fcfs and sla ordering" `Quick test_fcfs_and_sla_ordering;
     Alcotest.test_case "cycle stats and requeue" `Quick test_cycle_stats_and_requeue;
     Alcotest.test_case "passthrough mode" `Quick test_passthrough_mode;
+    Alcotest.test_case "passthrough preserves tables" `Quick
+      test_passthrough_preserves_tables;
     Alcotest.test_case "abort releases locks" `Quick test_abort_txn_releases;
+    Alcotest.test_case "abort drops pending + unblocks" `Quick
+      test_abort_txn_drops_pending;
     Alcotest.test_case "trigger conditions" `Quick test_trigger;
     Alcotest.test_case "rule lang parse" `Quick test_rule_lang_parse;
     Alcotest.test_case "rule lang errors" `Quick test_rule_lang_errors;

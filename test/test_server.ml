@@ -149,6 +149,109 @@ let lock_invariant_prop =
         ops;
       !ok)
 
+(* Strictness at the lock layer: a granted lock stays held until the holder
+   itself calls release_all (commit/abort) — no other transaction's acquires
+   or releases can take it away. *)
+let lock_persistence_prop =
+  QCheck2.Test.make ~name:"locks persist until the holder releases" ~count:100
+    QCheck2.Gen.(
+      list_size (int_range 10 80)
+        (triple (int_range 1 5) (int_range 1 4) bool))
+    (fun ops ->
+      let lm = Lock_manager.create () in
+      let held = Hashtbl.create 16 in
+      (* (txn, obj) -> mode *)
+      let blocked = Hashtbl.create 16 in
+      let ok = ref true in
+      let effective_mode txn obj =
+        if Lock_manager.holds lm ~txn ~obj ~mode:Lock_manager.X then
+          Lock_manager.X
+        else Lock_manager.S
+      in
+      let still_held () =
+        Hashtbl.iter
+          (fun (txn, obj) mode ->
+            if not (Lock_manager.holds lm ~txn ~obj ~mode) then ok := false)
+          held
+      in
+      List.iter
+        (fun (txn, obj, release) ->
+          if release then begin
+            let granted = Lock_manager.release_all lm ~txn in
+            Hashtbl.filter_map_inplace
+              (fun (t, _) m -> if t = txn then None else Some m)
+              held;
+            Hashtbl.remove blocked txn;
+            List.iter
+              (fun (t, o) ->
+                Hashtbl.replace held (t, o) (effective_mode t o);
+                Hashtbl.remove blocked t)
+              granted
+          end
+          else if not (Hashtbl.mem blocked txn) then begin
+            let mode =
+              if (txn + obj) mod 2 = 0 then Lock_manager.X else Lock_manager.S
+            in
+            match Lock_manager.acquire lm ~txn ~obj ~mode with
+            | Lock_manager.Granted ->
+              Hashtbl.replace held (txn, obj) (effective_mode txn obj)
+            | Lock_manager.Blocked -> Hashtbl.replace blocked txn obj
+          end;
+          (* After *every* step, everything the model says is held must still
+             be held with at least its granted mode. *)
+          still_held ())
+        ops;
+      !ok)
+
+(* After every deadlock resolution (victim releases everything), the
+   waits-for graph must be cycle-free — otherwise a deadlock survives its own
+   "resolution" and the victims starve. *)
+let deadlock_resolution_prop =
+  QCheck2.Test.make ~name:"waits-for acyclic after every deadlock resolution"
+    ~count:100
+    QCheck2.Gen.(
+      list_size (int_range 20 100)
+        (triple (int_range 1 6) (int_range 1 3) bool))
+    (fun ops ->
+      let lm = Lock_manager.create () in
+      let blocked = Hashtbl.create 16 in
+      let ok = ref true in
+      let successors txn = Lock_manager.blockers lm ~txn in
+      let unblock_granted granted =
+        List.iter (fun (t, _) -> Hashtbl.remove blocked t) granted
+      in
+      List.iter
+        (fun (txn, obj, release) ->
+          if release then
+            unblock_granted (Lock_manager.release_all lm ~txn)
+          else if not (Hashtbl.mem blocked txn) then begin
+            let mode =
+              if (txn * 7 + obj) mod 3 = 0 then Lock_manager.S
+              else Lock_manager.X
+            in
+            match Lock_manager.acquire lm ~txn ~obj ~mode with
+            | Lock_manager.Granted -> ()
+            | Lock_manager.Blocked -> (
+              Hashtbl.replace blocked txn obj;
+              (* A deadlock can only appear when someone blocks; resolve it
+                 the way Native_sim does — abort the cycle's victim. *)
+              match Deadlock.find_cycle ~successors txn with
+              | None -> ()
+              | Some cycle ->
+                let victim = Deadlock.pick_victim cycle in
+                Hashtbl.remove blocked victim;
+                unblock_granted (Lock_manager.release_all lm ~txn:victim);
+                (* Post-resolution invariant: no blocked transaction is in a
+                   waits-for cycle any more. *)
+                List.iter
+                  (fun t ->
+                    if Deadlock.find_cycle ~successors t <> None then
+                      ok := false)
+                  (Lock_manager.blocked_txns lm))
+          end)
+        ops;
+      !ok)
+
 (* --- deadlock ------------------------------------------------------ *)
 
 let test_deadlock_cycle () =
@@ -370,6 +473,39 @@ let test_store_faithfulness () =
         (Row_store.writes s.Native_sim.final_store > 0))
     [ `Detection; `Wound_wait ]
 
+(* Randomized generalisation of test_store_faithfulness: across random
+   seeds, client counts, contention levels and both deadlock policies, the
+   multi-user run's final store equals a sequential replay of its committed
+   schedule on a fresh store. *)
+let store_replay_prop =
+  QCheck2.Test.make ~name:"final store equals schedule replay (random cfgs)"
+    ~count:15
+    QCheck2.Gen.(
+      triple (int_range 1 10_000) (int_range 2 25)
+        (pair (int_range 100 2_000) bool))
+    (fun (seed, n_clients, (n_objects, wound)) ->
+      let cfg =
+        {
+          Native_sim.default_config with
+          Native_sim.n_clients;
+          duration = 0.5;
+          seed;
+          log_schedule = true;
+          deadlock_policy = (if wound then `Wound_wait else `Detection);
+          spec =
+            {
+              Ds_workload.Spec.paper_default with
+              Ds_workload.Spec.n_objects;
+            };
+        }
+      in
+      let s = Native_sim.run cfg in
+      let fresh =
+        Row_store.create ~n_rows:(Row_store.n_rows s.Native_sim.final_store)
+      in
+      Replay.apply_to_store fresh s.Native_sim.schedule;
+      Row_store.diff fresh s.Native_sim.final_store = [])
+
 let test_row_store_unit () =
   let st = Row_store.create ~n_rows:10 in
   Alcotest.(check int) "initial" 0 (Row_store.read st 3);
@@ -415,6 +551,8 @@ let tests =
     Alcotest.test_case "lock double-block" `Quick test_lock_blocked_twice;
     Alcotest.test_case "release cancels waiters" `Quick test_release_cancels_waiters;
     QCheck_alcotest.to_alcotest lock_invariant_prop;
+    QCheck_alcotest.to_alcotest lock_persistence_prop;
+    QCheck_alcotest.to_alcotest deadlock_resolution_prop;
     Alcotest.test_case "deadlock cycle" `Quick test_deadlock_cycle;
     Alcotest.test_case "deadlock via locks" `Quick test_deadlock_via_locks;
     Alcotest.test_case "cpu fcfs" `Quick test_cpu_fcfs;
@@ -432,5 +570,6 @@ let tests =
     Alcotest.test_case "row store unit" `Quick test_row_store_unit;
     Alcotest.test_case "store faithfulness (MU = replay)" `Slow
       test_store_faithfulness;
+    QCheck_alcotest.to_alcotest store_replay_prop;
     Alcotest.test_case "backend batch" `Quick test_backend_batch;
   ]
