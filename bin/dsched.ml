@@ -122,7 +122,63 @@ let run_cmd =
             "Save the rte execution log as a trace CSV (validate it with \
              'dsched check FILE').")
   in
-  let run protocol clients duration objects passthrough seed log_rte =
+  let faults =
+    let conv_plan =
+      let parse s =
+        match Faults.plan_of_string s with
+        | Ok p -> Ok p
+        | Error m -> Error (`Msg m)
+      in
+      Arg.conv (parse, Faults.pp_plan)
+    in
+    Arg.(
+      value
+      & opt conv_plan Faults.none
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Fault plan, e.g. \
+             $(b,batch=0.1,stall=0.05,stall-dur=0.05,poison=0.01,disconnect=0.02,crash=40). \
+             Keys: batch (transient batch-failure rate), stall (+ stall-dur \
+             seconds), poison (always-failing requests), disconnect (client \
+             vanishes mid-txn), crash (middleware crash at that cycle, with \
+             live journal recovery). Implies deterministic scheduling \
+             (scheduler wall-time not charged).")
+  in
+  let max_retries =
+    Arg.(
+      value & opt int 3
+      & info [ "max-retries" ]
+          ~doc:"Transient failures tolerated per request before dead-letter.")
+  in
+  let queue_cap =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:
+            "Bound the incoming queue: shed the least urgent request for a \
+             more urgent arrival, push back otherwise.")
+  in
+  let batch_timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "batch-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-batch-attempt timeout (default 0.25 when faults are active).")
+  in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Write-ahead journal (inspect with 'dsched recover FILE'). A \
+             crash fault without one uses a temp file.")
+  in
+  let run protocol clients duration objects passthrough seed log_rte faults
+      max_retries queue_cap batch_timeout journal =
+    let faulty = not (Faults.is_none faults) in
     let cfg =
       {
         Middleware.default_config with
@@ -133,8 +189,24 @@ let run_cmd =
         passthrough;
         spec =
           { Ds_workload.Spec.paper_default with Ds_workload.Spec.n_objects = objects };
+        faults;
+        max_retries;
+        queue_capacity = queue_cap;
+        batch_timeout =
+          (match batch_timeout with
+          | Some _ as t -> t
+          | None -> if faulty then Some 0.25 else None);
+        journal_path = journal;
+        client_redo = faulty;
+        (* Wall-clock cycle charging is non-deterministic; fault runs must
+           reproduce exactly from the seed. *)
+        charge_scheduler_time =
+          (if faulty then false
+           else Middleware.default_config.Middleware.charge_scheduler_time);
       }
     in
+    if faulty then
+      Format.printf "fault plan: %a (seed %d)@." Faults.pp_plan faults seed;
     let s, sched = Middleware.run_full cfg in
     Format.printf "%a@." Middleware.pp_stats s;
     List.iter
@@ -142,6 +214,11 @@ let run_cmd =
         Format.printf "  %-8s n=%d latency mean=%.3fs p95=%.3fs@."
           (Sla.tier_to_string tier) n mean p95)
       s.Middleware.latency_by_tier;
+    let dead = Relations.dead_requests (Scheduler.relations sched) in
+    if dead <> [] then begin
+      Format.printf "dead-letter relation (%d):@." (List.length dead);
+      List.iter (fun r -> Format.printf "  %s@." (Request.to_string r)) dead
+    end;
     match log_rte with
     | None -> ()
     | Some file ->
@@ -153,7 +230,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ protocol_arg $ clients $ duration $ objects $ passthrough
-      $ seed $ log_rte)
+      $ seed $ log_rte $ faults $ max_retries $ queue_cap $ batch_timeout
+      $ journal)
 
 let native_cmd =
   let doc = "Run the native (lock-based) scheduler experiment (4.2)." in
@@ -375,7 +453,13 @@ let recover_cmd =
     Printf.printf "history (%d executed)\n" (List.length r.Journal.history);
     if r.Journal.aborted <> [] then
       Printf.printf "aborted transactions: %s\n"
-        (String.concat ", " (List.map string_of_int r.Journal.aborted))
+        (String.concat ", " (List.map string_of_int r.Journal.aborted));
+    if r.Journal.dead <> [] then begin
+      Printf.printf "dead-lettered (%d):\n" (List.length r.Journal.dead);
+      List.iter
+        (fun req -> Printf.printf "  %s\n" (Request.to_string req))
+        r.Journal.dead
+    end
   in
   Cmd.v (Cmd.info "recover" ~doc) Term.(const run $ file)
 

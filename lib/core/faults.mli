@@ -1,0 +1,82 @@
+(** Deterministic fault injection for the middleware loop.
+
+    The paper positions the declarative scheduler as middleware for highly
+    scalable systems; a middleware is only a system once it survives the
+    failures such systems produce (Gray, "Queues Are Databases"). This module
+    is a seeded fault {e plan} plus the runtime state needed to inject it:
+
+    - {b transient batch failures}: a dispatched server batch fails at a
+      random request; the remaining suffix must be retried;
+    - {b stalls}: one request of a batch takes [stall_duration] extra
+      seconds, tripping the middleware's per-batch timeout;
+    - {b poison requests}: requests that fail on {e every} execution attempt
+      (decided by a deterministic hash, so a poison request is still poison
+      after a retry or a crash recovery);
+    - {b client disconnects}: a client abandons its transaction after a few
+      statements, leaving the middleware to clean up;
+    - {b a middleware crash} at a chosen scheduler cycle, followed by a live
+      {!Journal.recover}/{!Journal.restore} and continuation of the run.
+
+    All randomness is drawn from a {!Ds_sim.Rng} stream, so a run with a
+    fixed seed and a fixed plan is exactly reproducible. *)
+
+open Ds_model
+
+type plan = {
+  batch_fail_rate : float;  (** per batch attempt: whole-batch transient failure *)
+  stall_rate : float;  (** per batch attempt: one request stalls *)
+  stall_duration : float;  (** seconds a stalled request hangs before completing *)
+  poison_rate : float;  (** per data request: always-failing request *)
+  disconnect_rate : float;  (** per transaction: client disconnects mid-txn *)
+  crash_at_cycle : int option;
+      (** crash the middleware at this scheduler cycle and recover from the
+          journal *)
+}
+
+(** The zero plan: no faults. [Middleware.default_config] uses it. *)
+val none : plan
+
+val is_none : plan -> bool
+
+(** @return [Error _] on negative rates, rates above 1, or a non-positive
+    crash cycle. *)
+val validate : plan -> (unit, string) result
+
+(** Parses a compact spec like
+    ["batch=0.1,stall=0.05,stall-dur=0.05,poison=0.01,disconnect=0.02,crash=40"].
+    Every key is optional; unknown keys are errors. *)
+val plan_of_string : string -> (plan, string) result
+
+val plan_to_string : plan -> string
+val pp_plan : Format.formatter -> plan -> unit
+
+type t
+
+(** [create plan rng] — [rng] drives every probabilistic draw. *)
+val create : plan -> Ds_sim.Rng.t -> t
+
+val plan : t -> plan
+
+(** Draw this batch attempt's fate: possibly choose a victim request that
+    will fail and/or one that will stall. Must be called once per dispatch
+    attempt (retries included) before the batch executes. *)
+val begin_attempt : t -> Request.t list -> unit
+
+(** The backend's per-request failure hook (see
+    {!Ds_server.Backend.set_fault_hook}): poison and the current attempt's
+    victims fail or stall, everything else proceeds. *)
+val request_outcome : t -> Request.t -> [ `Ok | `Fail | `Stall of float ]
+
+(** Deterministic per-request poison predicate (stable across retries and
+    crash recovery; terminals are never poison). *)
+val is_poison : t -> Request.t -> bool
+
+(** Drawn at transaction start: [Some n] means the client disconnects after
+    its [n]-th executed data statement. *)
+val draw_disconnect_after : t -> data_stmts:int -> int option
+
+(** Injected-fault counters (transient batch failures / stalls drawn so
+    far). *)
+val injected_failures : t -> int
+
+val injected_stalls : t -> int

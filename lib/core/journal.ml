@@ -1,9 +1,15 @@
 open Ds_model
 
-type t = { oc : out_channel }
+type t = {
+  oc : out_channel;
+  path : string;
+  sync : bool;
+  mutable flushed_pos : int;  (* bytes known durable (after last [flush]) *)
+}
 
-let open_ path =
-  { oc = open_out_gen [ Open_append; Open_creat ] 0o644 path }
+let open_ ?(sync = false) path =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  { oc; path; sync; flushed_pos = out_channel_length oc }
 
 let close t = close_out t.oc
 
@@ -18,14 +24,30 @@ let log_qualified t keys =
 
 let log_abort t ta = output_string t.oc (Printf.sprintf "A %d\n" ta)
 
+let log_dead t r =
+  output_string t.oc ("D " ^ Ds_workload.Trace.line_of_request r ^ "\n")
+
 let log_prune t = output_string t.oc "P\n"
 
-let flush t = Stdlib.flush t.oc
+let flush t =
+  Stdlib.flush t.oc;
+  if t.sync then Unix.fsync (Unix.descr_of_out_channel t.oc);
+  t.flushed_pos <- out_channel_length t.oc
+
+let size t = t.flushed_pos
+
+let crash t =
+  (* close_out writes the channel buffer through, which a real crash would
+     not; truncating back to the last flushed position restores the honest
+     on-disk state. *)
+  (try close_out t.oc with Sys_error _ -> ());
+  Unix.truncate t.path t.flushed_pos
 
 type recovered = {
   pending : Request.t list;
   history : Request.t list;
   aborted : int list;
+  dead : Request.t list;
   replayed : int;
 }
 
@@ -35,6 +57,7 @@ type replay_state = {
   mutable order : (int * int) list;  (* submission order, reversed *)
   mutable hist : Request.t list;  (* reversed *)
   mutable aborts : int list;  (* reversed *)
+  mutable dead_ : Request.t list;  (* reversed *)
 }
 
 let apply st lineno line =
@@ -69,6 +92,10 @@ let apply st lineno line =
           (Hashtbl.copy st.submitted);
         st.aborts <- ta :: st.aborts
       | None -> fail "malformed A entry")
+    | 'D', rest ->
+      let r = Ds_workload.Trace.request_of_line ~lineno rest in
+      Hashtbl.remove st.submitted (Request.key r);
+      st.dead_ <- r :: st.dead_
     | 'P', _ -> () (* pruning is an optimization; replay keeps full history *)
     | _ -> fail "unknown entry kind"
 
@@ -82,7 +109,13 @@ let recover path =
    with End_of_file -> close_in ic);
   let lines = Array.of_list (List.rev !lines) in
   let st =
-    { submitted = Hashtbl.create 64; order = []; hist = []; aborts = [] }
+    {
+      submitted = Hashtbl.create 64;
+      order = [];
+      hist = [];
+      aborts = [];
+      dead_ = [];
+    }
   in
   let replayed = ref 0 in
   let n = Array.length lines in
@@ -123,10 +156,11 @@ let recover path =
     pending;
     history = List.rev st.hist;
     aborted = List.rev st.aborts;
+    dead = List.rev st.dead_;
     replayed = !replayed;
   }
 
-let restore recovered rels =
+let restore ?(rte = false) recovered rels =
   Relations.clear rels;
   List.iter
     (fun r ->
@@ -144,4 +178,6 @@ let restore recovered rels =
       Ds_relal.Table.insert rels.Relations.history
         (Relations.row_of_request ~extended:rels.Relations.extended marker))
     recovered.aborted;
+  if rte then Relations.insert_rte rels recovered.history;
+  List.iter (Relations.insert_dead rels) recovered.dead;
   Relations.insert_pending_batch rels recovered.pending

@@ -9,6 +9,7 @@
     S id,ta,intrata,op,obj,sla,arrival    request submitted (Trace format)
     Q ta intrata                          request qualified -> history
     A ta                                  transaction aborted by the scheduler
+    D id,ta,intrata,op,obj,sla,arrival    request dead-lettered (poison)
     P                                     history pruned
     v}
 
@@ -22,23 +23,41 @@ open Ds_model
 
 type t
 
-(** [open_ path] appends to [path] (created if missing). *)
-val open_ : string -> t
+(** [open_ path] appends to [path] (created if missing). With [~sync:true],
+    every {!flush} additionally calls [Unix.fsync], so a process kill cannot
+    lose a cycle the scheduler already acknowledged. *)
+val open_ : ?sync:bool -> string -> t
 
 val close : t -> unit
 val log_submit : t -> Request.t -> unit
 val log_qualified : t -> (int * int) list -> unit
 val log_abort : t -> int -> unit
+
+(** Records a dead-lettered (poison) request so recovery keeps it out of
+    pending and in the dead relation. *)
+val log_dead : t -> Request.t -> unit
+
 val log_prune : t -> unit
 
 (** Flushes buffered entries to the OS (called by the scheduler at the end of
-    every cycle). *)
+    every cycle); fsyncs too when the journal was opened with [~sync:true]. *)
 val flush : t -> unit
+
+(** Bytes known durable — the journal size as of the last {!flush}. Used by
+    the kill-point recovery property to enumerate crash offsets. *)
+val size : t -> int
+
+(** Simulates a middleware crash: closes the channel and truncates the file
+    back to the last flushed position, discarding entries a real crash would
+    have lost from the channel buffer. The journal is unusable afterwards;
+    recover with {!recover}/{!restore} and a fresh {!open_}. *)
+val crash : t -> unit
 
 type recovered = {
   pending : Request.t list;  (** submitted, not yet qualified, not aborted *)
   history : Request.t list;  (** qualified, in qualification order *)
   aborted : int list;  (** transactions aborted by the middleware *)
+  dead : Request.t list;  (** dead-lettered (poison) requests *)
   replayed : int;  (** journal lines applied *)
 }
 
@@ -48,5 +67,8 @@ val recover : string -> recovered
 
 (** Rebuilds a relation set from a recovery result: pending requests are
     reinserted into [requests]; the history is restored in order, with abort
-    markers for aborted transactions. *)
-val restore : recovered -> Relations.t -> unit
+    markers for aborted transactions; dead-lettered requests go to the dead
+    relation. With [~rte:true] the recovered history is also replayed into
+    [rte], so the execution log stays continuous across a mid-run crash
+    (used by the live-recovery path in {!Middleware}). *)
+val restore : ?rte:bool -> recovered -> Relations.t -> unit

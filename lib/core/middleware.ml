@@ -15,6 +15,15 @@ type config = {
   prune_history : bool;
   starvation_cycles : int;
   passthrough : bool;
+  faults : Faults.plan;
+  max_retries : int;
+  retry_base : float;
+  retry_cap : float;
+  batch_timeout : float option;
+  queue_capacity : int option;
+  journal_path : string option;
+  sync_journal : bool;
+  client_redo : bool;
 }
 
 let default_config =
@@ -31,6 +40,15 @@ let default_config =
     prune_history = true;
     starvation_cycles = 50;
     passthrough = false;
+    faults = Faults.none;
+    max_retries = 3;
+    retry_base = 0.01;
+    retry_cap = 0.5;
+    batch_timeout = None;
+    queue_capacity = None;
+    journal_path = None;
+    sync_journal = false;
+    client_redo = false;
   }
 
 type stats = {
@@ -46,6 +64,15 @@ type stats = {
   mean_txn_latency : float;
   p95_txn_latency : float;
   latency_by_tier : (Sla.tier * float * float * int) list;
+  retries : int;
+  timeouts : int;
+  injected_failures : int;
+  injected_stalls : int;
+  shed_txns : int;
+  backpressure_waits : int;
+  dead_lettered : int;
+  disconnects : int;
+  crashes : int;
 }
 
 type client = {
@@ -54,19 +81,38 @@ type client = {
   mutable txn : Txn.t;
   mutable remaining : Request.t list;
   mutable txn_start : float;
-  mutable outstanding : (int * int) option;
+  mutable outstanding : Request.t option;
   mutable stall_cycles : int;
   mutable data_stmts : int;  (** executed data statements of current txn *)
+  mutable disconnect_after : int option;
+      (** injected fault: client disconnects after this many data stmts *)
+  mutable redo : Txn.t option;
+      (** with [client_redo], the txn to re-run after a middleware abort *)
+}
+
+(* One dispatch attempt of a batch. [closed] flips when the attempt ends
+   (completion, failure handling, timeout) and suppresses late events from the
+   server — after a timeout the server may still grind through the abandoned
+   suffix, but those completions are wasted work, not deliveries. *)
+type attempt = {
+  mutable closed : bool;
+  mutable undelivered : Request.t list;
 }
 
 type sim = {
   cfg : config;
   engine : Engine.t;
   backend : Ds_server.Backend.t;
-  sched : Scheduler.t;
+  mutable sched : Scheduler.t;
   clients : client array;
   by_ta : (int, client) Hashtbl.t;
   rng : Rng.t;
+  journal_path : string option;
+  mutable journal : Journal.t option;
+  mutable faults : Faults.t option;
+  mutable epoch : int;  (** bumped at crash; stale server callbacks check it *)
+  mutable crash_done : bool;
+  mutable cycles_done : int;
   mutable ta_counter : int;
   mutable req_counter : int;
   mutable cycle_fire_pending : bool;
@@ -74,6 +120,15 @@ type sim = {
   mutable committed_txns : int;
   mutable committed_stmts : int;
   mutable aborted_txns : int;
+  fail_streaks : (int * int, int) Hashtbl.t;
+      (** consecutive failed attempts per request key; cleared on delivery *)
+  mutable retries : int;
+  mutable timeouts : int;
+  mutable shed_txns : int;
+  mutable backpressure_waits : int;
+  mutable dead_lettered : int;
+  mutable disconnects : int;
+  mutable crashes : int;
   cycle_times : Ds_stats.Summary.t;
   cycle_times_hist : Ds_stats.Histogram.t;
   batch_sizes : Ds_stats.Summary.t;
@@ -93,23 +148,80 @@ let renumber sim (r : Request.t) =
 
 let rec start_txn sim client =
   let ta = fresh_ta sim client in
-  client.txn <- Generator.next_txn client.gen ~ta;
+  (match client.redo with
+  | Some txn ->
+    (* Client-side transaction retry: re-run the aborted transaction's
+       operations under a fresh TA (new locks, new poison hash). *)
+    client.redo <- None;
+    let ops =
+      List.map
+        (fun (r : Request.t) -> (r.Request.op, r.Request.obj))
+        txn.Txn.requests
+    in
+    client.txn <- Txn.make ~ta ~sla:txn.Txn.sla ops
+  | None -> client.txn <- Generator.next_txn client.gen ~ta);
   client.remaining <- client.txn.Txn.requests;
   client.txn_start <- Engine.now sim.engine;
   client.data_stmts <- 0;
   client.stall_cycles <- 0;
+  (client.disconnect_after <-
+     (match sim.faults with
+     | Some f ->
+       let data =
+         List.length (List.filter Request.is_data client.txn.Txn.requests)
+       in
+       Faults.draw_disconnect_after f ~data_stmts:data
+     | None -> None));
   submit_next sim client
+
+and restart_client ?(redo = false) sim client =
+  if redo && sim.cfg.client_redo then client.redo <- Some client.txn;
+  let backoff = 0.001 *. (1. +. Rng.float sim.rng) in
+  ignore (Engine.schedule sim.engine ~after:backoff (fun () -> start_txn sim client))
 
 and submit_next sim client =
   match client.remaining with
   | [] -> ()
-  | req :: rest ->
-    client.remaining <- rest;
+  | req :: rest -> (
     let req = renumber sim req in
-    client.outstanding <- Some (Request.key req);
-    client.stall_cycles <- 0;
-    Scheduler.submit sim.sched req;
-    maybe_fire sim
+    let accept () =
+      client.remaining <- rest;
+      client.outstanding <- Some req;
+      client.stall_cycles <- 0
+    in
+    match sim.cfg.queue_capacity with
+    | None ->
+      accept ();
+      Scheduler.submit sim.sched req;
+      maybe_fire sim
+    | Some cap -> (
+      match Scheduler.submit_bounded sim.sched ~capacity:cap req with
+      | `Accepted ->
+        accept ();
+        maybe_fire sim
+      | `Accepted_shed victim ->
+        (* Overload: the queue made room by shedding its least urgent
+           request; that transaction is aborted and its client restarts. *)
+        accept ();
+        sim.shed_txns <- sim.shed_txns + 1;
+        sim.aborted_txns <- sim.aborted_txns + 1;
+        let vta = victim.Request.ta in
+        ignore (Scheduler.abort_txn sim.sched vta);
+        (match Hashtbl.find_opt sim.by_ta vta with
+        | Some vc ->
+          Hashtbl.remove sim.by_ta vta;
+          vc.outstanding <- None;
+          restart_client ~redo:true sim vc
+        | None -> ());
+        maybe_fire sim
+      | `Rejected ->
+        (* Backpressure: nothing queued, nothing journalled — hold the
+           request at the client and try again shortly. *)
+        sim.backpressure_waits <- sim.backpressure_waits + 1;
+        let wait = 0.005 *. (1. +. Rng.float sim.rng) in
+        ignore
+          (Engine.schedule sim.engine ~after:wait (fun () ->
+               submit_next sim client))))
 
 and maybe_fire sim =
   let elapsed = Engine.now sim.engine -. sim.last_cycle_at in
@@ -126,11 +238,25 @@ and maybe_fire sim =
 and run_cycle sim =
   sim.cycle_fire_pending <- false;
   sim.last_cycle_at <- Engine.now sim.engine;
-  if Scheduler.queue_length sim.sched > 0 || Scheduler.pending_count sim.sched > 0
+  let crash_now =
+    match sim.faults with
+    | Some f -> (
+      match (Faults.plan f).Faults.crash_at_cycle with
+      | Some c -> (not sim.crash_done) && sim.cycles_done + 1 >= c
+      | None -> false)
+    | None -> false
+  in
+  if crash_now then begin
+    sim.crash_done <- true;
+    crash_and_recover sim
+  end
+  else if
+    Scheduler.queue_length sim.sched > 0 || Scheduler.pending_count sim.sched > 0
   then begin
     let qualified, stats =
       Scheduler.cycle ~passthrough:sim.cfg.passthrough sim.sched
     in
+    sim.cycles_done <- sim.cycles_done + 1;
     let dt = Scheduler.total_time stats.Scheduler.times in
     Ds_stats.Summary.add sim.cycle_times dt;
     Ds_stats.Histogram.add sim.cycle_times_hist dt;
@@ -146,26 +272,95 @@ and run_cycle sim =
     Array.iter
       (fun c ->
         match c.outstanding with
-        | Some key when not (Hashtbl.mem qualified_keys key) ->
+        | Some o when not (Hashtbl.mem qualified_keys (Request.key o)) ->
           c.stall_cycles <- c.stall_cycles + 1;
           if c.stall_cycles >= sim.cfg.starvation_cycles then begin
-            let ta = fst key in
+            let ta = o.Request.ta in
             ignore (Scheduler.abort_txn sim.sched ta);
             Hashtbl.remove sim.by_ta ta;
             sim.aborted_txns <- sim.aborted_txns + 1;
             c.outstanding <- None;
-            let backoff = 0.001 *. (1. +. Rng.float sim.rng) in
-            ignore
-              (Engine.schedule sim.engine ~after:backoff (fun () ->
-                   start_txn sim c))
+            restart_client ~redo:true sim c
           end
         | _ -> ())
       sim.clients;
     let dispatch_delay = if sim.cfg.charge_scheduler_time then dt else 0. in
+    let epoch = sim.epoch in
     ignore
       (Engine.schedule sim.engine ~after:dispatch_delay (fun () ->
-           Ds_server.Backend.execute_seq sim.backend qualified
-             ~on_each:(deliver sim) (fun () -> ())))
+           if sim.epoch = epoch then dispatch sim ~epoch qualified))
+  end
+
+and dispatch sim ~epoch requests =
+  if requests <> [] then begin
+    Option.iter (fun f -> Faults.begin_attempt f requests) sim.faults;
+    let att = { closed = false; undelivered = requests } in
+    let live () = (not att.closed) && sim.epoch = epoch in
+    Option.iter
+      (fun d ->
+        ignore
+          (Engine.schedule sim.engine ~after:d (fun () ->
+               if live () then begin
+                 att.closed <- true;
+                 sim.timeouts <- sim.timeouts + 1;
+                 match att.undelivered with
+                 | [] -> ()
+                 | r :: _ -> handle_failure sim ~epoch r att.undelivered
+               end)))
+      sim.cfg.batch_timeout;
+    Ds_server.Backend.execute_seq_result sim.backend requests
+      ~on_each:(fun r ->
+        if live () then begin
+          (match att.undelivered with
+          | x :: rest when Request.key x = Request.key r ->
+            att.undelivered <- rest
+          | _ -> ());
+          Hashtbl.remove sim.fail_streaks (Request.key r);
+          deliver sim r
+        end)
+      (fun result ->
+        if live () then begin
+          att.closed <- true;
+          match result with
+          | `Completed -> ()
+          | `Failed r -> handle_failure sim ~epoch r att.undelivered
+        end)
+  end
+
+and handle_failure sim ~epoch failed undelivered =
+  let key = Request.key failed in
+  let streak =
+    1 + Option.value ~default:0 (Hashtbl.find_opt sim.fail_streaks key)
+  in
+  Hashtbl.replace sim.fail_streaks key streak;
+  if streak > sim.cfg.max_retries then begin
+    (* Poison: the same request failed every attempt. Dead-letter it, abort
+       its transaction and keep the rest of the batch moving. *)
+    Hashtbl.remove sim.fail_streaks key;
+    sim.dead_lettered <- sim.dead_lettered + 1;
+    sim.aborted_txns <- sim.aborted_txns + 1;
+    Scheduler.dead_letter sim.sched failed;
+    let ta = failed.Request.ta in
+    ignore (Scheduler.abort_txn sim.sched ta);
+    (match Hashtbl.find_opt sim.by_ta ta with
+    | Some c ->
+      Hashtbl.remove sim.by_ta ta;
+      c.outstanding <- None;
+      restart_client ~redo:true sim c
+    | None -> ());
+    let rest = List.filter (fun q -> Request.key q <> key) undelivered in
+    dispatch sim ~epoch rest
+  end
+  else begin
+    sim.retries <- sim.retries + 1;
+    let backoff =
+      let exp = float_of_int (1 lsl min 10 (streak - 1)) in
+      Float.min sim.cfg.retry_cap (sim.cfg.retry_base *. exp)
+      *. (1. +. (0.5 *. Rng.float sim.rng))
+    in
+    ignore
+      (Engine.schedule sim.engine ~after:backoff (fun () ->
+           if sim.epoch = epoch then dispatch sim ~epoch undelivered))
   end
 
 and deliver sim (req : Request.t) =
@@ -173,11 +368,21 @@ and deliver sim (req : Request.t) =
   | None -> () (* aborted meanwhile *)
   | Some client -> (
     match client.outstanding with
-    | Some key when key = Request.key req ->
+    | Some o when Request.key o = Request.key req ->
       client.outstanding <- None;
       if Request.is_data req then begin
         client.data_stmts <- client.data_stmts + 1;
-        submit_next sim client
+        match client.disconnect_after with
+        | Some n when client.data_stmts >= n ->
+          (* Injected fault: the client vanishes mid-transaction; the
+             middleware aborts the orphan and the client reconnects. *)
+          sim.disconnects <- sim.disconnects + 1;
+          sim.aborted_txns <- sim.aborted_txns + 1;
+          let ta = req.Request.ta in
+          ignore (Scheduler.abort_txn sim.sched ta);
+          Hashtbl.remove sim.by_ta ta;
+          restart_client sim client
+        | _ -> submit_next sim client
       end
       else begin
         (* Terminal executed: transaction complete. *)
@@ -204,15 +409,106 @@ and deliver sim (req : Request.t) =
       end
     | Some _ | None -> ())
 
+and crash_and_recover sim =
+  let path =
+    match sim.journal_path with
+    | Some p -> p
+    | None -> invalid_arg "Middleware: crash fault requires a journal"
+  in
+  sim.crashes <- sim.crashes + 1;
+  (* The epoch bump orphans every in-flight server callback: whatever the
+     backend was executing dies with the middleware process. *)
+  sim.epoch <- sim.epoch + 1;
+  (match sim.journal with Some j -> Journal.crash j | None -> assert false);
+  let recovered = Journal.recover path in
+  let j = Journal.open_ ~sync:sim.cfg.sync_journal path in
+  let sched =
+    Scheduler.create ~extended:sim.cfg.extended_relations
+      ~prune_history_each_cycle:sim.cfg.prune_history ~journal:j
+      sim.cfg.protocol
+  in
+  (* ~rte keeps the execution log continuous across the crash, so the whole
+     run still check-validates as one schedule. *)
+  Journal.restore ~rte:true recovered (Scheduler.relations sched);
+  sim.journal <- Some j;
+  sim.sched <- sched;
+  sim.cycle_fire_pending <- false;
+  (* In-flight retry bookkeeping died with the process. *)
+  Hashtbl.reset sim.fail_streaks;
+  (* Reconcile every connected client against the recovered relations. *)
+  let mem_keys rs =
+    let tbl = Hashtbl.create (2 * List.length rs) in
+    List.iter (fun r -> Hashtbl.replace tbl (Request.key r) ()) rs;
+    fun key -> Hashtbl.mem tbl key
+  in
+  let in_history = mem_keys recovered.Journal.history in
+  let in_dead = mem_keys recovered.Journal.dead in
+  let in_pending = mem_keys recovered.Journal.pending in
+  let aborted = Hashtbl.create 16 in
+  List.iter (fun ta -> Hashtbl.replace aborted ta ()) recovered.Journal.aborted;
+  Array.iter
+    (fun c ->
+      match c.outstanding with
+      | None -> ()
+      | Some req ->
+        let key = Request.key req in
+        let ta = req.Request.ta in
+        if Hashtbl.mem aborted ta || in_dead key then begin
+          (* The middleware had already given up on this transaction. *)
+          Hashtbl.remove sim.by_ta ta;
+          c.outstanding <- None;
+          restart_client ~redo:true sim c
+        end
+        else if in_history key then begin
+          match sim.faults with
+          | Some f when Faults.is_poison f req ->
+            (* Qualified before the crash but can never execute; dead-letter
+               it now instead of re-delivering. *)
+            sim.dead_lettered <- sim.dead_lettered + 1;
+            sim.aborted_txns <- sim.aborted_txns + 1;
+            Scheduler.dead_letter sim.sched req;
+            ignore (Scheduler.abort_txn sim.sched ta);
+            Hashtbl.remove sim.by_ta ta;
+            c.outstanding <- None;
+            restart_client ~redo:true sim c
+          | _ ->
+            (* Qualified (= logically executed) but the response was lost in
+               the crash: re-deliver it. *)
+            ignore
+              (Engine.schedule sim.engine ~after:0. (fun () -> deliver sim req))
+        end
+        else if in_pending key then
+          (* Restored into the pending table; it will qualify in a later
+             cycle and the client keeps waiting. *)
+          ()
+        else
+          (* The S record was still in the channel buffer when the process
+             died; the client resubmits. *)
+          Scheduler.submit sim.sched req)
+    sim.clients;
+  maybe_fire sim
+
 let run_full (cfg : config) =
   (match Spec.validate cfg.spec with
   | Ok () -> ()
   | Error m -> invalid_arg ("Middleware.run: " ^ m));
+  (match Faults.validate cfg.faults with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Middleware.run: faults: " ^ m));
+  if cfg.max_retries < 0 then
+    invalid_arg "Middleware.run: max_retries must be non-negative";
   let engine = Engine.create () in
   let master = Rng.create cfg.seed in
+  let journal_path, auto_journal =
+    match (cfg.journal_path, cfg.faults.Faults.crash_at_cycle) with
+    | Some p, _ -> (Some p, false)
+    | None, Some _ -> (Some (Filename.temp_file "dsched" ".journal"), true)
+    | None, None -> (None, false)
+  in
+  let journal = Option.map (fun p -> Journal.open_ ~sync:cfg.sync_journal p) journal_path in
   let sched =
     Scheduler.create ~extended:cfg.extended_relations
-      ~prune_history_each_cycle:cfg.prune_history cfg.protocol
+      ~prune_history_each_cycle:cfg.prune_history ?journal cfg.protocol
   in
   let sim =
     {
@@ -231,9 +527,17 @@ let run_full (cfg : config) =
               outstanding = None;
               stall_cycles = 0;
               data_stmts = 0;
+              disconnect_after = None;
+              redo = None;
             });
       by_ta = Hashtbl.create (4 * cfg.n_clients);
       rng = Rng.split master;
+      journal_path;
+      journal;
+      faults = None;
+      epoch = 0;
+      crash_done = false;
+      cycles_done = 0;
       ta_counter = 0;
       req_counter = 0;
       cycle_fire_pending = false;
@@ -241,6 +545,14 @@ let run_full (cfg : config) =
       committed_txns = 0;
       committed_stmts = 0;
       aborted_txns = 0;
+      fail_streaks = Hashtbl.create 16;
+      retries = 0;
+      timeouts = 0;
+      shed_txns = 0;
+      backpressure_waits = 0;
+      dead_lettered = 0;
+      disconnects = 0;
+      crashes = 0;
       cycle_times = Ds_stats.Summary.create ();
       cycle_times_hist = Ds_stats.Histogram.create ();
       batch_sizes = Ds_stats.Summary.create ();
@@ -249,6 +561,13 @@ let run_full (cfg : config) =
       tier_latencies = Hashtbl.create 4;
     }
   in
+  (* Split the fault stream after clients and sim.rng so no-fault runs keep
+     the exact RNG draws (and behavior) they had before faults existed. *)
+  if not (Faults.is_none cfg.faults) then begin
+    let f = Faults.create cfg.faults (Rng.split master) in
+    sim.faults <- Some f;
+    Ds_server.Backend.set_fault_hook sim.backend (Faults.request_outcome f)
+  end;
   (* Periodic timer for time-based triggers; it re-checks pending work even
      when no client is submitting. *)
   (match Trigger.period cfg.trigger with
@@ -260,10 +579,14 @@ let run_full (cfg : config) =
     in
     ignore (Engine.schedule engine ~after:dt tick)
   | None ->
-    (* Pure fill triggers can stall when every client is blocked; a slow
-       fallback timer keeps re-evaluating pending requests. *)
+    (* Pure fill triggers can stall when every client is blocked with
+       queue_len < k; a slow fallback timer keeps firing as long as work is
+       sitting in the incoming queue or the pending table. *)
     let rec tick () =
-      if Scheduler.pending_count sim.sched > 0 && not sim.cycle_fire_pending
+      if
+        (Scheduler.queue_length sim.sched > 0
+        || Scheduler.pending_count sim.sched > 0)
+        && not sim.cycle_fire_pending
       then begin
         sim.cycle_fire_pending <- true;
         ignore (Engine.schedule engine ~after:0. (fun () -> run_cycle sim))
@@ -276,6 +599,9 @@ let run_full (cfg : config) =
     (fun c -> ignore (Engine.schedule engine ~after:0. (fun () -> start_txn sim c)))
     sim.clients;
   Engine.run_until engine ~until:cfg.duration;
+  Option.iter Journal.close sim.journal;
+  if auto_journal then
+    Option.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) journal_path;
   let tiers =
     Hashtbl.fold
       (fun tier (hist, count) acc ->
@@ -288,7 +614,7 @@ let run_full (cfg : config) =
       committed_txns = sim.committed_txns;
       committed_stmts = sim.committed_stmts;
       aborted_txns = sim.aborted_txns;
-      cycles = Scheduler.cycles_run sim.sched;
+      cycles = sim.cycles_done;
       mean_cycle_time = Ds_stats.Summary.mean sim.cycle_times;
       p95_cycle_time = Ds_stats.Histogram.p95 sim.cycle_times_hist;
       mean_batch = Ds_stats.Summary.mean sim.batch_sizes;
@@ -297,8 +623,19 @@ let run_full (cfg : config) =
       mean_txn_latency = Ds_stats.Histogram.mean sim.latencies;
       p95_txn_latency = Ds_stats.Histogram.p95 sim.latencies;
       latency_by_tier = tiers;
+      retries = sim.retries;
+      timeouts = sim.timeouts;
+      injected_failures =
+        (match sim.faults with Some f -> Faults.injected_failures f | None -> 0);
+      injected_stalls =
+        (match sim.faults with Some f -> Faults.injected_stalls f | None -> 0);
+      shed_txns = sim.shed_txns;
+      backpressure_waits = sim.backpressure_waits;
+      dead_lettered = sim.dead_lettered;
+      disconnects = sim.disconnects;
+      crashes = sim.crashes;
     },
-    sched )
+    sim.sched )
 
 let run cfg = fst (run_full cfg)
 
@@ -310,4 +647,14 @@ let pp_stats ppf (s : stats) =
     (1000. *. s.mean_cycle_time)
     (1000. *. s.p95_cycle_time)
     s.mean_batch s.mean_pending s.scheduler_time s.mean_txn_latency
-    s.p95_txn_latency
+    s.p95_txn_latency;
+  if
+    s.retries > 0 || s.timeouts > 0 || s.injected_failures > 0
+    || s.injected_stalls > 0 || s.shed_txns > 0 || s.backpressure_waits > 0
+    || s.dead_lettered > 0 || s.disconnects > 0 || s.crashes > 0
+  then
+    Format.fprintf ppf
+      " faults(injected=%d stalls=%d retries=%d timeouts=%d shed=%d \
+       backpressure=%d dead=%d disconnects=%d crashes=%d)"
+      s.injected_failures s.injected_stalls s.retries s.timeouts s.shed_txns
+      s.backpressure_waits s.dead_lettered s.disconnects s.crashes

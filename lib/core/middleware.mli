@@ -13,7 +13,32 @@
     Transactions whose pending request makes no progress for
     [starvation_cycles] scheduler cycles are aborted and retried with a fresh
     transaction number — the middleware analogue of the native scheduler's
-    deadlock handling. *)
+    deadlock handling.
+
+    {2 Faults and degradation}
+
+    A nonzero {!Faults.plan} threads deterministic failures through the loop:
+    server batches fail or stall mid-batch, poison requests fail every
+    attempt, clients disconnect mid-transaction, and the middleware itself
+    can crash at a chosen cycle and recover live from its journal. The
+    middleware degrades gracefully rather than wedging:
+
+    - a failed batch retries its unexecuted suffix after capped exponential
+      backoff with jitter, charged to the simulated clock;
+    - an optional per-batch timeout ([batch_timeout]) abandons a stalled
+      attempt and goes through the same retry path;
+    - a request that keeps failing ([max_retries] exceeded) is dead-lettered
+      into the [dead] relation (journalled, so recovery preserves it) and
+      its transaction is aborted;
+    - with [queue_capacity] set, the incoming queue is bounded: a full queue
+      sheds its least urgent request for a strictly-more-urgent arrival
+      (SLA-tier-aware load shedding) or pushes back on the client
+      (backpressure);
+    - after a crash, {!Journal.recover}/{!Journal.restore} rebuild the
+      relations, lost responses are re-delivered from the recovered history,
+      requests whose submission never reached the disk are resubmitted, and
+      the run continues — the [rte] log stays one continuous, checkable
+      schedule. *)
 
 open Ds_model
 open Ds_workload
@@ -31,6 +56,19 @@ type config = {
   prune_history : bool;
   starvation_cycles : int;
   passthrough : bool;  (** non-scheduling mode (§3.3) *)
+  faults : Faults.plan;  (** fault plan ({!Faults.none} = fault-free) *)
+  max_retries : int;  (** per-request transient-failure budget before dead-letter *)
+  retry_base : float;  (** backoff base in virtual seconds *)
+  retry_cap : float;  (** backoff ceiling in virtual seconds *)
+  batch_timeout : float option;  (** per-batch-attempt timeout ([None] = off) *)
+  queue_capacity : int option;  (** incoming-queue bound ([None] = unbounded) *)
+  journal_path : string option;
+      (** write-ahead journal; a crash fault without one gets a temp file *)
+  sync_journal : bool;  (** fsync the journal at every cycle flush *)
+  client_redo : bool;
+      (** clients re-run a middleware-aborted transaction (fresh TA) instead
+          of moving on to new work — the realistic client contract under
+          faults; off by default to preserve historical fault-free behavior *)
 }
 
 val default_config : config
@@ -39,6 +77,8 @@ type stats = {
   committed_txns : int;
   committed_stmts : int;
   aborted_txns : int;
+      (** all middleware-initiated aborts: starvation, load shedding,
+          dead-lettering and client disconnects *)
   cycles : int;
   mean_cycle_time : float;  (** real seconds per scheduler cycle *)
   p95_cycle_time : float;
@@ -49,6 +89,15 @@ type stats = {
   p95_txn_latency : float;
   latency_by_tier : (Sla.tier * float * float * int) list;
       (** (tier, mean, p95, committed txns) *)
+  retries : int;  (** batch re-dispatches after a failure or timeout *)
+  timeouts : int;  (** batch attempts abandoned by the per-batch timeout *)
+  injected_failures : int;  (** transient batch failures drawn by the plan *)
+  injected_stalls : int;  (** stalls drawn by the plan *)
+  shed_txns : int;  (** transactions shed by the bounded queue *)
+  backpressure_waits : int;  (** submissions turned away to retry later *)
+  dead_lettered : int;  (** requests given up on (dead relation) *)
+  disconnects : int;  (** injected client disconnects *)
+  crashes : int;  (** middleware crashes survived *)
 }
 
 val run : config -> stats

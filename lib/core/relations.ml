@@ -6,6 +6,7 @@ type t = {
   requests : Table.t;
   history : Table.t;
   rte : Table.t;
+  dead : Table.t;
   extended : bool;
 }
 
@@ -33,6 +34,7 @@ let create ?(extended = false) () =
   let requests = Table.create ~name:"requests" s in
   let history = Table.create ~name:"history" s in
   let rte = Table.create ~name:"rte" s in
+  let dead = Table.create ~name:"dead" s in
   (* The protocol queries join on ta and probe objects; declare the indexes
      the optimizer ablation toggles. *)
   List.iter
@@ -44,8 +46,8 @@ let create ?(extended = false) () =
       Table.create_ordered_index t 4 (* object, range predicates (rationing) *))
     [ requests; history ];
   let catalog = Ds_sql.Catalog.create () in
-  List.iter (Ds_sql.Catalog.register catalog) [ requests; history; rte ];
-  { catalog; requests; history; rte; extended }
+  List.iter (Ds_sql.Catalog.register catalog) [ requests; history; rte; dead ];
+  { catalog; requests; history; rte; dead; extended }
 
 let row_of_request ~extended (r : Request.t) =
   let obj = match r.Request.obj with Some o -> Value.Int o | None -> Value.Null in
@@ -183,7 +185,15 @@ let rte_count t = Table.row_count t.rte
 let insert_rte t rs =
   Table.insert_many t.rte (List.map (row_of_request ~extended:t.extended) rs)
 
+let insert_dead t r = Table.insert t.dead (row_of_request ~extended:t.extended r)
+
+let dead_requests t =
+  List.map (request_of_row ~extended:t.extended) (Table.rows t.dead)
+
+let dead_count t = Table.row_count t.dead
+
 let clear t =
   Table.clear t.requests;
   Table.clear t.history;
-  Table.clear t.rte
+  Table.clear t.rte;
+  Table.clear t.dead

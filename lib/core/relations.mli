@@ -17,6 +17,9 @@ type t = {
   requests : Table.t;
   history : Table.t;
   rte : Table.t;
+  dead : Table.t;
+      (** dead-letter relation: poison requests the middleware gave up on
+          after exhausting retries (queryable like the others) *)
   extended : bool;
 }
 
@@ -57,5 +60,12 @@ val rte_count : t -> int
 
 (** Appends rows to [rte] without touching [requests] (used by tests). *)
 val insert_rte : t -> Request.t list -> unit
+
+(** Dead-letter relation: requests the middleware gave up on (see
+    {!Scheduler.dead_letter}). *)
+val insert_dead : t -> Request.t -> unit
+
+val dead_requests : t -> Request.t list
+val dead_count : t -> int
 
 val clear : t -> unit

@@ -48,6 +48,58 @@ let submit t r =
 
 let queue_length t = Queue.length t.queue
 
+let submit_bounded t ~capacity r =
+  if capacity <= 0 then
+    invalid_arg "Scheduler.submit_bounded: capacity must be positive";
+  if Queue.length t.queue < capacity then begin
+    submit t r;
+    `Accepted
+  end
+  else begin
+    let items = ref [] in
+    while not (Queue.is_empty t.queue) do
+      items := Queue.pop t.queue :: !items
+    done;
+    let items = List.rev !items in
+    (* Least urgent queued request, preferring the most recently queued on
+       tier ties (drop from the tail of the lowest tier). *)
+    let victim =
+      List.fold_left
+        (fun worst (q : Request.t) ->
+          match worst with
+          | None -> Some q
+          | Some (w : Request.t) ->
+            if Sla.compare_urgency q.Request.sla w.Request.sla >= 0 then Some q
+            else worst)
+        None items
+    in
+    match victim with
+    | Some v when Sla.compare_urgency r.Request.sla v.Request.sla < 0 ->
+      List.iter (fun q -> if not (q == v) then Queue.push q t.queue) items;
+      submit t r;
+      `Accepted_shed v
+    | _ ->
+      List.iter (fun q -> Queue.push q t.queue) items;
+      `Rejected
+  end
+
+let dead_letter t r =
+  Option.iter
+    (fun j ->
+      Journal.log_dead j r;
+      Journal.flush j)
+    t.journal;
+  (* Normally the request already left [requests] when it qualified; the
+     delete covers dead-lettering straight out of pending. *)
+  let ta, intrata = Request.key r in
+  ignore
+    (Ds_relal.Table.delete_where t.rels.Relations.requests (fun row ->
+         match (row.(1), row.(2)) with
+         | Ds_relal.Value.Int ta', Ds_relal.Value.Int intrata' ->
+           ta' = ta && intrata' = intrata
+         | _ -> false));
+  Relations.insert_dead t.rels r
+
 let pending_count t = Relations.pending_count t.rels
 
 let now () = Unix.gettimeofday ()

@@ -45,6 +45,23 @@ val protocol : t -> Protocol.t
 (** Enqueue an incoming request (client-worker side, Figure 1). *)
 val submit : t -> Request.t -> unit
 
+(** Overload-protected submit: when the incoming queue already holds
+    [capacity] requests, either the least urgent queued request is shed to
+    make room (only if the incoming request is strictly more urgent —
+    returned as [`Accepted_shed victim]) or the incoming request is turned
+    away with [`Rejected] (backpressure; nothing is journalled for it, so
+    the client can resubmit later). [capacity] must be positive. *)
+val submit_bounded :
+  t ->
+  capacity:int ->
+  Request.t ->
+  [ `Accepted | `Accepted_shed of Request.t | `Rejected ]
+
+(** Gives up on a (poison) request: journals a [D] record, removes it from
+    pending if it is still there, and inserts it into the dead relation.
+    The caller is expected to also {!abort_txn} the transaction. *)
+val dead_letter : t -> Request.t -> unit
+
 val queue_length : t -> int
 
 (** Pending requests in the scheduler database (not the incoming queue). *)

@@ -6,10 +6,19 @@ type t = {
   cpu_ : Cpu.t;
   cost : Cost_model.t;
   mutable executed : int;
+  mutable fault_hook : Request.t -> [ `Ok | `Fail | `Stall of float ];
 }
 
 let create engine cost =
-  { engine; cpu_ = Cpu.create engine ~n_cores:cost.Cost_model.n_cores; cost; executed = 0 }
+  {
+    engine;
+    cpu_ = Cpu.create engine ~n_cores:cost.Cost_model.n_cores;
+    cost;
+    executed = 0;
+    fault_hook = (fun _ -> `Ok);
+  }
+
+let set_fault_hook t hook = t.fault_hook <- hook
 
 let execute_batch t requests k =
   let work =
@@ -35,17 +44,32 @@ let request_work t (r : Request.t) =
   | Op.Read | Op.Write -> Cost_model.stmt_cost t.cost ~locking:false
   | Op.Commit | Op.Abort -> t.cost.Cost_model.commit_service
 
-let execute_seq t requests ~on_each k =
+let execute_seq_result t requests ~on_each k =
   let rec step = function
-    | [] -> k ()
-    | r :: rest ->
-      Cpu.submit t.cpu_ ~work:(request_work t r) (fun () ->
-          if Request.is_data r then t.executed <- t.executed + 1;
-          on_each r;
-          step rest)
+    | [] -> k `Completed
+    | r :: rest -> (
+      let run_ok () =
+        Cpu.submit t.cpu_ ~work:(request_work t r) (fun () ->
+            if Request.is_data r then t.executed <- t.executed + 1;
+            on_each r;
+            step rest)
+      in
+      match t.fault_hook r with
+      | `Ok -> run_ok ()
+      | `Stall d ->
+        (* A stall is an IO hang, not CPU work: the request sits for [d]
+           seconds (cores stay free), then executes normally. *)
+        ignore (Engine.schedule t.engine ~after:d run_ok)
+      | `Fail ->
+        (* The server charged the attempt but the request failed; the
+           middleware sees the failure at the request's completion time. *)
+        Cpu.submit t.cpu_ ~work:(request_work t r) (fun () -> k (`Failed r)))
   in
-  if requests = [] then ignore (Engine.schedule t.engine ~after:0. k)
+  if requests = [] then ignore (Engine.schedule t.engine ~after:0. (fun () -> k `Completed))
   else step requests
+
+let execute_seq t requests ~on_each k =
+  execute_seq_result t requests ~on_each (fun _ -> k ())
 
 let executed_stmts t = t.executed
 

@@ -19,9 +19,30 @@ val execute_batch : t -> Request.t list -> (unit -> unit) -> unit
 (** [execute_seq t requests ~on_each k] executes the batch in order, calling
     [on_each req] at each request's own completion time and [k] at the end.
     This preserves the schedule's intra-batch ordering, which is what makes
-    SLA-priority ordering observable in response times. *)
+    SLA-priority ordering observable in response times. Failures injected by
+    the fault hook are swallowed ([k] still runs at the point of failure);
+    use {!execute_seq_result} to observe them. *)
 val execute_seq :
   t -> Request.t list -> on_each:(Request.t -> unit) -> (unit -> unit) -> unit
+
+(** Like {!execute_seq}, but consults the fault hook before each request.
+    [`Stall d] delays that request [d] seconds (an IO hang — the cores stay
+    free) and then executes it normally; [`Fail] charges the attempt's
+    service time and finishes the batch early with [`Failed r], {e without}
+    calling [on_each r] — the failed request and the unexecuted suffix are
+    the caller's to retry. *)
+val execute_seq_result :
+  t ->
+  Request.t list ->
+  on_each:(Request.t -> unit) ->
+  ([ `Completed | `Failed of Request.t ] -> unit) ->
+  unit
+
+(** Installs the per-request failure hook consulted by
+    {!execute_seq_result} (default: everything [`Ok]). The middleware wires
+    {!Ds_core.Faults.request_outcome} here. *)
+val set_fault_hook :
+  t -> (Request.t -> [ `Ok | `Fail | `Stall of float ]) -> unit
 
 (** Statements executed so far (data operations only). *)
 val executed_stmts : t -> int

@@ -13,6 +13,7 @@ let () =
       ("server", Test_server.tests);
       ("core", Test_core.tests);
       ("journal", Test_journal.tests);
+      ("faults", Test_faults.tests);
       ("check", Test_check.tests);
       ("differential", Test_differential.tests);
       ("integration", Test_integration.tests);

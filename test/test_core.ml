@@ -14,8 +14,8 @@ let test_table2_schema () =
     [ "id"; "ta"; "intrata"; "operation"; "object" ]
     names;
   let rels = Relations.create () in
-  Alcotest.(check (list string)) "three tables registered"
-    [ "history"; "requests"; "rte" ]
+  Alcotest.(check (list string)) "four tables registered"
+    [ "dead"; "history"; "requests"; "rte" ]
     (Ds_sql.Catalog.names rels.Relations.catalog)
 
 let test_request_roundtrip () =
@@ -640,6 +640,54 @@ let test_adaptive_switching () =
     (Adaptive.mode adaptive = `Strict);
   Alcotest.(check int) "two switches" 2 (Adaptive.switches adaptive)
 
+let test_adaptive_hysteresis () =
+  (* A bursty load whose backlog oscillates INSIDE the hysteresis band must
+     not flap the protocol: switches happen only when the load genuinely
+     crosses a watermark, and the scheduler settles back to strict once the
+     burst drains. *)
+  let adaptive =
+    Adaptive.make ~strict:Builtin.ss2pl_ocaml ~relaxed:Builtin.read_committed_sql
+      ~high_watermark:8 ~low_watermark:2 ()
+  in
+  let sched = Scheduler.create (Adaptive.protocol adaptive) in
+  let next_ta = ref 0 in
+  (* [load n] runs one cycle with n independent reads in the queue; they all
+     qualify, so the backlog seen by the adaptive protocol is exactly n. *)
+  let load n =
+    for _ = 1 to n do
+      incr next_ta;
+      Scheduler.submit sched (Request.v !next_ta 1 Op.Read (1000 + !next_ta))
+    done;
+    ignore (Scheduler.cycle sched)
+  in
+  let burst () =
+    load 12;
+    (* cross the high watermark *)
+    Alcotest.(check bool) "burst switches to relaxed" true
+      (Adaptive.mode adaptive = `Relaxed);
+    (* mid-band load (between low=2 and high=8): mode must hold *)
+    for _ = 1 to 10 do
+      load 5;
+      Alcotest.(check bool) "mid-band holds relaxed" true
+        (Adaptive.mode adaptive = `Relaxed)
+    done;
+    load 0;
+    (* drain below the low watermark *)
+    Alcotest.(check bool) "drain recovers strict" true
+      (Adaptive.mode adaptive = `Strict);
+    for _ = 1 to 10 do
+      load 5;
+      Alcotest.(check bool) "mid-band holds strict" true
+        (Adaptive.mode adaptive = `Strict)
+    done
+  in
+  burst ();
+  burst ();
+  (* 44 cycles, 40 of them inside the band: exactly two switches per burst *)
+  Alcotest.(check int) "no flapping: two switches per burst" 4
+    (Adaptive.switches adaptive);
+  Alcotest.(check bool) "ends strict" true (Adaptive.mode adaptive = `Strict)
+
 let test_adaptive_validation () =
   match
     Adaptive.make ~strict:Builtin.ss2pl_sql ~relaxed:Builtin.read_committed_sql
@@ -700,6 +748,7 @@ let tests =
     Alcotest.test_case "c2pl all-or-nothing" `Quick test_c2pl_all_or_nothing;
     Alcotest.test_case "batch sim progress" `Quick test_batch_sim_progress;
     Alcotest.test_case "adaptive switching" `Quick test_adaptive_switching;
+    Alcotest.test_case "adaptive hysteresis" `Quick test_adaptive_hysteresis;
     Alcotest.test_case "adaptive validation" `Quick test_adaptive_validation;
     Alcotest.test_case "overhead probe" `Quick test_overhead_probe;
   ]

@@ -1,0 +1,345 @@
+(* Fault injection and graceful degradation: the fault plan parser, the
+   backend failure hook, retry/backoff with dead-lettering, SLA-aware load
+   shedding, client disconnects, and live mid-run crash recovery.  The
+   end-to-end properties here are the robustness contract: under a nonzero
+   fault plan the middleware still terminates, still commits work, and the
+   executed schedule (rte) still passes the full serializability battery. *)
+
+open Ds_core
+open Ds_model
+
+let small_spec =
+  { Ds_workload.Spec.paper_default with Ds_workload.Spec.n_objects = 2000 }
+
+let mixed_spec =
+  {
+    small_spec with
+    Ds_workload.Spec.sla_mix =
+      [ (Sla.premium, 0.2); (Sla.standard, 0.5); (Sla.free, 0.3) ];
+  }
+
+(* Fault runs disable wall-clock charging (determinism across machines) and
+   enable the realistic client contract: aborted transactions are redone. *)
+let cfg ?(n_clients = 12) ?(duration = 4.) ?(spec = small_spec)
+    ?(faults = Faults.none) () =
+  {
+    Middleware.default_config with
+    Middleware.n_clients;
+    duration;
+    spec;
+    charge_scheduler_time = false;
+    faults;
+    client_redo = true;
+    batch_timeout = Some 0.25;
+  }
+
+let plan_exn s =
+  match Faults.plan_of_string s with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "plan %S rejected: %s" s e
+
+(* --- plan parsing -------------------------------------------------------- *)
+
+let test_plan_parse () =
+  let p =
+    plan_exn "batch=0.1,stall=0.05,stall-dur=0.2,poison=0.01,disconnect=0.02,crash=40"
+  in
+  Alcotest.(check (float 1e-9)) "batch" 0.1 p.Faults.batch_fail_rate;
+  Alcotest.(check (float 1e-9)) "stall" 0.05 p.Faults.stall_rate;
+  Alcotest.(check (float 1e-9)) "stall-dur" 0.2 p.Faults.stall_duration;
+  Alcotest.(check (float 1e-9)) "poison" 0.01 p.Faults.poison_rate;
+  Alcotest.(check (float 1e-9)) "disconnect" 0.02 p.Faults.disconnect_rate;
+  Alcotest.(check (option int)) "crash" (Some 40) p.Faults.crash_at_cycle;
+  (* every key optional; spec round-trips through plan_to_string *)
+  let partial = plan_exn "batch=0.5" in
+  Alcotest.(check (float 1e-9)) "partial batch" 0.5 partial.Faults.batch_fail_rate;
+  Alcotest.(check (float 1e-9)) "partial stall defaults" 0. partial.Faults.stall_rate;
+  Alcotest.(check bool) "partial plan is not none" false (Faults.is_none partial);
+  Alcotest.(check bool) "empty spec is the zero plan" true
+    (Faults.is_none (plan_exn ""));
+  let roundtripped = plan_exn (Faults.plan_to_string p) in
+  Alcotest.(check string) "round-trip" (Faults.plan_to_string p)
+    (Faults.plan_to_string roundtripped)
+
+let test_plan_rejects () =
+  let rejected s =
+    match Faults.plan_of_string s with
+    | Error _ -> ()
+    | Ok p -> (
+      match Faults.validate p with
+      | Error _ -> ()
+      | Ok () -> Alcotest.failf "plan %S should have been rejected" s)
+  in
+  rejected "bogus=1";
+  rejected "batch";
+  rejected "batch=lots";
+  rejected "batch=1.5";
+  rejected "poison=-0.1";
+  rejected "crash=0"
+
+(* --- backend fault hook --------------------------------------------------- *)
+
+let test_backend_hook_fail () =
+  let engine = Ds_sim.Engine.create () in
+  let backend = Ds_server.Backend.create engine Ds_server.Cost_model.default in
+  let reqs =
+    [ Request.v 1 1 Op.Read 1; Request.v 1 2 Op.Write 2; Request.v 1 3 Op.Read 3 ]
+  in
+  Ds_server.Backend.set_fault_hook backend (fun r ->
+      if Request.key r = (1, 2) then `Fail else `Ok);
+  let seen = ref [] in
+  let result = ref None in
+  Ds_server.Backend.execute_seq_result backend reqs
+    ~on_each:(fun r -> seen := Request.key r :: !seen)
+    (fun res -> result := Some res);
+  Ds_sim.Engine.run engine;
+  Alcotest.(check (list (pair int int))) "prefix delivered" [ (1, 1) ] !seen;
+  match !result with
+  | Some (`Failed r) ->
+    Alcotest.(check (pair int int)) "failed request reported" (1, 2)
+      (Request.key r)
+  | Some `Completed -> Alcotest.fail "batch should have failed"
+  | None -> Alcotest.fail "batch never finished"
+
+let test_backend_hook_stall () =
+  let finish engine hook =
+    let backend =
+      Ds_server.Backend.create engine Ds_server.Cost_model.default
+    in
+    Ds_server.Backend.set_fault_hook backend hook;
+    let at = ref nan in
+    Ds_server.Backend.execute_seq_result backend
+      [ Request.v 1 1 Op.Read 1 ]
+      ~on_each:(fun _ -> ())
+      (fun _ -> at := Ds_sim.Engine.now engine);
+    Ds_sim.Engine.run engine;
+    !at
+  in
+  let plain = finish (Ds_sim.Engine.create ()) (fun _ -> `Ok) in
+  let stalled = finish (Ds_sim.Engine.create ()) (fun _ -> `Stall 0.5) in
+  Alcotest.(check (float 1e-9)) "stall adds exactly its duration" 0.5
+    (stalled -. plain)
+
+(* --- retry/backoff and dead-lettering ------------------------------------ *)
+
+let test_transient_failures_retried () =
+  let s = Middleware.run (cfg ~faults:(plan_exn "batch=0.1") ()) in
+  Alcotest.(check bool) "failures injected" true (s.Middleware.injected_failures > 0);
+  Alcotest.(check bool) "batches retried" true (s.Middleware.retries > 0);
+  Alcotest.(check bool) "work still commits" true (s.Middleware.committed_txns > 0)
+
+let test_stalls_trip_timeout () =
+  let s = Middleware.run (cfg ~faults:(plan_exn "stall=0.2,stall-dur=2.0") ()) in
+  Alcotest.(check bool) "stalls injected" true (s.Middleware.injected_stalls > 0);
+  Alcotest.(check bool) "timeouts fired" true (s.Middleware.timeouts > 0);
+  Alcotest.(check bool) "work still commits" true (s.Middleware.committed_txns > 0)
+
+let test_poison_dead_lettered () =
+  let s, sched =
+    Middleware.run_full (cfg ~faults:(plan_exn "poison=0.02") ())
+  in
+  let rels = Scheduler.relations sched in
+  Alcotest.(check bool) "poison gave up on" true (s.Middleware.dead_lettered > 0);
+  Alcotest.(check int) "dead relation matches the counter"
+    s.Middleware.dead_lettered
+    (Relations.dead_count rels);
+  (* a poison request burns through the whole retry budget first *)
+  Alcotest.(check bool) "retries preceded dead-lettering" true
+    (s.Middleware.retries >= s.Middleware.dead_lettered);
+  Alcotest.(check bool) "unaffected work commits" true
+    (s.Middleware.committed_txns > 0)
+
+let test_retries_beat_no_retries () =
+  (* The acceptance scenario: transient batch failures plus one mid-run
+     crash.  With retries on, the middleware must commit strictly more
+     transactions than a no-retry build of the same run (where every
+     transient failure aborts the transaction outright). *)
+  let base = cfg ~faults:(plan_exn "batch=0.15,crash=40") ~duration:10. () in
+  let with_retry = Middleware.run base in
+  let without = Middleware.run { base with Middleware.max_retries = 0 } in
+  Alcotest.(check bool) "crash survived" true (with_retry.Middleware.crashes = 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "retries commit strictly more (%d > %d)"
+       with_retry.Middleware.committed_txns without.Middleware.committed_txns)
+    true
+    (with_retry.Middleware.committed_txns > without.Middleware.committed_txns)
+
+(* --- overload: bounded queue, shedding, backpressure ---------------------- *)
+
+let test_bounded_queue_sheds_by_tier () =
+  let config =
+    {
+      (cfg ~spec:mixed_spec ~n_clients:24 ()) with
+      Middleware.queue_capacity = Some 4;
+    }
+  in
+  let s = Middleware.run config in
+  Alcotest.(check bool) "backpressure applied" true
+    (s.Middleware.backpressure_waits > 0);
+  Alcotest.(check bool) "least urgent work shed" true (s.Middleware.shed_txns > 0);
+  Alcotest.(check bool) "shed transactions were aborted" true
+    (s.Middleware.aborted_txns >= s.Middleware.shed_txns);
+  Alcotest.(check bool) "system stays live under overload" true
+    (s.Middleware.committed_txns > 0)
+
+let test_shed_victim_is_least_urgent () =
+  let sched = Scheduler.create Builtin.ss2pl_ocaml in
+  let req ta sla = { (Request.v ta 1 Op.Read ta) with Request.sla } in
+  Alcotest.(check bool) "premium accepted" true
+    (Scheduler.submit_bounded sched ~capacity:2 (req 1 Sla.premium) = `Accepted);
+  Alcotest.(check bool) "free accepted" true
+    (Scheduler.submit_bounded sched ~capacity:2 (req 2 Sla.free) = `Accepted);
+  (* full queue + more urgent arrival: the free request is the victim *)
+  (match Scheduler.submit_bounded sched ~capacity:2 (req 3 Sla.standard) with
+  | `Accepted_shed v -> Alcotest.(check int) "free tier shed" 2 v.Request.ta
+  | `Accepted -> Alcotest.fail "queue was full; expected a shed"
+  | `Rejected -> Alcotest.fail "standard outranks free; expected a shed");
+  (* full queue + no strictly-more-urgent arrival: backpressure instead *)
+  match Scheduler.submit_bounded sched ~capacity:2 (req 4 Sla.standard) with
+  | `Rejected -> ()
+  | _ -> Alcotest.fail "equal urgency must not evict"
+
+(* --- client disconnects --------------------------------------------------- *)
+
+let test_disconnects_cleaned_up () =
+  let s = Middleware.run (cfg ~faults:(plan_exn "disconnect=0.3") ()) in
+  Alcotest.(check bool) "disconnects injected" true (s.Middleware.disconnects > 0);
+  Alcotest.(check bool) "their transactions aborted" true
+    (s.Middleware.aborted_txns >= s.Middleware.disconnects);
+  Alcotest.(check bool) "other clients unaffected" true
+    (s.Middleware.committed_txns > 0)
+
+(* --- crash recovery ------------------------------------------------------- *)
+
+let rte_report sched =
+  let log = Relations.rte_requests (Scheduler.relations sched) in
+  Ds_check.Serializability.check_committed
+    (Ds_check.Conflict_graph.events_of_requests log)
+
+let with_tmp_journal f =
+  let path = Filename.temp_file "ds_faults" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let crash_cfg path =
+  {
+    (cfg ~faults:(plan_exn "batch=0.1,poison=0.01,crash=25") ~duration:6. ()) with
+    Middleware.journal_path = Some path;
+  }
+
+let test_crash_recovery_end_to_end () =
+  with_tmp_journal (fun path ->
+      let s, sched = Middleware.run_full (crash_cfg path) in
+      Alcotest.(check int) "one crash survived" 1 s.Middleware.crashes;
+      Alcotest.(check bool) "run continued past the crash" true
+        (s.Middleware.committed_txns > 0);
+      (* the rte log is one continuous schedule across the crash, and its
+         committed projection passes the full battery *)
+      let report = rte_report sched in
+      Alcotest.(check bool) "schedule non-trivial" true
+        (report.Ds_check.Serializability.events > 200);
+      Alcotest.(check bool)
+        (Format.asprintf "post-recovery schedule clean: %a"
+           Ds_check.Serializability.pp_report report)
+        true
+        (Ds_check.Serializability.is_clean report);
+      (* the journal survives the run: dead-letters are durable facts *)
+      let recovered = Journal.recover path in
+      Alcotest.(check bool) "journal replayable after the run" true
+        (recovered.Journal.replayed > 0);
+      Alcotest.(check int) "dead-letters durable in the journal"
+        (Relations.dead_count (Scheduler.relations sched))
+        (List.length recovered.Journal.dead))
+
+let test_crash_recovery_deterministic () =
+  (* Same seed, same plan => identical deterministic outcomes, crash and
+     recovery included.  Wall-clock-measured stats fields (cycle times,
+     scheduler time) are real measurements and legitimately vary; everything
+     the simulation decides must not. *)
+  let run () =
+    with_tmp_journal (fun path ->
+        let s, sched = Middleware.run_full (crash_cfg path) in
+        let rte =
+          List.map Request.key (Relations.rte_requests (Scheduler.relations sched))
+        in
+        (s, rte))
+  in
+  let a, rte_a = run () in
+  let b, rte_b = run () in
+  let counters s =
+    Middleware.
+      [
+        s.committed_txns;
+        s.committed_stmts;
+        s.aborted_txns;
+        s.cycles;
+        s.retries;
+        s.timeouts;
+        s.injected_failures;
+        s.injected_stalls;
+        s.shed_txns;
+        s.backpressure_waits;
+        s.dead_lettered;
+        s.disconnects;
+        s.crashes;
+      ]
+  in
+  Alcotest.(check (list int)) "identical counters" (counters a) (counters b);
+  Alcotest.(check (list (pair int int))) "identical executed schedule" rte_a rte_b
+
+let test_fault_free_runs_unchanged () =
+  (* The robustness machinery must be invisible when the plan is zero: a
+     default-config run and a run with every fault knob present but the
+     plan [Faults.none] produce identical schedules. *)
+  let plain =
+    Middleware.run
+      { Middleware.default_config with Middleware.charge_scheduler_time = false }
+  in
+  let armed =
+    Middleware.run
+      {
+        Middleware.default_config with
+        Middleware.charge_scheduler_time = false;
+        faults = Faults.none;
+        max_retries = 7;
+        batch_timeout = Some 10.;
+      }
+  in
+  Alcotest.(check int) "same commits" plain.Middleware.committed_txns
+    armed.Middleware.committed_txns;
+  Alcotest.(check int) "same aborts" plain.Middleware.aborted_txns
+    armed.Middleware.aborted_txns;
+  Alcotest.(check int) "no fault counters tripped" 0
+    (armed.Middleware.retries + armed.Middleware.timeouts
+    + armed.Middleware.dead_lettered + armed.Middleware.crashes)
+
+let tests =
+  [
+    Alcotest.test_case "fault plan parses" `Quick test_plan_parse;
+    Alcotest.test_case "fault plan rejects bad specs" `Quick test_plan_rejects;
+    Alcotest.test_case "backend hook fails the suffix" `Quick
+      test_backend_hook_fail;
+    Alcotest.test_case "backend hook stalls a request" `Quick
+      test_backend_hook_stall;
+    Alcotest.test_case "transient failures are retried" `Quick
+      test_transient_failures_retried;
+    Alcotest.test_case "stalls trip the batch timeout" `Quick
+      test_stalls_trip_timeout;
+    Alcotest.test_case "poison requests are dead-lettered" `Quick
+      test_poison_dead_lettered;
+    Alcotest.test_case "retries beat no-retries under faults" `Quick
+      test_retries_beat_no_retries;
+    Alcotest.test_case "bounded queue sheds and pushes back" `Quick
+      test_bounded_queue_sheds_by_tier;
+    Alcotest.test_case "shed victim is the least urgent" `Quick
+      test_shed_victim_is_least_urgent;
+    Alcotest.test_case "disconnects are cleaned up" `Quick
+      test_disconnects_cleaned_up;
+    Alcotest.test_case "crash recovery end to end" `Quick
+      test_crash_recovery_end_to_end;
+    Alcotest.test_case "crash recovery is deterministic" `Quick
+      test_crash_recovery_deterministic;
+    Alcotest.test_case "fault-free runs are unchanged" `Quick
+      test_fault_free_runs_unchanged;
+  ]

@@ -143,6 +143,22 @@ let test_trigger_policies_complete () =
       Trigger.Hybrid (0.02, 15);
     ]
 
+let test_fill_trigger_never_wedges () =
+  (* Regression: a pure fill-level trigger whose threshold exceeds what the
+     closed loop can ever queue (15 clients, one outstanding request each,
+     threshold 50) used to leave the middleware waiting forever on a cycle
+     that could not fire.  The fallback timer must keep the loop draining.
+     The fallback tick is deliberately slow (50ms), so a 40-statement
+     transaction needs ~2 virtual seconds end to end — give the run enough
+     time for several. *)
+  let s =
+    Middleware.run
+      { (cfg ~duration:8. ()) with Middleware.trigger = Trigger.Fill_level 50 }
+  in
+  Alcotest.(check bool) "cycles fired despite unreachable fill level" true
+    (s.Middleware.cycles > 0);
+  Alcotest.(check bool) "work committed" true (s.Middleware.committed_txns > 0)
+
 let test_middleware_intrinsic_aborts () =
   (* Workload transactions that end in ABORT flow through the middleware:
      they must not be counted as commits, must release their logical locks,
@@ -236,6 +252,8 @@ let tests =
     Alcotest.test_case "sla tiers" `Slow test_middleware_sla_tiers;
     Alcotest.test_case "trigger policies complete" `Quick
       test_trigger_policies_complete;
+    Alcotest.test_case "fill trigger never wedges" `Quick
+      test_fill_trigger_never_wedges;
     Alcotest.test_case "intrinsic aborts flow through" `Quick
       test_middleware_intrinsic_aborts;
     Alcotest.test_case "adaptive under load" `Slow

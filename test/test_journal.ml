@@ -78,6 +78,71 @@ let test_unknown_qualified_rejected () =
       | exception Failure _ -> ()
       | _ -> Alcotest.fail "Q without S must be rejected")
 
+let test_sync_kill_points () =
+  (* The durability contract of [open_ ~sync:true]: after a cycle's flush
+     returns, a kill at ANY later byte offset must recover that cycle's
+     history.  Drive a scheduler, record the durable size and the qualified
+     history after every cycle, then for each recorded boundary truncate a
+     copy of the journal at the boundary itself and a few bytes past it
+     (a torn next line) and recover. *)
+  with_journal_file (fun path ->
+      let journal = Journal.open_ ~sync:true path in
+      let sched = Scheduler.create ~journal Builtin.ss2pl_sql in
+      let rng = Ds_sim.Rng.create 11 in
+      let reqs =
+        Helpers.random_requests rng ~n_txns:8 ~ops_per_txn:3 ~n_objects:5
+      in
+      let checkpoints = ref [] in
+      List.iteri
+        (fun i r ->
+          Scheduler.submit sched r;
+          if i mod 4 = 3 then begin
+            ignore (Scheduler.cycle sched);
+            let hist =
+              List.map Request.key (Journal.recover path).Journal.history
+            in
+            checkpoints := (Journal.size journal, hist) :: !checkpoints
+          end)
+        reqs;
+      Journal.close journal;
+      let full_size = (Unix.stat path).Unix.st_size in
+      Alcotest.(check bool) "several checkpoints" true
+        (List.length !checkpoints >= 3);
+      let copy = Filename.temp_file "ds_journal" ".kill" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove copy)
+        (fun () ->
+          List.iter
+            (fun (boundary, hist) ->
+              List.iter
+                (fun kill ->
+                  let kill = min kill full_size in
+                  let contents =
+                    In_channel.with_open_bin path In_channel.input_all
+                  in
+                  Out_channel.with_open_bin copy (fun oc ->
+                      Out_channel.output_string oc
+                        (String.sub contents 0 kill));
+                  let recovered = Journal.recover copy in
+                  let got =
+                    List.map Request.key recovered.Journal.history
+                  in
+                  (* the synced cycle's history is a prefix of whatever the
+                     kill point preserved *)
+                  let rec is_prefix xs ys =
+                    match (xs, ys) with
+                    | [], _ -> true
+                    | x :: xs', y :: ys' -> x = y && is_prefix xs' ys'
+                    | _ :: _, [] -> false
+                  in
+                  Alcotest.(check bool)
+                    (Printf.sprintf
+                       "kill at byte %d keeps the cycle synced at %d" kill
+                       boundary)
+                    true (is_prefix hist got))
+                [ boundary; boundary + 1; boundary + 7 ])
+            !checkpoints))
+
 let journal_matches_live_state =
   QCheck2.Test.make ~name:"recovered pending = live pending" ~count:40
     QCheck2.Gen.(pair small_int (int_range 1 6))
@@ -109,5 +174,6 @@ let tests =
     Alcotest.test_case "mid-file corruption rejected" `Quick
       test_mid_file_corruption_rejected;
     Alcotest.test_case "Q without S rejected" `Quick test_unknown_qualified_rejected;
+    Alcotest.test_case "sync survives any kill point" `Quick test_sync_kill_points;
     QCheck_alcotest.to_alcotest journal_matches_live_state;
   ]
