@@ -842,6 +842,63 @@ let faults_sweep ~duration () =
      loop."
 
 (* ------------------------------------------------------------------ *)
+(* Observability overhead                                             *)
+(* ------------------------------------------------------------------ *)
+
+let obs_overhead ~duration () =
+  section
+    "Observability: tracing off vs on (same seed; lifecycle events + tier \
+     metrics)";
+  let spec = { Spec.paper_default with Spec.n_objects = 20_000 } in
+  let base =
+    {
+      (middleware_cfg ~protocol:Builtin.ss2pl_ocaml
+         ~trigger:(Trigger.Hybrid (0.01, 60)) ~clients:60 ~duration ~spec)
+      with
+      (* Wall-clock cycle charging is non-deterministic; the off/on stats
+         comparison below needs bit-identical runs. *)
+      Middleware.charge_scheduler_time = false;
+    }
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let s_off, t_off = time (fun () -> Middleware.run base) in
+  let tr = Ds_obs.Trace.create () in
+  let m = Ds_obs.Metrics.create () in
+  let s_on, t_on =
+    time (fun () ->
+        Middleware.run
+          { base with Middleware.trace = Some tr; metrics = Some m })
+  in
+  note "tracing off: %.3fs wall" t_off;
+  note "tracing on:  %.3fs wall  (%d events, %+.1f%% overhead)" t_on
+    (Ds_obs.Trace.count tr)
+    (100. *. (t_on -. t_off) /. Float.max 1e-9 t_off);
+  (* [mean_cycle_time]/[p95_cycle_time]/[scheduler_time] are wall-clock
+     measurements, never reproducible; everything else must be identical. *)
+  let deterministic (s : Middleware.stats) =
+    {
+      s with
+      Middleware.mean_cycle_time = 0.;
+      p95_cycle_time = 0.;
+      scheduler_time = 0.;
+    }
+  in
+  note "simulation stats identical under tracing: %b (no observer effect)"
+    (deterministic s_off = deterministic s_on);
+  List.iter
+    (fun (tier, n, p50, p95, p99) ->
+      note "  %-8s n=%d p50=%.3fs p95=%.3fs p99=%.3fs" tier n p50 p95 p99)
+    (Ds_obs.Metrics.tier_quantiles m);
+  (match Ds_obs.Span.validate (Ds_obs.Trace.events tr) with
+  | Ok () -> note "trace valid (%d transactions)"
+               (List.length (Ds_obs.Span.build (Ds_obs.Trace.events tr)))
+  | Error e -> note "TRACE INVALID: %s" e)
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -862,7 +919,8 @@ let all_experiments ~window ~runs ~duration ~cycle_scale () =
   mpl_ablation ~window ~runs ();
   deadlock_policy_ablation ~window ~runs ();
   history_pruning ~duration ();
-  faults_sweep ~duration ()
+  faults_sweep ~duration ();
+  obs_overhead ~duration ()
 
 let () =
   let open Cmdliner in
@@ -878,7 +936,7 @@ let () =
   in
   let experiment =
     Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT"
-           ~doc:"One of: all, table1, table2, figure2, native-overhead, declarative-overhead, crossover, listing1-micro, succinctness, datalog-vs-sql, optimizer, triggers, relaxed, batch-sweep, open-loop, mpl, deadlock-policy, pruning, faults, list.")
+           ~doc:"One of: all, table1, table2, figure2, native-overhead, declarative-overhead, crossover, listing1-micro, succinctness, datalog-vs-sql, optimizer, triggers, relaxed, batch-sweep, open-loop, mpl, deadlock-policy, pruning, faults, obs, list.")
   in
   let main experiment window runs duration cycle_scale =
     match experiment with
@@ -901,12 +959,13 @@ let () =
     | "deadlock-policy" -> deadlock_policy_ablation ~window ~runs ()
     | "pruning" -> history_pruning ~duration ()
     | "faults" -> faults_sweep ~duration ()
+    | "obs" -> obs_overhead ~duration ()
     | "list" ->
       print_endline
         "all table1 table2 figure2 native-overhead declarative-overhead \
          crossover listing1-micro succinctness datalog-vs-sql optimizer \
          triggers relaxed batch-sweep open-loop mpl deadlock-policy pruning \
-         faults"
+         faults obs"
     | other ->
       Printf.eprintf "unknown experiment %s (try 'list')\n" other;
       exit 2

@@ -176,9 +176,29 @@ let run_cmd =
             "Write-ahead journal (inspect with 'dsched recover FILE'). A \
              crash fault without one uses a temp file.")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record a request-lifecycle trace and save it ($(b,*.jsonl) = \
+             JSONL, anything else = Chrome trace_event JSON loadable in \
+             chrome://tracing). Analyze with 'dsched trace FILE'.")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Print per-SLA-tier latency quantiles (p50/p95/p99) and \
+             per-cycle scheduler metrics after the run.")
+  in
   let run protocol clients duration objects passthrough seed log_rte faults
-      max_retries queue_cap batch_timeout journal =
+      max_retries queue_cap batch_timeout journal trace_out metrics =
     let faulty = not (Faults.is_none faults) in
+    let sink = Option.map (fun _ -> Ds_obs.Trace.create ()) trace_out in
+    let mets = if metrics then Some (Ds_obs.Metrics.create ()) else None in
     let cfg =
       {
         Middleware.default_config with
@@ -198,6 +218,8 @@ let run_cmd =
           | None -> if faulty then Some 0.25 else None);
         journal_path = journal;
         client_redo = faulty;
+        trace = sink;
+        metrics = mets;
         (* Wall-clock cycle charging is non-deterministic; fault runs must
            reproduce exactly from the seed. *)
         charge_scheduler_time =
@@ -219,6 +241,16 @@ let run_cmd =
       Format.printf "dead-letter relation (%d):@." (List.length dead);
       List.iter (fun r -> Format.printf "  %s@." (Request.to_string r)) dead
     end;
+    Option.iter
+      (fun m -> print_string (Ds_obs.Metrics.render m))
+      mets;
+    (match (trace_out, sink) with
+    | Some file, Some tr ->
+      let events = Ds_obs.Trace.events tr in
+      Ds_obs.Export.save file events;
+      Printf.printf "lifecycle trace (%d events) written to %s\n"
+        (List.length events) file
+    | _ -> ());
     match log_rte with
     | None -> ()
     | Some file ->
@@ -231,7 +263,7 @@ let run_cmd =
     Term.(
       const run $ protocol_arg $ clients $ duration $ objects $ passthrough
       $ seed $ log_rte $ faults $ max_retries $ queue_cap $ batch_timeout
-      $ journal)
+      $ journal $ trace_out $ metrics)
 
 let native_cmd =
   let doc = "Run the native (lock-based) scheduler experiment (4.2)." in
@@ -438,6 +470,94 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc)
     Term.(const run $ trace $ fuzz $ seed $ no_native $ verbose)
 
+let trace_view_cmd =
+  let doc =
+    "Analyze a recorded request-lifecycle trace (produced by 'dsched run \
+     --trace FILE'): validate span trees, print per-SLA-tier latency \
+     quantiles and the top lock-wait offenders; optionally dump one \
+     transaction's span tree or query the trace with SQL."
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Trace file (JSONL or Chrome trace_event).")
+  in
+  let ta =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "ta" ] ~docv:"TA" ~doc:"Dump this transaction's span tree.")
+  in
+  let top =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"K" ~doc:"Lock-wait offenders to show.")
+  in
+  let sql =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sql" ] ~docv:"SQL"
+          ~doc:
+            "Run SQL against the trace loaded as a $(b,traces) relation \
+             (columns: at, ta, seq, kind, op, obj, arg, tier).")
+  in
+  let run file ta top sql =
+    let events = Ds_obs.Export.load file in
+    (match Ds_obs.Span.validate events with
+    | Ok () -> ()
+    | Error m ->
+      Printf.eprintf "%s: INVALID trace: %s\n" file m;
+      exit 1);
+    let trees = Ds_obs.Span.build events in
+    let terminated =
+      List.length
+        (List.filter
+           (fun (t : Ds_obs.Span.tree) -> t.Ds_obs.Span.terminal <> None)
+           trees)
+    in
+    Printf.printf "%s: %d events, %d transactions (%d terminated), valid\n"
+      file (List.length events) (List.length trees) terminated;
+    print_string
+      (Ds_obs.Metrics.render_latency_rows (Ds_obs.Metrics.latency_rows events));
+    (match Ds_obs.Metrics.lock_wait_offenders ~top events with
+    | [] -> ()
+    | offenders ->
+      Printf.printf "top lock-wait objects:\n";
+      List.iter
+        (fun (obj, total, n) ->
+          Printf.printf "  obj %-8d total wait %10.6fs over %d wait(s)\n" obj
+            total n)
+        offenders);
+    (match ta with
+    | None -> ()
+    | Some ta -> (
+      match
+        List.find_opt
+          (fun (t : Ds_obs.Span.tree) -> t.Ds_obs.Span.ta = ta)
+          trees
+      with
+      | Some tree -> print_string (Ds_obs.Span.render tree)
+      | None -> Printf.printf "ta %d: no events in this trace\n" ta));
+    match sql with
+    | None -> ()
+    | Some stmt -> (
+      let catalog = Ds_sql.Catalog.create () in
+      Ds_sql.Catalog.register catalog (Ds_obs.Export.to_table events);
+      match Ds_sql.Exec.exec_script catalog stmt with
+      | Ds_sql.Exec.Rows (schema, rows) ->
+        print_string (Ds_sql.Exec.render schema rows)
+      | Ds_sql.Exec.Affected n -> Printf.printf "%d row(s)\n" n
+      | Ds_sql.Exec.Done -> print_endline "ok"
+      | exception Ds_sql.Exec.Exec_error m -> Printf.eprintf "error: %s\n" m
+      | exception Ds_sql.Compile.Compile_error m ->
+        Printf.eprintf "compile error: %s\n" m
+      | exception Ds_sql.Parser.Parse_error (m, pos) ->
+        Printf.eprintf "parse error at %d: %s\n" pos m)
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ file $ ta $ top $ sql)
+
 let recover_cmd =
   let doc = "Inspect a scheduler journal: recovered pending/history state." in
   let file =
@@ -472,4 +592,5 @@ let () =
           [
             protocols_cmd; table1_cmd; sql_cmd; demo_cmd; run_cmd; native_cmd;
             rules_cmd; trace_gen_cmd; qualify_cmd; check_cmd; recover_cmd;
+            trace_view_cmd;
           ]))

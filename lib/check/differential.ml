@@ -11,6 +11,7 @@ type config = {
   include_native : bool;
   native_clients : int;
   native_duration : float;
+  check_trace : bool;
 }
 
 let default_config =
@@ -24,6 +25,7 @@ let default_config =
     include_native = true;
     native_clients = 6;
     native_duration = 0.3;
+    check_trace = true;
   }
 
 type failure =
@@ -35,6 +37,12 @@ type failure =
     }
   | Stuck of { cycle : int; pending : int }
   | Unclean of { formulation : string; report : Serializability.report }
+  | Trace_mismatch of {
+      formulation : string;
+      detail : string;
+      expected : int list;
+      got : int list;
+    }
 
 type outcome = {
   seed : int;
@@ -89,7 +97,10 @@ let run_one ?(config = default_config) ?(subjects = default_subjects ())
         })
       txns
   in
-  let reference = Scheduler.create Builtin.ss2pl_ocaml in
+  let trace =
+    if config.check_trace then Some (Ds_obs.Trace.create ()) else None
+  in
+  let reference = Scheduler.create ?trace Builtin.ss2pl_ocaml in
   let schedulers =
     ("ss2pl-ocaml", reference)
     :: List.map
@@ -219,6 +230,45 @@ let run_one ?(config = default_config) ?(subjects = default_subjects ())
         if not (Serializability.is_clean report) then
           failures := Unclean { formulation = name; report } :: !failures)
       schedulers;
+  (* Trace cross-check: the observability layer must agree with the rte
+     execution log. The scheduler admits a commit request exactly when rte
+     executes it, so the commit-op TA sequence derived from [Sched_admit]
+     events must equal the one read off the log. *)
+  (match trace with
+  | None -> ()
+  | Some tr ->
+    let events = Ds_obs.Trace.events tr in
+    (match Ds_obs.Span.validate events with
+    | Error detail ->
+      failures :=
+        Trace_mismatch
+          { formulation = "ss2pl-ocaml"; detail; expected = []; got = [] }
+        :: !failures
+    | Ok () -> ());
+    let got =
+      List.filter_map
+        (fun (e : Ds_obs.Trace.event) ->
+          if e.Ds_obs.Trace.kind = Ds_obs.Trace.Sched_admit && e.op = 'c' then
+            Some e.Ds_obs.Trace.ta
+          else None)
+        events
+    in
+    let expected =
+      List.filter_map
+        (fun (r : Request.t) ->
+          if Op.equal r.Request.op Op.Commit then Some r.Request.ta else None)
+        (Relations.rte_requests (Scheduler.relations reference))
+    in
+    if got <> expected then
+      failures :=
+        Trace_mismatch
+          {
+            formulation = "ss2pl-ocaml";
+            detail = "trace commit order <> rte commit order";
+            expected;
+            got;
+          }
+        :: !failures);
   (* The native lock-based server from the same seed: its committed schedule
      (including commit points) must pass the same battery un-projected. *)
   if config.include_native then begin
@@ -281,6 +331,10 @@ let pp_failure ppf = function
   | Unclean { formulation; report } ->
     Format.fprintf ppf "%s produced a dirty schedule: %a" formulation
       Serializability.pp_report report
+  | Trace_mismatch { formulation; detail; expected; got } ->
+    let tas l = String.concat ";" (List.map string_of_int l) in
+    Format.fprintf ppf "%s trace check failed: %s (rte [%s], trace [%s])"
+      formulation detail (tas expected) (tas got)
 
 let pp_outcome ppf o =
   Format.fprintf ppf

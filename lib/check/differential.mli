@@ -35,6 +35,10 @@ type config = {
   include_native : bool;
   native_clients : int;
   native_duration : float;  (** virtual seconds *)
+  check_trace : bool;
+      (** attach a {!Ds_obs.Trace} sink to the reference scheduler and check
+          that the trace is well-formed and that its derived commit order
+          (admitted requests with a commit op) equals the [rte] log's *)
 }
 
 val default_config : config
@@ -49,6 +53,12 @@ type failure =
   | Stuck of { cycle : int; pending : int }
       (** the reference made no progress despite starvation aborts *)
   | Unclean of { formulation : string; report : Serializability.report }
+  | Trace_mismatch of {
+      formulation : string;
+      detail : string;  (** validation error, or what disagreed *)
+      expected : int list;  (** commit-op TAs in [rte] execution order *)
+      got : int list;  (** commit-op TAs in trace admission order *)
+    }
 
 type outcome = {
   seed : int;

@@ -24,6 +24,8 @@ type config = {
   journal_path : string option;
   sync_journal : bool;
   client_redo : bool;
+  trace : Ds_obs.Trace.t option;
+  metrics : Ds_obs.Metrics.t option;
 }
 
 let default_config =
@@ -49,6 +51,8 @@ let default_config =
     journal_path = None;
     sync_journal = false;
     client_redo = false;
+    trace = None;
+    metrics = None;
   }
 
 type stats = {
@@ -263,6 +267,13 @@ and run_cycle sim =
     Ds_stats.Summary.add sim.batch_sizes (float_of_int stats.Scheduler.qualified);
     Ds_stats.Summary.add sim.pending_sizes
       (float_of_int stats.Scheduler.pending_before);
+    Option.iter
+      (fun m ->
+        Ds_obs.Metrics.record_cycle m ~drained:stats.Scheduler.drained
+          ~pending_before:stats.Scheduler.pending_before
+          ~qualified:stats.Scheduler.qualified
+          ~query_time:stats.Scheduler.times.Scheduler.query)
+      sim.cfg.metrics;
     (* Starvation accounting: clients whose outstanding request is still
        pending after this cycle. *)
     let qualified_keys = Hashtbl.create 64 in
@@ -293,6 +304,9 @@ and run_cycle sim =
 
 and dispatch sim ~epoch requests =
   if requests <> [] then begin
+    List.iter
+      (fun r -> Ds_obs.Trace.emit_req sim.cfg.trace Ds_obs.Trace.Dispatched r)
+      requests;
     Option.iter (fun f -> Faults.begin_attempt f requests) sim.faults;
     let att = { closed = false; undelivered = requests } in
     let live () = (not att.closed) && sim.epoch = epoch in
@@ -353,6 +367,7 @@ and handle_failure sim ~epoch failed undelivered =
   end
   else begin
     sim.retries <- sim.retries + 1;
+    Ds_obs.Trace.emit_req sim.cfg.trace ~arg:streak Ds_obs.Trace.Retry failed;
     let backoff =
       let exp = float_of_int (1 lsl min 10 (streak - 1)) in
       Float.min sim.cfg.retry_cap (sim.cfg.retry_base *. exp)
@@ -388,11 +403,22 @@ and deliver sim (req : Request.t) =
         (* Terminal executed: transaction complete. *)
         let now = Engine.now sim.engine in
         Hashtbl.remove sim.by_ta req.Request.ta;
+        Ds_obs.Trace.emit_txn sim.cfg.trace
+          ~tier:(Sla.tier_to_string client.txn.Txn.sla.Sla.tier)
+          (if Op.equal req.Request.op Op.Commit then Ds_obs.Trace.Commit
+           else Ds_obs.Trace.Abort)
+          ~ta:req.Request.ta;
         if now <= sim.cfg.duration && Op.equal req.Request.op Op.Commit then begin
           sim.committed_txns <- sim.committed_txns + 1;
           sim.committed_stmts <- sim.committed_stmts + client.data_stmts;
           let latency = now -. client.txn_start in
           Ds_stats.Histogram.add sim.latencies latency;
+          Option.iter
+            (fun m ->
+              Ds_obs.Metrics.observe_latency m
+                ~tier:(Sla.tier_to_string client.txn.Txn.sla.Sla.tier)
+                latency)
+            sim.cfg.metrics;
           let tier = client.txn.Txn.sla.Sla.tier in
           let hist, count =
             match Hashtbl.find_opt sim.tier_latencies tier with
@@ -425,7 +451,7 @@ and crash_and_recover sim =
   let sched =
     Scheduler.create ~extended:sim.cfg.extended_relations
       ~prune_history_each_cycle:sim.cfg.prune_history ~journal:j
-      sim.cfg.protocol
+      ?trace:sim.cfg.trace sim.cfg.protocol
   in
   (* ~rte keeps the execution log continuous across the crash, so the whole
      run still check-validates as one schedule. *)
@@ -498,6 +524,9 @@ let run_full (cfg : config) =
   if cfg.max_retries < 0 then
     invalid_arg "Middleware.run: max_retries must be non-negative";
   let engine = Engine.create () in
+  Option.iter
+    (fun tr -> Ds_obs.Trace.set_clock tr (fun () -> Engine.now engine))
+    cfg.trace;
   let master = Rng.create cfg.seed in
   let journal_path, auto_journal =
     match (cfg.journal_path, cfg.faults.Faults.crash_at_cycle) with
@@ -508,7 +537,8 @@ let run_full (cfg : config) =
   let journal = Option.map (fun p -> Journal.open_ ~sync:cfg.sync_journal p) journal_path in
   let sched =
     Scheduler.create ~extended:cfg.extended_relations
-      ~prune_history_each_cycle:cfg.prune_history ?journal cfg.protocol
+      ~prune_history_each_cycle:cfg.prune_history ?journal ?trace:cfg.trace
+      cfg.protocol
   in
   let sim =
     {
@@ -563,6 +593,7 @@ let run_full (cfg : config) =
   in
   (* Split the fault stream after clients and sim.rng so no-fault runs keep
      the exact RNG draws (and behavior) they had before faults existed. *)
+  Ds_server.Backend.set_trace sim.backend cfg.trace;
   if not (Faults.is_none cfg.faults) then begin
     let f = Faults.create cfg.faults (Rng.split master) in
     sim.faults <- Some f;

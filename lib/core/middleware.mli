@@ -69,6 +69,13 @@ type config = {
       (** clients re-run a middleware-aborted transaction (fresh TA) instead
           of moving on to new work — the realistic client contract under
           faults; off by default to preserve historical fault-free behavior *)
+  trace : Ds_obs.Trace.t option;
+      (** lifecycle event sink threaded through scheduler, backend and
+          middleware; its clock is set to the simulation's virtual clock.
+          [None] (default) records nothing and adds no work. *)
+  metrics : Ds_obs.Metrics.t option;
+      (** online metrics: per-SLA-tier commit latency histograms and
+          per-cycle scheduler rows. [None] (default) records nothing. *)
 }
 
 val default_config : config

@@ -19,12 +19,19 @@ type t = {
   queue : Request.t Queue.t;
   prune : bool;
   journal : Journal.t option;
+  trace : Ds_obs.Trace.t option;
+  terminated : (int, unit) Hashtbl.t;
+      (* transactions that already got their terminal trace event. A
+         dead-letter is followed by an abort_txn, and a starved (aborted)
+         transaction can still be dead-lettered when its in-flight retry
+         exhausts; either way only the first terminal is recorded. *)
   mutable abort_seq : int;
   mutable cycles : int;
   mutable cum : phase_times;
 }
 
-let create ?(extended = false) ?(prune_history_each_cycle = true) ?journal proto =
+let create ?(extended = false) ?(prune_history_each_cycle = true) ?journal
+    ?trace proto =
   let rels = Relations.create ~extended () in
   {
     rels;
@@ -33,6 +40,8 @@ let create ?(extended = false) ?(prune_history_each_cycle = true) ?journal proto
     queue = Queue.create ();
     prune = prune_history_each_cycle;
     journal;
+    trace;
+    terminated = Hashtbl.create 16;
     abort_seq = 0;
     cycles = 0;
     cum = { drain_insert = 0.; query = 0.; move = 0. };
@@ -44,6 +53,7 @@ let protocol t = t.proto
 
 let submit t r =
   Option.iter (fun j -> Journal.log_submit j r) t.journal;
+  Ds_obs.Trace.emit_req t.trace Ds_obs.Trace.Enqueued r;
   Queue.push r t.queue
 
 let queue_length t = Queue.length t.queue
@@ -89,6 +99,10 @@ let dead_letter t r =
       Journal.log_dead j r;
       Journal.flush j)
     t.journal;
+  if not (Hashtbl.mem t.terminated r.Request.ta) then begin
+    Hashtbl.replace t.terminated r.Request.ta ();
+    Ds_obs.Trace.emit_req t.trace Ds_obs.Trace.Dead_letter r
+  end;
   (* Normally the request already left [requests] when it qualified; the
      delete covers dead-lettering straight out of pending. *)
   let ta, intrata = Request.key r in
@@ -116,6 +130,11 @@ let cycle ?(passthrough = false) t =
   if passthrough then begin
     (* Non-scheduling mode: forward without consulting the relations. *)
     let reqs = drain t in
+    List.iter
+      (fun r ->
+        Ds_obs.Trace.emit_req t.trace Ds_obs.Trace.Drained r;
+        Ds_obs.Trace.emit_req t.trace Ds_obs.Trace.Sched_admit r)
+      reqs;
     Option.iter
       (fun j ->
         Journal.log_qualified j (List.map Request.key reqs);
@@ -137,12 +156,34 @@ let cycle ?(passthrough = false) t =
     let history_before = Relations.history_count t.rels in
     let t0 = now () in
     let incoming = drain t in
+    List.iter
+      (fun r -> Ds_obs.Trace.emit_req t.trace Ds_obs.Trace.Drained r)
+      incoming;
     Relations.insert_pending_batch t.rels incoming;
     let t1 = now () in
-    let keys = t.qualify () in
+    let keys, query_dt =
+      Ds_relal.Profile.timed "protocol-query" t.qualify
+    in
     let t2 = now () in
     let qualified = Relations.move_to_history t.rels keys in
     if t.prune then ignore (Relations.prune_history t.rels);
+    List.iter
+      (fun r -> Ds_obs.Trace.emit_req t.trace Ds_obs.Trace.Sched_admit r)
+      qualified;
+    if Ds_obs.Trace.is_on t.trace then begin
+      (* Deferrals, with the blocking conflict: anything still pending lost
+         to some conflicting request of an active transaction in history. *)
+      let active = Relations.history_requests t.rels in
+      List.iter
+        (fun (r : Request.t) ->
+          let blocker =
+            List.find_opt (fun h -> Request.conflicts r h) active
+          in
+          Ds_obs.Trace.emit_req t.trace
+            ?arg:(Option.map (fun (h : Request.t) -> h.Request.ta) blocker)
+            Ds_obs.Trace.Sched_defer r)
+        (Relations.pending t.rels)
+    end;
     Option.iter
       (fun j ->
         Journal.log_qualified j (List.map Request.key qualified);
@@ -150,7 +191,7 @@ let cycle ?(passthrough = false) t =
         Journal.flush j)
       t.journal;
     let t3 = now () in
-    let times = { drain_insert = t1 -. t0; query = t2 -. t1; move = t3 -. t2 } in
+    let times = { drain_insert = t1 -. t0; query = query_dt; move = t3 -. t2 } in
     t.cum <-
       {
         drain_insert = t.cum.drain_insert +. times.drain_insert;
@@ -175,6 +216,10 @@ let abort_txn t ta =
       Journal.log_abort j ta;
       Journal.flush j)
     t.journal;
+  if not (Hashtbl.mem t.terminated ta) then begin
+    Hashtbl.replace t.terminated ta ();
+    Ds_obs.Trace.emit_txn t.trace Ds_obs.Trace.Abort ~ta
+  end;
   let dropped =
     Ds_relal.Table.delete_where t.rels.Relations.requests (fun row ->
         match row.(1) with

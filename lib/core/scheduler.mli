@@ -31,11 +31,16 @@ type cycle_stats = {
 type t
 
 (** [journal] (optional) records every submit, qualification, abort and
-    prune, flushed at the end of each cycle; see {!Journal}. *)
+    prune, flushed at the end of each cycle; see {!Journal}.
+
+    [trace] (optional) receives lifecycle events ([enqueued], [drained],
+    [sched_admit], [sched_defer], [dead_letter], [abort]); see
+    {!Ds_obs.Trace}. At most one terminal event is emitted per transaction. *)
 val create :
   ?extended:bool ->
   ?prune_history_each_cycle:bool ->
   ?journal:Journal.t ->
+  ?trace:Ds_obs.Trace.t ->
   Protocol.t ->
   t
 

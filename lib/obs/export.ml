@@ -1,0 +1,149 @@
+let event_fields (e : Trace.event) =
+  [
+    ("at", Json.Num e.Trace.at);
+    ("ta", Json.Num (float_of_int e.Trace.ta));
+    ("seq", Json.Num (float_of_int e.Trace.seq));
+    ("kind", Json.Str (Trace.kind_to_string e.Trace.kind));
+    ("op", Json.Str (String.make 1 e.Trace.op));
+    ("obj", Json.Num (float_of_int e.Trace.obj));
+    ("arg", Json.Num (float_of_int e.Trace.arg));
+    ("tier", Json.Str e.Trace.tier);
+  ]
+
+let field_err what = failwith ("trace event: missing or malformed " ^ what)
+
+let event_of_json j =
+  let num name =
+    match Option.bind (Json.mem name j) Json.num with
+    | Some f -> f
+    | None -> field_err name
+  in
+  let str name =
+    match Option.bind (Json.mem name j) Json.str with
+    | Some s -> s
+    | None -> field_err name
+  in
+  let kind =
+    match Trace.kind_of_string (str "kind") with
+    | Some k -> k
+    | None -> field_err "kind"
+  in
+  let op = match str "op" with "" -> ' ' | s -> s.[0] in
+  {
+    Trace.at = num "at";
+    ta = int_of_float (num "ta");
+    seq = int_of_float (num "seq");
+    kind;
+    op;
+    obj = int_of_float (num "obj");
+    arg = int_of_float (num "arg");
+    tier = str "tier";
+  }
+
+let to_jsonl events =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Json.to_buffer buf (Json.Obj (event_fields e));
+      Buffer.add_char buf '\n')
+    events;
+  Buffer.contents buf
+
+(* Chrome trace_event: instant events, ts in microseconds, tid = TA. The
+   whole event rides along under "args" so load_string can reconstruct it
+   exactly. *)
+let chrome_event (e : Trace.event) =
+  Json.Obj
+    [
+      ("name", Json.Str (Trace.kind_to_string e.Trace.kind));
+      ("cat", Json.Str "dsched");
+      ("ph", Json.Str "i");
+      ("s", Json.Str "t");
+      ("ts", Json.Num (e.Trace.at *. 1e6));
+      ("pid", Json.Num 1.);
+      ("tid", Json.Num (float_of_int e.Trace.ta));
+      ("args", Json.Obj (event_fields e));
+    ]
+
+let to_chrome events =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Json.to_buffer buf (chrome_event e))
+    events;
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf
+
+let save path events =
+  let data =
+    if Filename.check_suffix path ".jsonl" then to_jsonl events
+    else to_chrome events
+  in
+  let oc = open_out path in
+  output_string oc data;
+  close_out oc
+
+let load_string s =
+  let rec first_meaningful i =
+    if i >= String.length s then None
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> first_meaningful (i + 1)
+      | c -> Some c
+  in
+  match first_meaningful 0 with
+  | None -> []
+  | Some '[' -> (
+    match Json.of_string s with
+    | Json.List items ->
+      List.map
+        (fun item ->
+          match Json.mem "args" item with
+          | Some args -> event_of_json args
+          | None -> field_err "args")
+        items
+    | _ -> failwith "trace file: expected a JSON array")
+  | Some _ ->
+    String.split_on_char '\n' s
+    |> List.filter (fun line -> String.trim line <> "")
+    |> List.map (fun line -> event_of_json (Json.of_string line))
+
+let load path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  load_string s
+
+let schema =
+  Ds_relal.Schema.of_list
+    [
+      Ds_relal.Schema.column "at" Ds_relal.Schema.Tfloat;
+      Ds_relal.Schema.column "ta" Ds_relal.Schema.Tint;
+      Ds_relal.Schema.column "seq" Ds_relal.Schema.Tint;
+      Ds_relal.Schema.column "kind" Ds_relal.Schema.Tstr;
+      Ds_relal.Schema.column "op" Ds_relal.Schema.Tstr;
+      Ds_relal.Schema.column "obj" Ds_relal.Schema.Tint;
+      Ds_relal.Schema.column "arg" Ds_relal.Schema.Tint;
+      Ds_relal.Schema.column "tier" Ds_relal.Schema.Tstr;
+    ]
+
+let row_of_event (e : Trace.event) =
+  [|
+    Ds_relal.Value.float e.Trace.at;
+    Ds_relal.Value.int e.Trace.ta;
+    Ds_relal.Value.int e.Trace.seq;
+    Ds_relal.Value.str (Trace.kind_to_string e.Trace.kind);
+    Ds_relal.Value.str (String.make 1 e.Trace.op);
+    Ds_relal.Value.int e.Trace.obj;
+    Ds_relal.Value.int e.Trace.arg;
+    Ds_relal.Value.str e.Trace.tier;
+  |]
+
+let to_table events =
+  let t = Ds_relal.Table.create ~name:"traces" schema in
+  List.iter (fun e -> Ds_relal.Table.insert t (row_of_event e)) events;
+  Ds_relal.Table.create_index t [ 1 ];
+  t

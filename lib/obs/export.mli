@@ -1,0 +1,35 @@
+(** Trace serialization.
+
+    Two on-disk formats, round-trippable through {!load}:
+
+    - {b JSONL}: one JSON object per line with the event's own fields
+      ([at], [ta], [seq], [kind], [op], [obj], [arg], [tier]) — grep-friendly
+      and streamable;
+    - {b Chrome [trace_event]}: a JSON array of instant events loadable in
+      [chrome://tracing] / Perfetto ([ts] in microseconds, [tid] = TA), with
+      the full event under ["args"] so nothing is lost.
+
+    {!to_table} materializes a trace as a [traces] relation (schema
+    [at FLOAT | ta INT | seq INT | kind STR | op STR | obj INT | arg INT |
+    tier STR]) so schedules can be analyzed with the repo's own SQL and
+    Datalog engines — queue state as queryable data, per Gray's "Queues Are
+    Databases". *)
+
+val to_jsonl : Trace.event list -> string
+val to_chrome : Trace.event list -> string
+
+(** [save path events] — [*.jsonl] saves JSONL, anything else the Chrome
+    format. *)
+val save : string -> Trace.event list -> unit
+
+(** Parses either format (auto-detected).
+    @raise Json.Parse_error or [Failure] on malformed input. *)
+val load_string : string -> Trace.event list
+
+val load : string -> Trace.event list
+
+(** The [traces] relation schema. *)
+val schema : Ds_relal.Schema.t
+
+val row_of_event : Trace.event -> Ds_relal.Value.t array
+val to_table : Trace.event list -> Ds_relal.Table.t

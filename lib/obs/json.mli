@@ -1,0 +1,26 @@
+(** Minimal JSON (RFC 8259 subset) — just enough for the trace exporters and
+    loaders; the container has no JSON library and the trace format is under
+    our control. Numbers parse as floats; strings support the standard
+    escapes plus [\uXXXX] (decoded as a byte when < 256, else ['?']). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+val to_buffer : Buffer.t -> t -> unit
+
+(** @raise Parse_error on malformed input or trailing garbage. *)
+val of_string : string -> t
+
+(** Object field access helpers ([None] when absent or wrong type). *)
+val mem : string -> t -> t option
+
+val str : t -> string option
+val num : t -> float option

@@ -1,0 +1,170 @@
+type span = { ta : int; seq : int; events : Trace.event list }
+
+type tree = {
+  ta : int;
+  tier : string;
+  start_at : float;
+  end_at : float;
+  terminal : Trace.kind option;
+  txn_events : Trace.event list;
+  spans : span list;
+}
+
+let by_ta events =
+  let tbl : (int, Trace.event Ds_util.Vec.t) Hashtbl.t = Hashtbl.create 64 in
+  let order = Ds_util.Vec.create () in
+  List.iter
+    (fun (e : Trace.event) ->
+      let v =
+        match Hashtbl.find_opt tbl e.Trace.ta with
+        | Some v -> v
+        | None ->
+          let v = Ds_util.Vec.create () in
+          Hashtbl.add tbl e.Trace.ta v;
+          Ds_util.Vec.push order e.Trace.ta;
+          v
+      in
+      Ds_util.Vec.push v e)
+    events;
+  (tbl, Ds_util.Vec.to_list order)
+
+let tree_of ta (evs : Trace.event list) =
+  let tier =
+    match List.find_opt (fun (e : Trace.event) -> e.Trace.tier <> "") evs with
+    | Some e -> e.Trace.tier
+    | None -> ""
+  in
+  let terminal =
+    List.find_opt (fun (e : Trace.event) -> Trace.is_terminal e.Trace.kind) evs
+  in
+  let txn_events = List.filter (fun (e : Trace.event) -> e.Trace.seq < 0) evs in
+  let seqs =
+    List.sort_uniq Int.compare
+      (List.filter_map
+         (fun (e : Trace.event) ->
+           if e.Trace.seq >= 0 then Some e.Trace.seq else None)
+         evs)
+  in
+  let spans =
+    List.map
+      (fun seq ->
+        {
+          ta;
+          seq;
+          events = List.filter (fun (e : Trace.event) -> e.Trace.seq = seq) evs;
+        })
+      seqs
+  in
+  {
+    ta;
+    tier;
+    start_at = (match evs with e :: _ -> e.Trace.at | [] -> 0.);
+    end_at =
+      List.fold_left (fun acc (e : Trace.event) -> Float.max acc e.Trace.at)
+        neg_infinity evs;
+    terminal = Option.map (fun (e : Trace.event) -> e.Trace.kind) terminal;
+    txn_events;
+    spans;
+  }
+
+let build events =
+  let tbl, order = by_ta events in
+  List.sort Int.compare order
+  |> List.map (fun ta -> tree_of ta (Ds_util.Vec.to_list (Hashtbl.find tbl ta)))
+
+let validate events =
+  let tbl, order = by_ta events in
+  let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  let check ta =
+    let evs = Ds_util.Vec.to_list (Hashtbl.find tbl ta) in
+    (* 1. non-decreasing timestamps in emission order *)
+    let rec mono last = function
+      | [] -> Ok ()
+      | (e : Trace.event) :: rest ->
+        if e.Trace.at < last then
+          Error
+            (Printf.sprintf
+               "ta %d: time went backwards (%s at %.9f after %.9f)" ta
+               (Trace.kind_to_string e.Trace.kind)
+               e.Trace.at last)
+        else mono e.Trace.at rest
+    in
+    let* () = mono neg_infinity evs in
+    (* 2. at most one terminal *)
+    let terminals =
+      List.filter (fun (e : Trace.event) -> Trace.is_terminal e.Trace.kind) evs
+    in
+    let* () =
+      match terminals with
+      | [] | [ _ ] -> Ok ()
+      | a :: b :: _ ->
+        Error
+          (Printf.sprintf "ta %d: multiple terminal events (%s then %s)" ta
+             (Trace.kind_to_string a.Trace.kind)
+             (Trace.kind_to_string b.Trace.kind))
+    in
+    (* 3. no exec_start without a prior sched_admit for the same seq *)
+    let admitted = Hashtbl.create 8 in
+    let rec exec_after_admit = function
+      | [] -> Ok ()
+      | (e : Trace.event) :: rest -> (
+        match e.Trace.kind with
+        | Trace.Sched_admit ->
+          Hashtbl.replace admitted e.Trace.seq ();
+          exec_after_admit rest
+        | Trace.Exec_start when not (Hashtbl.mem admitted e.Trace.seq) ->
+          Error
+            (Printf.sprintf "ta %d seq %d: exec_start without prior sched_admit"
+               ta e.Trace.seq)
+        | _ -> exec_after_admit rest)
+    in
+    exec_after_admit evs
+  in
+  let rec all = function
+    | [] -> Ok ()
+    | ta :: rest -> ( match check ta with Ok () -> all rest | Error _ as e -> e)
+  in
+  all order
+
+let latency tree =
+  match tree.terminal with
+  | None -> None
+  | Some _ ->
+    (* end at the terminal event, not at trailing wasted-work events *)
+    let tbl_end =
+      List.fold_left
+        (fun acc (e : Trace.event) ->
+          if Trace.is_terminal e.Trace.kind then Some e.Trace.at else acc)
+        None
+        (tree.txn_events
+        @ List.concat_map (fun s -> s.events) tree.spans)
+    in
+    Option.map (fun t -> t -. tree.start_at) tbl_end
+
+let render tree =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "ta %d%s  [%0.6f .. %0.6f]%s%s\n" tree.ta
+       (if tree.tier = "" then "" else " (" ^ tree.tier ^ ")")
+       tree.start_at tree.end_at
+       (match tree.terminal with
+       | Some k -> "  terminal=" ^ Trace.kind_to_string k
+       | None -> "  (no terminal)")
+       (match latency tree with
+       | Some l -> Printf.sprintf "  latency=%.6fs" l
+       | None -> ""));
+  List.iter
+    (fun (e : Trace.event) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s\n" (Trace.event_to_string e)))
+    tree.txn_events;
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (Printf.sprintf "  seq %d:\n" s.seq);
+      List.iter
+        (fun (e : Trace.event) ->
+          Buffer.add_string buf
+            (Printf.sprintf "    %s\n" (Trace.event_to_string e)))
+        s.events)
+    tree.spans;
+  Buffer.contents buf

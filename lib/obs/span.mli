@@ -1,0 +1,49 @@
+(** Span trees: the per-transaction view of a trace.
+
+    A transaction's span tree has one root (the transaction, [ta]) and one
+    child span per request ([(ta, seq)]), each holding that request's
+    lifecycle events in emission order. Transaction-level events
+    ([seq = -1]) — the terminals [commit]/[abort]/[dead_letter] among them —
+    attach to the root.
+
+    {!validate} checks the well-formedness invariants the tracing subsystem
+    guarantees (and the property tests enforce):
+
+    + per transaction, event timestamps are non-decreasing in emission order
+      (the discrete-event clock makes exact ties legal; going backwards is
+      not);
+    + at most one terminal event per transaction, and for every transaction
+      that has one, exactly one;
+    + no [exec_start] without a prior [sched_admit] for the same
+      [(ta, seq)] — the server never executes what the scheduler has not
+      qualified. *)
+
+type span = {
+  ta : int;
+  seq : int;
+  events : Trace.event list;  (** emission order *)
+}
+
+type tree = {
+  ta : int;
+  tier : string;  (** first non-empty tier seen, [""] if none *)
+  start_at : float;  (** timestamp of the first event *)
+  end_at : float;  (** timestamp of the last event *)
+  terminal : Trace.kind option;
+      (** the transaction's terminal event, if it reached one *)
+  txn_events : Trace.event list;  (** [seq = -1] events, emission order *)
+  spans : span list;  (** request spans ordered by [seq] *)
+}
+
+(** Groups a trace into one tree per transaction, ordered by [ta]. *)
+val build : Trace.event list -> tree list
+
+(** First-failure validation of the invariants above. *)
+val validate : Trace.event list -> (unit, string) result
+
+(** [latency tree] — [end_at -. start_at] up to the terminal event; [None]
+    when the transaction never reached a terminal. *)
+val latency : tree -> float option
+
+(** Multi-line rendering of one transaction's span tree. *)
+val render : tree -> string

@@ -1,0 +1,131 @@
+type kind =
+  | Enqueued
+  | Drained
+  | Sched_admit
+  | Sched_defer
+  | Dispatched
+  | Lock_wait
+  | Lock_grant
+  | Exec_start
+  | Exec_done
+  | Commit
+  | Abort
+  | Retry
+  | Dead_letter
+
+let kind_to_string = function
+  | Enqueued -> "enqueued"
+  | Drained -> "drained"
+  | Sched_admit -> "sched_admit"
+  | Sched_defer -> "sched_defer"
+  | Dispatched -> "dispatched"
+  | Lock_wait -> "lock_wait"
+  | Lock_grant -> "lock_grant"
+  | Exec_start -> "exec_start"
+  | Exec_done -> "exec_done"
+  | Commit -> "commit"
+  | Abort -> "abort"
+  | Retry -> "retry"
+  | Dead_letter -> "dead_letter"
+
+let kind_of_string = function
+  | "enqueued" -> Some Enqueued
+  | "drained" -> Some Drained
+  | "sched_admit" -> Some Sched_admit
+  | "sched_defer" -> Some Sched_defer
+  | "dispatched" -> Some Dispatched
+  | "lock_wait" -> Some Lock_wait
+  | "lock_grant" -> Some Lock_grant
+  | "exec_start" -> Some Exec_start
+  | "exec_done" -> Some Exec_done
+  | "commit" -> Some Commit
+  | "abort" -> Some Abort
+  | "retry" -> Some Retry
+  | "dead_letter" -> Some Dead_letter
+  | _ -> None
+
+let is_terminal = function
+  | Commit | Abort | Dead_letter -> true
+  | Enqueued | Drained | Sched_admit | Sched_defer | Dispatched | Lock_wait
+  | Lock_grant | Exec_start | Exec_done | Retry ->
+    false
+
+type event = {
+  at : float;
+  ta : int;
+  seq : int;
+  kind : kind;
+  op : char;
+  obj : int;
+  arg : int;
+  tier : string;
+}
+
+type t = {
+  mutable enabled : bool;
+  mutable clock : unit -> float;
+  buf : event Ds_util.Vec.t;
+}
+
+let create ?(enabled = true) () =
+  { enabled; clock = (fun () -> 0.); buf = Ds_util.Vec.create () }
+
+let set_clock t clock = t.clock <- clock
+
+let now t = t.clock ()
+
+let enabled t = t.enabled
+
+let set_enabled t b = t.enabled <- b
+
+let is_on = function None -> false | Some t -> t.enabled
+
+let emit sink kind ~ta ~seq ?(op = ' ') ?(obj = -1) ?(arg = -1) ?(tier = "")
+    () =
+  match sink with
+  | None -> ()
+  | Some t ->
+    if t.enabled then
+      Ds_util.Vec.push t.buf
+        { at = t.clock (); ta; seq; kind; op; obj; arg; tier }
+
+let emit_req sink ?arg kind (r : Ds_model.Request.t) =
+  match sink with
+  | None -> ()
+  | Some t ->
+    if t.enabled then
+      Ds_util.Vec.push t.buf
+        {
+          at = t.clock ();
+          ta = r.Ds_model.Request.ta;
+          seq = r.Ds_model.Request.intrata;
+          kind;
+          op = Ds_model.Op.to_char r.Ds_model.Request.op;
+          obj = Option.value ~default:(-1) r.Ds_model.Request.obj;
+          arg = Option.value ~default:(-1) arg;
+          tier = Ds_model.Sla.tier_to_string r.Ds_model.Request.sla.Ds_model.Sla.tier;
+        }
+
+let emit_txn sink ?(tier = "") kind ~ta =
+  match sink with
+  | None -> ()
+  | Some t ->
+    if t.enabled then
+      Ds_util.Vec.push t.buf
+        { at = t.clock (); ta; seq = -1; kind; op = ' '; obj = -1; arg = -1; tier }
+
+let count t = Ds_util.Vec.length t.buf
+
+let events t = Ds_util.Vec.to_list t.buf
+
+let clear t = Ds_util.Vec.clear t.buf
+
+let pp_event ppf e =
+  Format.fprintf ppf "%.6f ta=%d seq=%d %s" e.at e.ta e.seq
+    (kind_to_string e.kind);
+  if e.op <> ' ' then Format.fprintf ppf " op=%c" e.op;
+  if e.obj >= 0 then Format.fprintf ppf " obj=%d" e.obj;
+  if e.arg >= 0 then Format.fprintf ppf " arg=%d" e.arg;
+  if e.tier <> "" then Format.fprintf ppf " tier=%s" e.tier
+
+let event_to_string e = Format.asprintf "%a" pp_event e

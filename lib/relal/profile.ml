@@ -30,6 +30,17 @@ let label_of = function
 
 let now () = Unix.gettimeofday ()
 
+let section_observer : (string -> float -> unit) option ref = ref None
+
+let set_section_observer obs = section_observer := obs
+
+let timed label f =
+  let t0 = now () in
+  let res = f () in
+  let dt = now () -. t0 in
+  (match !section_observer with Some obs -> obs label dt | None -> ());
+  (res, dt)
+
 (* Replace an evaluated child by its materialized rows. *)
 let freeze child rows = Values (schema_of child, rows)
 

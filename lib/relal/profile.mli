@@ -19,3 +19,13 @@ val run : Ra.plan -> Value.t array list * node_stats
 
 (** Multi-line tree rendering with per-node rows and milliseconds. *)
 val render : node_stats -> string
+
+(** [timed label f] runs [f ()], wall-clock timing it, and returns the result
+    with the elapsed seconds. The scheduler routes its protocol-query phase
+    through this so external observers (metrics, tests) can watch query-eval
+    time without touching the scheduler. *)
+val timed : string -> (unit -> 'a) -> 'a * float
+
+(** Installs (or clears, with [None]) the global section observer notified by
+    every {!timed} call with its label and elapsed seconds. *)
+val set_section_observer : (string -> float -> unit) option -> unit

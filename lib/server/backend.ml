@@ -7,6 +7,7 @@ type t = {
   cost : Cost_model.t;
   mutable executed : int;
   mutable fault_hook : Request.t -> [ `Ok | `Fail | `Stall of float ];
+  mutable trace : Ds_obs.Trace.t option;
 }
 
 let create engine cost =
@@ -16,9 +17,12 @@ let create engine cost =
     cost;
     executed = 0;
     fault_hook = (fun _ -> `Ok);
+    trace = None;
   }
 
 let set_fault_hook t hook = t.fault_hook <- hook
+
+let set_trace t trace = t.trace <- trace
 
 let execute_batch t requests k =
   let work =
@@ -49,8 +53,10 @@ let execute_seq_result t requests ~on_each k =
     | [] -> k `Completed
     | r :: rest -> (
       let run_ok () =
+        Ds_obs.Trace.emit_req t.trace Ds_obs.Trace.Exec_start r;
         Cpu.submit t.cpu_ ~work:(request_work t r) (fun () ->
             if Request.is_data r then t.executed <- t.executed + 1;
+            Ds_obs.Trace.emit_req t.trace ~arg:0 Ds_obs.Trace.Exec_done r;
             on_each r;
             step rest)
       in
@@ -63,7 +69,10 @@ let execute_seq_result t requests ~on_each k =
       | `Fail ->
         (* The server charged the attempt but the request failed; the
            middleware sees the failure at the request's completion time. *)
-        Cpu.submit t.cpu_ ~work:(request_work t r) (fun () -> k (`Failed r)))
+        Ds_obs.Trace.emit_req t.trace Ds_obs.Trace.Exec_start r;
+        Cpu.submit t.cpu_ ~work:(request_work t r) (fun () ->
+            Ds_obs.Trace.emit_req t.trace ~arg:1 Ds_obs.Trace.Exec_done r;
+            k (`Failed r)))
   in
   if requests = [] then ignore (Engine.schedule t.engine ~after:0. (fun () -> k `Completed))
   else step requests

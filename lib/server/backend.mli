@@ -44,6 +44,11 @@ val execute_seq_result :
 val set_fault_hook :
   t -> (Request.t -> [ `Ok | `Fail | `Stall of float ]) -> unit
 
+(** Attaches (or detaches, with [None]) a trace sink; {!execute_seq_result}
+    emits [exec_start] when a request starts charging service time and
+    [exec_done] at its completion ([arg] 0 = ok, 1 = injected failure). *)
+val set_trace : t -> Ds_obs.Trace.t option -> unit
+
 (** Statements executed so far (data operations only). *)
 val executed_stmts : t -> int
 

@@ -11,10 +11,26 @@ type t = {
   objects : (int, entry) Hashtbl.t;
   held : (int, (int, mode) Hashtbl.t) Hashtbl.t;  (* txn -> obj -> mode *)
   waiting : (int, int) Hashtbl.t;  (* txn -> obj *)
+  mutable on_wait : txn:int -> obj:int -> blocker:int -> unit;
+  mutable on_grant : txn:int -> obj:int -> unit;
 }
 
+let nop_wait ~txn:_ ~obj:_ ~blocker:_ = ()
+
+let nop_grant ~txn:_ ~obj:_ = ()
+
 let create () =
-  { objects = Hashtbl.create 1024; held = Hashtbl.create 64; waiting = Hashtbl.create 64 }
+  {
+    objects = Hashtbl.create 1024;
+    held = Hashtbl.create 64;
+    waiting = Hashtbl.create 64;
+    on_wait = nop_wait;
+    on_grant = nop_grant;
+  }
+
+let set_observer t ~on_wait ~on_grant =
+  t.on_wait <- on_wait;
+  t.on_grant <- on_grant
 
 let entry t obj =
   match Hashtbl.find_opt t.objects obj with
@@ -67,6 +83,12 @@ let acquire t ~txn ~obj ~mode =
       | _ ->
         e.queue <- { txn; mode = X; upgrade = true } :: e.queue;
         Hashtbl.replace t.waiting txn obj;
+        let blocker =
+          match List.find_opt (fun (holder, _) -> holder <> txn) e.granted with
+          | Some (holder, _) -> holder
+          | None -> -1
+        in
+        t.on_wait ~txn ~obj ~blocker;
         Blocked
     end
     else if
@@ -80,6 +102,16 @@ let acquire t ~txn ~obj ~mode =
     else begin
       e.queue <- e.queue @ [ { txn; mode; upgrade = false } ];
       Hashtbl.replace t.waiting txn obj;
+      let blocker =
+        match
+          List.find_opt (fun (_, m) -> not (compatible mode m)) e.granted
+        with
+        | Some (holder, _) -> holder
+        | None -> (
+          (* No incompatible holder — blocked behind an earlier waiter. *)
+          match e.queue with r :: _ when r.txn <> txn -> r.txn | _ -> -1)
+      in
+      t.on_wait ~txn ~obj ~blocker;
       Blocked
     end
   end
@@ -105,6 +137,7 @@ let promote t obj e =
           :: List.filter (fun (holder, _) -> holder <> req.txn) e.granted;
         note_grant t req.txn obj req.mode;
         Hashtbl.remove t.waiting req.txn;
+        t.on_grant ~txn:req.txn ~obj;
         granted := (req.txn, obj) :: !granted;
         loop ()
       end

@@ -47,3 +47,15 @@ val held_count : t -> txn:int -> int
 val total_held : t -> int
 
 val blocked_txns : t -> int list
+
+(** [set_observer t ~on_wait ~on_grant] installs callbacks fired when a
+    request blocks ([blocker] is the first incompatible holder or earlier
+    waiter, [-1] if none was identified) and when a previously blocked
+    request is granted (from {!release_all} promotion). Immediate grants do
+    not fire [on_grant]. Used by {!Native_sim} to emit [lock_wait] /
+    [lock_grant] trace events. *)
+val set_observer :
+  t ->
+  on_wait:(txn:int -> obj:int -> blocker:int -> unit) ->
+  on_grant:(txn:int -> obj:int -> unit) ->
+  unit

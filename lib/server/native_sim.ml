@@ -11,6 +11,7 @@ type config = {
   log_schedule : bool;
   mpl : int option;
   deadlock_policy : [ `Detection | `Wound_wait ];
+  trace : Ds_obs.Trace.t option;
 }
 
 let default_config =
@@ -23,6 +24,7 @@ let default_config =
     log_schedule = false;
     mpl = None;
     deadlock_policy = `Detection;
+    trace = None;
   }
 
 type stats = {
@@ -83,6 +85,22 @@ type sim = {
   rng : Rng.t;
 }
 
+(* Trace events use the lock-table attempt id as the TA: each deadlock /
+   wound retry is a fresh attempt with its own span tree and (at most one)
+   terminal, even though the logical transaction is re-run. *)
+let emit_ev sim client ?(arg = -1) kind (req : Request.t) =
+  Ds_obs.Trace.emit sim.cfg.trace kind ~ta:client.attempt
+    ~seq:req.Request.intrata
+    ~op:(Op.to_char req.Request.op)
+    ?obj:req.Request.obj ~arg
+    ~tier:(Sla.tier_to_string client.txn.Txn.sla.Sla.tier)
+    ()
+
+let emit_terminal sim client kind =
+  Ds_obs.Trace.emit_txn sim.cfg.trace
+    ~tier:(Sla.tier_to_string client.txn.Txn.sla.Sla.tier)
+    kind ~ta:client.attempt
+
 let fresh_attempt sim client =
   sim.attempt_counter <- sim.attempt_counter + 1;
   Hashtbl.remove sim.by_attempt client.attempt;
@@ -141,7 +159,9 @@ and acquire_and_exec sim client req =
     | Op.Abort | Op.Commit -> assert false
   in
   match Lock_manager.acquire sim.locks ~txn:client.attempt ~obj ~mode with
-  | Lock_manager.Granted -> exec_stmt sim client req
+  | Lock_manager.Granted ->
+    emit_ev sim client Ds_obs.Trace.Sched_admit req;
+    exec_stmt sim client req
   | Lock_manager.Blocked ->
     sim.lock_waits <- sim.lock_waits + 1;
     client.wait_start <- Engine.now sim.engine;
@@ -183,6 +203,7 @@ and wound_wait sim requester =
    callbacks below are guarded by the attempt id. *)
 and abort_attempt sim victim ~restart =
   victim.aborting <- true;
+  emit_terminal sim victim Ds_obs.Trace.Abort;
   (* Roll the data back while the X locks are still held. *)
   List.iter (fun (row, before) -> Row_store.write sim.store row before) victim.undo;
   victim.undo <- [];
@@ -217,12 +238,15 @@ and resume_after_grant sim client obj =
   sim.total_wait_time <-
     sim.total_wait_time +. (Engine.now sim.engine -. client.wait_start);
   match client.remaining with
-  | req :: _ when req.Request.obj = Some obj -> exec_stmt sim client req
+  | req :: _ when req.Request.obj = Some obj ->
+    emit_ev sim client Ds_obs.Trace.Sched_admit req;
+    exec_stmt sim client req
   | _ -> assert false
 
 and exec_stmt sim client req =
   let work = Cost_model.stmt_cost sim.cfg.cost ~locking:true in
   let attempt0 = client.attempt in
+  emit_ev sim client Ds_obs.Trace.Exec_start req;
   Cpu.submit sim.cpu ~work (fun () ->
       if client.attempt <> attempt0 || client.aborting then
         () (* wounded mid-statement *)
@@ -241,6 +265,7 @@ and exec_stmt sim client req =
         | Op.Abort | Op.Commit -> 0
       in
       client.executed <- (req.Request.op, obj) :: client.executed;
+      emit_ev sim client ~arg:0 Ds_obs.Trace.Exec_done req;
       if sim.cfg.log_schedule then
         Schedule.append sim.log
           { Schedule.ta = client.attempt; op = req.Request.op; obj; value };
@@ -259,6 +284,7 @@ and do_commit sim client =
       if sim.cfg.log_schedule then
         Schedule.append sim.log
           { Schedule.ta = client.attempt; op = Op.Commit; obj = -1; value = 0 };
+      emit_terminal sim client Ds_obs.Trace.Commit;
       let now = Engine.now sim.engine in
       if now <= sim.cfg.duration then begin
         sim.committed_txns <- sim.committed_txns + 1;
@@ -332,6 +358,33 @@ let run (cfg : config) =
         })
   in
   let sim = { sim with clients } in
+  (match cfg.trace with
+  | None -> ()
+  | Some tr ->
+    Ds_obs.Trace.set_clock tr (fun () -> Engine.now engine);
+    Lock_manager.set_observer sim.locks
+      ~on_wait:(fun ~txn ~obj ~blocker ->
+        match Hashtbl.find_opt sim.by_attempt txn with
+        | Some c -> (
+          match c.remaining with
+          | req :: _ -> emit_ev sim c ~arg:blocker Ds_obs.Trace.Lock_wait req
+          | [] ->
+            Ds_obs.Trace.emit cfg.trace Ds_obs.Trace.Lock_wait ~ta:txn
+              ~seq:(-1) ~obj ~arg:blocker ())
+        | None ->
+          Ds_obs.Trace.emit cfg.trace Ds_obs.Trace.Lock_wait ~ta:txn ~seq:(-1)
+            ~obj ~arg:blocker ())
+      ~on_grant:(fun ~txn ~obj ->
+        match Hashtbl.find_opt sim.by_attempt txn with
+        | Some c -> (
+          match c.remaining with
+          | req :: _ -> emit_ev sim c Ds_obs.Trace.Lock_grant req
+          | [] ->
+            Ds_obs.Trace.emit cfg.trace Ds_obs.Trace.Lock_grant ~ta:txn
+              ~seq:(-1) ~obj ())
+        | None ->
+          Ds_obs.Trace.emit cfg.trace Ds_obs.Trace.Lock_grant ~ta:txn ~seq:(-1)
+            ~obj ()));
   Array.iter
     (fun c -> ignore (Engine.schedule engine ~after:0. (fun () -> start_txn sim c ~retry:false)))
     clients;

@@ -27,6 +27,11 @@ type config = {
           youngest on the cycle aborts. [`Wound_wait]: an older requester
           aborts younger conflicting holders outright; deadlock-free but
           more aggressive under contention. *)
+  trace : Ds_obs.Trace.t option;
+      (** lifecycle event sink. Events are keyed by the lock-table attempt
+          id (each deadlock retry is its own span tree); lock waits and
+          grants come from the {!Lock_manager} observer, admissions map to
+          lock grants. *)
 }
 
 val default_config : config

@@ -33,7 +33,10 @@ let bucket_of t x =
     if b >= t.nbuckets then t.nbuckets + 1 else b + 1
 
 let add t x =
-  if x < 0. || Float.is_nan x then invalid_arg "Histogram.add: negative or NaN";
+  (* +infinity would otherwise poison [sum] and make [int_of_float] in
+     [bucket_of] undefined, so reject all non-finite values, not just NaN. *)
+  if x < 0. || not (Float.is_finite x) then
+    invalid_arg "Histogram.add: negative or non-finite";
   let b = bucket_of t x in
   t.counts.(b) <- t.counts.(b) + 1;
   t.n <- t.n + 1;

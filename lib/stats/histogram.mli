@@ -10,6 +10,7 @@ type t
     [buckets_per_decade = 20]. *)
 val create : ?lo:float -> ?hi:float -> ?buckets_per_decade:int -> unit -> t
 
+(** Raises [Invalid_argument] on negative or non-finite values. *)
 val add : t -> float -> unit
 val count : t -> int
 val mean : t -> float

@@ -16,6 +16,7 @@ let () =
       ("faults", Test_faults.tests);
       ("check", Test_check.tests);
       ("differential", Test_differential.tests);
+      ("obs", Test_obs.tests);
       ("integration", Test_integration.tests);
       ("edges", Test_edges.tests);
     ]

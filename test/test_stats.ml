@@ -46,8 +46,16 @@ let test_histogram () =
 
 let test_histogram_errors () =
   let h = Histogram.create () in
-  Alcotest.check_raises "negative" (Invalid_argument "Histogram.add: negative or NaN")
-    (fun () -> Histogram.add h (-1.));
+  let rejects name x =
+    Alcotest.check_raises name
+      (Invalid_argument "Histogram.add: negative or non-finite") (fun () ->
+        Histogram.add h x)
+  in
+  rejects "negative" (-1.);
+  rejects "nan" Float.nan;
+  rejects "infinity" Float.infinity;
+  rejects "neg infinity" Float.neg_infinity;
+  Alcotest.(check int) "nothing recorded" 0 (Histogram.count h);
   Alcotest.check_raises "bad quantile" (Invalid_argument "Histogram.quantile")
     (fun () -> ignore (Histogram.quantile h 1.5))
 
@@ -63,6 +71,88 @@ let histogram_quantile_monotone =
         | _ -> true
       in
       mono qs)
+
+(* The same sample rule as Histogram.quantile: the ceil(q*n)-th smallest
+   sample, 1-indexed. *)
+let naive_quantile xs q =
+  let arr = Array.of_list xs in
+  Array.sort compare arr;
+  let n = Array.length arr in
+  let target = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+  arr.(target - 1)
+
+let histogram_quantile_vs_sorted =
+  QCheck2.Test.make
+    ~name:"Histogram.quantile within bucket error of sorted reference"
+    ~count:300
+    QCheck2.Gen.(list_size (int_range 1 300) (float_range 1e-3 1e3))
+    (fun xs ->
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) xs;
+      (* Buckets are geometric with 20/decade, so the midpoint estimate is
+         within half a bucket (10^(1/40)) of the true sample; allow a full
+         bucket (10^(1/20) ~ 1.122) for boundary rounding. *)
+      let tol = Float.pow 10. (1. /. 20.) in
+      List.for_all
+        (fun q ->
+          let est = Histogram.quantile h q in
+          let truth = naive_quantile xs q in
+          est >= truth /. tol && est <= truth *. tol)
+        [ 0.; 0.1; 0.5; 0.9; 0.99; 1.0 ])
+
+let histogram_merge_prop =
+  QCheck2.Test.make ~name:"Histogram.merge_into = concat" ~count:200
+    QCheck2.Gen.(
+      pair
+        (list (float_range 1e-6 1e3))
+        (list (float_range 1e-6 1e3)))
+    (fun (xs, ys) ->
+      let a = Histogram.create ()
+      and b = Histogram.create ()
+      and c = Histogram.create () in
+      List.iter (Histogram.add a) xs;
+      List.iter (Histogram.add b) ys;
+      List.iter (Histogram.add c) (xs @ ys);
+      Histogram.merge_into ~dst:a b;
+      Histogram.count a = Histogram.count c
+      && feq ~eps:1e-9 (Histogram.mean a) (Histogram.mean c)
+      && List.for_all
+           (fun q -> feq (Histogram.quantile a q) (Histogram.quantile c q))
+           [ 0.1; 0.5; 0.99 ])
+
+let run_average_prop =
+  QCheck2.Test.make ~name:"Run_average.mean = naive mean per key" ~count:200
+    QCheck2.Gen.(
+      list_size (int_range 1 100)
+        (pair (int_range 0 3) (float_bound_inclusive 100.)))
+    (fun obs ->
+      let r = Run_average.create () in
+      List.iter (fun (key, v) -> Run_average.observe r ~key v) obs;
+      List.for_all
+        (fun key ->
+          let vs = List.filter_map
+              (fun (k, v) -> if k = key then Some v else None) obs
+          in
+          match vs with
+          | [] -> true
+          | _ ->
+            let naive =
+              List.fold_left ( +. ) 0. vs /. float_of_int (List.length vs)
+            in
+            Run_average.runs r ~key = List.length vs
+            && feq ~eps:1e-6 (Run_average.mean r ~key) naive)
+        [ 0; 1; 2; 3 ])
+
+let throughput_prop =
+  QCheck2.Test.make ~name:"Throughput series sums to total" ~count:200
+    QCheck2.Gen.(list (float_bound_inclusive 50.))
+    (fun times ->
+      let t = Throughput.create ~window:1.0 () in
+      List.iter (Throughput.record t) times;
+      let series_sum = List.fold_left (fun acc (_, n) -> acc + n) 0 (Throughput.series t) in
+      Throughput.total t = List.length times
+      && series_sum = Throughput.total t
+      && Throughput.in_range t 0. 51. = Throughput.total t)
 
 let test_histogram_merge () =
   let a = Histogram.create () and b = Histogram.create () in
@@ -122,6 +212,10 @@ let tests =
     Alcotest.test_case "histogram" `Quick test_histogram;
     Alcotest.test_case "histogram errors" `Quick test_histogram_errors;
     QCheck_alcotest.to_alcotest histogram_quantile_monotone;
+    QCheck_alcotest.to_alcotest histogram_quantile_vs_sorted;
+    QCheck_alcotest.to_alcotest histogram_merge_prop;
+    QCheck_alcotest.to_alcotest run_average_prop;
+    QCheck_alcotest.to_alcotest throughput_prop;
     Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
     Alcotest.test_case "counter registry" `Quick test_counter;
     Alcotest.test_case "throughput windows" `Quick test_throughput;
