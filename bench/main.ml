@@ -842,6 +842,181 @@ let faults_sweep ~duration () =
      loop."
 
 (* ------------------------------------------------------------------ *)
+(* Index maintenance scaling: incremental vs rebuild                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-cycle protocol-query + move cost as history grows, with
+   [Table.incremental_maintenance] on vs off. The rebuild baseline pays an
+   O(|history|) index rebuild on every probed index every cycle (any
+   mutation invalidates); the incremental path pays O(batch log)
+   maintenance. Both modes must admit the same requests in the same order —
+   checked per point.
+
+   Two regimes, both seeded with [history_size] rows of still-active
+   transactions that pin the history size:
+
+   - [`Churn] (write-path bound): each arrival is a write+commit pair on a
+     fresh object, and pruning runs every cycle. The query itself is cheap
+     ([fcfs]), so the measurement isolates the scheduler write path —
+     move_to_history + prune — where the baseline rebuilds the TA hash
+     index from all of history each cycle and the incremental path does
+     O(batch) posting updates. This is where the big ratio lives.
+
+   - [`Scan] (query bound): SS2PL's Listing 1 recomputes the lock tables
+     from the full history every cycle, an O(|history|) floor no index can
+     remove, so warm indexes only shave the rebuild share off the total. *)
+let index_scaling ~json ~history_sizes ~cycles ~batch () =
+  section
+    "Index maintenance: per-cycle protocol-query + move time vs history size \
+     (incremental vs invalidate-and-rebuild)";
+  let run_mode ~regime ~incremental ~history_size =
+    let saved = !Ds_relal.Table.incremental_maintenance in
+    Ds_relal.Table.incremental_maintenance := incremental;
+    let protocol, prune =
+      match regime with
+      | `Churn -> (Builtin.fcfs, true)
+      | `Scan -> (Builtin.ss2pl_sql, false)
+    in
+    let sched = Scheduler.create ~prune_history_each_cycle:prune protocol in
+    let rels = Scheduler.relations sched in
+    (* Active transactions (no terminal op, so pruning never removes them)
+       holding read locks on distinct objects: they pin the history size and
+       are invisible to the fresh arrivals below, which touch disjoint
+       objects. *)
+    for i = 1 to history_size do
+      let r =
+        Ds_model.Request.make ~id:i ~ta:i ~intrata:1 ~op:Ds_model.Op.Read
+          ~obj:i ()
+      in
+      Ds_relal.Table.insert rels.Relations.history
+        (Relations.row_of_request ~extended:false r)
+    done;
+    let qualified = ref [] in
+    let time = ref 0. and index_time = ref 0. in
+    let next_ta = ref (history_size + 1) in
+    let one_cycle ~measure =
+      for _k = 1 to batch do
+        let ta = !next_ta in
+        incr next_ta;
+        Scheduler.submit sched
+          (Ds_model.Request.make ~id:(10 * ta) ~ta ~intrata:1
+             ~op:Ds_model.Op.Write ~obj:ta ());
+        match regime with
+        | `Churn ->
+          (* The transaction finishes immediately: its history rows carry a
+             terminal op, so the per-cycle prune has real work to do. *)
+          Scheduler.submit sched
+            (Ds_model.Request.make ~id:((10 * ta) + 1) ~ta ~intrata:2
+               ~op:Ds_model.Op.Commit ())
+        | `Scan -> ()
+      done;
+      let reqs, stats = Scheduler.cycle sched in
+      qualified :=
+        List.rev_append (List.map Ds_model.Request.key reqs) !qualified;
+      if measure then begin
+        time :=
+          !time
+          +. stats.Scheduler.times.Scheduler.query
+          +. stats.Scheduler.times.Scheduler.move;
+        index_time := !index_time +. stats.Scheduler.index_time
+      end
+    in
+    (* Two warmup cycles let the incremental mode pay its one-time lazy
+       builds outside the window; the rebuild mode rebuilds every cycle, so
+       warmup does not flatter it. *)
+    one_cycle ~measure:false;
+    one_cycle ~measure:false;
+    for _c = 1 to cycles do
+      one_cycle ~measure:true
+    done;
+    Ds_relal.Table.incremental_maintenance := saved;
+    let per_cycle x = x /. float_of_int cycles in
+    (per_cycle !time, per_cycle !index_time, List.rev !qualified)
+  in
+  let t =
+    Tablefmt.create
+      ~aligns:
+        [
+          Tablefmt.Left; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right;
+          Tablefmt.Right; Tablefmt.Right; Tablefmt.Left;
+        ]
+      [
+        "regime"; "history"; "rebuild (ms)"; "incremental (ms)"; "index (ms)";
+        "speedup"; "identical";
+      ]
+  in
+  let points = ref [] in
+  List.iter
+    (fun (regime, regime_name) ->
+      List.iter
+        (fun history_size ->
+          let rebuild_t, _, rebuild_q =
+            run_mode ~regime ~incremental:false ~history_size
+          in
+          let incr_t, incr_ix, incr_q =
+            run_mode ~regime ~incremental:true ~history_size
+          in
+          let identical = rebuild_q = incr_q in
+          let speedup = rebuild_t /. Float.max 1e-9 incr_t in
+          points :=
+            ( regime_name, history_size, rebuild_t, incr_t, incr_ix, speedup,
+              identical )
+            :: !points;
+          Tablefmt.add_row t
+            [
+              regime_name;
+              string_of_int history_size;
+              Printf.sprintf "%.3f" (1000. *. rebuild_t);
+              Printf.sprintf "%.3f" (1000. *. incr_t);
+              Printf.sprintf "%.3f" (1000. *. incr_ix);
+              Printf.sprintf "%.1fx" speedup;
+              string_of_bool identical;
+            ])
+        history_sizes)
+    [ (`Churn, "churn (fcfs+prune)"); (`Scan, "scan (ss2pl-sql)") ];
+  Tablefmt.print t;
+  note
+    "%d measured cycles, %d fresh transactions per cycle; 'identical' = both \
+     modes admitted the same (TA, INTRATA) sequence; 'index' = incremental \
+     mode's per-cycle maintenance time. The churn regime isolates the \
+     scheduler write path (move + prune), where the rebuild baseline pays \
+     O(|history|) per cycle; the scan regime includes Listing 1's inherent \
+     full-history recomputation, which bounds the achievable speedup."
+    cycles batch;
+  match json with
+  | None -> ()
+  | Some path ->
+    let open Ds_obs.Json in
+    let payload =
+      Obj
+        [
+          ("experiment", Str "index");
+          ("cycles", Num (float_of_int cycles));
+          ("batch", Num (float_of_int batch));
+          ( "points",
+            List
+              (List.rev_map
+                 (fun ( regime, h, rebuild_t, incr_t, incr_ix, speedup,
+                        identical ) ->
+                   Obj
+                     [
+                       ("regime", Str regime);
+                       ("history", Num (float_of_int h));
+                       ("rebuild_s", Num rebuild_t);
+                       ("incremental_s", Num incr_t);
+                       ("index_s", Num incr_ix);
+                       ("speedup", Num speedup);
+                       ("identical", Bool identical);
+                     ])
+                 !points) );
+        ]
+    in
+    Out_channel.with_open_text path (fun oc ->
+        output_string oc (to_string payload);
+        output_char oc '\n');
+    note "wrote %s" path
+
+(* ------------------------------------------------------------------ *)
 (* Observability overhead                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -902,7 +1077,9 @@ let obs_overhead ~duration () =
 (* Driver                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let all_experiments ~window ~runs ~duration ~cycle_scale () =
+let default_history_sizes = [ 1_000; 5_000; 10_000; 20_000 ]
+
+let all_experiments ~window ~runs ~duration ~cycle_scale ~json () =
   table1 ();
   table2 ();
   figure2 ~window ~runs ();
@@ -912,6 +1089,8 @@ let all_experiments ~window ~runs ~duration ~cycle_scale () =
   succinctness ();
   datalog_vs_sql ~runs ();
   optimizer_ablation ~runs ();
+  index_scaling ~json ~history_sizes:default_history_sizes ~cycles:30
+    ~batch:30 ();
   trigger_policies ~duration ();
   relaxed_consistency ~duration ();
   batch_sweep ~duration ();
@@ -934,13 +1113,26 @@ let () =
   let cycle_scale =
     Arg.(value & opt float 1. & info [ "cycle-scale" ] ~doc:"Scale factor on declarative cycle times (emulates the paper's slower scheduler DBMS; try 100).")
   in
+  let json =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc:"Write the index experiment's results as JSON to $(docv).")
+  in
+  let history_sizes =
+    Arg.(value & opt (list int) default_history_sizes & info [ "history-sizes" ] ~doc:"History sizes for the index experiment (comma-separated).")
+  in
+  let cycles =
+    Arg.(value & opt int 30 & info [ "cycles" ] ~doc:"Measured scheduler cycles per index-experiment point.")
+  in
+  let batch =
+    Arg.(value & opt int 30 & info [ "batch" ] ~doc:"Fresh requests submitted per cycle in the index experiment.")
+  in
   let experiment =
     Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT"
-           ~doc:"One of: all, table1, table2, figure2, native-overhead, declarative-overhead, crossover, listing1-micro, succinctness, datalog-vs-sql, optimizer, triggers, relaxed, batch-sweep, open-loop, mpl, deadlock-policy, pruning, faults, obs, list.")
+           ~doc:"One of: all, table1, table2, figure2, native-overhead, declarative-overhead, crossover, listing1-micro, succinctness, datalog-vs-sql, optimizer, index, triggers, relaxed, batch-sweep, open-loop, mpl, deadlock-policy, pruning, faults, obs, list.")
   in
-  let main experiment window runs duration cycle_scale =
+  let main experiment window runs duration cycle_scale json history_sizes
+      cycles batch =
     match experiment with
-    | "all" -> all_experiments ~window ~runs ~duration ~cycle_scale ()
+    | "all" -> all_experiments ~window ~runs ~duration ~cycle_scale ~json ()
     | "table1" -> table1 ()
     | "table2" -> table2 ()
     | "figure2" -> figure2 ~window ~runs ()
@@ -951,6 +1143,7 @@ let () =
     | "succinctness" -> succinctness ()
     | "datalog-vs-sql" -> datalog_vs_sql ~runs ()
     | "optimizer" -> optimizer_ablation ~runs ()
+    | "index" -> index_scaling ~json ~history_sizes ~cycles ~batch ()
     | "triggers" -> trigger_policies ~duration ()
     | "relaxed" -> relaxed_consistency ~duration ()
     | "batch-sweep" -> batch_sweep ~duration ()
@@ -964,13 +1157,17 @@ let () =
       print_endline
         "all table1 table2 figure2 native-overhead declarative-overhead \
          crossover listing1-micro succinctness datalog-vs-sql optimizer \
-         triggers relaxed batch-sweep open-loop mpl deadlock-policy pruning \
-         faults obs"
+         index triggers relaxed batch-sweep open-loop mpl deadlock-policy \
+         pruning faults obs"
     | other ->
       Printf.eprintf "unknown experiment %s (try 'list')\n" other;
       exit 2
   in
-  let term = Term.(const main $ experiment $ window $ runs $ duration $ cycle_scale) in
+  let term =
+    Term.(
+      const main $ experiment $ window $ runs $ duration $ cycle_scale $ json
+      $ history_sizes $ cycles $ batch)
+  in
   let info =
     Cmd.info "bench"
       ~doc:"Regenerate the paper's tables and figures plus DESIGN.md ablations"

@@ -167,14 +167,12 @@ let restore ?(rte = false) recovered rels =
       Ds_relal.Table.insert rels.Relations.history
         (Relations.row_of_request ~extended:rels.Relations.extended r))
     recovered.history;
-  (* Abort markers release the logical locks of middleware-aborted txns. *)
+  (* Abort markers release the logical locks of middleware-aborted txns. The
+     seq offset keeps restored markers distinct from the ones a scheduler
+     mints afterwards (its abort_seq restarts at 1). *)
   List.iteri
     (fun i ta ->
-      let marker =
-        Request.make
-          ~id:(2_000_000_000 + i)
-          ~ta ~intrata:998 ~op:Op.Abort ()
-      in
+      let marker = Request.abort_marker ~ta ~seq:(1_000_000_000 + i) () in
       Ds_relal.Table.insert rels.Relations.history
         (Relations.row_of_request ~extended:rels.Relations.extended marker))
     recovered.aborted;

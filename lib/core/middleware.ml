@@ -272,7 +272,8 @@ and run_cycle sim =
         Ds_obs.Metrics.record_cycle m ~drained:stats.Scheduler.drained
           ~pending_before:stats.Scheduler.pending_before
           ~qualified:stats.Scheduler.qualified
-          ~query_time:stats.Scheduler.times.Scheduler.query)
+          ~query_time:stats.Scheduler.times.Scheduler.query
+          ~index_time:stats.Scheduler.index_time ())
       sim.cfg.metrics;
     (* Starvation accounting: clients whose outstanding request is still
        pending after this cycle. *)

@@ -45,6 +45,8 @@ let create ?(extended = false) () =
       (* object, point lookups *)
       Table.create_ordered_index t 4 (* object, range predicates (rationing) *))
     [ requests; history ];
+  (* operation: lets prune find terminal rows by probe instead of scan *)
+  Table.create_index history [ 3 ];
   let catalog = Ds_sql.Catalog.create () in
   List.iter (Ds_sql.Catalog.register catalog) [ requests; history; rte; dead ];
   { catalog; requests; history; rte; dead; extended }
@@ -117,13 +119,28 @@ let request_of_row ~extended row =
     end
     else (Sla.standard, 0.)
   in
-  Request.make ~sla ~arrival ~id:(int_at 0) ~ta:(int_at 1) ~intrata:(int_at 2)
-    ~op ?obj ()
+  let intrata = int_at 2 in
+  if intrata < 0 then begin
+    (* Abort markers round-trip through history: id = -(seq+1). *)
+    if op <> Op.Abort then fail "negative INTRATA on a non-abort row";
+    Request.abort_marker ~arrival ~ta:(int_at 1) ~seq:(-int_at 0 - 1) ()
+  end
+  else
+    Request.make ~sla ~arrival ~id:(int_at 0) ~ta:(int_at 1) ~intrata ~op ?obj
+      ()
+
+let check_not_marker r =
+  if Request.is_abort_marker r then
+    invalid_arg "Relations: abort markers belong in history, not requests"
 
 let insert_pending t r =
+  check_not_marker r;
   Table.insert t.requests (row_of_request ~extended:t.extended r)
 
-let insert_pending_batch t rs = List.iter (insert_pending t) rs
+let insert_pending_batch t rs =
+  List.iter check_not_marker rs;
+  Table.insert_many t.requests
+    (List.map (row_of_request ~extended:t.extended) rs)
 
 let pending t =
   List.map (request_of_row ~extended:t.extended) (Table.rows t.requests)
@@ -162,20 +179,46 @@ let move_to_history t keys =
   List.map (request_of_row ~extended:t.extended) rows
 
 let prune_history t =
-  let finished = Hashtbl.create 64 in
-  Table.iter
-    (fun row ->
-      match row.(3) with
-      | Value.Str ("a" | "c") -> (
-        match row.(1) with
-        | Value.Int ta -> Hashtbl.replace finished ta ()
+  if !Table.incremental_maintenance then begin
+    (* Warm indexes make pruning O(batch): terminal rows come straight off
+       the operation index (catching every insertion path — scheduler,
+       journal restore, direct test inserts), and each finished transaction
+       is deleted through the ta index. No full scan anywhere. *)
+    let finished = Hashtbl.create 64 in
+    let collect op =
+      List.iter
+        (fun row ->
+          match row.(1) with
+          | Value.Int ta -> Hashtbl.replace finished ta ()
+          | _ -> ())
+        (Table.probe t.history [ 3 ] [ Value.Str op ])
+    in
+    collect "a";
+    collect "c";
+    Hashtbl.fold
+      (fun ta () removed ->
+        removed
+        + Table.delete_by_key t.history [ 1 ] [ Value.Int ta ] (fun _ -> true))
+      finished 0
+  end
+  else begin
+    (* Invalidate-on-mutation baseline: probing would rebuild an index per
+       call, so keep the original two-scan formulation. *)
+    let finished = Hashtbl.create 64 in
+    Table.iter
+      (fun row ->
+        match row.(3) with
+        | Value.Str ("a" | "c") -> (
+          match row.(1) with
+          | Value.Int ta -> Hashtbl.replace finished ta ()
+          | _ -> ())
         | _ -> ())
-      | _ -> ())
-    t.history;
-  Table.delete_where t.history (fun row ->
-      match row.(1) with
-      | Value.Int ta -> Hashtbl.mem finished ta
-      | _ -> false)
+      t.history;
+    Table.delete_where t.history (fun row ->
+        match row.(1) with
+        | Value.Int ta -> Hashtbl.mem finished ta
+        | _ -> false)
+  end
 
 let rte_requests t =
   List.map (request_of_row ~extended:t.extended) (Table.rows t.rte)

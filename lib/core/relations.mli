@@ -30,10 +30,16 @@ val schema : extended:bool -> Schema.t
 
 val row_of_request : extended:bool -> Request.t -> Value.t array
 
-(** @raise Invalid_argument on a malformed row. *)
+(** @raise Invalid_argument on a malformed row. Rows with negative INTRATA
+    decode back to {!Request.abort_marker}s (they live in [history] only). *)
 val request_of_row : extended:bool -> Value.t array -> Request.t
 
+(** @raise Invalid_argument if given an abort marker — markers belong in
+    [history], never in [requests]. *)
 val insert_pending : t -> Request.t -> unit
+
+(** Batch variant of {!insert_pending}: one table insert (and one index
+    maintenance pass) for the whole list. *)
 val insert_pending_batch : t -> Request.t list -> unit
 val pending : t -> Request.t list
 val history_requests : t -> Request.t list
@@ -48,7 +54,10 @@ val move_to_history : t -> (int * int) list -> Request.t list
 (** Removes from [history] all rows of transactions that have a terminal
     operation there. Under SS2PL their locks are gone, so the rows no longer
     influence scheduling; pruning bounds history growth (measured by the
-    [history_pruning] ablation). Returns rows removed. *)
+    [history_pruning] ablation). Returns rows removed. With incremental
+    index maintenance on, finished transactions are found through the
+    operation index and deleted through the TA index — O(batch) per cycle
+    instead of two full history scans. *)
 val prune_history : t -> int
 
 (** The [rte] execution log decoded back into requests, in execution order —

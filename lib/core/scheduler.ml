@@ -10,6 +10,7 @@ type cycle_stats = {
   history_before : int;
   qualified : int;
   times : phase_times;
+  index_time : float;
 }
 
 type t = {
@@ -107,10 +108,11 @@ let dead_letter t r =
      delete covers dead-lettering straight out of pending. *)
   let ta, intrata = Request.key r in
   ignore
-    (Ds_relal.Table.delete_where t.rels.Relations.requests (fun row ->
-         match (row.(1), row.(2)) with
-         | Ds_relal.Value.Int ta', Ds_relal.Value.Int intrata' ->
-           ta' = ta && intrata' = intrata
+    (Ds_relal.Table.delete_by_key t.rels.Relations.requests [ 1 ]
+       [ Ds_relal.Value.Int ta ]
+       (fun row ->
+         match row.(2) with
+         | Ds_relal.Value.Int intrata' -> intrata' = intrata
          | _ -> false));
   Relations.insert_dead t.rels r
 
@@ -147,6 +149,7 @@ let cycle ?(passthrough = false) t =
         history_before = Relations.history_count t.rels;
         qualified = List.length reqs;
         times = { drain_insert = 0.; query = 0.; move = 0. };
+        index_time = 0.;
       }
     in
     (reqs, stats)
@@ -154,6 +157,7 @@ let cycle ?(passthrough = false) t =
   else begin
     let pending_before = Relations.pending_count t.rels in
     let history_before = Relations.history_count t.rels in
+    let maint0 = Ds_relal.Table.maintenance_time () in
     let t0 = now () in
     let incoming = drain t in
     List.iter
@@ -205,6 +209,7 @@ let cycle ?(passthrough = false) t =
         history_before;
         qualified = List.length qualified;
         times;
+        index_time = Ds_relal.Table.maintenance_time () -. maint0;
       }
     in
     (qualified, stats)
@@ -221,18 +226,16 @@ let abort_txn t ta =
     Ds_obs.Trace.emit_txn t.trace Ds_obs.Trace.Abort ~ta
   end;
   let dropped =
-    Ds_relal.Table.delete_where t.rels.Relations.requests (fun row ->
-        match row.(1) with
-        | Ds_relal.Value.Int ta' -> ta' = ta
-        | _ -> false)
+    Ds_relal.Table.delete_by_key t.rels.Relations.requests [ 1 ]
+      [ Ds_relal.Value.Int ta ]
+      (fun _ -> true)
   in
   (* Record the abort so the protocol sees the transaction's locks as
-     released. *)
+     released. The marker's reserved sentinel (negative INTRATA/id) cannot
+     collide with any real request, whatever ids the workload uses. *)
   t.abort_seq <- t.abort_seq + 1;
-  let marker =
-    Request.make ~id:(1_000_000_000 + t.abort_seq) ~ta
-      ~intrata:999 ~op:Op.Abort ()
-  in
+  let marker = Request.abort_marker ~ta ~seq:t.abort_seq () in
+  assert (Request.is_abort_marker marker);
   Ds_relal.Table.insert t.rels.Relations.history
     (Relations.row_of_request ~extended:t.rels.Relations.extended marker);
   dropped

@@ -26,6 +26,10 @@ type cycle_stats = {
   history_before : int;
   qualified : int;
   times : phase_times;
+  index_time : float;
+      (** seconds of index maintenance (incremental updates, lazy builds,
+          merges, compaction) inside this cycle; contained within the phase
+          times above, so it is NOT added to {!total_time}. *)
 }
 
 type t
@@ -78,8 +82,9 @@ val pending_count : t -> int
 val cycle : ?passthrough:bool -> t -> Request.t list * cycle_stats
 
 (** [abort_txn t ta] removes the transaction's pending requests and records
-    an abort in [history], releasing its logical locks. Returns the number of
-    pending requests dropped. Used by the middleware's timeout handling. *)
+    an {!Request.abort_marker} in [history], releasing its logical locks.
+    Returns the number of pending requests dropped. Used by the middleware's
+    timeout handling. *)
 val abort_txn : t -> int -> int
 
 (** Cycles run so far. *)

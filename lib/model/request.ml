@@ -9,6 +9,8 @@ type t = {
 }
 
 let make ?(sla = Sla.standard) ?(arrival = 0.) ~id ~ta ~intrata ~op ?obj () =
+  if intrata < 0 then
+    invalid_arg "Request.make: negative INTRATA is reserved for abort markers";
   (match (op, obj) with
   | (Op.Read | Op.Write), None ->
     invalid_arg "Request.make: data operation requires an object"
@@ -16,6 +18,25 @@ let make ?(sla = Sla.standard) ?(arrival = 0.) ~id ~ta ~intrata ~op ?obj () =
     invalid_arg "Request.make: terminal operation carries no object"
   | _ -> ());
   { id; ta; intrata; op; obj; sla; arrival }
+
+(* The history marker recording an externally triggered abort of [ta]. It
+   lives in the same relation as real requests, so it must be impossible to
+   confuse with one: INTRATA is the reserved sentinel -1 (which [make]
+   rejects) and the id is negative (ids of real requests are non-negative
+   and never compared against history rows by the protocol queries). [seq]
+   keeps distinct markers distinct for journaling/replay. *)
+let abort_marker ?(arrival = 0.) ~ta ~seq () =
+  {
+    id = -(seq + 1);
+    ta;
+    intrata = -1;
+    op = Op.Abort;
+    obj = None;
+    sla = Sla.standard;
+    arrival;
+  }
+
+let is_abort_marker r = r.intrata < 0
 
 let v ta intrata op obj =
   make ~id:((ta * 1000) + intrata) ~ta ~intrata ~op ~obj ()

@@ -14,9 +14,23 @@ type t = {
   arrival : float;  (** arrival time at the middleware, seconds *)
 }
 
+(** @raise Invalid_argument on a malformed request: a data operation without
+    an object, a terminal operation with one, or a negative [intrata]
+    (reserved for {!abort_marker}). *)
 val make :
   ?sla:Sla.t -> ?arrival:float -> id:int -> ta:int -> intrata:int -> op:Op.t ->
   ?obj:int -> unit -> t
+
+(** [abort_marker ~ta ~seq ()] is the synthetic history row recording that
+    transaction [ta] was aborted by the scheduler (deadlock victim, dead
+    letter, journal replay). Markers carry the reserved sentinel
+    [intrata = -1] — which {!make} rejects — and a negative [id] derived
+    from [seq], so they can never collide with a real request no matter what
+    ids or intrata values the workload uses. *)
+val abort_marker : ?arrival:float -> ta:int -> seq:int -> unit -> t
+
+(** [true] exactly for rows built by {!abort_marker}. *)
+val is_abort_marker : t -> bool
 
 (** [v ta intrata op obj] — terse constructor used pervasively in tests:
     id defaults to a per-call counter-free [ta * 1000 + intrata]. *)

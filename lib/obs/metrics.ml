@@ -5,6 +5,7 @@ type cycle_row = {
   qualified : int;
   admit_ratio : float;
   query_time : float;
+  index_time : float;
 }
 
 type t = {
@@ -26,7 +27,8 @@ let tier_hist t tier =
 
 let observe_latency t ~tier dt = Ds_stats.Histogram.add (tier_hist t tier) dt
 
-let record_cycle t ~drained ~pending_before ~qualified ~query_time =
+let record_cycle t ~drained ~pending_before ~qualified ~query_time
+    ?(index_time = 0.) () =
   let row =
     {
       cycle = t.n_cycles;
@@ -38,6 +40,7 @@ let record_cycle t ~drained ~pending_before ~qualified ~query_time =
       admit_ratio =
         float_of_int qualified /. float_of_int (max 1 (pending_before + drained));
       query_time;
+      index_time;
     }
   in
   t.n_cycles <- t.n_cycles + 1;
@@ -100,11 +103,12 @@ let render t =
     Buffer.add_string buf
       (Printf.sprintf
          "  mean drain=%.2f  mean pending=%.2f  mean admit ratio=%.3f  mean \
-          query time=%.6fs\n"
+          query time=%.6fs  mean index time=%.6fs\n"
          (sum (fun r -> float_of_int r.drained) /. fn)
          (sum (fun r -> float_of_int r.pending_before) /. fn)
          (sum (fun r -> r.admit_ratio) /. fn)
-         (sum (fun r -> r.query_time) /. fn))
+         (sum (fun r -> r.query_time) /. fn)
+         (sum (fun r -> r.index_time) /. fn))
   end;
   Buffer.contents buf
 

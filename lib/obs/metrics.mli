@@ -14,6 +14,9 @@ type cycle_row = {
   qualified : int;  (** requests admitted this cycle *)
   admit_ratio : float;  (** [qualified / max 1 (pending_before + drained)] *)
   query_time : float;  (** seconds spent evaluating the protocol query *)
+  index_time : float;
+      (** seconds of table index maintenance inside the cycle (subset of the
+          cycle's phase times, reported by {!Ds_relal.Table}) *)
 }
 
 type t
@@ -25,7 +28,14 @@ val create : unit -> t
 val observe_latency : t -> tier:string -> float -> unit
 
 val record_cycle :
-  t -> drained:int -> pending_before:int -> qualified:int -> query_time:float -> unit
+  t ->
+  drained:int ->
+  pending_before:int ->
+  qualified:int ->
+  query_time:float ->
+  ?index_time:float ->
+  unit ->
+  unit
 
 (** [(tier, n, p50, p95, p99)] per tier with at least one sample, in SLA
     urgency order (premium, standard, free), unknown tiers last. *)

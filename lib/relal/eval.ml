@@ -378,7 +378,7 @@ and eval_group ~env keys aggs input =
            (List.filter
               (fun row -> not (Value.is_null (eval_expr ~env ~row e)))
               members))
-    | Sum e -> fold_numeric ~env members e ~init:None ~f:( +. )
+    | Sum e -> fold_sum ~env members e
     | Min e -> fold_minmax ~env members e ~better:(fun a b -> Value.compare a b < 0)
     | Max e -> fold_minmax ~env members e ~better:(fun a b -> Value.compare a b > 0)
     | Avg e -> (
@@ -411,16 +411,34 @@ and non_null_floats ~env members e =
         | None -> type_error "aggregate over non-numeric value"))
     members
 
-and fold_numeric ~env members e ~init ~f =
-  let vals = non_null_floats ~env members e in
-  match vals with
-  | [] -> Value.Null
-  | _ ->
-    let total = List.fold_left f (Option.value ~default:0. init) vals in
-    (* Keep integer sums integral when all inputs were ints. *)
-    if Float.is_integer total && Float.abs total < 1e15 then
-      Value.Int (int_of_float total)
-    else Value.Float total
+and fold_sum ~env members e =
+  (* Ints fold in the int domain and only widen to float once a float input
+     appears, so SUM over a FLOAT column stays a Float even when the total is
+     integral (2.5 + 1.5 = 4.0, not 4) and pure-int sums keep exact precision
+     beyond 2^53. *)
+  let acc =
+    List.fold_left
+      (fun acc row ->
+        match eval_expr ~env ~row e with
+        | Value.Null -> acc
+        | Value.Int i -> (
+          match acc with
+          | `Empty -> `Int i
+          | `Int s -> `Int (s + i)
+          | `Float s -> `Float (s +. float_of_int i))
+        | Value.Float f -> (
+          match acc with
+          | `Empty -> `Float f
+          | `Int s -> `Float (float_of_int s +. f)
+          | `Float s -> `Float (s +. f))
+        | Value.Str _ | Value.Bool _ ->
+          type_error "aggregate over non-numeric value")
+      `Empty members
+  in
+  match acc with
+  | `Empty -> Value.Null
+  | `Int s -> Value.Int s
+  | `Float s -> Value.Float s
 
 and fold_minmax ~env members e ~better =
   List.fold_left

@@ -30,15 +30,13 @@ let label_of = function
 
 let now () = Unix.gettimeofday ()
 
-let section_observer : (string -> float -> unit) option ref = ref None
-
-let set_section_observer obs = section_observer := obs
+let set_section_observer obs = Hook.set obs
 
 let timed label f =
   let t0 = now () in
   let res = f () in
   let dt = now () -. t0 in
-  (match !section_observer with Some obs -> obs label dt | None -> ());
+  Hook.note label dt;
   (res, dt)
 
 (* Replace an evaluated child by its materialized rows. *)

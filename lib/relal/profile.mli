@@ -27,5 +27,8 @@ val render : node_stats -> string
 val timed : string -> (unit -> 'a) -> 'a * float
 
 (** Installs (or clears, with [None]) the global section observer notified by
-    every {!timed} call with its label and elapsed seconds. *)
+    every {!timed} call with its label and elapsed seconds. {!Table} reports
+    its index-maintenance work (incremental updates, lazy builds, merges,
+    compaction) through the same observer under the label
+    ["index-maintenance"]. *)
 val set_section_observer : (string -> float -> unit) option -> unit

@@ -10,79 +10,405 @@ end
 
 module Key_tbl = Hashtbl.Make (Key)
 
-type index = { cols : int list; mutable map : int list Key_tbl.t option }
+(* Hash index: key -> posting list of row slots, ascending. Postings are kept
+   exact under insert/update (slots move between postings); deletions are
+   lazy — dead slots stay in the posting and are filtered on probe, and get
+   swept out when the table compacts. *)
+type index = { cols : int list; mutable map : int Vec.t Key_tbl.t option }
 
-(* Ordered index: rows sorted by one column's value (NULLs excluded). *)
+(* Ordered index: (value, slot) entries sorted by (value, slot), NULLs
+   excluded. [main] is the big sorted run; inserts and updates append to the
+   small [overflow] run, which is sorted lazily on probe and merged into
+   [main] once it outgrows the merge threshold. Entries self-invalidate: an
+   entry is live iff its slot is live and still holds that value, so deletes
+   and updates never have to find old entries — stale ones are skipped on
+   probe and dropped at the next merge/compaction. *)
 type ordered_index = {
   ocol : int;
-  mutable sorted : (Value.t * Value.t array) array option;
+  mutable main : (Value.t * int) array;
+  mutable overflow : (Value.t * int) Vec.t;
+  mutable overflow_sorted : bool;
+  mutable built : bool;
 }
 
 type t = {
   name : string;
   schema : Schema.t;
-  rows : Value.t array Vec.t;
+  rows : Value.t array Vec.t;  (* slots; dead slots linger until compaction *)
+  mutable live : Bytes.t;  (* parallel to [rows]: '\001' live, '\000' dead *)
+  mutable n_dead : int;
   mutable indexes : index list;
   mutable ordered : ordered_index list;
 }
 
+(* Global switch between incremental maintenance (default) and the
+   invalidate-and-rebuild behaviour it replaced; the rebuild path is kept as
+   the benchmark baseline and as the differential-testing oracle. *)
+let incremental_maintenance = ref true
+
+(* ------------------------------------------------------------------ *)
+(* maintenance accounting                                             *)
+(* ------------------------------------------------------------------ *)
+
+let maintenance_clock = ref 0.
+
+let maintenance_time () = !maintenance_clock
+
+let reset_maintenance_time () = maintenance_clock := 0.
+
+(* Wall-clock the index work of one mutation/build. Callers only wrap the
+   index-maintenance part, never the base row work, so the counter isolates
+   what incremental maintenance is supposed to shrink. *)
+let timed_maintenance f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  maintenance_clock := !maintenance_clock +. dt;
+  Hook.note "index-maintenance" dt;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* basics                                                             *)
+(* ------------------------------------------------------------------ *)
+
 let create ~name schema =
-  { name; schema; rows = Vec.create (); indexes = []; ordered = [] }
+  {
+    name;
+    schema;
+    rows = Vec.create ();
+    live = Bytes.create 0;
+    n_dead = 0;
+    indexes = [];
+    ordered = [];
+  }
 
 let name t = t.name
 
 let schema t = t.schema
 
-let row_count t = Vec.length t.rows
+let slot_count t = Vec.length t.rows
+
+let row_count t = Vec.length t.rows - t.n_dead
+
+let is_live t pos = Bytes.unsafe_get t.live pos = '\001'
 
 let invalidate t =
   List.iter (fun ix -> ix.map <- None) t.indexes;
-  List.iter (fun ox -> ox.sorted <- None) t.ordered
+  List.iter
+    (fun ox ->
+      ox.main <- [||];
+      Vec.clear ox.overflow;
+      ox.overflow_sorted <- true;
+      ox.built <- false)
+    t.ordered
 
-let insert t row =
+let has_built_index t =
+  List.exists (fun ix -> ix.map <> None) t.indexes
+  || List.exists (fun ox -> ox.built) t.ordered
+
+let key_of_row cols row = List.map (fun c -> row.(c)) cols
+
+(* Compare ordered-index entries by (value, slot): the global probe order. *)
+let entry_compare (va, pa) (vb, pb) =
+  match Value.compare va vb with 0 -> Int.compare pa pb | c -> c
+
+let ensure_live_capacity t =
+  let len = Vec.length t.rows in
+  if Bytes.length t.live < len then begin
+    let grown = Bytes.make (max 16 (2 * len)) '\000' in
+    Bytes.blit t.live 0 grown 0 (Bytes.length t.live);
+    t.live <- grown
+  end
+
+(* ------------------------------------------------------------------ *)
+(* insert                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Add slot [pos] holding [row] to every *built* index; unbuilt indexes are
+   populated wholesale on their next probe. O(#indexes · log) per row. *)
+let index_insert t pos row =
+  List.iter
+    (fun ix ->
+      match ix.map with
+      | None -> ()
+      | Some map -> (
+        let key = key_of_row ix.cols row in
+        match Key_tbl.find_opt map key with
+        | Some posting -> Vec.push posting pos
+        | None ->
+          let posting = Vec.create () in
+          Vec.push posting pos;
+          Key_tbl.replace map key posting))
+    t.indexes;
+  List.iter
+    (fun ox ->
+      if ox.built then begin
+        let v = row.(ox.ocol) in
+        if not (Value.is_null v) then begin
+          Vec.push ox.overflow (v, pos);
+          ox.overflow_sorted <- false
+        end
+      end)
+    t.ordered
+
+let push_row t row =
+  let pos = Vec.length t.rows in
+  Vec.push t.rows row;
+  ensure_live_capacity t;
+  Bytes.unsafe_set t.live pos '\001';
+  pos
+
+let check_arity t row =
   if Array.length row <> Schema.arity t.schema then
     invalid_arg
       (Printf.sprintf "Table.insert(%s): arity %d, schema wants %d" t.name
-         (Array.length row) (Schema.arity t.schema));
-  Vec.push t.rows row;
-  invalidate t
+         (Array.length row) (Schema.arity t.schema))
 
-let insert_many t rows = List.iter (insert t) rows
+let insert t row =
+  check_arity t row;
+  let pos = push_row t row in
+  if not !incremental_maintenance then invalidate t
+  else if has_built_index t then
+    timed_maintenance (fun () -> index_insert t pos row)
+
+let insert_many t rows =
+  match rows with
+  | [] -> ()
+  | _ when not !incremental_maintenance ->
+    List.iter
+      (fun row ->
+        check_arity t row;
+        ignore (push_row t row))
+      rows;
+    invalidate t
+  | _ ->
+    let first = ref (-1) in
+    List.iter
+      (fun row ->
+        check_arity t row;
+        let pos = push_row t row in
+        if !first < 0 then first := pos)
+      rows;
+    if has_built_index t then
+      timed_maintenance (fun () ->
+          for pos = !first to Vec.length t.rows - 1 do
+            index_insert t pos (Vec.get t.rows pos)
+          done)
+
+(* ------------------------------------------------------------------ *)
+(* compaction                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Rewrite one ordered index against [remap] (old slot -> new slot, -1 =
+   gone): sort the overflow run, merge it with the main run and keep only
+   entries that still validate. Single linear pass; the result is a clean
+   [main] and an empty overflow. Must run after the rows vector has been
+   compacted (validation reads rows at their *new* slots). *)
+let compact_ordered t remap ox =
+  if ox.built then begin
+    if not ox.overflow_sorted then begin
+      Vec.sort entry_compare ox.overflow;
+      ox.overflow_sorted <- true
+    end;
+    let ov = Vec.to_array ox.overflow in
+    let merged = Vec.create () in
+    let keep (v, old_pos) =
+      let pos = remap.(old_pos) in
+      if pos >= 0 && Value.equal (Vec.get t.rows pos).(ox.ocol) v then begin
+        let entry = (v, pos) in
+        if
+          Vec.is_empty merged
+          || entry_compare (Vec.last merged) entry <> 0 (* drop exact dups *)
+        then Vec.push merged entry
+      end
+    in
+    let n_main = Array.length ox.main and n_ov = Array.length ov in
+    let i = ref 0 and j = ref 0 in
+    while !i < n_main || !j < n_ov do
+      if
+        !j >= n_ov
+        || (!i < n_main && entry_compare ox.main.(!i) ov.(!j) <= 0)
+      then begin
+        keep ox.main.(!i);
+        incr i
+      end
+      else begin
+        keep ov.(!j);
+        incr j
+      end
+    done;
+    ox.main <- Vec.to_array merged;
+    Vec.clear ox.overflow;
+    ox.overflow_sorted <- true
+  end
+
+(* Squeeze dead slots out of the rows vector in place (single write-pointer
+   pass) and patch every built index through the slot remap instead of
+   rebuilding it: postings are filtered/rewritten in place, ordered runs are
+   merged/validated. Triggered when at least half the slots are dead, so the
+   cost amortizes to O(1) per deleted row. *)
+let compact t =
+  let n = Vec.length t.rows in
+  let remap = Array.make n (-1) in
+  let w = ref 0 in
+  for i = 0 to n - 1 do
+    if is_live t i then begin
+      if !w < i then Vec.set t.rows !w (Vec.get t.rows i);
+      remap.(i) <- !w;
+      incr w
+    end
+  done;
+  Vec.truncate t.rows !w;
+  Bytes.fill t.live 0 (Bytes.length t.live) '\000';
+  Bytes.fill t.live 0 !w '\001';
+  t.n_dead <- 0;
+  if !incremental_maintenance then begin
+    List.iter
+      (fun ix ->
+        match ix.map with
+        | None -> ()
+        | Some map ->
+          Key_tbl.filter_map_inplace
+            (fun _key posting ->
+              ignore
+                (Vec.filter_map_in_place
+                   (fun pos ->
+                     if remap.(pos) >= 0 then Some remap.(pos) else None)
+                   posting);
+              if Vec.is_empty posting then None else Some posting)
+            map)
+      t.indexes;
+    List.iter (compact_ordered t remap) t.ordered
+  end
+  else invalidate t
+
+let maybe_compact t =
+  if t.n_dead > 64 && 2 * t.n_dead > Vec.length t.rows then
+    if has_built_index t then timed_maintenance (fun () -> compact t)
+    else compact t
+
+(* ------------------------------------------------------------------ *)
+(* delete / update / clear                                            *)
+(* ------------------------------------------------------------------ *)
 
 let delete_where t p =
-  let kept = Vec.create () in
   let removed = ref 0 in
-  Vec.iter
-    (fun row -> if p row then incr removed else Vec.push kept row)
-    t.rows;
+  for pos = 0 to Vec.length t.rows - 1 do
+    if is_live t pos && p (Vec.get t.rows pos) then begin
+      Bytes.unsafe_set t.live pos '\000';
+      incr removed
+    end
+  done;
   if !removed > 0 then begin
-    Vec.clear t.rows;
-    Vec.iter (Vec.push t.rows) kept;
-    invalidate t
+    t.n_dead <- t.n_dead + !removed;
+    if not !incremental_maintenance then invalidate t;
+    maybe_compact t
   end;
   !removed
 
+(* Move slot [pos] from its old hash-index postings to the new ones after an
+   in-place row update. Postings must stay ascending so probes return rows in
+   insertion order; the slot is re-inserted at its sorted position. *)
+let reindex_hash t pos old_keys row =
+  List.iter2
+    (fun ix old_key ->
+      match ix.map with
+      | None -> ()
+      | Some map ->
+        let new_key = key_of_row ix.cols row in
+        if not (Key.equal old_key new_key) then begin
+          (match Key_tbl.find_opt map old_key with
+          | Some posting ->
+            ignore (Vec.filter_in_place (fun p -> p <> pos) posting);
+            if Vec.is_empty posting then Key_tbl.remove map old_key
+          | None -> ());
+          match Key_tbl.find_opt map new_key with
+          | Some posting ->
+            (* Sorted insert: usually appends (pos is the newest slot with
+               this key); bounded by the posting length otherwise. *)
+            Vec.push posting pos;
+            let i = ref (Vec.length posting - 1) in
+            while !i > 0 && Vec.get posting (!i - 1) > pos do
+              Vec.set posting !i (Vec.get posting (!i - 1));
+              decr i
+            done;
+            Vec.set posting !i pos
+          | None ->
+            let posting = Vec.create () in
+            Vec.push posting pos;
+            Key_tbl.replace map new_key posting
+        end)
+    t.indexes old_keys
+
+let reindex_ordered t pos old_vals row =
+  List.iter2
+    (fun ox old_v ->
+      if ox.built then begin
+        let v = row.(ox.ocol) in
+        if (not (Value.equal old_v v)) && not (Value.is_null v) then begin
+          (* The stale (old_v, pos) entry self-invalidates on probe; only the
+             new value needs an entry. *)
+          Vec.push ox.overflow (v, pos);
+          ox.overflow_sorted <- false
+        end
+      end)
+    t.ordered old_vals
+
 let update_where t p f =
   let touched = ref 0 in
-  Vec.iter
-    (fun row ->
+  let incr_mode = !incremental_maintenance && has_built_index t in
+  for pos = 0 to Vec.length t.rows - 1 do
+    if is_live t pos then begin
+      let row = Vec.get t.rows pos in
       if p row then begin
-        f row;
+        if incr_mode then begin
+          let old_keys =
+            List.map (fun ix -> key_of_row ix.cols row) t.indexes
+          in
+          let old_vals = List.map (fun ox -> row.(ox.ocol)) t.ordered in
+          f row;
+          timed_maintenance (fun () ->
+              reindex_hash t pos old_keys row;
+              reindex_ordered t pos old_vals row)
+        end
+        else f row;
         incr touched
-      end)
-    t.rows;
-  if !touched > 0 then invalidate t;
+      end
+    end
+  done;
+  if !touched > 0 && not !incremental_maintenance then invalidate t;
   !touched
 
 let clear t =
   Vec.clear t.rows;
+  Bytes.fill t.live 0 (Bytes.length t.live) '\000';
+  t.n_dead <- 0;
   invalidate t
 
-let rows t = Vec.to_list t.rows
+(* ------------------------------------------------------------------ *)
+(* scans                                                              *)
+(* ------------------------------------------------------------------ *)
 
-let iter f t = Vec.iter f t.rows
+let rows t =
+  let out = ref [] in
+  for pos = Vec.length t.rows - 1 downto 0 do
+    if is_live t pos then out := Vec.get t.rows pos :: !out
+  done;
+  !out
 
-let fold f acc t = Vec.fold_left f acc t.rows
+let iter f t =
+  for pos = 0 to Vec.length t.rows - 1 do
+    if is_live t pos then f (Vec.get t.rows pos)
+  done
+
+let fold f acc t =
+  let acc = ref acc in
+  iter (fun row -> acc := f !acc row) t;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* hash indexes                                                       *)
+(* ------------------------------------------------------------------ *)
 
 let same_cols = List.equal Int.equal
 
@@ -97,20 +423,22 @@ let create_index t cols =
 
 let has_index t cols = List.exists (fun ix -> same_cols ix.cols cols) t.indexes
 
-let key_of_row cols row = List.map (fun c -> row.(c)) cols
-
 let build ix t =
-  let map = Key_tbl.create (max 16 (Vec.length t.rows)) in
-  Vec.iteri
-    (fun pos row ->
-      let key = key_of_row ix.cols row in
-      let prev = Option.value ~default:[] (Key_tbl.find_opt map key) in
-      Key_tbl.replace map key (pos :: prev))
-    t.rows;
-  (* Reverse so probe returns rows in insertion order. *)
-  Key_tbl.filter_map_inplace (fun _ poss -> Some (List.rev poss)) map;
-  ix.map <- Some map;
-  map
+  timed_maintenance (fun () ->
+      let map = Key_tbl.create (max 16 (row_count t)) in
+      for pos = 0 to Vec.length t.rows - 1 do
+        if is_live t pos then begin
+          let key = key_of_row ix.cols (Vec.get t.rows pos) in
+          match Key_tbl.find_opt map key with
+          | Some posting -> Vec.push posting pos
+          | None ->
+            let posting = Vec.create () in
+            Vec.push posting pos;
+            Key_tbl.replace map key posting
+        end
+      done;
+      ix.map <- Some map;
+      map)
 
 let probe t cols key =
   match List.find_opt (fun ix -> same_cols ix.cols cols) t.indexes with
@@ -119,71 +447,174 @@ let probe t cols key =
     let map = match ix.map with Some m -> m | None -> build ix t in
     (match Key_tbl.find_opt map key with
     | None -> []
-    | Some positions -> List.map (Vec.get t.rows) positions)
+    | Some posting ->
+      (* Postings are ascending slots = insertion order; dead slots are
+         skipped here and swept out by compaction. *)
+      let out = ref [] in
+      for i = Vec.length posting - 1 downto 0 do
+        let pos = Vec.get posting i in
+        if is_live t pos then out := Vec.get t.rows pos :: !out
+      done;
+      !out)
+
+(* ------------------------------------------------------------------ *)
+(* ordered indexes                                                    *)
+(* ------------------------------------------------------------------ *)
 
 let create_ordered_index t col =
   if col < 0 || col >= Schema.arity t.schema then
     invalid_arg "Table.create_ordered_index: column out of range";
   if not (List.exists (fun ox -> ox.ocol = col) t.ordered) then
-    t.ordered <- { ocol = col; sorted = None } :: t.ordered
+    t.ordered <-
+      {
+        ocol = col;
+        main = [||];
+        overflow = Vec.create ();
+        overflow_sorted = true;
+        built = false;
+      }
+      :: t.ordered
 
 let has_ordered_index t col = List.exists (fun ox -> ox.ocol = col) t.ordered
 
 let build_ordered ox t =
-  let cells = Vec.create () in
-  Vec.iter
-    (fun row ->
-      let v = row.(ox.ocol) in
-      if not (Value.is_null v) then Vec.push cells (v, row))
-    t.rows;
-  let arr = Vec.to_array cells in
-  Array.stable_sort (fun (a, _) (b, _) -> Value.compare a b) arr;
-  ox.sorted <- Some arr;
-  arr
+  timed_maintenance (fun () ->
+      let cells = Vec.create () in
+      for pos = 0 to Vec.length t.rows - 1 do
+        if is_live t pos then begin
+          let v = (Vec.get t.rows pos).(ox.ocol) in
+          if not (Value.is_null v) then Vec.push cells (v, pos)
+        end
+      done;
+      (* Slots are visited ascending, so this is already (value, slot)
+         sorted within equal values after a stable value sort. *)
+      let arr = Vec.to_array cells in
+      Array.stable_sort entry_compare arr;
+      ox.main <- arr;
+      Vec.clear ox.overflow;
+      ox.overflow_sorted <- true;
+      ox.built <- true)
+
+(* Sort the overflow run if dirty, and merge it into the main run once it
+   outgrows the threshold (the "compacted on probe" step). Identity remap:
+   slots are untouched, only runs move. *)
+let settle_overflow ox t =
+  let n_ov = Vec.length ox.overflow in
+  if n_ov > 0 then
+    if n_ov > max 64 (Array.length ox.main / 8) then
+      timed_maintenance (fun () ->
+          let remap =
+            Array.init (Vec.length t.rows) (fun i ->
+                if is_live t i then i else -1)
+          in
+          compact_ordered t remap ox)
+    else if not ox.overflow_sorted then
+      timed_maintenance (fun () ->
+          Vec.sort entry_compare ox.overflow;
+          ox.overflow_sorted <- true)
+
+(* First index in [get 0..n) whose entry value satisfies [bound] (for [lo])
+   or violates it (for [hi]). *)
+let bisect ~n ~get ~crosses =
+  let rec go l r =
+    if l >= r then l
+    else begin
+      let m = (l + r) / 2 in
+      if crosses (fst (get m)) then go l m else go (m + 1) r
+    end
+  in
+  go 0 n
+
+let lo_crosses lo v =
+  match lo with
+  | None -> true
+  | Some (b, inclusive) ->
+    let c = Value.compare v b in
+    c > 0 || (c = 0 && inclusive)
+
+let hi_crosses hi v =
+  match hi with
+  | None -> false
+  | Some (b, inclusive) ->
+    let c = Value.compare v b in
+    c > 0 || (c = 0 && not inclusive)
 
 let range_probe t col ~lo ~hi =
   match List.find_opt (fun ox -> ox.ocol = col) t.ordered with
   | None ->
     invalid_arg (Printf.sprintf "Table.range_probe(%s): no ordered index" t.name)
   | Some ox ->
-    let arr = match ox.sorted with Some a -> a | None -> build_ordered ox t in
-    let n = Array.length arr in
-    (* First position whose key satisfies the lower bound. *)
-    let start =
-      match lo with
-      | None -> 0
-      | Some (v, inclusive) ->
-        let rec bisect l r =
-          if l >= r then l
-          else begin
-            let m = (l + r) / 2 in
-            let c = Value.compare (fst arr.(m)) v in
-            if c < 0 || (c = 0 && not inclusive) then bisect (m + 1) r
-            else bisect l m
-          end
-        in
-        bisect 0 n
+    if not ox.built then build_ordered ox t;
+    settle_overflow ox t;
+    let main = ox.main and ov = ox.overflow in
+    let m_start =
+      bisect ~n:(Array.length main) ~get:(Array.get main)
+        ~crosses:(lo_crosses lo)
+    and m_stop =
+      bisect ~n:(Array.length main) ~get:(Array.get main)
+        ~crosses:(hi_crosses hi)
+    and o_start =
+      bisect ~n:(Vec.length ov) ~get:(Vec.get ov) ~crosses:(lo_crosses lo)
+    and o_stop =
+      bisect ~n:(Vec.length ov) ~get:(Vec.get ov) ~crosses:(hi_crosses hi)
     in
-    (* First position whose key violates the upper bound. *)
-    let stop =
-      match hi with
-      | None -> n
-      | Some (v, inclusive) ->
-        let rec bisect l r =
-          if l >= r then l
-          else begin
-            let m = (l + r) / 2 in
-            let c = Value.compare (fst arr.(m)) v in
-            if c < 0 || (c = 0 && inclusive) then bisect (m + 1) r
-            else bisect l m
-          end
-        in
-        bisect 0 n
-    in
+    (* Merge the two in-range runs by (value, slot); entries validate against
+       the current row (alive and value unchanged), and exact duplicates
+       (possible after value flip-flops via update) collapse. *)
     let out = ref [] in
-    for i = stop - 1 downto start do
-      out := snd arr.(i) :: !out
+    let last = ref None in
+    let emit ((v, pos) as entry) =
+      if
+        (match !last with Some prev -> entry_compare prev entry <> 0 | None -> true)
+        && is_live t pos
+        && Value.equal (Vec.get t.rows pos).(col) v
+      then begin
+        out := Vec.get t.rows pos :: !out;
+        last := Some entry
+      end
+      else last := Some entry
+    in
+    let i = ref m_start and j = ref o_start in
+    while !i < m_stop || !j < o_stop do
+      if
+        !j >= o_stop
+        || (!i < m_stop && entry_compare main.(!i) (Vec.get ov !j) <= 0)
+      then begin
+        emit main.(!i);
+        incr i
+      end
+      else begin
+        emit (Vec.get ov !j);
+        incr j
+      end
     done;
-    !out
+    List.rev !out
 
 let indexed_columns t = List.map (fun ix -> ix.cols) t.indexes
+
+(* Probe the hash index on [cols] for [key] and tombstone every matching live
+   row satisfying [p]; returns how many were removed. The batched delete used
+   by the scheduler's history pruning: O(posting) instead of a full scan. *)
+let delete_by_key t cols key p =
+  match List.find_opt (fun ix -> same_cols ix.cols cols) t.indexes with
+  | None ->
+    invalid_arg (Printf.sprintf "Table.delete_by_key(%s): no such index" t.name)
+  | Some ix ->
+    let map = match ix.map with Some m -> m | None -> build ix t in
+    let removed = ref 0 in
+    (match Key_tbl.find_opt map key with
+    | None -> ()
+    | Some posting ->
+      Vec.iter
+        (fun pos ->
+          if is_live t pos && p (Vec.get t.rows pos) then begin
+            Bytes.unsafe_set t.live pos '\000';
+            incr removed
+          end)
+        posting);
+    if !removed > 0 then begin
+      t.n_dead <- t.n_dead + !removed;
+      if not !incremental_maintenance then invalidate t;
+      maybe_compact t
+    end;
+    !removed

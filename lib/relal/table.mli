@@ -1,27 +1,69 @@
-(** In-memory mutable tables with hash indexes.
+(** In-memory mutable tables with incrementally maintained indexes.
 
-    Rows are value arrays matching the table schema. Indexes map a key (the
-    values of an ordered column subset) to the row positions holding it; they
-    are invalidated by any mutation and rebuilt lazily on the next probe, a
-    good fit for the scheduler's batch insert / query / batch delete cycle. *)
+    Rows are value arrays matching the table schema, stored in slots that are
+    never reused: [delete_where] tombstones the slot, and the table compacts
+    itself in place (remapping index entries rather than rebuilding) once at
+    least half the slots are dead. Hash indexes keep per-key posting lists of
+    slots updated on every insert/update; ordered indexes keep a large sorted
+    main run plus a small overflow run that absorbs new entries and is
+    compacted into the main run on probe. Setting {!incremental_maintenance}
+    to [false] restores the previous behaviour — any mutation invalidates all
+    indexes, which are rebuilt from scratch on the next probe — and is kept
+    as the benchmark baseline and differential-testing oracle. *)
 
 type t
 
 val create : name:string -> Schema.t -> t
 val name : t -> string
 val schema : t -> Schema.t
+
+(** Number of live rows. *)
 val row_count : t -> int
+
+(** Number of slots, live + tombstoned (for tests and diagnostics; equals
+    {!row_count} right after a compaction). *)
+val slot_count : t -> int
+
+(** When [true] (the default), indexes are maintained in place across
+    mutations; when [false], any mutation invalidates all indexes and probes
+    rebuild them from scratch. Flipping the switch mid-stream is safe: it
+    only changes how the *next* mutation treats the indexes. *)
+val incremental_maintenance : bool ref
+
+(** Cumulative wall-clock seconds spent on index maintenance (incremental
+    updates, lazy builds, overflow merges, compaction) across all tables
+    since the last {!reset_maintenance_time}. Also reported per section
+    through {!Profile.set_section_observer} under the label
+    ["index-maintenance"]. *)
+val maintenance_time : unit -> float
+
+val reset_maintenance_time : unit -> unit
 
 (** @raise Invalid_argument on arity mismatch with the schema. *)
 val insert : t -> Value.t array -> unit
 
+(** Batch insert: rows are appended first, then every built index is updated
+    in one maintenance pass (one timing section per batch, not per row). *)
 val insert_many : t -> Value.t array list -> unit
 
-(** [delete_where t p] removes rows satisfying [p]; returns how many. *)
+(** [delete_where t p] removes rows satisfying [p]; returns how many.
+    Deletion tombstones the row slots — O(1) index work per row — and
+    triggers an in-place compaction when at least half the slots (and more
+    than 64) are dead. *)
 val delete_where : t -> (Value.t array -> bool) -> int
 
+(** [delete_by_key t cols key p] deletes the rows matching [key] on the hash
+    index over [cols] that also satisfy [p]; returns how many. Equivalent to
+    [delete_where] with a conjunctive key test, but costs O(posting) instead
+    of a full scan.
+    @raise Invalid_argument if no such index was declared. *)
+val delete_by_key :
+  t -> int list -> Value.t list -> (Value.t array -> bool) -> int
+
 (** [update_where t p f] applies the in-place mutation [f] to each row
-    satisfying [p]; returns how many rows were touched. *)
+    satisfying [p]; returns how many rows were touched. Hash-index postings
+    are moved between keys exactly; ordered indexes get the new value pushed
+    to their overflow run, the stale entry self-invalidating on probe. *)
 val update_where : t -> (Value.t array -> bool) -> (Value.t array -> unit) -> int
 
 val clear : t -> unit
@@ -38,14 +80,13 @@ val create_index : t -> int list -> unit
 
 val has_index : t -> int list -> bool
 
-(** [probe t cols key] returns all rows whose [cols] values equal [key],
-    using the index (built on demand).
+(** [probe t cols key] returns all rows whose [cols] values equal [key], in
+    insertion order, using the index (built on demand).
     @raise Invalid_argument if no such index was declared. *)
 val probe : t -> int list -> Value.t list -> Value.t array list
 
 (** [create_ordered_index t col] declares an ordered index on one column,
-    enabling {!range_probe}. Rebuilt lazily after mutations, like hash
-    indexes. *)
+    enabling {!range_probe}. Duplicate declarations are no-ops. *)
 val create_ordered_index : t -> int -> unit
 
 val has_ordered_index : t -> int -> bool

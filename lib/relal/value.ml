@@ -54,7 +54,7 @@ let pp ppf v = Format.pp_print_string ppf (to_string v)
 
 let as_int = function
   | Int i -> Some i
-  | Float f -> Some (int_of_float f)
+  | Float f -> if Float.is_finite f then Some (int_of_float f) else None
   | Null | Str _ | Bool _ -> None
 
 let as_float = function

@@ -114,6 +114,32 @@ let truncate v n =
   if n < 0 then invalid_arg "Vec.truncate";
   if n < v.len then v.len <- n
 
+let filter_in_place p v =
+  let w = ref 0 in
+  for i = 0 to v.len - 1 do
+    let x = Array.unsafe_get v.data i in
+    if p x then begin
+      if !w < i then Array.unsafe_set v.data !w x;
+      incr w
+    end
+  done;
+  let removed = v.len - !w in
+  v.len <- !w;
+  removed
+
+let filter_map_in_place f v =
+  let w = ref 0 in
+  for i = 0 to v.len - 1 do
+    match f (Array.unsafe_get v.data i) with
+    | Some y ->
+      Array.unsafe_set v.data !w y;
+      incr w
+    | None -> ()
+  done;
+  let removed = v.len - !w in
+  v.len <- !w;
+  removed
+
 let sort cmp v =
   let a = to_array v in
   Array.stable_sort cmp a;

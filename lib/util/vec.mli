@@ -35,6 +35,16 @@ val append : 'a t -> 'a t -> unit
 (** [truncate v n] drops all elements at index [>= n]. *)
 val truncate : 'a t -> int -> unit
 
+(** [filter_in_place p v] keeps only the elements satisfying [p], compacting
+    the vector in place with a single write pointer (no intermediate copy);
+    relative order is preserved. Returns how many elements were dropped. *)
+val filter_in_place : ('a -> bool) -> 'a t -> int
+
+(** [filter_map_in_place f v] rewrites each element to [f x] where that is
+    [Some y] and drops the [None]s, in place and order-preserving. Returns
+    how many elements were dropped. *)
+val filter_map_in_place : ('a -> 'a option) -> 'a t -> int
+
 (** In-place stable sort. *)
 val sort : ('a -> 'a -> int) -> 'a t -> unit
 

@@ -405,6 +405,34 @@ let test_abort_txn_drops_pending () =
     [ (2, 1) ]
     (List.map Request.key q)
 
+let test_abort_marker_lifecycle () =
+  (* Markers use a reserved sentinel (negative INTRATA/id), round-trip
+     through [history], never collide with real requests — even ones using
+     intrata 999 and billion-range ids, the encoding old markers forged —
+     and pruning sweeps the aborted transaction away. *)
+  let sched = Scheduler.create ~prune_history_each_cycle:false Builtin.ss2pl_sql in
+  let rels = Scheduler.relations sched in
+  Scheduler.submit sched
+    (Request.make ~id:1_000_000_002 ~ta:1 ~intrata:999 ~op:Op.Write ~obj:5 ());
+  let q, _ = Scheduler.cycle sched in
+  Alcotest.(check int) "hostile ids still schedule" 1 (List.length q);
+  ignore (Scheduler.abort_txn sched 1);
+  let hist = Relations.history_requests rels in
+  let markers = List.filter Request.is_abort_marker hist in
+  Alcotest.(check int) "exactly one marker" 1 (List.length markers);
+  let m = List.hd markers in
+  Alcotest.(check int) "marker carries the ta" 1 m.Request.ta;
+  Alcotest.(check bool) "marker distinct from every real row" true
+    (List.for_all
+       (fun r -> Request.is_abort_marker r || r.Request.id <> m.Request.id)
+       hist);
+  Alcotest.check_raises "markers can't enter requests"
+    (Invalid_argument "Relations: abort markers belong in history, not requests")
+    (fun () -> Relations.insert_pending rels (Request.abort_marker ~ta:2 ~seq:0 ()));
+  let removed = Relations.prune_history rels in
+  Alcotest.(check bool) "prune swept the aborted txn" true (removed >= 2);
+  Alcotest.(check int) "history empty" 0 (Relations.history_count rels)
+
 (* --- trigger ----------------------------------------------------------- *)
 
 let test_trigger () =
@@ -736,6 +764,8 @@ let tests =
     Alcotest.test_case "abort releases locks" `Quick test_abort_txn_releases;
     Alcotest.test_case "abort drops pending + unblocks" `Quick
       test_abort_txn_drops_pending;
+    Alcotest.test_case "abort marker lifecycle" `Quick
+      test_abort_marker_lifecycle;
     Alcotest.test_case "trigger conditions" `Quick test_trigger;
     Alcotest.test_case "rule lang parse" `Quick test_rule_lang_parse;
     Alcotest.test_case "rule lang errors" `Quick test_rule_lang_errors;

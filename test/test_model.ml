@@ -37,6 +37,23 @@ let test_request_constructors () =
     (Invalid_argument "Request.make: terminal operation carries no object")
     (fun () -> ignore (Request.make ~id:1 ~ta:1 ~intrata:1 ~op:Op.Commit ~obj:3 ()))
 
+let test_abort_markers () =
+  Alcotest.check_raises "negative intrata reserved"
+    (Invalid_argument "Request.make: negative INTRATA is reserved for abort markers")
+    (fun () -> ignore (Request.make ~id:1 ~ta:1 ~intrata:(-1) ~op:Op.Commit ()));
+  let m = Request.abort_marker ~ta:4 ~seq:2 () in
+  Alcotest.(check bool) "marker flagged" true (Request.is_abort_marker m);
+  Alcotest.(check bool) "marker id negative" true (m.Request.id < 0);
+  Alcotest.(check bool) "marker intrata negative" true (m.Request.intrata < 0);
+  (* A legal workload may use intrata 999 and billion-range ids — the old
+     forged-marker encoding — without being mistaken for a marker. *)
+  let r = Request.make ~id:1_000_000_001 ~ta:9 ~intrata:999 ~op:Op.Commit () in
+  Alcotest.(check bool) "real request never a marker" false
+    (Request.is_abort_marker r);
+  (* Distinct seqs give distinct marker identities. *)
+  let m' = Request.abort_marker ~ta:4 ~seq:3 () in
+  Alcotest.(check bool) "seq disambiguates" false (m.Request.id = m'.Request.id)
+
 let test_txn () =
   let t =
     Txn.make ~ta:7
@@ -76,6 +93,7 @@ let tests =
   [
     Alcotest.test_case "op" `Quick test_op;
     Alcotest.test_case "request" `Quick test_request_constructors;
+    Alcotest.test_case "abort markers" `Quick test_abort_markers;
     Alcotest.test_case "txn" `Quick test_txn;
     Alcotest.test_case "sla" `Quick test_sla;
   ]
