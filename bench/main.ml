@@ -1074,6 +1074,140 @@ let obs_overhead ~duration () =
   | Error e -> note "TRACE INVALID: %s" e)
 
 (* ------------------------------------------------------------------ *)
+(* Parallel backend scaling                                           *)
+(* ------------------------------------------------------------------ *)
+
+let parallel_scaling ~duration ~json () =
+  section
+    "Parallel backend: conflict-class execution across K workers \
+     (low-conflict workload; every schedule checker-validated)";
+  let spec = { Spec.paper_default with Spec.n_objects = 20_000 } in
+  let t =
+    Tablefmt.create
+      ~aligns:
+        [
+          Tablefmt.Right; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right;
+          Tablefmt.Right; Tablefmt.Right; Tablefmt.Left; Tablefmt.Left;
+        ]
+      [
+        "workers"; "committed"; "makespan mean (ms)"; "p95 (ms)"; "speedup";
+        "mean util"; "checker"; "conflict-equivalent";
+      ]
+  in
+  let base_makespan = ref None in
+  let points = ref [] in
+  List.iter
+    (fun workers ->
+      let m = Ds_obs.Metrics.create () in
+      let s, sched =
+        Middleware.run_full
+          {
+            (middleware_cfg ~protocol:Builtin.ss2pl_ocaml
+               ~trigger:(Trigger.Hybrid (0.01, 50))
+               ~clients:80 ~duration ~spec)
+            with
+            Middleware.workers;
+            metrics = Some m;
+            (* identical virtual-time behavior at every K: don't charge
+               wall-clock scheduler time *)
+            charge_scheduler_time = false;
+          }
+      in
+      let rels = Scheduler.relations sched in
+      let rte = Relations.rte_requests rels in
+      (* The merged parallel schedule, reassembled from the declarative
+         assignment log (pos = delivery order). *)
+      let by_key = Hashtbl.create (2 * List.length rte) in
+      List.iter
+        (fun r -> Hashtbl.replace by_key (Ds_model.Request.key r) r)
+        rte;
+      let merged =
+        List.filter_map
+          (fun key -> Hashtbl.find_opt by_key key)
+          (Relations.execution_order rels)
+      in
+      let report =
+        Ds_check.Serializability.check_committed
+          (Ds_check.Conflict_graph.events_of_requests rte)
+      in
+      let equiv =
+        Ds_check.Equivalence.check ~reference:rte ~candidate:merged ()
+      in
+      let makespan = s.Middleware.mean_batch_makespan in
+      if workers = 1 then base_makespan := Some makespan;
+      let speedup =
+        match !base_makespan with
+        | Some base when makespan > 0. -> base /. makespan
+        | _ -> 1.
+      in
+      let util =
+        match Ds_obs.Metrics.parallel m with
+        | Some p when p.Ds_obs.Metrics.per_worker <> [] ->
+          List.fold_left
+            (fun acc (w : Ds_obs.Metrics.worker_row) ->
+              acc +. w.Ds_obs.Metrics.utilization)
+            0. p.Ds_obs.Metrics.per_worker
+          /. float_of_int (List.length p.Ds_obs.Metrics.per_worker)
+        | _ -> 0.
+      in
+      let clean = Ds_check.Serializability.is_clean report in
+      let equivalent = Ds_check.Equivalence.is_equivalent equiv in
+      points :=
+        (workers, s.Middleware.committed_txns, makespan, speedup, util, clean,
+         equivalent)
+        :: !points;
+      Tablefmt.add_row t
+        [
+          string_of_int workers;
+          string_of_int s.Middleware.committed_txns;
+          Printf.sprintf "%.3f" (1000. *. makespan);
+          Printf.sprintf "%.3f" (1000. *. s.Middleware.p95_batch_makespan);
+          Printf.sprintf "%.2fx" speedup;
+          Printf.sprintf "%.3f" util;
+          (if clean then "clean" else "DIRTY");
+          (if equivalent then "yes" else "NO");
+        ])
+    [ 1; 2; 4; 8 ];
+  Tablefmt.print t;
+  note
+    "speedup = mean batch makespan at K=1 / at K; conflict classes of one \
+     batch run as overlapping spans, so makespan approaches the largest \
+     class instead of the batch total. 'checker' validates the rte log \
+     (serializability battery), 'conflict-equivalent' compares the merged \
+     delivery order (assignment relation) against the admitted rte order.";
+  match json with
+  | None -> ()
+  | Some path ->
+    let open Ds_obs.Json in
+    let payload =
+      Obj
+        [
+          ("experiment", Str "parallel");
+          ("duration", Num duration);
+          ( "points",
+            List
+              (List.rev_map
+                 (fun (k, committed, makespan, speedup, util, clean, equivalent)
+                    ->
+                   Obj
+                     [
+                       ("workers", Num (float_of_int k));
+                       ("committed", Num (float_of_int committed));
+                       ("makespan_s", Num makespan);
+                       ("speedup", Num speedup);
+                       ("mean_utilization", Num util);
+                       ("checker_clean", Bool clean);
+                       ("conflict_equivalent", Bool equivalent);
+                     ])
+                 !points) );
+        ]
+    in
+    Out_channel.with_open_text path (fun oc ->
+        output_string oc (to_string payload);
+        output_char oc '\n');
+    note "wrote %s" path
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1099,7 +1233,8 @@ let all_experiments ~window ~runs ~duration ~cycle_scale ~json () =
   deadlock_policy_ablation ~window ~runs ();
   history_pruning ~duration ();
   faults_sweep ~duration ();
-  obs_overhead ~duration ()
+  obs_overhead ~duration ();
+  parallel_scaling ~duration ~json:None ()
 
 let () =
   let open Cmdliner in
@@ -1127,7 +1262,7 @@ let () =
   in
   let experiment =
     Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT"
-           ~doc:"One of: all, table1, table2, figure2, native-overhead, declarative-overhead, crossover, listing1-micro, succinctness, datalog-vs-sql, optimizer, index, triggers, relaxed, batch-sweep, open-loop, mpl, deadlock-policy, pruning, faults, obs, list.")
+           ~doc:"One of: all, table1, table2, figure2, native-overhead, declarative-overhead, crossover, listing1-micro, succinctness, datalog-vs-sql, optimizer, index, triggers, relaxed, batch-sweep, open-loop, mpl, deadlock-policy, pruning, faults, obs, parallel, list.")
   in
   let main experiment window runs duration cycle_scale json history_sizes
       cycles batch =
@@ -1153,12 +1288,13 @@ let () =
     | "pruning" -> history_pruning ~duration ()
     | "faults" -> faults_sweep ~duration ()
     | "obs" -> obs_overhead ~duration ()
+    | "parallel" -> parallel_scaling ~duration ~json ()
     | "list" ->
       print_endline
         "all table1 table2 figure2 native-overhead declarative-overhead \
          crossover listing1-micro succinctness datalog-vs-sql optimizer \
          index triggers relaxed batch-sweep open-loop mpl deadlock-policy \
-         pruning faults obs"
+         pruning faults obs parallel"
     | other ->
       Printf.eprintf "unknown experiment %s (try 'list')\n" other;
       exit 2

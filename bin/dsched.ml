@@ -32,7 +32,7 @@ let table1_cmd =
 let sql_cmd =
   let doc =
     "Run SQL statements against a fresh scheduler database (tables: requests, \
-     history, rte)."
+     history, rte, dead, workers, assignment)."
   in
   let stmt =
     Arg.(
@@ -111,6 +111,16 @@ let run_cmd =
   in
   let passthrough =
     Arg.(value & flag & info [ "passthrough" ] ~doc:"Non-scheduling mode (3.3).")
+  in
+  let workers =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"K"
+          ~doc:
+            "Simulated worker backends. With $(docv) > 1 each admitted batch \
+             is split into conflict classes executed as overlapping spans; \
+             the placement is queryable in the workers/assignment relations \
+             ('dsched sql').")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
   let log_rte =
@@ -194,8 +204,8 @@ let run_cmd =
             "Print per-SLA-tier latency quantiles (p50/p95/p99) and \
              per-cycle scheduler metrics after the run.")
   in
-  let run protocol clients duration objects passthrough seed log_rte faults
-      max_retries queue_cap batch_timeout journal trace_out metrics =
+  let run protocol clients duration objects passthrough workers seed log_rte
+      faults max_retries queue_cap batch_timeout journal trace_out metrics =
     let faulty = not (Faults.is_none faults) in
     let sink = Option.map (fun _ -> Ds_obs.Trace.create ()) trace_out in
     let mets = if metrics then Some (Ds_obs.Metrics.create ()) else None in
@@ -204,6 +214,7 @@ let run_cmd =
         Middleware.default_config with
         Middleware.n_clients = clients;
         duration;
+        workers;
         seed;
         protocol;
         passthrough;
@@ -262,8 +273,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ protocol_arg $ clients $ duration $ objects $ passthrough
-      $ seed $ log_rte $ faults $ max_retries $ queue_cap $ batch_timeout
-      $ journal $ trace_out $ metrics)
+      $ workers $ seed $ log_rte $ faults $ max_retries $ queue_cap
+      $ batch_timeout $ journal $ trace_out $ metrics)
 
 let native_cmd =
   let doc = "Run the native (lock-based) scheduler experiment (4.2)." in

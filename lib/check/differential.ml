@@ -12,6 +12,7 @@ type config = {
   native_clients : int;
   native_duration : float;
   check_trace : bool;
+  parallel_workers : int list;
 }
 
 let default_config =
@@ -26,6 +27,7 @@ let default_config =
     native_clients = 6;
     native_duration = 0.3;
     check_trace = true;
+    parallel_workers = [ 2; 4 ];
   }
 
 type failure =
@@ -43,6 +45,7 @@ type failure =
       expected : int list;
       got : int list;
     }
+  | Parallel_mismatch of { workers : int; detail : string }
 
 type outcome = {
   seed : int;
@@ -109,6 +112,8 @@ let run_one ?(config = default_config) ?(subjects = default_subjects ())
          subjects
   in
   let failures = ref [] in
+  let batches = ref [] in
+  (* admitted reference batches, newest first *)
   let cycles = ref 0 in
   let executed = ref 0 in
   let committed = ref 0 in
@@ -153,7 +158,9 @@ let run_one ?(config = default_config) ?(subjects = default_subjects ())
          let q, _ = Scheduler.cycle s in
          List.map Request.key q
        in
-       let reference_keys = keys_of (List.hd schedulers) in
+       let reference_batch, _ = Scheduler.cycle reference in
+       if reference_batch <> [] then batches := reference_batch :: !batches;
+       let reference_keys = List.map Request.key reference_batch in
        List.iter
          (fun ((name, _) as entry) ->
            let got = keys_of entry in
@@ -292,6 +299,71 @@ let run_one ?(config = default_config) ?(subjects = default_subjects ())
     if not (Serializability.is_clean report) then
       failures := Unclean { formulation = "native-2pl"; report } :: !failures
   end;
+  (* Parallel-vs-sequential oracle: replay the exact admitted batches
+     through a K-worker pool and require the merged (delivery-order)
+     schedule to be conflict-equivalent to the sequential admitted order,
+     serializable on its committed projection, and to leave the same final
+     table state (last writer per object). *)
+  if !failures = [] && config.parallel_workers <> [] then begin
+    let sequential = List.concat (List.rev !batches) in
+    let final_state schedule =
+      let last = Hashtbl.create 32 in
+      List.iter
+        (fun (r : Request.t) ->
+          match (r.Request.op, r.Request.obj) with
+          | Op.Write, Some o -> Hashtbl.replace last o (Request.key r)
+          | _ -> ())
+        schedule;
+      List.sort compare
+        (Hashtbl.fold (fun o k acc -> (o, k) :: acc) last [])
+    in
+    List.iter
+      (fun workers ->
+        if workers >= 1 && !failures = [] then begin
+          let engine = Ds_sim.Engine.create () in
+          let pool =
+            Ds_server.Worker_pool.create engine Ds_server.Cost_model.default
+              ~workers
+          in
+          let merged = ref [] in
+          (* Chain batches through each completion so batch N+1 dispatches
+             only after batch N drains, mirroring the middleware's
+             admission order regardless of pool internals. *)
+          let rec replay = function
+            | [] -> ()
+            | batch :: rest ->
+              Ds_server.Worker_pool.execute pool batch
+                ~on_each:(fun ~worker:_ ~cls:_ ~pos:_ r ->
+                  merged := r :: !merged)
+                (fun _ -> replay rest)
+          in
+          replay (List.rev !batches);
+          Ds_sim.Engine.run engine;
+          let merged = List.rev !merged in
+          let fail detail =
+            failures := Parallel_mismatch { workers; detail } :: !failures
+          in
+          let eq =
+            Equivalence.check ~complete:true ~reference:sequential
+              ~candidate:merged ()
+          in
+          if not (Equivalence.is_equivalent eq) then
+            fail (Format.asprintf "%a" Equivalence.pp_report eq)
+          else begin
+            let report =
+              Serializability.check_committed
+                (Conflict_graph.events_of_requests merged)
+            in
+            if not (Serializability.is_clean report) then
+              fail
+                (Format.asprintf "merged schedule dirty: %a"
+                   Serializability.pp_report report)
+            else if final_state merged <> final_state sequential then
+              fail "final table state differs from sequential replay"
+          end
+        end)
+      config.parallel_workers
+  end;
   {
     seed;
     cycles = !cycles;
@@ -335,6 +407,9 @@ let pp_failure ppf = function
     let tas l = String.concat ";" (List.map string_of_int l) in
     Format.fprintf ppf "%s trace check failed: %s (rte [%s], trace [%s])"
       formulation detail (tas expected) (tas got)
+  | Parallel_mismatch { workers; detail } ->
+    Format.fprintf ppf "parallel replay with %d workers diverged: %s" workers
+      detail
 
 let pp_outcome ppf o =
   Format.fprintf ppf

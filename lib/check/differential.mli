@@ -16,7 +16,12 @@
     - every formulation's [rte] execution log passes the full
       {!Serializability} battery on its committed projection;
     - (optionally) a native strict-2PL server run from the same seed
-      produces a checker-clean committed schedule.
+      produces a checker-clean committed schedule;
+    - (with [parallel_workers]) the exact admitted batches replayed through
+      a K-worker {!Ds_server.Worker_pool} yield a merged schedule that is
+      conflict-equivalent to the sequential admitted order
+      ({!Equivalence.check} with [~complete:true]), checker-clean, and
+      leaves the same final table state.
 
     Failures carry the seed, so any report reproduces by rerunning
     [run_one ~seed]. No shrinking: workloads are small enough to read. *)
@@ -39,6 +44,9 @@ type config = {
       (** attach a {!Ds_obs.Trace} sink to the reference scheduler and check
           that the trace is well-formed and that its derived commit order
           (admitted requests with a commit op) equals the [rte] log's *)
+  parallel_workers : int list;
+      (** pool sizes for the parallel-vs-sequential oracle replay (default
+          [[2; 4]]; [[]] disables the mode) *)
 }
 
 val default_config : config
@@ -59,6 +67,8 @@ type failure =
       expected : int list;  (** commit-op TAs in [rte] execution order *)
       got : int list;  (** commit-op TAs in trace admission order *)
     }
+  | Parallel_mismatch of { workers : int; detail : string }
+      (** the K-worker replay was not conflict-equivalent to sequential *)
 
 type outcome = {
   seed : int;

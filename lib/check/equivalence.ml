@@ -1,0 +1,125 @@
+open Ds_model
+
+type violation =
+  | Unknown_request of { ta : int; intrata : int }
+  | Duplicate_delivery of { ta : int; intrata : int }
+  | Missing_request of { ta : int; intrata : int }
+  | Conflict_reordered of {
+      obj : int;
+      first : int * int;
+      second : int * int;
+    }
+
+type report = {
+  reference_len : int;
+  candidate_len : int;
+  pairs_checked : int;
+  violations : violation list;
+}
+
+let is_equivalent r = r.violations = []
+
+let pp_key ppf (ta, intrata) = Format.fprintf ppf "(ta=%d,intrata=%d)" ta intrata
+
+let pp_violation ppf = function
+  | Unknown_request { ta; intrata } ->
+    Format.fprintf ppf "candidate delivered %a which the reference never admitted"
+      pp_key (ta, intrata)
+  | Duplicate_delivery { ta; intrata } ->
+    Format.fprintf ppf "candidate delivered %a more than once" pp_key
+      (ta, intrata)
+  | Missing_request { ta; intrata } ->
+    Format.fprintf ppf "candidate is missing %a from the reference" pp_key
+      (ta, intrata)
+  | Conflict_reordered { obj; first; second } ->
+    Format.fprintf ppf
+      "conflicting pair on object %d reordered: reference runs %a before %a, \
+       candidate the other way"
+      obj pp_key first pp_key second
+
+let pp_report ppf r =
+  Format.fprintf ppf "reference=%d candidate=%d conflicting pairs=%d %s"
+    r.reference_len r.candidate_len r.pairs_checked
+    (if is_equivalent r then "equivalent"
+     else
+       Format.asprintf "violations=%d [%a]" (List.length r.violations)
+         (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_violation)
+         (List.filteri (fun i _ -> i < 3) r.violations))
+
+(* Abort markers are bookkeeping rows, not executed operations; neither side
+   of the comparison should see them. *)
+let executed rs = List.filter (fun r -> not (Request.is_abort_marker r)) rs
+
+let check ?(complete = false) ~reference ~candidate () =
+  let reference = executed reference and candidate = executed candidate in
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  (* Membership discipline: candidate keys are unique and drawn from the
+     reference; with [complete] the multisets must coincide exactly. *)
+  let ref_keys = Hashtbl.create (2 * List.length reference) in
+  List.iter (fun r -> Hashtbl.replace ref_keys (Request.key r) ()) reference;
+  let seen = Hashtbl.create (2 * List.length candidate) in
+  List.iter
+    (fun r ->
+      let ta, intrata = Request.key r in
+      if Hashtbl.mem seen (ta, intrata) then add (Duplicate_delivery { ta; intrata })
+      else Hashtbl.replace seen (ta, intrata) ();
+      if not (Hashtbl.mem ref_keys (ta, intrata)) then
+        add (Unknown_request { ta; intrata }))
+    candidate;
+  if complete then
+    List.iter
+      (fun r ->
+        let ta, intrata = Request.key r in
+        if not (Hashtbl.mem seen (ta, intrata)) then
+          add (Missing_request { ta; intrata }))
+      reference;
+  (* Order discipline: for every pair of conflicting requests present in
+     both schedules, the candidate keeps the reference's relative order.
+     Group by object; read-only prefixes commute so only pairs with at least
+     one write conflict (delegated to {!Request.conflicts}). *)
+  let cand_pos = Hashtbl.create (2 * List.length candidate) in
+  List.iteri (fun i r -> Hashtbl.replace cand_pos (Request.key r) i) candidate;
+  let by_obj : (int, Request.t list ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Request.t) ->
+      match r.Request.obj with
+      | None -> ()
+      | Some o ->
+        (match Hashtbl.find_opt by_obj o with
+        | Some l -> l := r :: !l
+        | None -> Hashtbl.add by_obj o (ref [ r ])))
+    reference;
+  let pairs = ref 0 in
+  Hashtbl.iter
+    (fun obj group ->
+      (* in reference order *)
+      let group = List.rev !group in
+      let rec walk = function
+        | [] -> ()
+        | (a : Request.t) :: rest ->
+          List.iter
+            (fun (b : Request.t) ->
+              if Request.conflicts a b then begin
+                incr pairs;
+                match
+                  ( Hashtbl.find_opt cand_pos (Request.key a),
+                    Hashtbl.find_opt cand_pos (Request.key b) )
+                with
+                | Some pa, Some pb when pa > pb ->
+                  add
+                    (Conflict_reordered
+                       { obj; first = Request.key a; second = Request.key b })
+                | _ -> ()
+              end)
+            rest;
+          walk rest
+      in
+      walk group)
+    by_obj;
+  {
+    reference_len = List.length reference;
+    candidate_len = List.length candidate;
+    pairs_checked = !pairs;
+    violations = List.rev !violations;
+  }

@@ -1,0 +1,50 @@
+(** Conflict equivalence between two schedules of the same request set.
+
+    Two schedules are conflict-equivalent when they run the same requests
+    and order every conflicting pair the same way — the classical definition
+    from serialization theory, and exactly the guarantee the parallel
+    backend must give: its merged (delivery-order) schedule may interleave
+    independent conflict classes arbitrarily, but must agree with the
+    sequential admitted order ([rte]) on every conflicting pair.
+
+    The candidate is allowed to be a {e prefix-like subset} of the reference
+    (requests admitted but not yet executed when a run's duration elapsed,
+    or re-delivered from recovered history after a crash, are simply
+    absent); pass [~complete:true] to additionally require the two request
+    sets to coincide, the right mode for offline replay where both schedules
+    are fully drained. *)
+
+open Ds_model
+
+type violation =
+  | Unknown_request of { ta : int; intrata : int }
+      (** candidate ran a request the reference never admitted *)
+  | Duplicate_delivery of { ta : int; intrata : int }
+      (** candidate ran the same request twice *)
+  | Missing_request of { ta : int; intrata : int }
+      (** only with [~complete:true]: reference request absent from candidate *)
+  | Conflict_reordered of {
+      obj : int;
+      first : int * int;  (** earlier in the reference, [(ta, intrata)] *)
+      second : int * int;
+    }  (** a conflicting pair the candidate runs in the opposite order *)
+
+type report = {
+  reference_len : int;  (** executed requests (abort markers dropped) *)
+  candidate_len : int;
+  pairs_checked : int;  (** conflicting pairs examined *)
+  violations : violation list;
+}
+
+(** [check ~reference ~candidate ()] compares the candidate schedule against
+    the reference. Abort markers are dropped from both sides first. *)
+val check :
+  ?complete:bool ->
+  reference:Request.t list ->
+  candidate:Request.t list ->
+  unit ->
+  report
+
+val is_equivalent : report -> bool
+val pp_violation : Format.formatter -> violation -> unit
+val pp_report : Format.formatter -> report -> unit

@@ -7,6 +7,7 @@ type config = {
   duration : float;
   spec : Spec.t;
   cost : Ds_server.Cost_model.t;
+  workers : int;
   seed : int;
   protocol : Protocol.t;
   trigger : Trigger.t;
@@ -34,6 +35,7 @@ let default_config =
     duration = 10.;
     spec = Spec.paper_default;
     cost = Ds_server.Cost_model.default;
+    workers = 1;
     seed = 42;
     protocol = Builtin.ss2pl_ocaml;
     trigger = Trigger.Hybrid (0.01, 50);
@@ -77,6 +79,10 @@ type stats = {
   dead_lettered : int;
   disconnects : int;
   crashes : int;
+  workers : int;
+  batches_dispatched : int;
+  mean_batch_makespan : float;
+  p95_batch_makespan : float;
 }
 
 type client = {
@@ -106,7 +112,7 @@ type attempt = {
 type sim = {
   cfg : config;
   engine : Engine.t;
-  backend : Ds_server.Backend.t;
+  pool : Ds_server.Worker_pool.t;
   mutable sched : Scheduler.t;
   clients : client array;
   by_ta : (int, client) Hashtbl.t;
@@ -121,6 +127,8 @@ type sim = {
   mutable req_counter : int;
   mutable cycle_fire_pending : bool;
   mutable last_cycle_at : float;
+  mutable deliveries : int;
+      (** run-global delivery counter — the [pos] column of [assignment] *)
   mutable committed_txns : int;
   mutable committed_stmts : int;
   mutable aborted_txns : int;
@@ -298,12 +306,13 @@ and run_cycle sim =
       sim.clients;
     let dispatch_delay = if sim.cfg.charge_scheduler_time then dt else 0. in
     let epoch = sim.epoch in
+    let cycle = sim.cycles_done in
     ignore
       (Engine.schedule sim.engine ~after:dispatch_delay (fun () ->
-           if sim.epoch = epoch then dispatch sim ~epoch qualified))
+           if sim.epoch = epoch then dispatch sim ~epoch ~cycle qualified))
   end
 
-and dispatch sim ~epoch requests =
+and dispatch sim ~epoch ~cycle requests =
   if requests <> [] then begin
     List.iter
       (fun r -> Ds_obs.Trace.emit_req sim.cfg.trace Ds_obs.Trace.Dispatched r)
@@ -320,17 +329,23 @@ and dispatch sim ~epoch requests =
                  sim.timeouts <- sim.timeouts + 1;
                  match att.undelivered with
                  | [] -> ()
-                 | r :: _ -> handle_failure sim ~epoch r att.undelivered
+                 | r :: _ -> handle_failure sim ~epoch ~cycle r att.undelivered
                end)))
       sim.cfg.batch_timeout;
-    Ds_server.Backend.execute_seq_result sim.backend requests
-      ~on_each:(fun r ->
+    Ds_server.Worker_pool.execute sim.pool requests
+      ~on_each:(fun ~worker ~cls ~pos:_ r ->
         if live () then begin
-          (match att.undelivered with
-          | x :: rest when Request.key x = Request.key r ->
-            att.undelivered <- rest
-          | _ -> ());
-          Hashtbl.remove sim.fail_streaks (Request.key r);
+          (* Parallel workers complete out of batch order, so drop the
+             delivered request by key rather than by head match. *)
+          let key = Request.key r in
+          att.undelivered <-
+            List.filter (fun q -> Request.key q <> key) att.undelivered;
+          Hashtbl.remove sim.fail_streaks key;
+          let pos = sim.deliveries in
+          sim.deliveries <- sim.deliveries + 1;
+          Relations.record_assignment
+            (Scheduler.relations sim.sched)
+            ~cycle ~cls ~worker ~pos r;
           deliver sim r
         end)
       (fun result ->
@@ -338,11 +353,11 @@ and dispatch sim ~epoch requests =
           att.closed <- true;
           match result with
           | `Completed -> ()
-          | `Failed r -> handle_failure sim ~epoch r att.undelivered
+          | `Failed r -> handle_failure sim ~epoch ~cycle r att.undelivered
         end)
   end
 
-and handle_failure sim ~epoch failed undelivered =
+and handle_failure sim ~epoch ~cycle failed undelivered =
   let key = Request.key failed in
   let streak =
     1 + Option.value ~default:0 (Hashtbl.find_opt sim.fail_streaks key)
@@ -364,7 +379,7 @@ and handle_failure sim ~epoch failed undelivered =
       restart_client ~redo:true sim c
     | None -> ());
     let rest = List.filter (fun q -> Request.key q <> key) undelivered in
-    dispatch sim ~epoch rest
+    dispatch sim ~epoch ~cycle rest
   end
   else begin
     sim.retries <- sim.retries + 1;
@@ -376,7 +391,7 @@ and handle_failure sim ~epoch failed undelivered =
     in
     ignore
       (Engine.schedule sim.engine ~after:backoff (fun () ->
-           if sim.epoch = epoch then dispatch sim ~epoch undelivered))
+           if sim.epoch = epoch then dispatch sim ~epoch ~cycle undelivered))
   end
 
 and deliver sim (req : Request.t) =
@@ -457,6 +472,8 @@ and crash_and_recover sim =
   (* ~rte keeps the execution log continuous across the crash, so the whole
      run still check-validates as one schedule. *)
   Journal.restore ~rte:true recovered (Scheduler.relations sched);
+  Relations.register_workers (Scheduler.relations sched)
+    ~workers:sim.cfg.workers ~cores:sim.cfg.cost.Ds_server.Cost_model.n_cores;
   sim.journal <- Some j;
   sim.sched <- sched;
   sim.cycle_fire_pending <- false;
@@ -524,6 +541,7 @@ let run_full (cfg : config) =
   | Error m -> invalid_arg ("Middleware.run: faults: " ^ m));
   if cfg.max_retries < 0 then
     invalid_arg "Middleware.run: max_retries must be non-negative";
+  if cfg.workers < 1 then invalid_arg "Middleware.run: workers must be >= 1";
   let engine = Engine.create () in
   Option.iter
     (fun tr -> Ds_obs.Trace.set_clock tr (fun () -> Engine.now engine))
@@ -545,7 +563,7 @@ let run_full (cfg : config) =
     {
       cfg;
       engine;
-      backend = Ds_server.Backend.create engine cfg.cost;
+      pool = Ds_server.Worker_pool.create engine cfg.cost ~workers:cfg.workers;
       sched;
       clients =
         Array.init cfg.n_clients (fun i ->
@@ -573,6 +591,7 @@ let run_full (cfg : config) =
       req_counter = 0;
       cycle_fire_pending = false;
       last_cycle_at = 0.;
+      deliveries = 0;
       committed_txns = 0;
       committed_stmts = 0;
       aborted_txns = 0;
@@ -594,11 +613,13 @@ let run_full (cfg : config) =
   in
   (* Split the fault stream after clients and sim.rng so no-fault runs keep
      the exact RNG draws (and behavior) they had before faults existed. *)
-  Ds_server.Backend.set_trace sim.backend cfg.trace;
+  Ds_server.Worker_pool.set_trace sim.pool cfg.trace;
+  Relations.register_workers (Scheduler.relations sched) ~workers:cfg.workers
+    ~cores:cfg.cost.Ds_server.Cost_model.n_cores;
   if not (Faults.is_none cfg.faults) then begin
     let f = Faults.create cfg.faults (Rng.split master) in
     sim.faults <- Some f;
-    Ds_server.Backend.set_fault_hook sim.backend (Faults.request_outcome f)
+    Ds_server.Worker_pool.set_fault_hook sim.pool (Faults.request_outcome f)
   end;
   (* Periodic timer for time-based triggers; it re-checks pending work even
      when no client is submitting. *)
@@ -631,6 +652,23 @@ let run_full (cfg : config) =
     (fun c -> ignore (Engine.schedule engine ~after:0. (fun () -> start_txn sim c)))
     sim.clients;
   Engine.run_until engine ~until:cfg.duration;
+  let makespans = Ds_server.Worker_pool.makespans sim.pool in
+  Option.iter
+    (fun m ->
+      Ds_obs.Metrics.set_parallel m
+        {
+          Ds_obs.Metrics.workers = cfg.workers;
+          batches = Ds_server.Worker_pool.batch_count sim.pool;
+          makespan_mean = Ds_stats.Histogram.mean makespans;
+          makespan_p95 = Ds_stats.Histogram.p95 makespans;
+          makespan_max = Ds_stats.Histogram.max_observed makespans;
+          per_worker =
+            List.map
+              (fun (worker, executed, busy, utilization) ->
+                { Ds_obs.Metrics.worker; executed; busy; utilization })
+              (Ds_server.Worker_pool.worker_stats sim.pool);
+        })
+    cfg.metrics;
   Option.iter Journal.close sim.journal;
   if auto_journal then
     Option.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) journal_path;
@@ -666,6 +704,10 @@ let run_full (cfg : config) =
       dead_lettered = sim.dead_lettered;
       disconnects = sim.disconnects;
       crashes = sim.crashes;
+      workers = cfg.workers;
+      batches_dispatched = Ds_server.Worker_pool.batch_count sim.pool;
+      mean_batch_makespan = Ds_stats.Histogram.mean makespans;
+      p95_batch_makespan = Ds_stats.Histogram.p95 makespans;
     },
     sim.sched )
 
@@ -689,4 +731,10 @@ let pp_stats ppf (s : stats) =
       " faults(injected=%d stalls=%d retries=%d timeouts=%d shed=%d \
        backpressure=%d dead=%d disconnects=%d crashes=%d)"
       s.injected_failures s.injected_stalls s.retries s.timeouts s.shed_txns
-      s.backpressure_waits s.dead_lettered s.disconnects s.crashes
+      s.backpressure_waits s.dead_lettered s.disconnects s.crashes;
+  if s.workers > 1 then
+    Format.fprintf ppf
+      " parallel(workers=%d batches=%d makespan(mean=%.2fms p95=%.2fms))"
+      s.workers s.batches_dispatched
+      (1000. *. s.mean_batch_makespan)
+      (1000. *. s.p95_batch_makespan)

@@ -48,6 +48,13 @@ type config = {
   duration : float;  (** virtual seconds *)
   spec : Spec.t;
   cost : Ds_server.Cost_model.t;
+  workers : int;
+      (** simulated worker backends; with [workers > 1] each admitted batch
+          is split into conflict classes and executed as overlapping
+          per-worker spans (see {!Ds_server.Worker_pool}), the placement
+          being logged in the [workers]/[assignment] relations. [1]
+          (default) is the paper's single sequential server, bit-identical
+          to the pre-pool behavior. *)
   seed : int;
   protocol : Protocol.t;
   trigger : Trigger.t;
@@ -105,6 +112,10 @@ type stats = {
   dead_lettered : int;  (** requests given up on (dead relation) *)
   disconnects : int;  (** injected client disconnects *)
   crashes : int;  (** middleware crashes survived *)
+  workers : int;  (** pool size the run executed with *)
+  batches_dispatched : int;  (** batches fully drained by the pool *)
+  mean_batch_makespan : float;  (** virtual seconds from dispatch to drain *)
+  p95_batch_makespan : float;
 }
 
 val run : config -> stats

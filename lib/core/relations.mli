@@ -20,6 +20,13 @@ type t = {
   dead : Table.t;
       (** dead-letter relation: poison requests the middleware gave up on
           after exhausting retries (queryable like the others) *)
+  workers : Table.t;
+      (** parallel backend pool: [worker | cores], one row per worker *)
+  assignment : Table.t;
+      (** execution placement log:
+          [cycle | cls | worker | ta | intrata | pos] — which conflict class
+          and worker ran each admitted request, and its position in the
+          merged (delivery-order) schedule *)
   extended : bool;
 }
 
@@ -76,5 +83,28 @@ val insert_dead : t -> Request.t -> unit
 
 val dead_requests : t -> Request.t list
 val dead_count : t -> int
+
+(** [register_workers t ~workers ~cores] (re)populates the [workers] table:
+    rows [(0, cores) .. (workers-1, cores)]. *)
+val register_workers : t -> workers:int -> cores:int -> unit
+
+val worker_count : t -> int
+
+(** Logs one row into [assignment] at the request's delivery time. *)
+val record_assignment :
+  t -> cycle:int -> cls:int -> worker:int -> pos:int -> Request.t -> unit
+
+val assignment_count : t -> int
+
+(** The merged parallel schedule as [(ta, intrata)] keys, sorted by the
+    [pos] column — the delivery order across all workers, which the checker
+    compares against [rte] order for conflict equivalence. *)
+val execution_order : t -> (int * int) list
+
+(** Raw rows of a relation by its public name ([requests], [history], [rte],
+    [dead], [workers], [assignment]) — the bridge for loading scheduler
+    state into a datalog engine via [Dl_engine.load_rows].
+    @raise Invalid_argument on an unknown name. *)
+val table_facts : t -> string -> Value.t array list
 
 val clear : t -> unit

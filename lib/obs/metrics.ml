@@ -8,14 +8,40 @@ type cycle_row = {
   index_time : float;
 }
 
+type worker_row = {
+  worker : int;
+  executed : int;
+  busy : float;
+  utilization : float;
+}
+
+type parallel = {
+  workers : int;
+  batches : int;
+  makespan_mean : float;
+  makespan_p95 : float;
+  makespan_max : float;
+  per_worker : worker_row list;
+}
+
 type t = {
   tiers : (string, Ds_stats.Histogram.t) Hashtbl.t;
   cycle_rows : cycle_row Ds_util.Vec.t;
   mutable n_cycles : int;
+  mutable parallel : parallel option;
 }
 
 let create () =
-  { tiers = Hashtbl.create 4; cycle_rows = Ds_util.Vec.create (); n_cycles = 0 }
+  {
+    tiers = Hashtbl.create 4;
+    cycle_rows = Ds_util.Vec.create ();
+    n_cycles = 0;
+    parallel = None;
+  }
+
+let set_parallel t p = t.parallel <- Some p
+
+let parallel t = t.parallel
 
 let tier_hist t tier =
   match Hashtbl.find_opt t.tiers tier with
@@ -110,6 +136,26 @@ let render t =
          (sum (fun r -> r.query_time) /. fn)
          (sum (fun r -> r.index_time) /. fn))
   end;
+  (match t.parallel with
+  | None -> ()
+  | Some p ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "parallel backend: %d worker(s), %d batch(es), makespan \
+          mean=%.3fms p95=%.3fms max=%.3fms\n"
+         p.workers p.batches
+         (1000. *. p.makespan_mean)
+         (1000. *. p.makespan_p95)
+         (1000. *. p.makespan_max));
+    Buffer.add_string buf
+      (Printf.sprintf "%-10s %10s %12s %12s\n" "" "executed" "busy(s)" "util");
+    List.iter
+      (fun w ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-10s %10d %12.6f %12.3f\n"
+             (Printf.sprintf "worker %d" w.worker)
+             w.executed w.busy w.utilization))
+      p.per_worker);
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)

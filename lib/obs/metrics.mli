@@ -19,9 +19,30 @@ type cycle_row = {
           cycle's phase times, reported by {!Ds_relal.Table}) *)
 }
 
+(** One parallel-backend worker's totals for the run. *)
+type worker_row = {
+  worker : int;
+  executed : int;  (** data statements executed *)
+  busy : float;  (** seconds of CPU busy time (virtual) *)
+  utilization : float;  (** busy / (elapsed * cores) *)
+}
+
+(** Parallel-backend summary set once at end of run by the middleware. *)
+type parallel = {
+  workers : int;
+  batches : int;  (** batches fully drained by the pool *)
+  makespan_mean : float;  (** batch dispatch-to-drain, virtual seconds *)
+  makespan_p95 : float;
+  makespan_max : float;
+  per_worker : worker_row list;
+}
+
 type t
 
 val create : unit -> t
+
+val set_parallel : t -> parallel -> unit
+val parallel : t -> parallel option
 
 (** [observe_latency t ~tier dt] adds one request latency (seconds) to the
     tier's histogram. *)
@@ -43,7 +64,9 @@ val tier_quantiles : t -> (string * int * float * float * float) list
 
 val cycles : t -> cycle_row list
 
-(** Human-readable report: the tier table plus cycle aggregates. *)
+(** Human-readable report: the tier table, cycle aggregates, and — when
+    {!set_parallel} was called — batch makespans plus a per-worker
+    utilization table. *)
 val render : t -> string
 
 (** Per-transaction latencies from a trace: [(tier, seconds)] for every TA

@@ -28,7 +28,10 @@ type kind =
       (** blocked in the native lock manager; [obj] is the lock, [arg] the
           first blocking transaction *)
   | Lock_grant  (** a previously blocked lock request was granted *)
-  | Exec_start  (** the server began charging service time *)
+  | Exec_start
+      (** the server began charging service time; [arg] is the pool worker
+          id when the backend runs in a {!Ds_server.Worker_pool}, [-1]
+          otherwise *)
   | Exec_done  (** the server completed the request *)
   | Commit  (** transaction terminal: committed (client-visible) *)
   | Abort  (** transaction terminal: aborted *)

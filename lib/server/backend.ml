@@ -5,20 +5,29 @@ type t = {
   engine : Engine.t;
   cpu_ : Cpu.t;
   cost : Cost_model.t;
+  worker : int option;
   mutable executed : int;
   mutable fault_hook : Request.t -> [ `Ok | `Fail | `Stall of float ];
   mutable trace : Ds_obs.Trace.t option;
 }
 
-let create engine cost =
+let create ?worker engine cost =
   {
     engine;
     cpu_ = Cpu.create engine ~n_cores:cost.Cost_model.n_cores;
     cost;
+    worker;
     executed = 0;
     fault_hook = (fun _ -> `Ok);
     trace = None;
   }
+
+let worker t = t.worker
+
+let emit_start t r =
+  match t.worker with
+  | None -> Ds_obs.Trace.emit_req t.trace Ds_obs.Trace.Exec_start r
+  | Some w -> Ds_obs.Trace.emit_req t.trace ~arg:w Ds_obs.Trace.Exec_start r
 
 let set_fault_hook t hook = t.fault_hook <- hook
 
@@ -53,7 +62,7 @@ let execute_seq_result t requests ~on_each k =
     | [] -> k `Completed
     | r :: rest -> (
       let run_ok () =
-        Ds_obs.Trace.emit_req t.trace Ds_obs.Trace.Exec_start r;
+        emit_start t r;
         Cpu.submit t.cpu_ ~work:(request_work t r) (fun () ->
             if Request.is_data r then t.executed <- t.executed + 1;
             Ds_obs.Trace.emit_req t.trace ~arg:0 Ds_obs.Trace.Exec_done r;
@@ -69,7 +78,7 @@ let execute_seq_result t requests ~on_each k =
       | `Fail ->
         (* The server charged the attempt but the request failed; the
            middleware sees the failure at the request's completion time. *)
-        Ds_obs.Trace.emit_req t.trace Ds_obs.Trace.Exec_start r;
+        emit_start t r;
         Cpu.submit t.cpu_ ~work:(request_work t r) (fun () ->
             Ds_obs.Trace.emit_req t.trace ~arg:1 Ds_obs.Trace.Exec_done r;
             k (`Failed r)))

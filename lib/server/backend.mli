@@ -9,7 +9,13 @@ open Ds_sim
 
 type t
 
-val create : Engine.t -> Cost_model.t -> t
+(** [create ?worker engine cost] — [worker] is this backend's id in a
+    {!Worker_pool}; when set, it is stamped as the [arg] of [exec_start]
+    trace events so per-worker spans are attributable offline. *)
+val create : ?worker:int -> Engine.t -> Cost_model.t -> t
+
+(** The pool worker id this backend was created with, if any. *)
+val worker : t -> int option
 
 (** [execute_batch t requests k] charges the CPU for every data statement
     (without the lock path) and every terminal operation in [requests], then
@@ -45,9 +51,13 @@ val set_fault_hook :
   t -> (Request.t -> [ `Ok | `Fail | `Stall of float ]) -> unit
 
 (** Attaches (or detaches, with [None]) a trace sink; {!execute_seq_result}
-    emits [exec_start] when a request starts charging service time and
-    [exec_done] at its completion ([arg] 0 = ok, 1 = injected failure). *)
+    emits [exec_start] when a request starts charging service time (with the
+    worker id as [arg] if this backend belongs to a pool) and [exec_done] at
+    its completion ([arg] 0 = ok, 1 = injected failure). *)
 val set_trace : t -> Ds_obs.Trace.t option -> unit
+
+(** Service time [execute_seq_result] would charge for one request. *)
+val request_work : t -> Request.t -> float
 
 (** Statements executed so far (data operations only). *)
 val executed_stmts : t -> int

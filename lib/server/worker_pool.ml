@@ -1,0 +1,162 @@
+open Ds_model
+open Ds_sim
+
+type batch = {
+  requests : Request.t list;
+  on_each : worker:int -> cls:int -> pos:int -> Request.t -> unit;
+  k : [ `Completed | `Failed of Request.t ] -> unit;
+}
+
+type t = {
+  engine : Engine.t;
+  backends : Backend.t array;
+  queue : batch Queue.t;
+  mutable draining : bool;
+  mutable batches_done : int;
+  makespans : Ds_stats.Histogram.t;
+}
+
+let create engine cost ~workers =
+  if workers < 1 then invalid_arg "Worker_pool.create: workers must be >= 1";
+  {
+    engine;
+    backends = Array.init workers (fun w -> Backend.create ~worker:w engine cost);
+    queue = Queue.create ();
+    draining = false;
+    batches_done = 0;
+    makespans = Ds_stats.Histogram.create ();
+  }
+
+let workers t = Array.length t.backends
+
+let backends t = t.backends
+
+let backend t w = t.backends.(w)
+
+let set_fault_hook t hook =
+  Array.iter (fun b -> Backend.set_fault_hook b hook) t.backends
+
+let set_trace t trace =
+  Array.iter (fun b -> Backend.set_trace b trace) t.backends
+
+let executed_stmts t =
+  Array.fold_left (fun acc b -> acc + Backend.executed_stmts b) 0 t.backends
+
+let batch_count t = t.batches_done
+
+let makespans t = t.makespans
+
+let worker_stats t =
+  Array.to_list
+    (Array.mapi
+       (fun w b ->
+         let cpu = Backend.cpu b in
+         (w, Backend.executed_stmts b, Cpu.busy_time cpu, Cpu.utilization cpu))
+       t.backends)
+
+let finish_batch t started k result =
+  t.batches_done <- t.batches_done + 1;
+  Ds_stats.Histogram.add t.makespans (Engine.now t.engine -. started);
+  k result
+
+(* Deterministic class -> worker placement: cheapest-loaded worker, ties to
+   the lowest id, classes considered in batch order. Load is the service
+   time already assigned this batch — a plain LPT-style greedy, computed on
+   the host (no virtual time, no randomness). *)
+let assign_classes t classes =
+  let k = workers t in
+  let load = Array.make k 0. in
+  let cost_of cls =
+    List.fold_left
+      (fun acc r -> acc +. Backend.request_work t.backends.(0) r)
+      0. cls.Partition.requests
+  in
+  List.map
+    (fun cls ->
+      let best = ref 0 in
+      for w = 1 to k - 1 do
+        if load.(w) < load.(!best) then best := w
+      done;
+      load.(!best) <- load.(!best) +. cost_of cls;
+      (cls, !best))
+    classes
+
+let rec run_batch t batch =
+  let started = Engine.now t.engine in
+  let classes = Partition.partition batch.requests in
+  let placed = assign_classes t classes in
+  (* Per-worker sub-batch: that worker's classes concatenated in batch
+     order; within each class the batch order is already preserved. *)
+  let sub = Array.make (workers t) [] in
+  List.iter (fun (cls, w) -> sub.(w) <- cls :: sub.(w)) placed;
+  let sub = Array.map List.rev sub in
+  let cls_of = Partition.class_of classes in
+  let pos = ref 0 in
+  let failed = ref false in
+  let join =
+    Engine.join (workers t) (fun () ->
+        (* All workers drained. The failure (if any) was already reported at
+           its own completion time, matching the sequential backend's "fail
+           early" timing; here we only account and release the barrier. *)
+        t.batches_done <- t.batches_done + 1;
+        Ds_stats.Histogram.add t.makespans (Engine.now t.engine -. started);
+        if not !failed then batch.k `Completed;
+        t.draining <- false;
+        match Queue.take_opt t.queue with
+        | None -> ()
+        | Some next ->
+          t.draining <- true;
+          run_batch t next)
+  in
+  Array.iteri
+    (fun w classes_w ->
+      let requests_w =
+        List.concat_map (fun c -> c.Partition.requests) classes_w
+      in
+      Backend.execute_seq_result t.backends.(w) requests_w
+        ~on_each:(fun r ->
+          if not !failed then begin
+            let cls = Option.value ~default:(-1) (cls_of r) in
+            let p = !pos in
+            incr pos;
+            batch.on_each ~worker:w ~cls ~pos:p r
+          end)
+        (fun result ->
+          (match result with
+          | `Completed -> ()
+          | `Failed r ->
+            if not !failed then begin
+              failed := true;
+              batch.k (`Failed r)
+            end);
+          join ()))
+    sub
+
+let execute t requests ~on_each k =
+  if workers t = 1 then begin
+    (* Single worker: exactly the legacy sequential backend — same events,
+       same virtual times — so K=1 runs are bit-identical to the old code. *)
+    let started = Engine.now t.engine in
+    let classes = lazy (Partition.partition requests) in
+    let cls_of = lazy (Partition.class_of (Lazy.force classes)) in
+    let pos = ref 0 in
+    Backend.execute_seq_result t.backends.(0) requests
+      ~on_each:(fun r ->
+        let cls = Option.value ~default:(-1) (Lazy.force cls_of r) in
+        let p = !pos in
+        incr pos;
+        on_each ~worker:0 ~cls ~pos:p r)
+      (fun result -> finish_batch t started k result)
+  end
+  else begin
+    (* Batch barrier: batch N+1 starts only after batch N fully drains on
+       every worker. Conflicting requests of {e different} batches may land
+       on different workers, so overlapping batches could reorder them; the
+       barrier keeps cross-batch conflict order equal to admission order. *)
+    let batch = { requests; on_each; k } in
+    if t.draining then Queue.add batch t.queue
+    else begin
+      t.draining <- true;
+      run_batch t batch
+    end
+  end

@@ -1,0 +1,61 @@
+(** A pool of K simulated worker backends executing each admitted batch as
+    overlapping spans, one conflict class at a time.
+
+    Each batch is split by {!Partition.partition} into conflict classes;
+    whole classes are placed on workers (cheapest-loaded first, deterministic
+    ties), so two conflicting requests of the same batch always share a
+    worker and keep their batch order, while independent classes overlap in
+    virtual time. Batch makespan therefore shrinks from sum-of-all toward
+    max-per-worker. A pool-level barrier serializes {e batches}: batch N+1
+    starts only once batch N has drained on every worker, which pins
+    cross-batch conflict order to admission order.
+
+    With [workers = 1] the pool is the plain sequential {!Backend} — same
+    events at the same virtual times, no barrier bookkeeping — so seeded
+    single-worker runs are bit-identical to the pre-pool code. *)
+
+open Ds_model
+open Ds_sim
+
+type t
+
+val create : Engine.t -> Cost_model.t -> workers:int -> t
+
+val workers : t -> int
+val backends : t -> Backend.t array
+val backend : t -> int -> Backend.t
+
+(** [execute t requests ~on_each k] runs the batch across the pool.
+    [on_each] fires at each request's completion time with the worker that
+    ran it, its conflict class, and its pool-wide delivery position within
+    the batch. [k (`Failed r)] fires at the {e failed request's} completion
+    time (other workers keep draining; their remaining deliveries are
+    suppressed and left to the caller to retry — same wasted-work semantics
+    as a sequential early-exit); [k `Completed] fires when every worker has
+    drained. A batch submitted while another is draining queues behind it. *)
+val execute :
+  t ->
+  Request.t list ->
+  on_each:(worker:int -> cls:int -> pos:int -> Request.t -> unit) ->
+  ([ `Completed | `Failed of Request.t ] -> unit) ->
+  unit
+
+(** Installs the failure hook on every worker backend. *)
+val set_fault_hook :
+  t -> (Request.t -> [ `Ok | `Fail | `Stall of float ]) -> unit
+
+(** Attaches the trace sink to every worker backend (exec spans carry the
+    worker id, see {!Backend.set_trace}). *)
+val set_trace : t -> Ds_obs.Trace.t option -> unit
+
+(** Data statements executed across all workers. *)
+val executed_stmts : t -> int
+
+(** Batches fully drained so far. *)
+val batch_count : t -> int
+
+(** Batch makespans (seconds, virtual time), one sample per drained batch. *)
+val makespans : t -> Ds_stats.Histogram.t
+
+(** Per-worker [(worker, executed_stmts, busy_time, utilization)]. *)
+val worker_stats : t -> (int * int * float * float) list

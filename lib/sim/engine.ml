@@ -26,6 +26,14 @@ let step t =
 
 let run t = while step t do () done
 
+let join n k =
+  if n <= 0 then invalid_arg "Engine.join: n must be positive";
+  let remaining = ref n in
+  fun () ->
+    if !remaining <= 0 then invalid_arg "Engine.join: already released";
+    decr remaining;
+    if !remaining = 0 then k ()
+
 let run_until t ~until =
   let rec loop () =
     match Event_heap.peek_time t.heap with

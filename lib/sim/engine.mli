@@ -30,3 +30,10 @@ val run_until : t -> until:float -> unit
 
 (** Runs at most one event; false if the queue was empty. *)
 val step : t -> bool
+
+(** [join n k] is a fork-join barrier for merging concurrent spans: it
+    returns a callback whose [n]-th invocation runs [k ()]. Invoking it more
+    than [n] times raises. Used to join per-worker sub-batch completions
+    into one batch completion.
+    @raise Invalid_argument if [n <= 0]. *)
+val join : int -> (unit -> unit) -> unit -> unit

@@ -42,3 +42,40 @@ let sorted_keys keys =
     (fun (a1, a2) (b1, b2) ->
       match Int.compare a1 b1 with 0 -> Int.compare a2 b2 | c -> c)
     keys
+
+(* Shrink-friendly QCheck2 batch generator: a batch is a list of
+   (ta, op-tag, obj) triples over small ranges, so QCheck's integrated
+   shrinking reduces a failing batch to a minimal one (fewer requests,
+   smaller transaction/object ids) instead of mutating an opaque seed.
+   Tags: 0 = read, 1 = write, 2 = commit, 3 = abort. Intrata counters are
+   assigned per transaction in batch order, like a real submission stream. *)
+let batch_gen ?(max_txns = 6) ?(max_objects = 8) ?(max_len = 24) () =
+  QCheck2.Gen.(
+    list_size (int_bound max_len)
+      (triple (int_range 1 max_txns) (int_bound 3) (int_bound (max_objects - 1))))
+
+let requests_of_triples triples =
+  let next_intrata = Hashtbl.create 8 in
+  let id = ref 0 in
+  List.map
+    (fun (ta, tag, obj) ->
+      incr id;
+      let intrata =
+        let n = 1 + Option.value ~default:0 (Hashtbl.find_opt next_intrata ta) in
+        Hashtbl.replace next_intrata ta n;
+        n
+      in
+      match tag with
+      | 0 -> Request.make ~id:!id ~ta ~intrata ~op:Op.Read ~obj ()
+      | 1 -> Request.make ~id:!id ~ta ~intrata ~op:Op.Write ~obj ()
+      | 2 -> Request.make ~id:!id ~ta ~intrata ~op:Op.Commit ()
+      | _ -> Request.make ~id:!id ~ta ~intrata ~op:Op.Abort ())
+    triples
+
+(* Pool size for the whole middleware-driven suite: CI runs the tests at
+   both DS_WORKERS=1 (default) and DS_WORKERS=4. *)
+let env_workers () =
+  match Sys.getenv_opt "DS_WORKERS" with
+  | Some s -> (
+    match int_of_string_opt s with Some n when n >= 1 -> n | _ -> 1)
+  | None -> 1

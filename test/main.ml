@@ -14,6 +14,7 @@ let () =
       ("core", Test_core.tests);
       ("journal", Test_journal.tests);
       ("faults", Test_faults.tests);
+      ("parallel", Test_parallel.tests);
       ("check", Test_check.tests);
       ("differential", Test_differential.tests);
       ("obs", Test_obs.tests);

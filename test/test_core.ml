@@ -14,8 +14,8 @@ let test_table2_schema () =
     [ "id"; "ta"; "intrata"; "operation"; "object" ]
     names;
   let rels = Relations.create () in
-  Alcotest.(check (list string)) "four tables registered"
-    [ "dead"; "history"; "requests"; "rte" ]
+  Alcotest.(check (list string)) "all scheduler tables registered"
+    [ "assignment"; "dead"; "history"; "requests"; "rte"; "workers" ]
     (Ds_sql.Catalog.names rels.Relations.catalog)
 
 let test_request_roundtrip () =

@@ -92,6 +92,46 @@ let test_catches_reordering () =
   done;
   Alcotest.(check bool) "different protocol detected" true !caught
 
+(* --- parallel-vs-sequential oracle -------------------------------------- *)
+
+let test_parallel_oracle_lockstep () =
+  (* The lockstep mode replays the oracle's admitted batches through the
+     conflict-class worker pool at several widths and demands exact conflict
+     equivalence, a clean serializability battery, and identical final table
+     state.  All subject formulations (SQL base, SQL extended, Datalog) stay
+     in the run, so one seed covers 3+ protocols x 3 pool widths. *)
+  let config =
+    { quick_config with Differential.parallel_workers = [ 2; 4; 8 ] }
+  in
+  List.iter
+    (fun seed ->
+      let o = Differential.run_one ~config ~seed () in
+      if not (Differential.clean o) then
+        Alcotest.failf "seed %d: %a" seed
+          (Fmt.list Differential.pp_failure)
+          o.Differential.failures)
+    [ 1; 2; 5; 11; 23 ]
+
+let test_parallel_oracle_is_observation_only () =
+  (* Replaying through the pool must not perturb the differential run itself:
+     with the mode disabled every outcome field is unchanged. *)
+  Alcotest.(check bool) "parallel oracle on by default" true
+    (Differential.default_config.Differential.parallel_workers <> []);
+  let with_parallel = Differential.run_one ~config:quick_config ~seed:9 () in
+  let without =
+    Differential.run_one
+      ~config:{ quick_config with Differential.parallel_workers = [] }
+      ~seed:9 ()
+  in
+  Alcotest.(check bool) "both clean" true
+    (Differential.clean with_parallel && Differential.clean without);
+  Alcotest.(check int) "same cycles" with_parallel.Differential.cycles
+    without.Differential.cycles;
+  Alcotest.(check int) "same executed" with_parallel.Differential.executed
+    without.Differential.executed;
+  Alcotest.(check int) "same commits" with_parallel.Differential.committed_txns
+    without.Differential.committed_txns
+
 (* --- randomized configurations ----------------------------------------- *)
 
 let config_gen =
@@ -124,5 +164,9 @@ let tests =
       test_trace_check_is_observation_only;
     Alcotest.test_case "catches read-committed" `Quick test_catches_read_committed;
     Alcotest.test_case "catches fcfs" `Quick test_catches_reordering;
+    Alcotest.test_case "parallel-vs-sequential lockstep" `Quick
+      test_parallel_oracle_lockstep;
+    Alcotest.test_case "parallel oracle is observation-only" `Quick
+      test_parallel_oracle_is_observation_only;
     QCheck_alcotest.to_alcotest random_config_prop;
   ]

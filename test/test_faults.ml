@@ -314,6 +314,75 @@ let test_fault_free_runs_unchanged () =
     (armed.Middleware.retries + armed.Middleware.timeouts
     + armed.Middleware.dead_lettered + armed.Middleware.crashes)
 
+(* --- faults x parallelism ------------------------------------------------- *)
+
+(* Failures injected mid-batch on a 4-worker pool: a worker's request failing
+   does not corrupt the other workers' sub-batches — retries and
+   dead-lettering behave as at K=1, and the merged parallel schedule is still
+   serializable and conflict-equivalent to the admitted order. *)
+let test_parallel_faults_end_to_end () =
+  let config =
+    {
+      (cfg ~faults:(plan_exn "batch=0.1,stall=0.05,stall-dur=0.1,poison=0.01")
+         ~duration:6. ()) with
+      Middleware.workers = 4;
+    }
+  in
+  let s, sched = Middleware.run_full config in
+  Alcotest.(check int) "ran with 4 workers" 4 s.Middleware.workers;
+  Alcotest.(check bool) "still commits under faults" true
+    (s.Middleware.committed_txns > 0);
+  Alcotest.(check bool) "faults actually fired" true
+    (s.Middleware.injected_failures + s.Middleware.injected_stalls > 0);
+  Alcotest.(check bool) "failures recovered via retry or dead-letter" true
+    (s.Middleware.retries > 0 || s.Middleware.dead_lettered > 0);
+  let report = rte_report sched in
+  Alcotest.(check bool)
+    (Format.asprintf "faulty parallel schedule clean: %a"
+       Ds_check.Serializability.pp_report report)
+    true
+    (Ds_check.Serializability.is_clean report);
+  let rels = Scheduler.relations sched in
+  let rte = Relations.rte_requests rels in
+  let by_key = Hashtbl.create (2 * List.length rte) in
+  List.iter (fun r -> Hashtbl.replace by_key (Request.key r) r) rte;
+  let merged =
+    List.filter_map
+      (fun key -> Hashtbl.find_opt by_key key)
+      (Relations.execution_order rels)
+  in
+  let eq = Ds_check.Equivalence.check ~reference:rte ~candidate:merged () in
+  Alcotest.(check bool)
+    (Format.asprintf "assignment order conflict-equivalent under faults: %a"
+       Ds_check.Equivalence.pp_report eq)
+    true
+    (Ds_check.Equivalence.is_equivalent eq)
+
+(* Crash + journal recovery with a 4-worker pool: the restored scheduler
+   re-registers the workers relation, the run continues committing on all
+   workers, and the continuous rte log stays clean across the crash. *)
+let test_parallel_crash_recovery () =
+  with_tmp_journal (fun path ->
+      let config = { (crash_cfg path) with Middleware.workers = 4 } in
+      let s, sched = Middleware.run_full config in
+      Alcotest.(check int) "one crash survived" 1 s.Middleware.crashes;
+      Alcotest.(check bool) "run continued past the crash" true
+        (s.Middleware.committed_txns > 0);
+      let rels = Scheduler.relations sched in
+      Alcotest.(check int) "workers re-registered after recovery" 4
+        (Relations.worker_count rels);
+      Alcotest.(check bool) "assignments logged after recovery" true
+        (Relations.assignment_count rels > 0);
+      let report = rte_report sched in
+      Alcotest.(check bool)
+        (Format.asprintf "post-recovery parallel schedule clean: %a"
+           Ds_check.Serializability.pp_report report)
+        true
+        (Ds_check.Serializability.is_clean report);
+      let recovered = Journal.recover path in
+      Alcotest.(check bool) "journal replayable after the run" true
+        (recovered.Journal.replayed > 0))
+
 let tests =
   [
     Alcotest.test_case "fault plan parses" `Quick test_plan_parse;
@@ -342,4 +411,8 @@ let tests =
       test_crash_recovery_deterministic;
     Alcotest.test_case "fault-free runs are unchanged" `Quick
       test_fault_free_runs_unchanged;
+    Alcotest.test_case "faults on 4-worker pool stay clean" `Quick
+      test_parallel_faults_end_to_end;
+    Alcotest.test_case "crash recovery with 4 workers" `Quick
+      test_parallel_crash_recovery;
   ]

@@ -1,0 +1,338 @@
+(* Tests for the conflict-class parallel backend: partition properties,
+   worker-pool execution semantics, the declarative workers/assignment
+   relations, conflict equivalence of merged schedules, and the per-worker
+   metrics report. *)
+
+open Ds_model
+open Ds_server
+open Ds_core
+
+let req id ta intrata op obj = Request.make ~id ~ta ~intrata ~op ~obj ()
+let terminal id ta intrata op = Request.make ~id ~ta ~intrata ~op ()
+
+(* --- partition: qcheck property ----------------------------------- *)
+
+let partition_is_true_partition =
+  QCheck2.Test.make ~name:"conflict-class partition is a true partition"
+    ~count:300
+    (Helpers.batch_gen ())
+    (fun triples ->
+      let batch = Helpers.requests_of_triples triples in
+      let classes = Partition.partition batch in
+      (* Every request lands in exactly one class. *)
+      let scattered =
+        List.concat_map (fun c -> c.Partition.requests) classes
+      in
+      let multiset rs = List.sort compare (List.map Request.key rs) in
+      if multiset scattered <> multiset batch then
+        QCheck2.Test.fail_report "not a partition of the batch";
+      (* No two requests in different classes conflict or share a TA. *)
+      let cls_of = Partition.class_of classes in
+      List.iteri
+        (fun i a ->
+          List.iteri
+            (fun j b ->
+              if i < j && (Request.conflicts a b || a.Request.ta = b.Request.ta)
+              then
+                if cls_of a <> cls_of b then
+                  QCheck2.Test.fail_reportf
+                    "related requests (%d,%d) and (%d,%d) in different classes"
+                    a.Request.ta a.Request.intrata b.Request.ta
+                    b.Request.intrata)
+            batch)
+        batch;
+      (* Batch order is preserved within every class. *)
+      let pos = Hashtbl.create 32 in
+      List.iteri (fun i r -> Hashtbl.replace pos (Request.key r) i) batch;
+      List.iter
+        (fun c ->
+          let ps = List.map (fun r -> Hashtbl.find pos (Request.key r)) c.Partition.requests in
+          if List.sort compare ps <> ps then
+            QCheck2.Test.fail_report "batch order not preserved in a class")
+        classes;
+      true)
+
+let test_partition_examples () =
+  (* Two independent writers, one shared-object pair, one read-only group. *)
+  let batch =
+    [
+      req 1 1 1 Op.Write 10;
+      req 2 2 1 Op.Write 20;
+      req 3 3 1 Op.Write 10;
+      (* conflicts with id 1 *)
+      req 4 4 1 Op.Read 30;
+      req 5 5 1 Op.Read 30;
+      (* read-read: no edge *)
+    ]
+  in
+  let classes = Partition.partition batch in
+  Alcotest.(check int) "4 classes" 4 (List.length classes);
+  let cls_of = Partition.class_of classes in
+  Alcotest.(check bool) "w-w same class" true
+    (cls_of (List.nth batch 0) = cls_of (List.nth batch 2));
+  Alcotest.(check bool) "r-r different classes" true
+    (cls_of (List.nth batch 3) <> cls_of (List.nth batch 4));
+  Alcotest.(check (list int)) "ids in first-appearance order" [ 0; 1; 2; 3 ]
+    (List.map (fun c -> c.Partition.id) classes)
+
+(* --- worker pool -------------------------------------------------- *)
+
+let run_pool ~workers batch =
+  let engine = Ds_sim.Engine.create () in
+  let pool = Worker_pool.create engine Cost_model.default ~workers in
+  let deliveries = ref [] in
+  let result = ref None in
+  Worker_pool.execute pool batch
+    ~on_each:(fun ~worker ~cls ~pos r -> deliveries := (worker, cls, pos, r) :: !deliveries)
+    (fun res -> result := Some res);
+  Ds_sim.Engine.run engine;
+  (pool, Ds_sim.Engine.now engine, List.rev !deliveries, !result)
+
+let independent_batch n =
+  List.init n (fun i -> req (i + 1) (i + 1) 1 Op.Write (100 + i))
+
+let test_pool_speedup () =
+  let batch = independent_batch 16 in
+  let _, t1, d1, r1 = run_pool ~workers:1 batch in
+  let _, t4, d4, r4 = run_pool ~workers:4 batch in
+  Alcotest.(check bool) "k1 completed" true (r1 = Some `Completed);
+  Alcotest.(check bool) "k4 completed" true (r4 = Some `Completed);
+  Alcotest.(check int) "k1 delivers all" 16 (List.length d1);
+  Alcotest.(check int) "k4 delivers all" 16 (List.length d4);
+  Alcotest.(check bool)
+    (Printf.sprintf "independent batch >=2x faster on 4 workers (%.4f vs %.4f)"
+       t1 t4)
+    true
+    (t4 <= t1 /. 2.)
+
+let test_pool_conflicts_serialize () =
+  (* All five requests write the same object: one class, one worker, batch
+     order preserved — no speedup possible. *)
+  let batch = List.init 5 (fun i -> req (i + 1) (i + 1) 1 Op.Write 7) in
+  let _, t1, _, _ = run_pool ~workers:1 batch in
+  let _, t4, d4, _ = run_pool ~workers:4 batch in
+  Alcotest.(check (float 1e-9)) "conflicting batch gains nothing" t1 t4;
+  let workers = List.sort_uniq compare (List.map (fun (w, _, _, _) -> w) d4) in
+  Alcotest.(check int) "single worker used" 1 (List.length workers);
+  Alcotest.(check (list (pair int int))) "batch order preserved"
+    (List.map Request.key batch)
+    (List.map (fun (_, _, _, r) -> Request.key r) d4)
+
+let test_pool_batch_barrier () =
+  (* Batch 2 conflicts with batch 1 on object 5; with the barrier, every
+     batch-1 delivery precedes every batch-2 delivery of that object. *)
+  let engine = Ds_sim.Engine.create () in
+  let pool = Worker_pool.create engine Cost_model.default ~workers:4 in
+  let batch1 =
+    [ req 1 1 1 Op.Write 5; req 2 2 1 Op.Write 6; req 3 3 1 Op.Write 7 ]
+  in
+  let batch2 = [ req 4 4 1 Op.Read 5; req 5 5 1 Op.Write 8 ] in
+  let order = ref [] in
+  let record r = order := Request.key r :: !order in
+  Worker_pool.execute pool batch1
+    ~on_each:(fun ~worker:_ ~cls:_ ~pos:_ r -> record r)
+    (fun _ -> ());
+  Worker_pool.execute pool batch2
+    ~on_each:(fun ~worker:_ ~cls:_ ~pos:_ r -> record r)
+    (fun _ -> ());
+  Ds_sim.Engine.run engine;
+  let order = List.rev !order in
+  Alcotest.(check int) "all delivered" 5 (List.length order);
+  let idx k =
+    let rec go i = function
+      | [] -> -1
+      | x :: rest -> if x = k then i else go (i + 1) rest
+    in
+    go 0 order
+  in
+  List.iter
+    (fun k1 ->
+      List.iter
+        (fun k2 ->
+          Alcotest.(check bool) "cross-batch order" true (idx k1 < idx k2))
+        (List.map Request.key batch2))
+    (List.map Request.key batch1);
+  Alcotest.(check int) "two batches drained" 2 (Worker_pool.batch_count pool)
+
+let test_pool_empty_batch () =
+  let _, _, deliveries, result = run_pool ~workers:4 [] in
+  Alcotest.(check bool) "empty batch completes" true (result = Some `Completed);
+  Alcotest.(check int) "nothing delivered" 0 (List.length deliveries)
+
+let test_pool_failure () =
+  let engine = Ds_sim.Engine.create () in
+  let pool = Worker_pool.create engine Cost_model.default ~workers:4 in
+  let batch = independent_batch 8 in
+  let poison = Request.key (List.nth batch 3) in
+  Worker_pool.set_fault_hook pool (fun r ->
+      if Request.key r = poison then `Fail else `Ok);
+  let delivered = ref [] in
+  let result = ref None in
+  Worker_pool.execute pool batch
+    ~on_each:(fun ~worker:_ ~cls:_ ~pos:_ r -> delivered := Request.key r :: !delivered)
+    (fun res -> result := Some res);
+  Ds_sim.Engine.run engine;
+  (match !result with
+  | Some (`Failed r) ->
+    Alcotest.(check (pair int int)) "failed request reported" poison (Request.key r)
+  | _ -> Alcotest.fail "expected `Failed");
+  Alcotest.(check bool) "poison never delivered" false
+    (List.mem poison !delivered);
+  (* The pool keeps draining and stays usable for the retry. *)
+  Alcotest.(check int) "batch drained" 1 (Worker_pool.batch_count pool)
+
+let test_pool_k1_matches_backend () =
+  (* K=1 must be the plain sequential backend: same completion time, same
+     executed count. *)
+  let batch =
+    [
+      req 1 1 1 Op.Write 1; req 2 1 2 Op.Read 2; terminal 3 1 3 Op.Commit;
+      req 4 2 1 Op.Write 1;
+    ]
+  in
+  let engine_b = Ds_sim.Engine.create () in
+  let backend = Backend.create engine_b Cost_model.default in
+  Backend.execute_seq backend batch ~on_each:(fun _ -> ()) (fun () -> ());
+  Ds_sim.Engine.run engine_b;
+  let _, t_pool, deliveries, _ = run_pool ~workers:1 batch in
+  Alcotest.(check (float 1e-12)) "identical completion time"
+    (Ds_sim.Engine.now engine_b) t_pool;
+  Alcotest.(check (list (pair int int))) "batch order delivery"
+    (List.map Request.key batch)
+    (List.map (fun (_, _, _, r) -> Request.key r) deliveries);
+  List.iter
+    (fun (w, _, _, _) -> Alcotest.(check int) "worker 0" 0 w)
+    deliveries
+
+(* --- middleware end-to-end with workers=4 ------------------------- *)
+
+let middleware_run ?(workers = 4) ?metrics () =
+  Middleware.run_full
+    {
+      Middleware.default_config with
+      Middleware.n_clients = 15;
+      duration = 3.0;
+      workers;
+      charge_scheduler_time = false;
+      spec =
+        { Ds_workload.Spec.paper_default with Ds_workload.Spec.n_objects = 2000 };
+      metrics;
+    }
+
+let merged_schedule sched =
+  let rels = Scheduler.relations sched in
+  let rte = Relations.rte_requests rels in
+  let by_key = Hashtbl.create (2 * List.length rte) in
+  List.iter (fun r -> Hashtbl.replace by_key (Request.key r) r) rte;
+  ( rte,
+    List.filter_map
+      (fun key -> Hashtbl.find_opt by_key key)
+      (Relations.execution_order rels) )
+
+let test_middleware_parallel_clean () =
+  let s, sched = middleware_run () in
+  Alcotest.(check bool) "made progress" true (s.Middleware.committed_txns > 0);
+  Alcotest.(check int) "ran with 4 workers" 4 s.Middleware.workers;
+  Alcotest.(check bool) "batches drained" true
+    (s.Middleware.batches_dispatched > 0);
+  let rte, merged = merged_schedule sched in
+  let report =
+    Ds_check.Serializability.check_committed
+      (Ds_check.Conflict_graph.events_of_requests rte)
+  in
+  Alcotest.(check bool) "rte checker-clean" true
+    (Ds_check.Serializability.is_clean report);
+  let eq = Ds_check.Equivalence.check ~reference:rte ~candidate:merged () in
+  Alcotest.(check bool)
+    (Format.asprintf "merged conflict-equivalent to admitted order: %a"
+       Ds_check.Equivalence.pp_report eq)
+    true
+    (Ds_check.Equivalence.is_equivalent eq)
+
+let test_assignment_relations_sql () =
+  let _, sched = middleware_run () in
+  let rels = Scheduler.relations sched in
+  Alcotest.(check int) "workers relation has 4 rows" 4
+    (Relations.worker_count rels);
+  Alcotest.(check bool) "assignment rows logged" true
+    (Relations.assignment_count rels > 0);
+  (* Declarative access: the placement is queryable like requests/history. *)
+  (match
+     Ds_sql.Exec.exec_script rels.Relations.catalog
+       "SELECT worker, COUNT(*) FROM assignment GROUP BY worker"
+   with
+  | Ds_sql.Exec.Rows (_, rows) ->
+    Alcotest.(check bool) "every worker ran work" true (List.length rows >= 2)
+  | _ -> Alcotest.fail "expected rows from assignment");
+  match
+    Ds_sql.Exec.exec_script rels.Relations.catalog "SELECT * FROM workers"
+  with
+  | Ds_sql.Exec.Rows (_, rows) ->
+    Alcotest.(check int) "workers rows via SQL" 4 (List.length rows)
+  | _ -> Alcotest.fail "expected rows from workers"
+
+let test_assignment_relations_datalog () =
+  let _, sched = middleware_run () in
+  let rels = Scheduler.relations sched in
+  let program =
+    Ds_datalog.Dl_parser.parse_program
+      "busy(W) :- assignment(_, _, W, _, _, _)."
+  in
+  let engine = Ds_datalog.Dl_engine.create program in
+  Ds_datalog.Dl_engine.load_rows engine "assignment"
+    (Relations.table_facts rels "assignment");
+  let busy = Ds_datalog.Dl_engine.query engine "busy" in
+  Alcotest.(check bool) "datalog sees busy workers" true
+    (List.length busy >= 2 && List.length busy <= 4)
+
+let test_metrics_report_per_worker () =
+  let m = Ds_obs.Metrics.create () in
+  let _ = middleware_run ~metrics:m () in
+  let rendered = Ds_obs.Metrics.render m in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "metrics report mentions %S" needle)
+        true
+        (Helpers.contains rendered needle))
+    [ "parallel backend: 4 worker(s)"; "makespan"; "worker 0"; "worker 3"; "util" ];
+  match Ds_obs.Metrics.parallel m with
+  | None -> Alcotest.fail "parallel metrics not set"
+  | Some p ->
+    Alcotest.(check int) "four worker rows" 4
+      (List.length p.Ds_obs.Metrics.per_worker);
+    Alcotest.(check bool) "positive makespan" true
+      (p.Ds_obs.Metrics.makespan_mean > 0.)
+
+let test_workers_one_no_parallel_noise () =
+  (* The K=1 configuration must not change observable output formats. *)
+  let s, _ = middleware_run ~workers:1 () in
+  let rendered = Format.asprintf "%a" Middleware.pp_stats s in
+  Alcotest.(check bool) "no parallel clause at K=1" false
+    (Helpers.contains rendered "parallel(")
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest partition_is_true_partition;
+    Alcotest.test_case "partition examples" `Quick test_partition_examples;
+    Alcotest.test_case "pool speedup on independent batch" `Quick
+      test_pool_speedup;
+    Alcotest.test_case "conflicting batch serializes" `Quick
+      test_pool_conflicts_serialize;
+    Alcotest.test_case "cross-batch barrier ordering" `Quick
+      test_pool_batch_barrier;
+    Alcotest.test_case "empty batch" `Quick test_pool_empty_batch;
+    Alcotest.test_case "worker failure reported early" `Quick test_pool_failure;
+    Alcotest.test_case "K=1 pool = sequential backend" `Quick
+      test_pool_k1_matches_backend;
+    Alcotest.test_case "middleware @4 workers checker-clean" `Quick
+      test_middleware_parallel_clean;
+    Alcotest.test_case "workers/assignment via SQL" `Quick
+      test_assignment_relations_sql;
+    Alcotest.test_case "assignment via datalog" `Quick
+      test_assignment_relations_datalog;
+    Alcotest.test_case "metrics report per-worker rows" `Quick
+      test_metrics_report_per_worker;
+    Alcotest.test_case "K=1 output unchanged" `Quick
+      test_workers_one_no_parallel_noise;
+  ]
