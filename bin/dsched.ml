@@ -85,6 +85,19 @@ let demo_cmd =
   in
   Cmd.v (Cmd.info "demo" ~doc) Term.(const run $ const ())
 
+(* Strict positive-int converter: [--workers 0], [--workers -2] or
+   [--workers four] all die with a clear message instead of whatever
+   int_of_string + downstream code would do. *)
+let pos_int_conv what =
+  let parse s =
+    match int_of_string_opt (String.trim s) with
+    | Some n when n > 0 -> Ok n
+    | Some n -> Error (`Msg (Printf.sprintf "%s must be positive, got %d" what n))
+    | None ->
+      Error (`Msg (Printf.sprintf "%s must be a positive integer, got '%s'" what s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let protocol_arg =
   let conv_protocol =
     let parse name =
@@ -114,7 +127,8 @@ let run_cmd =
   in
   let workers =
     Arg.(
-      value & opt int 1
+      value
+      & opt (pos_int_conv "--workers") 1
       & info [ "workers" ] ~docv:"K"
           ~doc:
             "Simulated worker backends. With $(docv) > 1 each admitted batch \
@@ -151,8 +165,28 @@ let run_cmd =
              Keys: batch (transient batch-failure rate), stall (+ stall-dur \
              seconds), poison (always-failing requests), disconnect (client \
              vanishes mid-txn), crash (middleware crash at that cycle, with \
-             live journal recovery). Implies deterministic scheduling \
+             live journal recovery), wcrash/wdeath/wstall (per-batch worker \
+             crash / permanent death / stall rates, needs --workers > 1; \
+             wstall-dur seconds). Implies deterministic scheduling \
              (scheduler wall-time not charged).")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some (pos_int_conv "--checkpoint")) None
+      & info [ "checkpoint" ] ~docv:"N"
+          ~doc:
+            "Write a journal checkpoint every $(docv) cycles; recovery then \
+             replays only the suffix since the last snapshot (needs \
+             --journal or a crash fault).")
+  in
+  let hedge =
+    Arg.(
+      value & flag
+      & info [ "hedge" ]
+          ~doc:
+            "Race a duplicate of an overdue conflict class on a surviving \
+             worker (deliveries deduplicated first-wins).")
   in
   let max_retries =
     Arg.(
@@ -205,7 +239,8 @@ let run_cmd =
              per-cycle scheduler metrics after the run.")
   in
   let run protocol clients duration objects passthrough workers seed log_rte
-      faults max_retries queue_cap batch_timeout journal trace_out metrics =
+      faults max_retries queue_cap batch_timeout journal checkpoint hedge
+      trace_out metrics =
     let faulty = not (Faults.is_none faults) in
     let sink = Option.map (fun _ -> Ds_obs.Trace.create ()) trace_out in
     let mets = if metrics then Some (Ds_obs.Metrics.create ()) else None in
@@ -228,6 +263,8 @@ let run_cmd =
           | Some _ as t -> t
           | None -> if faulty then Some 0.25 else None);
         journal_path = journal;
+        checkpoint_interval = checkpoint;
+        hedging = hedge;
         client_redo = faulty;
         trace = sink;
         metrics = mets;
@@ -274,7 +311,7 @@ let run_cmd =
     Term.(
       const run $ protocol_arg $ clients $ duration $ objects $ passthrough
       $ workers $ seed $ log_rte $ faults $ max_retries $ queue_cap
-      $ batch_timeout $ journal $ trace_out $ metrics)
+      $ batch_timeout $ journal $ checkpoint $ hedge $ trace_out $ metrics)
 
 let native_cmd =
   let doc = "Run the native (lock-based) scheduler experiment (4.2)." in
@@ -574,9 +611,27 @@ let recover_cmd =
   let file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"JOURNAL" ~doc:"Journal file.")
   in
-  let run file =
-    let r = Journal.recover file in
-    Printf.printf "replayed %d entries\n" r.Journal.replayed;
+  let repair =
+    Arg.(
+      value & flag
+      & info [ "repair" ]
+          ~doc:
+            "Physically truncate a torn/corrupt journal tail to the last \
+             checksum-valid prefix.")
+  in
+  let run repair file =
+    let r = Journal.recover ~repair file in
+    (match r.Journal.checkpoint_cycle with
+    | Some c ->
+      Printf.printf
+        "checkpoint at cycle %d: skipped %d entries, replayed %d\n" c
+        r.Journal.skipped r.Journal.replayed
+    | None -> Printf.printf "replayed %d entries (no checkpoint)\n" r.Journal.replayed);
+    if r.Journal.corrupt_dropped > 0 then
+      Printf.printf "dropped %d corrupt tail line(s)%s; trusted prefix %d bytes\n"
+        r.Journal.corrupt_dropped
+        (if repair then " (file truncated)" else "")
+        r.Journal.valid_bytes;
     Printf.printf "pending (%d):\n" (List.length r.Journal.pending);
     List.iter
       (fun req -> Printf.printf "  %s\n" (Request.to_string req))
@@ -592,7 +647,7 @@ let recover_cmd =
         r.Journal.dead
     end
   in
-  Cmd.v (Cmd.info "recover" ~doc) Term.(const run $ file)
+  Cmd.v (Cmd.info "recover" ~doc) Term.(const run $ repair $ file)
 
 let () =
   let doc = "declarative request scheduler (EDBT'10 reproduction)" in

@@ -13,6 +13,7 @@ type config = {
   native_duration : float;
   check_trace : bool;
   parallel_workers : int list;
+  parallel_worker_faults : bool;
 }
 
 let default_config =
@@ -28,6 +29,7 @@ let default_config =
     native_duration = 0.3;
     check_trace = true;
     parallel_workers = [ 2; 4 ];
+    parallel_worker_faults = true;
   }
 
 type failure =
@@ -319,49 +321,100 @@ let run_one ?(config = default_config) ?(subjects = default_subjects ())
     in
     List.iter
       (fun workers ->
-        if workers >= 1 && !failures = [] then begin
-          let engine = Ds_sim.Engine.create () in
-          let pool =
-            Ds_server.Worker_pool.create engine Ds_server.Cost_model.default
-              ~workers
-          in
-          let merged = ref [] in
-          (* Chain batches through each completion so batch N+1 dispatches
-             only after batch N drains, mirroring the middleware's
-             admission order regardless of pool internals. *)
-          let rec replay = function
-            | [] -> ()
-            | batch :: rest ->
-              Ds_server.Worker_pool.execute pool batch
-                ~on_each:(fun ~worker:_ ~cls:_ ~pos:_ r ->
-                  merged := r :: !merged)
-                (fun _ -> replay rest)
-          in
-          replay (List.rev !batches);
-          Ds_sim.Engine.run engine;
-          let merged = List.rev !merged in
-          let fail detail =
-            failures := Parallel_mismatch { workers; detail } :: !failures
-          in
-          let eq =
-            Equivalence.check ~complete:true ~reference:sequential
-              ~candidate:merged ()
-          in
-          if not (Equivalence.is_equivalent eq) then
-            fail (Format.asprintf "%a" Equivalence.pp_report eq)
-          else begin
-            let report =
-              Serializability.check_committed
-                (Conflict_graph.events_of_requests merged)
-            in
-            if not (Serializability.is_clean report) then
-              fail
-                (Format.asprintf "merged schedule dirty: %a"
-                   Serializability.pp_report report)
-            else if final_state merged <> final_state sequential then
-              fail "final table state differs from sequential replay"
-          end
-        end)
+        let modes =
+          if workers > 1 && config.parallel_worker_faults then
+            [ false; true ]
+          else [ false ]
+        in
+        List.iter
+          (fun faulty ->
+            if workers >= 1 && !failures = [] then begin
+              let engine = Ds_sim.Engine.create () in
+              let pool =
+                Ds_server.Worker_pool.create engine
+                  Ds_server.Cost_model.default ~workers
+              in
+              if faulty then begin
+                (* Deterministic worker-fault script from the iteration
+                   seed: crashes, permanent deaths and stalls rain on the
+                   pool while the supervisor reassigns and hedges — the
+                   merged schedule must STILL pass every check below. *)
+                let frng = Ds_sim.Rng.create ((seed * 7919) + workers) in
+                Ds_server.Worker_pool.set_deadline_factor pool (Some 3.0);
+                Ds_server.Worker_pool.set_hedging pool true;
+                Ds_server.Worker_pool.set_worker_fault_hook pool
+                  (Some
+                     (fun ~alive ->
+                       let pick () =
+                         let a = Array.of_list alive in
+                         a.(Ds_sim.Rng.int frng (Array.length a))
+                       in
+                       let fs = ref [] in
+                       if
+                         List.length alive > 1
+                         && Ds_sim.Rng.float frng < 0.35
+                       then
+                         fs :=
+                           Ds_server.Worker_pool.Crash
+                             { worker = pick ();
+                               after = Ds_sim.Rng.int frng 3 }
+                           :: !fs;
+                       if
+                         List.length alive > 1
+                         && Ds_sim.Rng.float frng < 0.1
+                       then
+                         fs :=
+                           Ds_server.Worker_pool.Die { worker = pick () }
+                           :: !fs;
+                       if alive <> [] && Ds_sim.Rng.float frng < 0.35 then
+                         fs :=
+                           Ds_server.Worker_pool.Slow
+                             { worker = pick (); delay = 0.02 }
+                           :: !fs;
+                       !fs))
+              end;
+              let merged = ref [] in
+              (* Chain batches through each completion so batch N+1
+                 dispatches only after batch N drains, mirroring the
+                 middleware's admission order regardless of pool
+                 internals. *)
+              let rec replay = function
+                | [] -> ()
+                | batch :: rest ->
+                  Ds_server.Worker_pool.execute pool batch
+                    ~on_each:(fun ~worker:_ ~cls:_ ~pos:_ r ->
+                      merged := r :: !merged)
+                    (fun _ -> replay rest)
+              in
+              replay (List.rev !batches);
+              Ds_sim.Engine.run engine;
+              let merged = List.rev !merged in
+              let fail detail =
+                let detail =
+                  if faulty then "with worker faults: " ^ detail else detail
+                in
+                failures := Parallel_mismatch { workers; detail } :: !failures
+              in
+              let eq =
+                Equivalence.check ~complete:true ~reference:sequential
+                  ~candidate:merged ()
+              in
+              if not (Equivalence.is_equivalent eq) then
+                fail (Format.asprintf "%a" Equivalence.pp_report eq)
+              else begin
+                let report =
+                  Serializability.check_committed
+                    (Conflict_graph.events_of_requests merged)
+                in
+                if not (Serializability.is_clean report) then
+                  fail
+                    (Format.asprintf "merged schedule dirty: %a"
+                       Serializability.pp_report report)
+                else if final_state merged <> final_state sequential then
+                  fail "final table state differs from sequential replay"
+              end
+            end)
+          modes)
       config.parallel_workers
   end;
   {

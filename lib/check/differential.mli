@@ -21,7 +21,10 @@
       a K-worker {!Ds_server.Worker_pool} yield a merged schedule that is
       conflict-equivalent to the sequential admitted order
       ({!Equivalence.check} with [~complete:true]), checker-clean, and
-      leaves the same final table state.
+      leaves the same final table state — once fault-free and (with
+      [parallel_worker_faults]) once more under injected worker crashes,
+      permanent deaths and stalls with the pool supervisor reassigning and
+      hedging classes.
 
     Failures carry the seed, so any report reproduces by rerunning
     [run_one ~seed]. No shrinking: workloads are small enough to read. *)
@@ -47,6 +50,12 @@ type config = {
   parallel_workers : int list;
       (** pool sizes for the parallel-vs-sequential oracle replay (default
           [[2; 4]]; [[]] disables the mode) *)
+  parallel_worker_faults : bool;
+      (** additionally replay each pool size under a deterministic
+          worker-fault script (crashes, permanent deaths, stalls — drawn
+          from the iteration seed) with supervision deadlines and hedging
+          armed; the merged schedule must pass the exact same checks
+          (default [true]) *)
 }
 
 val default_config : config

@@ -8,6 +8,10 @@ type plan = {
   poison_rate : float;
   disconnect_rate : float;
   crash_at_cycle : int option;
+  worker_crash_rate : float;
+  worker_death_rate : float;
+  worker_stall_rate : float;
+  worker_stall_duration : float;
 }
 
 let none =
@@ -18,12 +22,22 @@ let none =
     poison_rate = 0.;
     disconnect_rate = 0.;
     crash_at_cycle = None;
+    worker_crash_rate = 0.;
+    worker_death_rate = 0.;
+    worker_stall_rate = 0.;
+    worker_stall_duration = 0.05;
   }
 
 let is_none p =
   p.batch_fail_rate = 0. && p.stall_rate = 0. && p.poison_rate = 0.
   && p.disconnect_rate = 0.
   && p.crash_at_cycle = None
+  && p.worker_crash_rate = 0. && p.worker_death_rate = 0.
+  && p.worker_stall_rate = 0.
+
+let has_worker_faults p =
+  p.worker_crash_rate > 0. || p.worker_death_rate > 0.
+  || p.worker_stall_rate > 0.
 
 let validate p =
   let rate name v =
@@ -39,7 +53,15 @@ let validate p =
   >>= fun () ->
   rate "disconnect_rate" p.disconnect_rate
   >>= fun () ->
+  rate "worker_crash_rate" p.worker_crash_rate
+  >>= fun () ->
+  rate "worker_death_rate" p.worker_death_rate
+  >>= fun () ->
+  rate "worker_stall_rate" p.worker_stall_rate
+  >>= fun () ->
   if p.stall_duration < 0. then Error "stall_duration must be non-negative"
+  else if p.worker_stall_duration < 0. then
+    Error "worker_stall_duration must be non-negative"
   else
     match p.crash_at_cycle with
     | Some c when c <= 0 -> Error "crash cycle must be positive"
@@ -67,6 +89,14 @@ let plan_of_string s =
         match int_of_string_opt value with
         | Some c -> Ok { plan with crash_at_cycle = Some c }
         | None -> Error (Printf.sprintf "bad cycle %S for crash" value))
+      | "wcrash" ->
+        Result.map (fun f -> { plan with worker_crash_rate = f }) (fl ())
+      | "wdeath" ->
+        Result.map (fun f -> { plan with worker_death_rate = f }) (fl ())
+      | "wstall" ->
+        Result.map (fun f -> { plan with worker_stall_rate = f }) (fl ())
+      | "wstall-dur" ->
+        Result.map (fun f -> { plan with worker_stall_duration = f }) (fl ())
       | _ -> Error (Printf.sprintf "unknown fault key %S" key))
     | _ -> Error (Printf.sprintf "expected key=value, got %S" kv)
   in
@@ -99,6 +129,18 @@ let plan_to_string p =
            Some (Printf.sprintf "disconnect=%g" p.disconnect_rate)
          else None);
         Option.map (Printf.sprintf "crash=%d") p.crash_at_cycle;
+        (if p.worker_crash_rate > 0. then
+           Some (Printf.sprintf "wcrash=%g" p.worker_crash_rate)
+         else None);
+        (if p.worker_death_rate > 0. then
+           Some (Printf.sprintf "wdeath=%g" p.worker_death_rate)
+         else None);
+        (if p.worker_stall_rate > 0. then
+           Some (Printf.sprintf "wstall=%g" p.worker_stall_rate)
+         else None);
+        (if p.worker_stall_rate > 0. then
+           Some (Printf.sprintf "wstall-dur=%g" p.worker_stall_duration)
+         else None);
       ]
   in
   if parts = [] then "none" else String.concat "," parts
@@ -114,6 +156,9 @@ type t = {
   mutable stall_extra : float;
   mutable n_failures : int;
   mutable n_stalls : int;
+  mutable n_worker_crashes : int;
+  mutable n_worker_deaths : int;
+  mutable n_worker_stalls : int;
 }
 
 let create plan rng =
@@ -126,6 +171,9 @@ let create plan rng =
     stall_extra = 0.;
     n_failures = 0;
     n_stalls = 0;
+    n_worker_crashes = 0;
+    n_worker_deaths = 0;
+    n_worker_stalls = 0;
   }
 
 let plan t = t.plan
@@ -178,3 +226,55 @@ let draw_disconnect_after t ~data_stmts =
 let injected_failures t = t.n_failures
 
 let injected_stalls t = t.n_stalls
+
+type worker_fault =
+  | Worker_crash of { worker : int; after : int }
+  | Worker_death of { worker : int }
+  | Worker_stall of { worker : int; delay : float }
+
+(* Every draw is gated on [rate > 0.] so plans without worker faults consume
+   the exact same RNG stream as before this channel existed — seeded no-fault
+   runs stay bit-identical. A fault that would leave no survivor is never
+   drawn: crashes and deaths pick a victim only when at least two workers are
+   alive. *)
+let draw_worker_faults t ~alive =
+  let n = List.length alive in
+  let pick () = List.nth alive (Rng.int t.rng n) in
+  let crash =
+    if
+      t.plan.worker_crash_rate > 0. && n > 1
+      && Rng.float t.rng < t.plan.worker_crash_rate
+    then begin
+      t.n_worker_crashes <- t.n_worker_crashes + 1;
+      [ Worker_crash { worker = pick (); after = Rng.int t.rng 3 } ]
+    end
+    else []
+  in
+  let death =
+    if
+      t.plan.worker_death_rate > 0. && n > 1
+      && Rng.float t.rng < t.plan.worker_death_rate
+    then begin
+      t.n_worker_deaths <- t.n_worker_deaths + 1;
+      [ Worker_death { worker = pick () } ]
+    end
+    else []
+  in
+  let stall =
+    if
+      t.plan.worker_stall_rate > 0. && n > 0
+      && Rng.float t.rng < t.plan.worker_stall_rate
+    then begin
+      t.n_worker_stalls <- t.n_worker_stalls + 1;
+      let delay = t.plan.worker_stall_duration *. (0.5 +. Rng.float t.rng) in
+      [ Worker_stall { worker = pick (); delay } ]
+    end
+    else []
+  in
+  crash @ death @ stall
+
+let injected_worker_crashes t = t.n_worker_crashes
+
+let injected_worker_deaths t = t.n_worker_deaths
+
+let injected_worker_stalls t = t.n_worker_stalls

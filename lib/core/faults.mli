@@ -31,6 +31,17 @@ type plan = {
   crash_at_cycle : int option;
       (** crash the middleware at this scheduler cycle and recover from the
           journal *)
+  worker_crash_rate : float;
+      (** per dispatched batch: one pool worker crashes between conflict
+          classes; its unstarted classes are reassigned and it rejoins at the
+          next batch *)
+  worker_death_rate : float;
+      (** per dispatched batch: one pool worker dies permanently for the rest
+          of the run *)
+  worker_stall_rate : float;
+      (** per dispatched batch: one pool worker turns straggler, adding
+          [worker_stall_duration]-scaled latency to each class it runs *)
+  worker_stall_duration : float;  (** straggler slowdown scale, in seconds *)
 }
 
 (** The zero plan: no faults. [Middleware.default_config] uses it. *)
@@ -38,12 +49,17 @@ val none : plan
 
 val is_none : plan -> bool
 
+(** True iff the plan injects any worker-scoped fault (crash, permanent
+    death or straggler stall). *)
+val has_worker_faults : plan -> bool
+
 (** @return [Error _] on negative rates, rates above 1, or a non-positive
     crash cycle. *)
 val validate : plan -> (unit, string) result
 
 (** Parses a compact spec like
     ["batch=0.1,stall=0.05,stall-dur=0.05,poison=0.01,disconnect=0.02,crash=40"].
+    Worker-scoped faults use [wcrash=R,wdeath=R,wstall=R,wstall-dur=S].
     Every key is optional; unknown keys are errors. *)
 val plan_of_string : string -> (plan, string) result
 
@@ -80,3 +96,26 @@ val draw_disconnect_after : t -> data_stmts:int -> int option
 val injected_failures : t -> int
 
 val injected_stalls : t -> int
+
+(** A worker-scoped fault drawn for one dispatched batch. [Worker_crash]
+    fires {e between} conflict classes — the victim completes [after] more
+    classes, then its remaining unstarted classes are reassigned (safe
+    because classes are disjoint) and the worker rejoins at the next batch.
+    [Worker_death] removes the worker for the rest of the run.
+    [Worker_stall] slows every class the victim runs by [delay], making it a
+    straggler that the pool's hedging can race. *)
+type worker_fault =
+  | Worker_crash of { worker : int; after : int }
+  | Worker_death of { worker : int }
+  | Worker_stall of { worker : int; delay : float }
+
+(** [draw_worker_faults t ~alive] — draw this batch's worker fates among the
+    currently-alive worker ids. At most one fault per channel per batch;
+    crash/death need at least two alive workers (never kill the last
+    survivor). Draws are gated on nonzero rates so zero-rate plans consume
+    no randomness from this channel. *)
+val draw_worker_faults : t -> alive:int list -> worker_fault list
+
+val injected_worker_crashes : t -> int
+val injected_worker_deaths : t -> int
+val injected_worker_stalls : t -> int

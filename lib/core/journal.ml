@@ -1,33 +1,176 @@
 open Ds_model
 
+(* ------------------------------------------------------------------ *)
+(* CRC32 (IEEE 802.3, reflected).  Hand-rolled table-driven version:  *)
+(* the toolchain ships no checksum library and the journal must not    *)
+(* grow dependencies.  Fits in a native int on 64-bit.                 *)
+(* ------------------------------------------------------------------ *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+(* ------------------------------------------------------------------ *)
+(* Replay state: the logical content of a journal.  The writer keeps a *)
+(* live mirror of it so [checkpoint] can serialize a snapshot without  *)
+(* re-reading the file.                                                *)
+(* ------------------------------------------------------------------ *)
+
+type replay_state = {
+  submitted : (int * int, Request.t) Hashtbl.t;
+  mutable order : (int * int) list;  (* submission order, reversed *)
+  mutable hist : Request.t list;  (* reversed *)
+  mutable aborts : int list;  (* reversed *)
+  mutable dead_ : Request.t list;  (* reversed *)
+}
+
+let fresh_state () =
+  {
+    submitted = Hashtbl.create 64;
+    order = [];
+    hist = [];
+    aborts = [];
+    dead_ = [];
+  }
+
+let st_submit st r =
+  Hashtbl.replace st.submitted (Request.key r) r;
+  st.order <- Request.key r :: st.order
+
+let st_qualify st key =
+  match Hashtbl.find_opt st.submitted key with
+  | Some r ->
+    Hashtbl.remove st.submitted key;
+    st.hist <- r :: st.hist;
+    true
+  | None -> false
+
+let st_abort st ta =
+  Hashtbl.iter
+    (fun key (r : Request.t) ->
+      if r.Request.ta = ta then Hashtbl.remove st.submitted key |> ignore)
+    (Hashtbl.copy st.submitted);
+  st.aborts <- ta :: st.aborts
+
+let st_dead st r =
+  Hashtbl.remove st.submitted (Request.key r);
+  st.dead_ <- r :: st.dead_
+
+(* Submitted-but-unqualified requests in submission order.  A key can appear
+   twice in [order] after requeue; dedup keeps the first occurrence. *)
+let pending_of_state st =
+  List.rev st.order
+  |> List.filter_map (fun key -> Hashtbl.find_opt st.submitted key)
+  |> List.fold_left
+       (fun (seen, acc) r ->
+         let k = Request.key r in
+         if List.mem k seen then (seen, acc) else (k :: seen, r :: acc))
+       ([], [])
+  |> snd
+  |> List.rev
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
 type t = {
   oc : out_channel;
   path : string;
   sync : bool;
   mutable flushed_pos : int;  (* bytes known durable (after last [flush]) *)
+  state : replay_state;  (* mirror of the journal's logical content *)
+  mutable n_checkpoints : int;
+  mutable n_lines : int;
+      (* lines in the file so far; embedded in each C BEGIN so recovery can
+         report how many prefix lines the checkpoint let it skip without
+         ever reading the prefix *)
 }
 
-let open_ ?(sync = false) path =
-  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
-  { oc; path; sync; flushed_pos = out_channel_length oc }
-
-let close t = close_out t.oc
+(* Every record is framed as [!crc32-hex payload]; recovery verifies the
+   checksum before trusting the payload.  Unframed (legacy) lines are still
+   readable. *)
+let write_line t payload =
+  t.n_lines <- t.n_lines + 1;
+  output_string t.oc (Printf.sprintf "!%08x %s\n" (crc32 payload) payload)
 
 let log_submit t r =
-  output_string t.oc ("S " ^ Ds_workload.Trace.line_of_request r ^ "\n")
+  st_submit t.state r;
+  write_line t ("S " ^ Ds_workload.Trace.line_of_request r)
 
 let log_qualified t keys =
   List.iter
-    (fun (ta, intrata) ->
-      output_string t.oc (Printf.sprintf "Q %d %d\n" ta intrata))
+    (fun ((ta, intrata) as key) ->
+      ignore (st_qualify t.state key);
+      write_line t (Printf.sprintf "Q %d %d" ta intrata))
     keys
 
-let log_abort t ta = output_string t.oc (Printf.sprintf "A %d\n" ta)
+let log_abort t ta =
+  st_abort t.state ta;
+  write_line t (Printf.sprintf "A %d" ta)
 
 let log_dead t r =
-  output_string t.oc ("D " ^ Ds_workload.Trace.line_of_request r ^ "\n")
+  st_dead t.state r;
+  write_line t ("D " ^ Ds_workload.Trace.line_of_request r)
 
-let log_prune t = output_string t.oc "P\n"
+(* Mirrors [Relations.prune_history]: transactions with a terminal op in
+   history (abort markers included) are dropped from the state mirror, so a
+   checkpoint snapshots the live relation state — bounded by the number of
+   active transactions — rather than the full log. Replay of the 'P' record
+   itself stays a no-op: a full (checkpoint-free) replay keeps the complete
+   history so the restored [rte] log spans the whole run. *)
+let log_prune t =
+  let terminal = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Request.t) ->
+      match r.Request.op with
+      | Op.Commit | Op.Abort -> Hashtbl.replace terminal r.Request.ta ()
+      | _ -> ())
+    t.state.hist;
+  List.iter (fun ta -> Hashtbl.replace terminal ta ()) t.state.aborts;
+  t.state.hist <-
+    List.filter
+      (fun (r : Request.t) -> not (Hashtbl.mem terminal r.Request.ta))
+      t.state.hist;
+  t.state.aborts <- [];
+  write_line t "P"
+
+let checkpoint t ~cycle =
+  let pending = pending_of_state t.state in
+  let hist = List.rev t.state.hist in
+  let aborts = List.rev t.state.aborts in
+  let dead = List.rev t.state.dead_ in
+  let entries =
+    List.length pending + List.length hist + List.length aborts
+    + List.length dead
+  in
+  write_line t (Printf.sprintf "C BEGIN %d %d" cycle t.n_lines);
+  List.iter
+    (fun r -> write_line t ("c P " ^ Ds_workload.Trace.line_of_request r))
+    pending;
+  List.iter
+    (fun r -> write_line t ("c H " ^ Ds_workload.Trace.line_of_request r))
+    hist;
+  List.iter (fun ta -> write_line t (Printf.sprintf "c A %d" ta)) aborts;
+  List.iter
+    (fun r -> write_line t ("c D " ^ Ds_workload.Trace.line_of_request r))
+    dead;
+  write_line t (Printf.sprintf "C END %d" entries);
+  t.n_checkpoints <- t.n_checkpoints + 1
+
+let checkpoints_written t = t.n_checkpoints
 
 let flush t =
   Stdlib.flush t.oc;
@@ -36,6 +179,8 @@ let flush t =
 
 let size t = t.flushed_pos
 
+let close t = close_out t.oc
+
 let crash t =
   (* close_out writes the channel buffer through, which a real crash would
      not; truncating back to the last flushed position restores the honest
@@ -43,121 +188,433 @@ let crash t =
   (try close_out t.oc with Sys_error _ -> ());
   Unix.truncate t.path t.flushed_pos
 
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+(* ------------------------------------------------------------------ *)
+
 type recovered = {
   pending : Request.t list;
   history : Request.t list;
   aborted : int list;
   dead : Request.t list;
   replayed : int;
+  checkpoint_cycle : int option;
+  skipped : int;
+  corrupt_dropped : int;
+  valid_bytes : int;
 }
 
-(* State machine over journal lines. *)
-type replay_state = {
-  mutable submitted : (int * int, Request.t) Hashtbl.t;
-  mutable order : (int * int) list;  (* submission order, reversed *)
-  mutable hist : Request.t list;  (* reversed *)
-  mutable aborts : int list;  (* reversed *)
-  mutable dead_ : Request.t list;  (* reversed *)
-}
-
+(* State machine over journal payload lines. *)
 let apply st lineno line =
   let fail msg = failwith (Printf.sprintf "journal line %d: %s" lineno msg) in
   if String.length line < 1 then fail "empty line"
   else
-    match (line.[0], if String.length line > 2 then String.sub line 2 (String.length line - 2) else "") with
+    match
+      ( line.[0],
+        if String.length line > 2 then
+          String.sub line 2 (String.length line - 2)
+        else "" )
+    with
     | 'S', rest ->
-      let r = Ds_workload.Trace.request_of_line ~lineno rest in
-      Hashtbl.replace st.submitted (Request.key r) r;
-      st.order <- Request.key r :: st.order
+      st_submit st (Ds_workload.Trace.request_of_line ~lineno rest)
     | 'Q', rest -> (
       match String.split_on_char ' ' (String.trim rest) with
       | [ ta; intrata ] -> (
         match (int_of_string_opt ta, int_of_string_opt intrata) with
-        | Some ta, Some intrata -> (
-          let key = (ta, intrata) in
-          match Hashtbl.find_opt st.submitted key with
-          | Some r ->
-            Hashtbl.remove st.submitted key;
-            st.hist <- r :: st.hist
-          | None -> fail "qualified a request that was never submitted")
+        | Some ta, Some intrata ->
+          if not (st_qualify st (ta, intrata)) then
+            fail "qualified a request that was never submitted"
         | _ -> fail "malformed Q entry")
       | _ -> fail "malformed Q entry")
     | 'A', rest -> (
       match int_of_string_opt (String.trim rest) with
-      | Some ta ->
-        (* Drop the transaction's pending requests, as abort_txn did. *)
-        Hashtbl.iter
-          (fun key (r : Request.t) ->
-            if r.Request.ta = ta then Hashtbl.remove st.submitted key |> ignore)
-          (Hashtbl.copy st.submitted);
-        st.aborts <- ta :: st.aborts
+      | Some ta -> st_abort st ta
       | None -> fail "malformed A entry")
-    | 'D', rest ->
-      let r = Ds_workload.Trace.request_of_line ~lineno rest in
-      Hashtbl.remove st.submitted (Request.key r);
-      st.dead_ <- r :: st.dead_
+    | 'D', rest -> st_dead st (Ds_workload.Trace.request_of_line ~lineno rest)
     | 'P', _ -> () (* pruning is an optimization; replay keeps full history *)
+    | 'C', _ | 'c', _ ->
+      () (* checkpoint blocks are snapshots, not transitions *)
     | _ -> fail "unknown entry kind"
 
-let recover path =
-  let ic = open_in path in
-  let lines = ref [] in
-  (try
-     while true do
-       lines := input_line ic :: !lines
-     done
-   with End_of_file -> close_in ic);
-  let lines = Array.of_list (List.rev !lines) in
-  let st =
-    {
-      submitted = Hashtbl.create 64;
-      order = [];
-      hist = [];
-      aborts = [];
-      dead_ = [];
-    }
+(* Raw lines with their byte offset in the file.  [base] is the absolute
+   file offset [content] starts at, so a tail read still yields absolute
+   offsets. *)
+let split_lines ?(base = 0) content =
+  let n = String.length content in
+  let acc = ref [] in
+  let start = ref 0 in
+  for i = 0 to n - 1 do
+    if content.[i] = '\n' then begin
+      acc := (base + !start, String.sub content !start (i - !start)) :: !acc;
+      start := i + 1
+    end
+  done;
+  if !start < n then
+    acc := (base + !start, String.sub content !start (n - !start)) :: !acc;
+  Array.of_list (List.rev !acc)
+
+type classified =
+  | Empty
+  | Framed of string  (* checksum verified; payload is exactly as written *)
+  | Legacy of string  (* pre-CRC record: trusted as far as it parses *)
+  | Corrupt  (* framed record whose checksum does not match *)
+
+let is_hex = function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false
+
+let classify raw =
+  let line = String.trim raw in
+  if line = "" then Empty
+  else if line.[0] = '!' then
+    if
+      String.length line >= 10
+      && line.[9] = ' '
+      && (let ok = ref true in
+          for i = 1 to 8 do
+            if not (is_hex line.[i]) then ok := false
+          done;
+          !ok)
+    then begin
+      let payload = String.sub line 10 (String.length line - 10) in
+      let crc = int_of_string ("0x" ^ String.sub line 1 8) in
+      if crc32 payload = crc then Framed payload else Corrupt
+    end
+    else Corrupt
+  else Legacy line
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let recover ?(repair = false) path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let file_len = in_channel_length ic in
+  let pread ~pos ~len =
+    seek_in ic pos;
+    really_input_string ic len
+  in
+  (* [replay_view lines] runs recovery over a line view of the file.
+     [pre_lines] is how many lines the view omits (they precede the
+     checkpoint candidate the view starts at); [strict] makes the absence
+     of a valid checkpoint an error instead of a full replay, so a fast
+     tail view whose candidate block turns out torn falls back to the
+     whole file. *)
+  let replay_view lines ~pre_lines ~strict =
+  let n = Array.length lines in
+  let cls = Array.make n None in
+  let classify_at i =
+    match cls.(i) with
+    | Some c -> c
+    | None ->
+      let c = classify (snd lines.(i)) in
+      cls.(i) <- Some c;
+      c
+  in
+  (* Fast path: scan backwards for the last complete, checksum-valid
+     checkpoint block.  Lines before it are superseded by the snapshot and
+     are neither parsed nor checksummed — recovery work is proportional to
+     the checkpoint plus the suffix, not the journal length. *)
+  let load_block i_begin i_end =
+    let st = fresh_state () in
+    let cycle =
+      match classify_at i_begin with
+      | Framed p -> (
+        (* "C BEGIN cycle [lines-before]"; the optional count is for the
+           tail-reading fast path and ignored here *)
+        match String.split_on_char ' ' p with
+        | "C" :: "BEGIN" :: c :: ([] | [ _ ]) -> int_of_string c
+        | _ -> failwith "bad C BEGIN")
+      | _ -> failwith "bad C BEGIN"
+    in
+    let entries = ref 0 in
+    for i = i_begin + 1 to i_end - 1 do
+      match classify_at i with
+      | Framed p when String.length p >= 4 && p.[0] = 'c' ->
+        incr entries;
+        let rest = String.sub p 4 (String.length p - 4) in
+        (match p.[2] with
+        | 'P' ->
+          st_submit st (Ds_workload.Trace.request_of_line ~lineno:(i + 1) rest)
+        | 'H' ->
+          st.hist <-
+            Ds_workload.Trace.request_of_line ~lineno:(i + 1) rest :: st.hist
+        | 'A' -> st.aborts <- int_of_string (String.trim rest) :: st.aborts
+        | 'D' ->
+          st.dead_ <-
+            Ds_workload.Trace.request_of_line ~lineno:(i + 1) rest :: st.dead_
+        | _ -> failwith "bad checkpoint entry")
+      | Empty -> ()
+      | _ -> failwith "bad checkpoint entry"
+    done;
+    (match classify_at i_end with
+    | Framed p -> (
+      match String.split_on_char ' ' p with
+      | [ "C"; "END"; c ] when int_of_string c = !entries -> ()
+      | _ -> failwith "checkpoint entry count mismatch")
+    | _ -> failwith "bad C END");
+    (st, cycle)
+  in
+  let find_checkpoint () =
+    let rec from_end i =
+      if i < 0 then None
+      else
+        match classify_at i with
+        | Framed p when starts_with "C END" p -> (
+          (* Walk up to the matching BEGIN; any invalid line voids the
+             candidate and we keep looking further back. *)
+          let rec find_begin j =
+            if j < 0 then None
+            else
+              match classify_at j with
+              | Framed p when starts_with "C BEGIN" p -> Some j
+              | Framed p when String.length p >= 1 && p.[0] = 'c' ->
+                find_begin (j - 1)
+              | Empty -> find_begin (j - 1)
+              | _ -> None
+          in
+          match find_begin (i - 1) with
+          | Some b -> (
+            match load_block b i with
+            | st, cycle -> Some (st, cycle, b, i)
+            | exception _ -> from_end (i - 1))
+          | None -> from_end (i - 1))
+        | _ -> from_end (i - 1)
+    in
+    from_end (n - 1)
+  in
+  let st, checkpoint_cycle, skipped, start =
+    match find_checkpoint () with
+    | Some (st, cycle, b, e) -> (st, Some cycle, pre_lines + b, e + 1)
+    | None ->
+      if strict then raise Not_found;
+      (fresh_state (), None, 0, 0)
   in
   let replayed = ref 0 in
-  let n = Array.length lines in
+  let corrupt_dropped = ref 0 in
+  let valid_bytes = ref file_len in
+  let count_nonempty_from i =
+    let c = ref 0 in
+    for j = i to n - 1 do
+      if String.trim (snd lines.(j)) <> "" then incr c
+    done;
+    !c
+  in
+  let rest_all_empty i =
+    let ok = ref true in
+    for j = i + 1 to n - 1 do
+      if String.trim (snd lines.(j)) <> "" then ok := false
+    done;
+    !ok
+  in
+  let any_framed_after i =
+    let found = ref false in
+    for j = i + 1 to n - 1 do
+      if not !found then
+        match classify_at j with Framed _ -> found := true | _ -> ()
+    done;
+    !found
+  in
+  let corruption_message e i =
+    match e with
+    | Failure m -> m
+    | Ds_workload.Trace.Malformed (m, l) -> Printf.sprintf "line %d: %s" l m
+    | _ -> Printf.sprintf "journal line %d: corruption" (i + 1)
+  in
   (try
-     for i = 0 to n - 1 do
-       let line = String.trim lines.(i) in
-       if line <> "" then begin
-         match apply st (i + 1) line with
+     for i = start to n - 1 do
+       match classify_at i with
+       | Empty -> ()
+       | Framed payload ->
+         (* Checksum matched, so the payload is byte-exact; a parse failure
+            here is structural corruption, torn or not. *)
+         (match apply st (i + 1) payload with
          | () -> incr replayed
-         | exception (Failure _ as e) | exception (Ds_workload.Trace.Malformed _ as e)
-           ->
-           (* A torn final line is expected after a crash; garbage earlier in
-              the file is corruption. *)
-           if i = n - 1 then raise Exit
-           else
-             failwith
-               (match e with
-               | Failure m -> m
-               | Ds_workload.Trace.Malformed (m, l) ->
-                 Printf.sprintf "line %d: %s" l m
-               | _ -> "journal corruption")
-       end
+         | exception ((Failure _ | Ds_workload.Trace.Malformed _) as e) ->
+           failwith (corruption_message e i))
+       | Legacy payload -> (
+         match apply st (i + 1) payload with
+         | () -> incr replayed
+         | exception ((Failure _ | Ds_workload.Trace.Malformed _) as e) ->
+           (* A torn final line is expected after a crash; garbage earlier
+              in the file is corruption. *)
+           if rest_all_empty i then begin
+             valid_bytes := fst lines.(i);
+             corrupt_dropped := 1;
+             raise Exit
+           end
+           else failwith (corruption_message e i))
+       | Corrupt ->
+         (* A bad checksum followed only by more garbage is a torn tail:
+            truncate to the last valid prefix.  A bad checksum with valid
+            records after it means the middle of the file rotted — refuse
+            to load a journal with a hole in it. *)
+         if any_framed_after i then
+           failwith
+             (Printf.sprintf
+                "journal line %d: checksum mismatch before valid records"
+                (i + 1))
+         else begin
+           valid_bytes := fst lines.(i);
+           corrupt_dropped := count_nonempty_from i;
+           raise Exit
+         end
      done
    with Exit -> ());
-  let pending =
-    List.rev st.order
-    |> List.filter_map (fun key -> Hashtbl.find_opt st.submitted key)
-    (* A key can appear twice in [order] after requeue; dedup keeps first. *)
-    |> List.fold_left
-         (fun (seen, acc) r ->
-           let k = Request.key r in
-           if List.mem k seen then (seen, acc) else (k :: seen, r :: acc))
-         ([], [])
-    |> snd
-    |> List.rev
-  in
+  if repair && !valid_bytes < file_len then Unix.truncate path !valid_bytes;
   {
-    pending;
+    pending = pending_of_state st;
     history = List.rev st.hist;
     aborted = List.rev st.aborts;
     dead = List.rev st.dead_;
     replayed = !replayed;
+    checkpoint_cycle;
+    skipped;
+    corrupt_dropped = !corrupt_dropped;
+    valid_bytes = !valid_bytes;
+  }
+  in
+  (* Fast path: locate the last checkpoint block by a backward chunked byte
+     scan and read only the file from its BEGIN line on — the prefix is
+     never read, parsed or checksummed, so recovery cost tracks live state
+     plus the suffix, not journal length.  The BEGIN record embeds how many
+     lines precede it, which becomes [skipped].  Any doubt about the
+     candidate block (torn, corrupt, legacy format) falls back to the full
+     view, whose backward scan finds an earlier intact block or replays
+     from scratch.  The markers are anchored on their uppercase 'C': kind
+     characters are the only place the journal grammar produces one, and a
+     false positive just fails validation and falls back. *)
+  let chunk = 65536 in
+  (* absolute start offset of the last occurrence of [pat] beginning
+     strictly before byte [before] *)
+  let find_last pat ~before =
+    let plen = String.length pat in
+    let rec go hi =
+      if hi <= 0 then None
+      else begin
+        let lo = max 0 (hi - chunk) in
+        (* overlap so a straddling match is seen by the lower window *)
+        let stop = min file_len (hi + plen - 1) in
+        let s = pread ~pos:lo ~len:(stop - lo) in
+        let matches i =
+          i >= 0
+          && i + plen <= String.length s
+          && (let ok = ref true in
+              for j = 0 to plen - 1 do
+                if s.[i + j] <> pat.[j] then ok := false
+              done;
+              !ok)
+        in
+        let rec scan i =
+          if i < 0 then None
+          else
+            match String.rindex_from_opt s i 'C' with
+            | None -> None
+            | Some j ->
+              let st = j - 1 in
+              (* pattern is " C ...": the match starts one byte before *)
+              if matches st && lo + st < before then Some (lo + st)
+              else if j = 0 then None
+              else scan (j - 1)
+        in
+        match scan (String.length s - 1) with
+        | Some abs -> Some abs
+        | None -> go lo
+      end
+    in
+    go before
+  in
+  (* absolute start of the line containing byte [pos] *)
+  let rec line_start pos =
+    if pos <= 0 then 0
+    else begin
+      let lo = max 0 (pos - 256) in
+      let s = pread ~pos:lo ~len:(pos - lo) in
+      match String.rindex_opt s '\n' with
+      | Some i -> lo + i + 1
+      | None -> if lo = 0 then 0 else line_start lo
+    end
+  in
+  let fast =
+    if file_len = 0 then None
+    else
+      match find_last " C END " ~before:file_len with
+      | None -> None
+      | Some end_pos -> (
+        match find_last " C BEGIN " ~before:end_pos with
+        | None -> None
+        | Some begin_pos -> (
+          let begin_bol = line_start begin_pos in
+          let tail = pread ~pos:begin_bol ~len:(file_len - begin_bol) in
+          let pre_lines =
+            let first_line =
+              match String.index_opt tail '\n' with
+              | Some i -> String.sub tail 0 i
+              | None -> tail
+            in
+            match classify first_line with
+            | Framed p -> (
+              match String.split_on_char ' ' p with
+              | [ "C"; "BEGIN"; _; k ] -> int_of_string_opt k
+              | _ -> None)
+            | _ -> None
+          in
+          match pre_lines with
+          | None -> None
+          | Some pre_lines -> (
+            match
+              replay_view (split_lines ~base:begin_bol tail) ~pre_lines
+                ~strict:true
+            with
+            | r -> Some r
+            | exception Not_found -> None)))
+  in
+  match fast with
+  | Some r -> r
+  | None ->
+    replay_view (split_lines (pread ~pos:0 ~len:file_len)) ~pre_lines:0
+      ~strict:false
+
+(* Newline count of an existing file, read in chunks (the journal can be
+   much larger than memory pressure should be). *)
+let count_file_lines path =
+  match open_in_bin path with
+  | exception Sys_error _ -> 0
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let buf = Bytes.create 65536 in
+        let n = ref 0 in
+        let rec loop () =
+          let read = input ic buf 0 (Bytes.length buf) in
+          if read > 0 then begin
+            for i = 0 to read - 1 do
+              if Bytes.get buf i = '\n' then incr n
+            done;
+            loop ()
+          end
+        in
+        loop ();
+        !n)
+
+let open_ ?(sync = false) ?state path =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  let st = fresh_state () in
+  (match state with
+  | None -> ()
+  | Some r ->
+    List.iter (st_submit st) r.pending;
+    st.hist <- List.rev r.history;
+    st.aborts <- List.rev r.aborted;
+    st.dead_ <- List.rev r.dead);
+  {
+    oc;
+    path;
+    sync;
+    flushed_pos = out_channel_length oc;
+    state = st;
+    n_checkpoints = 0;
+    n_lines = count_file_lines path;
   }
 
 let restore ?(rte = false) recovered rels =

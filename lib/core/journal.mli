@@ -13,20 +13,55 @@
     P                                     history pruned
     v}
 
+    Every record is framed as [!crc32 payload] (8 lowercase hex digits), so
+    recovery can tell a torn or corrupted record from a valid one instead of
+    trusting whatever parses. Unframed records written by older journals are
+    still readable.
+
+    Periodic {e checkpoints} snapshot the journal's logical state as a block
+    of framed lines ([C BEGIN cycle lines] / [c P|H|A|D entry]* / [C END n]),
+    where [lines] counts the journal lines preceding the block. Recovery
+    seeks backwards for the last complete, checksum-valid block, reads
+    {e only} the tail from that point, loads the snapshot directly and
+    replays the suffix — recovery work is proportional to live state plus
+    the tail written since the last checkpoint, not to journal length.
+    Blocks written by older journals (no line count) are still readable via
+    a full-file fallback.
+
     Recovery replays a journal — possibly truncated mid-write by a crash —
     into a fresh relation set: submitted-but-unqualified requests are pending
-    again, qualified ones are back in history, and a trailing partial line is
-    ignored. The replay is protocol-independent: scheduling decisions are
+    again, qualified ones are back in history. A checksum-invalid tail is
+    dropped (and physically truncated with [~repair:true]); a checksum
+    mismatch {e followed by valid records} is mid-file rot and raises
+    [Failure]. The replay is protocol-independent: scheduling decisions are
     facts in the log, not re-derived. *)
 
 open Ds_model
 
 type t
 
+type recovered = {
+  pending : Request.t list;  (** submitted, not yet qualified, not aborted *)
+  history : Request.t list;  (** qualified, in qualification order *)
+  aborted : int list;  (** transactions aborted by the middleware *)
+  dead : Request.t list;  (** dead-lettered (poison) requests *)
+  replayed : int;  (** journal lines applied (suffix only when a checkpoint was used) *)
+  checkpoint_cycle : int option;
+      (** watermark of the checkpoint the recovery started from, if any *)
+  skipped : int;  (** journal lines before the checkpoint, not replayed *)
+  corrupt_dropped : int;  (** torn/corrupt tail lines dropped *)
+  valid_bytes : int;  (** length of the trusted prefix, in bytes *)
+}
+
 (** [open_ path] appends to [path] (created if missing). With [~sync:true],
     every {!flush} additionally calls [Unix.fsync], so a process kill cannot
-    lose a cycle the scheduler already acknowledged. *)
-val open_ : ?sync:bool -> string -> t
+    lose a cycle the scheduler already acknowledged.
+
+    The writer mirrors the journal's logical state so {!checkpoint} can
+    snapshot it. When reopening an existing journal after a recovery, pass
+    the {!recover} result as [~state] to seed that mirror — a checkpoint
+    written after a blind reopen would otherwise snapshot an empty state. *)
+val open_ : ?sync:bool -> ?state:recovered -> string -> t
 
 val close : t -> unit
 val log_submit : t -> Request.t -> unit
@@ -37,7 +72,23 @@ val log_abort : t -> int -> unit
     pending and in the dead relation. *)
 val log_dead : t -> Request.t -> unit
 
+(** Records a history prune. The writer's state mirror drops finished
+    transactions (terminal op in history, abort markers included) exactly
+    like [Relations.prune_history], so later checkpoints snapshot the
+    {e live} relation state — bounded by the active-transaction count — not
+    the full log. Replaying the ['P'] record itself is a no-op: a
+    checkpoint-free replay keeps the complete history so a restored [rte]
+    log spans the whole run. *)
 val log_prune : t -> unit
+
+(** [checkpoint t ~cycle] writes a snapshot block of the journal's current
+    logical state (pending, history, aborts, dead letters) with [cycle] as
+    its watermark. Recovery replays only what follows the last complete
+    block. The caller is responsible for {!flush}ing. *)
+val checkpoint : t -> cycle:int -> unit
+
+(** Snapshot blocks written through this handle. *)
+val checkpoints_written : t -> int
 
 (** Flushes buffered entries to the OS (called by the scheduler at the end of
     every cycle); fsyncs too when the journal was opened with [~sync:true]. *)
@@ -53,17 +104,14 @@ val size : t -> int
     recover with {!recover}/{!restore} and a fresh {!open_}. *)
 val crash : t -> unit
 
-type recovered = {
-  pending : Request.t list;  (** submitted, not yet qualified, not aborted *)
-  history : Request.t list;  (** qualified, in qualification order *)
-  aborted : int list;  (** transactions aborted by the middleware *)
-  dead : Request.t list;  (** dead-lettered (poison) requests *)
-  replayed : int;  (** journal lines applied *)
-}
-
-(** Replays a journal file. Unparseable trailing data is tolerated (torn
-    write); unparseable data in the middle raises [Failure]. *)
-val recover : string -> recovered
+(** Replays a journal file, starting from the last complete checkpoint when
+    one exists. A checksum-invalid or unparseable tail is dropped and
+    reported in [corrupt_dropped]/[valid_bytes]; with [~repair:true] the
+    file is also truncated to the trusted prefix so a subsequent append
+    cannot bury garbage between valid records. Corruption in the {e middle}
+    of the file (a bad record with checksum-valid records after it, or
+    unparseable legacy data before the end) raises [Failure]. *)
+val recover : ?repair:bool -> string -> recovered
 
 (** Rebuilds a relation set from a recovery result: pending requests are
     reinserted into [requests]; the history is restored in order, with abort

@@ -24,6 +24,9 @@ type config = {
   queue_capacity : int option;
   journal_path : string option;
   sync_journal : bool;
+  checkpoint_interval : int option;
+  deadline_factor : float option;
+  hedging : bool;
   client_redo : bool;
   trace : Ds_obs.Trace.t option;
   metrics : Ds_obs.Metrics.t option;
@@ -52,6 +55,9 @@ let default_config =
     queue_capacity = None;
     journal_path = None;
     sync_journal = false;
+    checkpoint_interval = None;
+    deadline_factor = None;
+    hedging = false;
     client_redo = false;
     trace = None;
     metrics = None;
@@ -83,6 +89,15 @@ type stats = {
   batches_dispatched : int;
   mean_batch_makespan : float;
   p95_batch_makespan : float;
+  worker_crashes : int;
+  worker_deaths : int;
+  worker_stalls : int;
+  reassigned_classes : int;
+  hedged_classes : int;
+  checkpoints : int;
+  recovery_replayed : int;
+  recovery_skipped : int;
+  recovery_time : float;
 }
 
 type client = {
@@ -141,6 +156,11 @@ type sim = {
   mutable dead_lettered : int;
   mutable disconnects : int;
   mutable crashes : int;
+  mutable checkpoints_acc : int;
+      (** checkpoints written by journals already crashed and replaced *)
+  mutable recovery_replayed : int;
+  mutable recovery_skipped : int;
+  mutable recovery_time : float;
   cycle_times : Ds_stats.Summary.t;
   cycle_times_hist : Ds_stats.Histogram.t;
   batch_sizes : Ds_stats.Summary.t;
@@ -461,17 +481,32 @@ and crash_and_recover sim =
   (* The epoch bump orphans every in-flight server callback: whatever the
      backend was executing dies with the middleware process. *)
   sim.epoch <- sim.epoch + 1;
-  (match sim.journal with Some j -> Journal.crash j | None -> assert false);
-  let recovered = Journal.recover path in
-  let j = Journal.open_ ~sync:sim.cfg.sync_journal path in
+  (match sim.journal with
+  | Some j ->
+    sim.checkpoints_acc <- sim.checkpoints_acc + Journal.checkpoints_written j;
+    Journal.crash j
+  | None -> assert false);
+  (* Recovery is wall-clock timed end to end (read + replay + restore): with
+     checkpointing on, this is the number the recovery bench shows staying
+     sublinear in journal length. ~repair truncates any torn tail so the
+     reopened journal appends after the trusted prefix. *)
+  let t0 = Unix.gettimeofday () in
+  let recovered = Journal.recover ~repair:true path in
+  (* ~state seeds the new journal's state mirror; a checkpoint written after
+     a blind reopen would snapshot an empty state. *)
+  let j = Journal.open_ ~sync:sim.cfg.sync_journal ~state:recovered path in
   let sched =
     Scheduler.create ~extended:sim.cfg.extended_relations
       ~prune_history_each_cycle:sim.cfg.prune_history ~journal:j
-      ?trace:sim.cfg.trace sim.cfg.protocol
+      ?checkpoint_every:sim.cfg.checkpoint_interval ?trace:sim.cfg.trace
+      sim.cfg.protocol
   in
   (* ~rte keeps the execution log continuous across the crash, so the whole
      run still check-validates as one schedule. *)
   Journal.restore ~rte:true recovered (Scheduler.relations sched);
+  sim.recovery_time <- sim.recovery_time +. (Unix.gettimeofday () -. t0);
+  sim.recovery_replayed <- sim.recovery_replayed + recovered.Journal.replayed;
+  sim.recovery_skipped <- sim.recovery_skipped + recovered.Journal.skipped;
   Relations.register_workers (Scheduler.relations sched)
     ~workers:sim.cfg.workers ~cores:sim.cfg.cost.Ds_server.Cost_model.n_cores;
   sim.journal <- Some j;
@@ -542,6 +577,14 @@ let run_full (cfg : config) =
   if cfg.max_retries < 0 then
     invalid_arg "Middleware.run: max_retries must be non-negative";
   if cfg.workers < 1 then invalid_arg "Middleware.run: workers must be >= 1";
+  (match cfg.checkpoint_interval with
+  | Some n when n <= 0 ->
+    invalid_arg "Middleware.run: checkpoint_interval must be positive"
+  | _ -> ());
+  (match cfg.deadline_factor with
+  | Some f when f <= 0. ->
+    invalid_arg "Middleware.run: deadline_factor must be positive"
+  | _ -> ());
   let engine = Engine.create () in
   Option.iter
     (fun tr -> Ds_obs.Trace.set_clock tr (fun () -> Engine.now engine))
@@ -556,8 +599,8 @@ let run_full (cfg : config) =
   let journal = Option.map (fun p -> Journal.open_ ~sync:cfg.sync_journal p) journal_path in
   let sched =
     Scheduler.create ~extended:cfg.extended_relations
-      ~prune_history_each_cycle:cfg.prune_history ?journal ?trace:cfg.trace
-      cfg.protocol
+      ~prune_history_each_cycle:cfg.prune_history ?journal
+      ?checkpoint_every:cfg.checkpoint_interval ?trace:cfg.trace cfg.protocol
   in
   let sim =
     {
@@ -603,6 +646,10 @@ let run_full (cfg : config) =
       dead_lettered = 0;
       disconnects = 0;
       crashes = 0;
+      checkpoints_acc = 0;
+      recovery_replayed = 0;
+      recovery_skipped = 0;
+      recovery_time = 0.;
       cycle_times = Ds_stats.Summary.create ();
       cycle_times_hist = Ds_stats.Histogram.create ();
       batch_sizes = Ds_stats.Summary.create ();
@@ -616,10 +663,67 @@ let run_full (cfg : config) =
   Ds_server.Worker_pool.set_trace sim.pool cfg.trace;
   Relations.register_workers (Scheduler.relations sched) ~workers:cfg.workers
     ~cores:cfg.cost.Ds_server.Cost_model.n_cores;
+  (* Supervision deadlines: explicit factor wins; otherwise armed with a
+     conservative default only when the plan injects worker faults (so
+     fault-free runs keep their exact event timing). *)
+  (match cfg.deadline_factor with
+  | Some f -> Ds_server.Worker_pool.set_deadline_factor sim.pool (Some f)
+  | None ->
+    if Faults.has_worker_faults cfg.faults then
+      Ds_server.Worker_pool.set_deadline_factor sim.pool (Some 4.0));
+  if cfg.hedging then Ds_server.Worker_pool.set_hedging sim.pool true;
+  if cfg.workers > 1 then
+    (* Supervisor decisions land in the [supervision] relation and the trace.
+       The hook reads [sim.sched] at event time, so it survives the scheduler
+       swap done by crash recovery. *)
+    Ds_server.Worker_pool.set_event_hook sim.pool
+      (Some
+         (fun ev ->
+           let rels = Scheduler.relations sim.sched in
+           let cycle = sim.cycles_done in
+           match ev with
+           | Ds_server.Worker_pool.Worker_crashed { worker } ->
+             Relations.record_supervision rels ~cycle ~worker ~event:"crash"
+               ~cls:(-1);
+             Ds_obs.Trace.emit cfg.trace Ds_obs.Trace.Worker_down ~ta:(-1)
+               ~seq:(-1) ~arg:worker ()
+           | Ds_server.Worker_pool.Worker_died { worker } ->
+             Relations.record_supervision rels ~cycle ~worker ~event:"death"
+               ~cls:(-1);
+             Ds_obs.Trace.emit cfg.trace Ds_obs.Trace.Worker_down ~ta:(-1)
+               ~seq:(-1) ~arg:worker ()
+           | Ds_server.Worker_pool.Worker_stuck { worker; cls } ->
+             Relations.record_supervision rels ~cycle ~worker ~event:"stuck"
+               ~cls;
+             Ds_obs.Trace.emit cfg.trace Ds_obs.Trace.Worker_down ~ta:(-1)
+               ~seq:(-1) ~obj:cls ~arg:worker ()
+           | Ds_server.Worker_pool.Class_reassigned { cls; from_; to_ } ->
+             Relations.record_supervision rels ~cycle ~worker:from_
+               ~event:"reassign" ~cls;
+             Ds_obs.Trace.emit cfg.trace Ds_obs.Trace.Reassign ~ta:(-1)
+               ~seq:(-1) ~obj:cls ~arg:to_ ()
+           | Ds_server.Worker_pool.Class_hedged { cls; from_; to_ } ->
+             Relations.record_supervision rels ~cycle ~worker:from_
+               ~event:"hedge" ~cls;
+             Ds_obs.Trace.emit cfg.trace Ds_obs.Trace.Reassign ~ta:(-1)
+               ~seq:(-1) ~obj:cls ~arg:to_ ()));
   if not (Faults.is_none cfg.faults) then begin
     let f = Faults.create cfg.faults (Rng.split master) in
     sim.faults <- Some f;
-    Ds_server.Worker_pool.set_fault_hook sim.pool (Faults.request_outcome f)
+    Ds_server.Worker_pool.set_fault_hook sim.pool (Faults.request_outcome f);
+    if Faults.has_worker_faults cfg.faults then
+      Ds_server.Worker_pool.set_worker_fault_hook sim.pool
+        (Some
+           (fun ~alive ->
+             List.map
+               (function
+                 | Faults.Worker_crash { worker; after } ->
+                   Ds_server.Worker_pool.Crash { worker; after }
+                 | Faults.Worker_death { worker } ->
+                   Ds_server.Worker_pool.Die { worker }
+                 | Faults.Worker_stall { worker; delay } ->
+                   Ds_server.Worker_pool.Slow { worker; delay })
+               (Faults.draw_worker_faults f ~alive)))
   end;
   (* Periodic timer for time-based triggers; it re-checks pending work even
      when no client is submitting. *)
@@ -669,6 +773,30 @@ let run_full (cfg : config) =
               (Ds_server.Worker_pool.worker_stats sim.pool);
         })
     cfg.metrics;
+  let checkpoints =
+    sim.checkpoints_acc
+    + (match sim.journal with
+      | Some j -> Journal.checkpoints_written j
+      | None -> 0)
+  in
+  Option.iter
+    (fun m ->
+      Ds_obs.Metrics.set_supervision m
+        {
+          Ds_obs.Metrics.worker_crashes =
+            Ds_server.Worker_pool.worker_crashes sim.pool;
+          worker_deaths = Ds_server.Worker_pool.worker_deaths sim.pool;
+          stalls_detected =
+            Ds_server.Worker_pool.worker_stalls_detected sim.pool;
+          reassigned = Ds_server.Worker_pool.reassigned_classes sim.pool;
+          hedged = Ds_server.Worker_pool.hedged_classes sim.pool;
+          checkpoints;
+          recoveries = sim.crashes;
+          recovery_replayed = sim.recovery_replayed;
+          recovery_skipped = sim.recovery_skipped;
+          recovery_time = sim.recovery_time;
+        })
+    cfg.metrics;
   Option.iter Journal.close sim.journal;
   if auto_journal then
     Option.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) journal_path;
@@ -708,6 +836,15 @@ let run_full (cfg : config) =
       batches_dispatched = Ds_server.Worker_pool.batch_count sim.pool;
       mean_batch_makespan = Ds_stats.Histogram.mean makespans;
       p95_batch_makespan = Ds_stats.Histogram.p95 makespans;
+      worker_crashes = Ds_server.Worker_pool.worker_crashes sim.pool;
+      worker_deaths = Ds_server.Worker_pool.worker_deaths sim.pool;
+      worker_stalls = Ds_server.Worker_pool.worker_stalls_detected sim.pool;
+      reassigned_classes = Ds_server.Worker_pool.reassigned_classes sim.pool;
+      hedged_classes = Ds_server.Worker_pool.hedged_classes sim.pool;
+      checkpoints;
+      recovery_replayed = sim.recovery_replayed;
+      recovery_skipped = sim.recovery_skipped;
+      recovery_time = sim.recovery_time;
     },
     sim.sched )
 
@@ -737,4 +874,17 @@ let pp_stats ppf (s : stats) =
       " parallel(workers=%d batches=%d makespan(mean=%.2fms p95=%.2fms))"
       s.workers s.batches_dispatched
       (1000. *. s.mean_batch_makespan)
-      (1000. *. s.p95_batch_makespan)
+      (1000. *. s.p95_batch_makespan);
+  if
+    s.worker_crashes > 0 || s.worker_deaths > 0 || s.worker_stalls > 0
+    || s.reassigned_classes > 0 || s.hedged_classes > 0
+  then
+    Format.fprintf ppf
+      " supervision(crashes=%d deaths=%d stuck=%d reassigned=%d hedged=%d)"
+      s.worker_crashes s.worker_deaths s.worker_stalls s.reassigned_classes
+      s.hedged_classes;
+  if s.checkpoints > 0 || s.crashes > 0 then
+    Format.fprintf ppf
+      " recovery(checkpoints=%d replayed=%d skipped=%d time=%.3fms)"
+      s.checkpoints s.recovery_replayed s.recovery_skipped
+      (1000. *. s.recovery_time)

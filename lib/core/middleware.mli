@@ -38,7 +38,13 @@
       relations, lost responses are re-delivered from the recovered history,
       requests whose submission never reached the disk are resubmitted, and
       the run continues — the [rte] log stays one continuous, checkable
-      schedule. *)
+      schedule. With [checkpoint_interval] set, recovery replays only the
+      journal suffix since the last snapshot;
+    - with [workers > 1], injected {e worker} faults (crash, permanent
+      death, stall) are survived by the pool supervisor: unstarted conflict
+      classes move to surviving workers, stragglers are detected against
+      per-class execution deadlines and optionally hedged, and every
+      decision is logged in the [supervision] relation and the trace. *)
 
 open Ds_model
 open Ds_workload
@@ -72,6 +78,20 @@ type config = {
   journal_path : string option;
       (** write-ahead journal; a crash fault without one gets a temp file *)
   sync_journal : bool;  (** fsync the journal at every cycle flush *)
+  checkpoint_interval : int option;
+      (** write a journal checkpoint block every N cycles (requires a
+          journal to have any effect); recovery then replays only the suffix
+          since the last snapshot. [None] (default) = never checkpoint. *)
+  deadline_factor : float option;
+      (** per-class execution deadline as a multiple of the class's modeled
+          cost; a worker that overruns it is declared stuck and its queue is
+          reassigned (see {!Ds_server.Worker_pool.set_deadline_factor}).
+          [None] (default) arms a conservative factor of [4.0] only when the
+          fault plan injects worker faults, so fault-free runs keep their
+          exact event timing. *)
+  hedging : bool;
+      (** race a duplicate of an overdue class on a surviving worker;
+          deliveries are deduplicated first-wins (off by default) *)
   client_redo : bool;
       (** clients re-run a middleware-aborted transaction (fresh TA) instead
           of moving on to new work — the realistic client contract under
@@ -116,6 +136,15 @@ type stats = {
   batches_dispatched : int;  (** batches fully drained by the pool *)
   mean_batch_makespan : float;  (** virtual seconds from dispatch to drain *)
   p95_batch_makespan : float;
+  worker_crashes : int;  (** injected worker crashes handled by the supervisor *)
+  worker_deaths : int;  (** workers permanently removed *)
+  worker_stalls : int;  (** stuck workers detected via execution deadlines *)
+  reassigned_classes : int;  (** conflict classes moved to surviving workers *)
+  hedged_classes : int;  (** duplicate executions raced against stragglers *)
+  checkpoints : int;  (** journal snapshot blocks written *)
+  recovery_replayed : int;  (** journal lines replayed across recoveries *)
+  recovery_skipped : int;  (** lines skipped thanks to checkpoints *)
+  recovery_time : float;  (** real seconds spent in crash recovery *)
 }
 
 val run : config -> stats

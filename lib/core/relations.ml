@@ -9,6 +9,7 @@ type t = {
   dead : Table.t;
   workers : Table.t;
   assignment : Table.t;
+  supervision : Table.t;
   extended : bool;
 }
 
@@ -50,6 +51,19 @@ let assignment_schema =
       Schema.column "pos" Schema.Tint;
     ]
 
+(* Supervisor decisions, one row per event: a worker went down (crash /
+   permanent death / declared stuck), a conflict class was reassigned or
+   hedged, a checkpoint was written.  [cls] is -1 for worker-scoped events,
+   [worker] is -1 for checkpoints. *)
+let supervision_schema =
+  Schema.of_list
+    [
+      Schema.column "cycle" Schema.Tint;
+      Schema.column "worker" Schema.Tint;
+      Schema.column "event" Schema.Tstr;
+      Schema.column "cls" Schema.Tint;
+    ]
+
 let create ?(extended = false) () =
   let s = schema ~extended in
   let requests = Table.create ~name:"requests" s in
@@ -72,10 +86,21 @@ let create ?(extended = false) () =
   let assignment = Table.create ~name:"assignment" assignment_schema in
   Table.create_index assignment [ 2 ];
   (* worker: per-worker sub-schedule probes *)
+  let supervision = Table.create ~name:"supervision" supervision_schema in
   let catalog = Ds_sql.Catalog.create () in
   List.iter (Ds_sql.Catalog.register catalog)
-    [ requests; history; rte; dead; workers; assignment ];
-  { catalog; requests; history; rte; dead; workers; assignment; extended }
+    [ requests; history; rte; dead; workers; assignment; supervision ];
+  {
+    catalog;
+    requests;
+    history;
+    rte;
+    dead;
+    workers;
+    assignment;
+    supervision;
+    extended;
+  }
 
 let row_of_request ~extended (r : Request.t) =
   let obj = match r.Request.obj with Some o -> Value.Int o | None -> Value.Null in
@@ -281,6 +306,12 @@ let record_assignment t ~cycle ~cls ~worker ~pos (r : Request.t) =
 
 let assignment_count t = Table.row_count t.assignment
 
+let record_supervision t ~cycle ~worker ~event ~cls =
+  Table.insert t.supervision
+    [| Value.Int cycle; Value.Int worker; Value.Str event; Value.Int cls |]
+
+let supervision_count t = Table.row_count t.supervision
+
 (* The merged parallel schedule: assignment rows by delivery position. The
    checker compares this against [rte] order for conflict equivalence. *)
 let execution_order t =
@@ -307,6 +338,7 @@ let table_facts t name =
   | "dead" -> Table.rows t.dead
   | "workers" -> Table.rows t.workers
   | "assignment" -> Table.rows t.assignment
+  | "supervision" -> Table.rows t.supervision
   | _ -> invalid_arg ("Relations.table_facts: unknown table " ^ name)
 
 let clear t =
@@ -315,4 +347,5 @@ let clear t =
   Table.clear t.rte;
   Table.clear t.dead;
   Table.clear t.workers;
-  Table.clear t.assignment
+  Table.clear t.assignment;
+  Table.clear t.supervision

@@ -27,6 +27,10 @@ type t = {
           [cycle | cls | worker | ta | intrata | pos] — which conflict class
           and worker ran each admitted request, and its position in the
           merged (delivery-order) schedule *)
+  supervision : Table.t;
+      (** supervisor decision log: [cycle | worker | event | cls] — worker
+          crashes/deaths/stalls, class reassignments, hedged re-executions
+          and journal checkpoints, queryable like everything else *)
   extended : bool;
 }
 
@@ -96,14 +100,21 @@ val record_assignment :
 
 val assignment_count : t -> int
 
+(** Logs one supervisor event row. Use [cls = -1] for worker-scoped events
+    and [worker = -1] for checkpoints. *)
+val record_supervision :
+  t -> cycle:int -> worker:int -> event:string -> cls:int -> unit
+
+val supervision_count : t -> int
+
 (** The merged parallel schedule as [(ta, intrata)] keys, sorted by the
     [pos] column — the delivery order across all workers, which the checker
     compares against [rte] order for conflict equivalence. *)
 val execution_order : t -> (int * int) list
 
 (** Raw rows of a relation by its public name ([requests], [history], [rte],
-    [dead], [workers], [assignment]) — the bridge for loading scheduler
-    state into a datalog engine via [Dl_engine.load_rows].
+    [dead], [workers], [assignment], [supervision]) — the bridge for loading
+    scheduler state into a datalog engine via [Dl_engine.load_rows].
     @raise Invalid_argument on an unknown name. *)
 val table_facts : t -> string -> Value.t array list
 

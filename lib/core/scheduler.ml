@@ -20,6 +20,7 @@ type t = {
   queue : Request.t Queue.t;
   prune : bool;
   journal : Journal.t option;
+  checkpoint_every : int option;
   trace : Ds_obs.Trace.t option;
   terminated : (int, unit) Hashtbl.t;
       (* transactions that already got their terminal trace event. A
@@ -32,7 +33,11 @@ type t = {
 }
 
 let create ?(extended = false) ?(prune_history_each_cycle = true) ?journal
-    ?trace proto =
+    ?checkpoint_every ?trace proto =
+  (match checkpoint_every with
+  | Some n when n <= 0 ->
+    invalid_arg "Scheduler.create: checkpoint_every must be positive"
+  | _ -> ());
   let rels = Relations.create ~extended () in
   {
     rels;
@@ -41,6 +46,7 @@ let create ?(extended = false) ?(prune_history_each_cycle = true) ?journal
     queue = Queue.create ();
     prune = prune_history_each_cycle;
     journal;
+    checkpoint_every;
     trace;
     terminated = Hashtbl.create 16;
     abort_seq = 0;
@@ -127,6 +133,21 @@ let drain t =
   done;
   List.rev !drained
 
+(* End-of-cycle snapshot: every [checkpoint_every] cycles the journal writes
+   its logical state as a checkpoint block, so recovery replays only the
+   suffix written since. The snapshot is also a supervision fact and a trace
+   event — checkpointing is observable like every other decision. *)
+let maybe_checkpoint t j =
+  match t.checkpoint_every with
+  | Some n when t.cycles mod n = 0 ->
+    Journal.checkpoint j ~cycle:t.cycles;
+    Journal.flush j;
+    Relations.record_supervision t.rels ~cycle:t.cycles ~worker:(-1)
+      ~event:"checkpoint" ~cls:(-1);
+    Ds_obs.Trace.emit t.trace Ds_obs.Trace.Checkpoint ~ta:(-1) ~seq:(-1)
+      ~arg:t.cycles ()
+  | _ -> ()
+
 let cycle ?(passthrough = false) t =
   t.cycles <- t.cycles + 1;
   if passthrough then begin
@@ -140,7 +161,8 @@ let cycle ?(passthrough = false) t =
     Option.iter
       (fun j ->
         Journal.log_qualified j (List.map Request.key reqs);
-        Journal.flush j)
+        Journal.flush j;
+        maybe_checkpoint t j)
       t.journal;
     let stats =
       {
@@ -192,7 +214,8 @@ let cycle ?(passthrough = false) t =
       (fun j ->
         Journal.log_qualified j (List.map Request.key qualified);
         if t.prune then Journal.log_prune j;
-        Journal.flush j)
+        Journal.flush j;
+        maybe_checkpoint t j)
       t.journal;
     let t3 = now () in
     let times = { drain_insert = t1 -. t0; query = query_dt; move = t3 -. t2 } in

@@ -37,6 +37,12 @@ type t
 (** [journal] (optional) records every submit, qualification, abort and
     prune, flushed at the end of each cycle; see {!Journal}.
 
+    [checkpoint_every] (optional, requires [journal]) writes a journal
+    checkpoint block every N cycles at end-of-cycle, records a
+    [supervision] row and emits a [checkpoint] trace event; recovery then
+    replays only the journal suffix written since the last snapshot.
+    @raise Invalid_argument if non-positive.
+
     [trace] (optional) receives lifecycle events ([enqueued], [drained],
     [sched_admit], [sched_defer], [dead_letter], [abort]); see
     {!Ds_obs.Trace}. At most one terminal event is emitted per transaction. *)
@@ -44,6 +50,7 @@ val create :
   ?extended:bool ->
   ?prune_history_each_cycle:bool ->
   ?journal:Journal.t ->
+  ?checkpoint_every:int ->
   ?trace:Ds_obs.Trace.t ->
   Protocol.t ->
   t

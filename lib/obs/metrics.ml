@@ -24,11 +24,25 @@ type parallel = {
   per_worker : worker_row list;
 }
 
+type supervision = {
+  worker_crashes : int;
+  worker_deaths : int;
+  stalls_detected : int;
+  reassigned : int;
+  hedged : int;
+  checkpoints : int;
+  recoveries : int;
+  recovery_replayed : int;
+  recovery_skipped : int;
+  recovery_time : float;
+}
+
 type t = {
   tiers : (string, Ds_stats.Histogram.t) Hashtbl.t;
   cycle_rows : cycle_row Ds_util.Vec.t;
   mutable n_cycles : int;
   mutable parallel : parallel option;
+  mutable supervision : supervision option;
 }
 
 let create () =
@@ -37,11 +51,16 @@ let create () =
     cycle_rows = Ds_util.Vec.create ();
     n_cycles = 0;
     parallel = None;
+    supervision = None;
   }
 
 let set_parallel t p = t.parallel <- Some p
 
 let parallel t = t.parallel
+
+let set_supervision t s = t.supervision <- Some s
+
+let supervision t = t.supervision
 
 let tier_hist t tier =
   match Hashtbl.find_opt t.tiers tier with
@@ -156,6 +175,20 @@ let render t =
              (Printf.sprintf "worker %d" w.worker)
              w.executed w.busy w.utilization))
       p.per_worker);
+  (match t.supervision with
+  | None -> ()
+  | Some s ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "supervision: crashes=%d deaths=%d stuck=%d reassigned=%d hedged=%d\n"
+         s.worker_crashes s.worker_deaths s.stalls_detected s.reassigned
+         s.hedged);
+    Buffer.add_string buf
+      (Printf.sprintf
+         "recovery: checkpoints=%d recoveries=%d replayed=%d skipped=%d \
+          time=%.3fms\n"
+         s.checkpoints s.recoveries s.recovery_replayed s.recovery_skipped
+         (1000. *. s.recovery_time)));
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)

@@ -37,12 +37,30 @@ type parallel = {
   per_worker : worker_row list;
 }
 
+(** Worker-supervision and recovery summary set once at end of run by the
+    middleware: worker faults handled by the pool supervisor, journal
+    checkpointing and crash-recovery totals. *)
+type supervision = {
+  worker_crashes : int;  (** workers crashed between classes (rejoin next batch) *)
+  worker_deaths : int;  (** workers removed permanently *)
+  stalls_detected : int;  (** classes that overran their execution deadline *)
+  reassigned : int;  (** conflict classes moved to a surviving worker *)
+  hedged : int;  (** duplicate executions raced against stragglers *)
+  checkpoints : int;  (** journal snapshot blocks written *)
+  recoveries : int;  (** middleware crashes recovered from the journal *)
+  recovery_replayed : int;  (** journal lines replayed across all recoveries *)
+  recovery_skipped : int;  (** journal lines skipped thanks to checkpoints *)
+  recovery_time : float;  (** total wall-clock seconds spent recovering *)
+}
+
 type t
 
 val create : unit -> t
 
 val set_parallel : t -> parallel -> unit
 val parallel : t -> parallel option
+val set_supervision : t -> supervision -> unit
+val supervision : t -> supervision option
 
 (** [observe_latency t ~tier dt] adds one request latency (seconds) to the
     tier's histogram. *)
@@ -65,8 +83,8 @@ val tier_quantiles : t -> (string * int * float * float * float) list
 val cycles : t -> cycle_row list
 
 (** Human-readable report: the tier table, cycle aggregates, and — when
-    {!set_parallel} was called — batch makespans plus a per-worker
-    utilization table. *)
+    {!set_parallel} / {!set_supervision} were called — batch makespans with a
+    per-worker utilization table, and the supervision/recovery summary. *)
 val render : t -> string
 
 (** Per-transaction latencies from a trace: [(tier, seconds)] for every TA

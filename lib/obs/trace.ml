@@ -12,6 +12,9 @@ type kind =
   | Abort
   | Retry
   | Dead_letter
+  | Worker_down
+  | Reassign
+  | Checkpoint
 
 let kind_to_string = function
   | Enqueued -> "enqueued"
@@ -27,6 +30,9 @@ let kind_to_string = function
   | Abort -> "abort"
   | Retry -> "retry"
   | Dead_letter -> "dead_letter"
+  | Worker_down -> "worker_down"
+  | Reassign -> "reassign"
+  | Checkpoint -> "checkpoint"
 
 let kind_of_string = function
   | "enqueued" -> Some Enqueued
@@ -42,12 +48,16 @@ let kind_of_string = function
   | "abort" -> Some Abort
   | "retry" -> Some Retry
   | "dead_letter" -> Some Dead_letter
+  | "worker_down" -> Some Worker_down
+  | "reassign" -> Some Reassign
+  | "checkpoint" -> Some Checkpoint
   | _ -> None
 
 let is_terminal = function
   | Commit | Abort | Dead_letter -> true
   | Enqueued | Drained | Sched_admit | Sched_defer | Dispatched | Lock_wait
-  | Lock_grant | Exec_start | Exec_done | Retry ->
+  | Lock_grant | Exec_start | Exec_done | Retry | Worker_down | Reassign
+  | Checkpoint ->
     false
 
 type event = {

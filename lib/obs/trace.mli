@@ -37,6 +37,15 @@ type kind =
   | Abort  (** transaction terminal: aborted *)
   | Retry  (** a batch attempt failed; this request will be re-dispatched *)
   | Dead_letter  (** transaction terminal: given up on (poison request) *)
+  | Worker_down
+      (** a pool worker crashed, died or was declared stuck; emitted with
+          [ta = -1], [arg] is the worker id *)
+  | Reassign
+      (** a conflict class was moved to a surviving worker (or hedged);
+          [ta = -1], [obj] is the class id, [arg] the new worker *)
+  | Checkpoint
+      (** the journal wrote a snapshot record; [ta = -1], [arg] is the
+          cycle number of the watermark *)
 
 val kind_to_string : kind -> string
 val kind_of_string : string -> kind option

@@ -73,9 +73,18 @@ let requests_of_triples triples =
     triples
 
 (* Pool size for the whole middleware-driven suite: CI runs the tests at
-   both DS_WORKERS=1 (default) and DS_WORKERS=4. *)
+   both DS_WORKERS=1 (default) and DS_WORKERS=4. A malformed value fails
+   loudly — a typo silently running the suite at K=1 would void the
+   parallel coverage CI thinks it has. *)
 let env_workers () =
   match Sys.getenv_opt "DS_WORKERS" with
   | Some s -> (
-    match int_of_string_opt s with Some n when n >= 1 -> n | _ -> 1)
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some n ->
+      failwith
+        (Printf.sprintf "DS_WORKERS must be a positive integer, got %d" n)
+    | None ->
+      failwith
+        (Printf.sprintf "DS_WORKERS must be a positive integer, got %S" s))
   | None -> 1

@@ -75,7 +75,28 @@ let test_plan_rejects () =
   rejected "batch=lots";
   rejected "batch=1.5";
   rejected "poison=-0.1";
-  rejected "crash=0"
+  rejected "crash=0";
+  (* worker-scoped knobs are rates/durations too *)
+  rejected "wcrash=1.5";
+  rejected "wdeath=-0.1";
+  rejected "wstall=two";
+  rejected "wstall-dur=-1"
+
+let test_plan_parse_worker_faults () =
+  let p = plan_exn "wcrash=0.1,wdeath=0.05,wstall=0.2,wstall-dur=0.3" in
+  Alcotest.(check (float 1e-9)) "wcrash" 0.1 p.Faults.worker_crash_rate;
+  Alcotest.(check (float 1e-9)) "wdeath" 0.05 p.Faults.worker_death_rate;
+  Alcotest.(check (float 1e-9)) "wstall" 0.2 p.Faults.worker_stall_rate;
+  Alcotest.(check (float 1e-9)) "wstall-dur" 0.3 p.Faults.worker_stall_duration;
+  Alcotest.(check bool) "plan has worker faults" true
+    (Faults.has_worker_faults p);
+  Alcotest.(check bool) "zero plan has none" false
+    (Faults.has_worker_faults Faults.none);
+  Alcotest.(check bool) "process knobs untouched" true
+    (p.Faults.batch_fail_rate = 0. && p.Faults.crash_at_cycle = None);
+  let roundtripped = plan_exn (Faults.plan_to_string p) in
+  Alcotest.(check string) "worker keys round-trip" (Faults.plan_to_string p)
+    (Faults.plan_to_string roundtripped)
 
 (* --- backend fault hook --------------------------------------------------- *)
 
@@ -383,10 +404,67 @@ let test_parallel_crash_recovery () =
       Alcotest.(check bool) "journal replayable after the run" true
         (recovered.Journal.replayed > 0))
 
+(* Worker faults, a process crash, and checkpointed recovery together are
+   still a deterministic simulation: same seed, same plan => identical
+   supervision decisions and identical executed schedule. *)
+let test_worker_faults_checkpoint_deterministic () =
+  let run () =
+    with_tmp_journal (fun path ->
+        let config =
+          {
+            (cfg
+               ~faults:(plan_exn "wcrash=0.2,wstall=0.3,wstall-dur=0.05,crash=25")
+               ~duration:5. ()) with
+            Middleware.workers = 4;
+            journal_path = Some path;
+            checkpoint_interval = Some 10;
+            hedging = true;
+          }
+        in
+        let s, sched = Middleware.run_full config in
+        let rte =
+          List.map Request.key
+            (Relations.rte_requests (Scheduler.relations sched))
+        in
+        (s, rte))
+  in
+  let a, rte_a = run () in
+  let b, rte_b = run () in
+  Alcotest.(check bool) "supervisor exercised" true
+    (a.Middleware.worker_crashes > 0 && a.Middleware.reassigned_classes > 0);
+  Alcotest.(check bool) "checkpoints written" true
+    (a.Middleware.checkpoints > 0);
+  Alcotest.(check int) "crash survived" 1 a.Middleware.crashes;
+  Alcotest.(check bool) "checkpointed recovery skipped a prefix" true
+    (a.Middleware.recovery_skipped > 0);
+  let counters s =
+    Middleware.
+      [
+        s.committed_txns;
+        s.aborted_txns;
+        s.cycles;
+        s.crashes;
+        s.worker_crashes;
+        s.worker_deaths;
+        s.worker_stalls;
+        s.reassigned_classes;
+        s.hedged_classes;
+        s.checkpoints;
+        s.recovery_replayed;
+        s.recovery_skipped;
+      ]
+  in
+  Alcotest.(check (list int)) "identical supervision counters" (counters a)
+    (counters b);
+  Alcotest.(check (list (pair int int))) "identical executed schedule" rte_a
+    rte_b
+
 let tests =
   [
     Alcotest.test_case "fault plan parses" `Quick test_plan_parse;
     Alcotest.test_case "fault plan rejects bad specs" `Quick test_plan_rejects;
+    Alcotest.test_case "fault plan parses worker knobs" `Quick
+      test_plan_parse_worker_faults;
     Alcotest.test_case "backend hook fails the suffix" `Quick
       test_backend_hook_fail;
     Alcotest.test_case "backend hook stalls a request" `Quick
@@ -415,4 +493,6 @@ let tests =
       test_parallel_faults_end_to_end;
     Alcotest.test_case "crash recovery with 4 workers" `Quick
       test_parallel_crash_recovery;
+    Alcotest.test_case "worker faults + checkpoints deterministic" `Quick
+      test_worker_faults_checkpoint_deterministic;
   ]

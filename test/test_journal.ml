@@ -166,6 +166,186 @@ let journal_matches_live_state =
           Journal.restore recovered fresh;
           sorted_pending fresh = sorted_pending (Scheduler.relations sched)))
 
+(* --- checkpoints -------------------------------------------------- *)
+
+(* Drives [cycles] scheduler cycles of short committed write transactions
+   under SS2PL, with transaction 1 holding a write lock on object 0 forever
+   so every seventh transaction stays blocked — the recovered pending set
+   is nonempty and checkpoint snapshots carry real live state. *)
+let drive_blocked path ~cycles ~checkpoint_every =
+  let journal = Journal.open_ path in
+  let sched =
+    match checkpoint_every with
+    | Some n -> Scheduler.create ~journal ~checkpoint_every:n Builtin.ss2pl_sql
+    | None -> Scheduler.create ~journal Builtin.ss2pl_sql
+  in
+  Scheduler.submit sched (Request.v 1 1 Op.Write 0);
+  let ta = ref 1 in
+  for _ = 1 to cycles do
+    for _ = 1 to 3 do
+      incr ta;
+      Scheduler.submit sched (Request.v !ta 1 Op.Write (!ta mod 7));
+      Scheduler.submit sched (Request.terminal !ta 2 Op.Commit)
+    done;
+    ignore (Scheduler.cycle sched)
+  done;
+  Journal.close journal
+
+let pending_keys (r : Journal.recovered) =
+  Helpers.sorted_keys (List.map Request.key r.Journal.pending)
+
+let test_checkpoint_suffix_recovery () =
+  with_journal_file (fun path ->
+      drive_blocked path ~cycles:20 ~checkpoint_every:(Some 3);
+      let r = Journal.recover path in
+      (match r.Journal.checkpoint_cycle with
+      | Some c ->
+        Alcotest.(check bool) "recent watermark" true (c >= 15)
+      | None -> Alcotest.fail "recovery did not use a checkpoint");
+      Alcotest.(check bool) "prefix skipped, not replayed" true
+        (r.Journal.skipped > r.Journal.replayed);
+      Alcotest.(check bool) "blocked writers recovered as pending" true
+        (List.length r.Journal.pending > 0);
+      Alcotest.(check int) "no corruption" 0 r.Journal.corrupt_dropped)
+
+let last_index_of hay needle =
+  let nn = String.length needle in
+  let rec go i =
+    if i < 0 then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i - 1)
+  in
+  go (String.length hay - nn)
+
+let test_torn_checkpoint_previous_block () =
+  (* The journal ends in a checkpoint block (cycles divisible by the
+     interval).  Tearing that block's END must send recovery back to the
+     previous complete block — and since the torn snapshot was redundant
+     (its state is already in the log), the recovered state is unchanged. *)
+  with_journal_file (fun path ->
+      drive_blocked path ~cycles:18 ~checkpoint_every:(Some 3);
+      let r_full = Journal.recover path in
+      let full_cycle =
+        match r_full.Journal.checkpoint_cycle with
+        | Some c -> c
+        | None -> Alcotest.fail "no checkpoint in full journal"
+      in
+      let contents = In_channel.with_open_bin path In_channel.input_all in
+      let cut =
+        match last_index_of contents " C END " with
+        | Some i -> (
+          match String.rindex_from_opt contents i '\n' with
+          | Some j -> j + 1
+          | None -> 0)
+        | None -> Alcotest.fail "no C END in journal"
+      in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (String.sub contents 0 cut));
+      let r = Journal.recover path in
+      (match r.Journal.checkpoint_cycle with
+      | Some c ->
+        Alcotest.(check bool)
+          (Printf.sprintf "fell back to an earlier block (%d < %d)" c
+             full_cycle)
+          true (c < full_cycle)
+      | None -> Alcotest.fail "torn block did not fall back to a checkpoint");
+      Alcotest.(check (list (pair int int))) "pending unchanged"
+        (pending_keys r_full) (pending_keys r))
+
+let test_crc_repair_truncates () =
+  with_journal_file (fun path ->
+      drive_blocked path ~cycles:6 ~checkpoint_every:(Some 3);
+      let clean = Journal.recover path in
+      (* A crash mid-append: one framed record whose checksum does not match
+         its payload, then half of a next line. *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "!deadbeef S 99,99,1,w,5,standard,0.0\n!0000";
+      close_out oc;
+      let dirty_size = (Unix.stat path).Unix.st_size in
+      let r = Journal.recover ~repair:true path in
+      Alcotest.(check int) "corrupt tail dropped" 2 r.Journal.corrupt_dropped;
+      Alcotest.(check bool) "trusted prefix shorter than the file" true
+        (r.Journal.valid_bytes < dirty_size);
+      Alcotest.(check int) "file physically truncated to the trusted prefix"
+        r.Journal.valid_bytes
+        (Unix.stat path).Unix.st_size;
+      Alcotest.(check (list (pair int int)))
+        "recovered state = last valid prefix" (pending_keys clean)
+        (pending_keys r);
+      let again = Journal.recover path in
+      Alcotest.(check int) "repaired journal is clean" 0
+        again.Journal.corrupt_dropped)
+
+let test_kill_mid_record_with_checkpoints () =
+  (* Truncating mid-record after the last checkpoint: the torn record is
+     dropped by its checksum, the checkpoint is still used, and a repair
+     pass leaves a clean journal one record shorter. *)
+  with_journal_file (fun path ->
+      drive_blocked path ~cycles:10 ~checkpoint_every:(Some 3);
+      let full = Journal.recover path in
+      let contents = In_channel.with_open_bin path In_channel.input_all in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc
+            (String.sub contents 0 (String.length contents - 5)));
+      let r = Journal.recover ~repair:true path in
+      Alcotest.(check int) "torn record dropped" 1 r.Journal.corrupt_dropped;
+      Alcotest.(check bool) "still recovered from a checkpoint" true
+        (r.Journal.checkpoint_cycle <> None);
+      let again = Journal.recover path in
+      Alcotest.(check int) "clean after repair" 0 again.Journal.corrupt_dropped;
+      Alcotest.(check int) "one fewer record than the full journal"
+        (full.Journal.replayed - 1)
+        again.Journal.replayed)
+
+let checkpoint_equals_full_replay =
+  (* Two schedulers in lockstep over the same submissions, one journal with
+     checkpoints, one without.  Checkpointed recovery replays a snapshot
+     plus a suffix; full replay replays everything — the scheduler-visible
+     state must be identical: same pending set, and a restored fresh
+     scheduler makes the same next-cycle qualification decisions. *)
+  QCheck2.Test.make
+    ~name:"recover(checkpoint + suffix) = full replay (scheduler state)"
+    ~count:30
+    QCheck2.Gen.(pair small_int (int_range 2 8))
+    (fun (seed, n_txns) ->
+      let drive path checkpoint_every =
+        let journal = Journal.open_ path in
+        let sched =
+          match checkpoint_every with
+          | Some n ->
+            Scheduler.create ~journal ~checkpoint_every:n Builtin.ss2pl_sql
+          | None -> Scheduler.create ~journal Builtin.ss2pl_sql
+        in
+        let rng = Ds_sim.Rng.create seed in
+        let reqs =
+          Helpers.random_requests rng ~n_txns ~ops_per_txn:4 ~n_objects:6
+        in
+        List.iteri
+          (fun i r ->
+            Scheduler.submit sched r;
+            if i mod 3 = 2 then ignore (Scheduler.cycle sched))
+          reqs;
+        ignore (Scheduler.cycle sched);
+        Journal.close journal
+      in
+      with_journal_file (fun cp_path ->
+          with_journal_file (fun full_path ->
+              drive cp_path (Some 2);
+              drive full_path None;
+              let rc = Journal.recover cp_path in
+              let rf = Journal.recover full_path in
+              if rc.Journal.checkpoint_cycle = None then
+                QCheck2.Test.fail_report
+                  "checkpointed journal recovered without a checkpoint";
+              let observe r =
+                let fresh = Scheduler.create Builtin.ss2pl_sql in
+                Journal.restore r (Scheduler.relations fresh);
+                let pending = sorted_pending (Scheduler.relations fresh) in
+                let q, _ = Scheduler.cycle fresh in
+                (pending, List.map Request.key q)
+              in
+              observe rc = observe rf)))
+
 let tests =
   [
     Alcotest.test_case "journal roundtrip + recovery decision" `Quick
@@ -176,4 +356,13 @@ let tests =
     Alcotest.test_case "Q without S rejected" `Quick test_unknown_qualified_rejected;
     Alcotest.test_case "sync survives any kill point" `Quick test_sync_kill_points;
     QCheck_alcotest.to_alcotest journal_matches_live_state;
+    Alcotest.test_case "checkpoint suffix recovery" `Quick
+      test_checkpoint_suffix_recovery;
+    Alcotest.test_case "torn checkpoint falls back a block" `Quick
+      test_torn_checkpoint_previous_block;
+    Alcotest.test_case "crc repair truncates the corrupt tail" `Quick
+      test_crc_repair_truncates;
+    Alcotest.test_case "mid-record kill with checkpoints" `Quick
+      test_kill_mid_record_with_checkpoints;
+    QCheck_alcotest.to_alcotest checkpoint_equals_full_replay;
   ]

@@ -175,12 +175,12 @@ let json_number_roundtrip =
 
 let chaos_plan =
   {
+    Faults.none with
     Faults.batch_fail_rate = 0.1;
     stall_rate = 0.05;
     stall_duration = 0.05;
     poison_rate = 0.02;
     disconnect_rate = 0.02;
-    crash_at_cycle = None;
   }
 
 let mw_config ?(faults = Faults.none) ?(seed = 42) ?trace ?metrics () =

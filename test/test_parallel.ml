@@ -311,6 +311,202 @@ let test_workers_one_no_parallel_noise () =
   Alcotest.(check bool) "no parallel clause at K=1" false
     (Helpers.contains rendered "parallel(")
 
+(* --- supervision: worker faults, reassignment, hedging ------------ *)
+
+let keys_once name keys =
+  let sorted = List.sort compare keys in
+  let rec dup = function
+    | a :: (b :: _ as rest) -> if a = b then true else dup rest
+    | _ -> false
+  in
+  Alcotest.(check bool) (name ^ ": no duplicate delivery") false (dup sorted)
+
+let test_pool_crash_reassigns () =
+  (* Worker 0 crashes before starting anything; its queued classes must all
+     run elsewhere, each request delivered exactly once. *)
+  let engine = Ds_sim.Engine.create () in
+  let pool = Worker_pool.create engine Cost_model.default ~workers:4 in
+  Worker_pool.set_worker_fault_hook pool
+    (Some
+       (fun ~alive:_ -> [ Worker_pool.Crash { worker = 0; after = 0 } ]));
+  let events = ref [] in
+  Worker_pool.set_event_hook pool (Some (fun e -> events := e :: !events));
+  let batch = independent_batch 12 in
+  let delivered = ref [] in
+  let result = ref None in
+  Worker_pool.execute pool batch
+    ~on_each:(fun ~worker ~cls:_ ~pos:_ r ->
+      delivered := (worker, Request.key r) :: !delivered)
+    (fun res -> result := Some res);
+  Ds_sim.Engine.run engine;
+  Alcotest.(check bool) "completed" true (!result = Some `Completed);
+  Alcotest.(check int) "all delivered" 12 (List.length !delivered);
+  keys_once "crash" (List.map snd !delivered);
+  Alcotest.(check int) "one crash counted" 1 (Worker_pool.worker_crashes pool);
+  Alcotest.(check bool) "classes reassigned" true
+    (Worker_pool.reassigned_classes pool > 0);
+  Alcotest.(check bool) "nothing ran on the crashed worker" true
+    (List.for_all (fun (w, _) -> w <> 0) !delivered);
+  Alcotest.(check bool) "crash event observed" true
+    (List.exists
+       (function Worker_pool.Worker_crashed { worker = 0 } -> true | _ -> false)
+       !events);
+  (* The crash was per-batch: worker 0 rejoins for the next one. *)
+  Worker_pool.set_worker_fault_hook pool None;
+  Alcotest.(check (list int)) "all alive again" [ 0; 1; 2; 3 ]
+    (List.sort compare (Worker_pool.alive_workers pool))
+
+let test_pool_death_is_permanent () =
+  let engine = Ds_sim.Engine.create () in
+  let pool = Worker_pool.create engine Cost_model.default ~workers:3 in
+  Worker_pool.set_worker_fault_hook pool
+    (Some (fun ~alive -> if List.mem 1 alive then [ Worker_pool.Die { worker = 1 } ] else []));
+  let delivered = ref [] in
+  let run_batch batch =
+    Worker_pool.execute pool batch
+      ~on_each:(fun ~worker ~cls:_ ~pos:_ r ->
+        delivered := (worker, Request.key r) :: !delivered)
+      (fun _ -> ());
+    Ds_sim.Engine.run engine
+  in
+  run_batch (independent_batch 6);
+  run_batch
+    (List.init 6 (fun i -> req (100 + i) (100 + i) 1 Op.Write (500 + i)));
+  Alcotest.(check int) "one death" 1 (Worker_pool.worker_deaths pool);
+  Alcotest.(check (list int)) "worker 1 stays dead" [ 1 ]
+    (Worker_pool.dead_workers pool);
+  Alcotest.(check int) "both batches fully delivered" 12
+    (List.length !delivered);
+  keys_once "death" (List.map snd !delivered);
+  Alcotest.(check bool) "dead worker never delivers" true
+    (List.for_all (fun (w, _) -> w <> 1) !delivered)
+
+let test_pool_stall_hedged_exactly_once () =
+  (* Worker 0 turns straggler; the deadline declares it stuck and hedging
+     races its classes on survivors. First-wins dedup keeps every request
+     single-delivery. *)
+  let engine = Ds_sim.Engine.create () in
+  let pool = Worker_pool.create engine Cost_model.default ~workers:2 in
+  Worker_pool.set_deadline_factor pool (Some 2.);
+  Worker_pool.set_hedging pool true;
+  Worker_pool.set_worker_fault_hook pool
+    (Some (fun ~alive:_ -> [ Worker_pool.Slow { worker = 0; delay = 1.0 } ]));
+  let delivered = ref [] in
+  let result = ref None in
+  Worker_pool.execute pool (independent_batch 8)
+    ~on_each:(fun ~worker:_ ~cls:_ ~pos:_ r ->
+      delivered := Request.key r :: !delivered)
+    (fun res -> result := Some res);
+  Ds_sim.Engine.run engine;
+  Alcotest.(check bool) "completed" true (!result = Some `Completed);
+  Alcotest.(check int) "all delivered" 8 (List.length !delivered);
+  keys_once "hedge" !delivered;
+  Alcotest.(check bool) "stall detected" true
+    (Worker_pool.worker_stalls_detected pool > 0);
+  Alcotest.(check bool) "hedges dispatched" true
+    (Worker_pool.hedged_classes pool > 0)
+
+let test_pool_hedge_single_finish () =
+  (* Regression: after a hedge completes the batch, the slow primary's late
+     copy must not complete it a second time — the next batch would be
+     dispatched twice. Count continuation firings across two batches. *)
+  let engine = Ds_sim.Engine.create () in
+  let pool = Worker_pool.create engine Cost_model.default ~workers:2 in
+  Worker_pool.set_deadline_factor pool (Some 1.5);
+  Worker_pool.set_hedging pool true;
+  Worker_pool.set_worker_fault_hook pool
+    (Some (fun ~alive:_ -> [ Worker_pool.Slow { worker = 0; delay = 2.0 } ]));
+  let finishes = ref 0 in
+  Worker_pool.execute pool (independent_batch 6)
+    ~on_each:(fun ~worker:_ ~cls:_ ~pos:_ _ -> ())
+    (fun _ -> incr finishes);
+  Worker_pool.execute pool
+    (List.init 4 (fun i -> req (50 + i) (50 + i) 1 Op.Write (300 + i)))
+    ~on_each:(fun ~worker:_ ~cls:_ ~pos:_ _ -> ())
+    (fun _ -> incr finishes);
+  Ds_sim.Engine.run engine;
+  Alcotest.(check int) "each batch finishes exactly once" 2 !finishes;
+  Alcotest.(check int) "two batches drained" 2 (Worker_pool.batch_count pool)
+
+let test_pool_conflict_order_survives_crash () =
+  (* A crashing worker must not reorder conflicting requests: classes are
+     reassigned whole, so in-class (= conflict) order is preserved. *)
+  let engine = Ds_sim.Engine.create () in
+  let pool = Worker_pool.create engine Cost_model.default ~workers:3 in
+  Worker_pool.set_worker_fault_hook pool
+    (Some (fun ~alive:_ -> [ Worker_pool.Crash { worker = 1; after = 0 } ]));
+  (* three conflict classes of two ordered writes each *)
+  let batch =
+    List.concat_map
+      (fun c ->
+        [
+          req ((c * 10) + 1) ((c * 10) + 1) 1 Op.Write c;
+          req ((c * 10) + 2) ((c * 10) + 2) 1 Op.Write c;
+        ])
+      [ 0; 1; 2 ]
+  in
+  let delivered = ref [] in
+  Worker_pool.execute pool batch
+    ~on_each:(fun ~worker:_ ~cls:_ ~pos:_ r -> delivered := r :: !delivered)
+    (fun _ -> ());
+  Ds_sim.Engine.run engine;
+  let order = List.rev !delivered in
+  Alcotest.(check int) "all delivered" 6 (List.length order);
+  let eq = Ds_check.Equivalence.check ~reference:batch ~candidate:order () in
+  Alcotest.(check bool) "conflict-equivalent to batch order" true
+    (Ds_check.Equivalence.is_equivalent eq)
+
+let test_middleware_worker_faults_clean () =
+  (* End-to-end: injected worker crashes and stalls at K=4, supervisor
+     reassigning and hedging — the merged schedule must stay checker-clean
+     and conflict-equivalent, and the supervision relation queryable. *)
+  let s, sched =
+    Middleware.run_full
+      {
+        Middleware.default_config with
+        Middleware.n_clients = 15;
+        duration = 3.0;
+        workers = 4;
+        charge_scheduler_time = false;
+        hedging = true;
+        faults =
+          {
+            Ds_core.Faults.none with
+            Ds_core.Faults.worker_crash_rate = 0.2;
+            worker_stall_rate = 0.3;
+            worker_stall_duration = 0.05;
+          };
+        spec =
+          {
+            Ds_workload.Spec.paper_default with
+            Ds_workload.Spec.n_objects = 2000;
+          };
+      }
+  in
+  Alcotest.(check bool) "made progress" true (s.Middleware.committed_txns > 0);
+  Alcotest.(check bool) "crashes injected" true (s.Middleware.worker_crashes > 0);
+  Alcotest.(check bool) "classes reassigned" true
+    (s.Middleware.reassigned_classes > 0);
+  let rte, merged = merged_schedule sched in
+  let report =
+    Ds_check.Serializability.check_committed
+      (Ds_check.Conflict_graph.events_of_requests rte)
+  in
+  Alcotest.(check bool) "rte checker-clean under worker faults" true
+    (Ds_check.Serializability.is_clean report);
+  let eq = Ds_check.Equivalence.check ~reference:rte ~candidate:merged () in
+  Alcotest.(check bool) "merged conflict-equivalent under worker faults" true
+    (Ds_check.Equivalence.is_equivalent eq);
+  let rels = Scheduler.relations sched in
+  match
+    Ds_sql.Exec.exec_script rels.Relations.catalog
+      "SELECT event, COUNT(*) FROM supervision GROUP BY event"
+  with
+  | Ds_sql.Exec.Rows (_, rows) ->
+    Alcotest.(check bool) "supervision rows via SQL" true
+      (List.length rows >= 1)
+  | _ -> Alcotest.fail "expected rows from supervision"
+
 let tests =
   [
     QCheck_alcotest.to_alcotest partition_is_true_partition;
@@ -335,4 +531,16 @@ let tests =
       test_metrics_report_per_worker;
     Alcotest.test_case "K=1 output unchanged" `Quick
       test_workers_one_no_parallel_noise;
+    Alcotest.test_case "crash reassigns unstarted classes" `Quick
+      test_pool_crash_reassigns;
+    Alcotest.test_case "permanent death removes the worker" `Quick
+      test_pool_death_is_permanent;
+    Alcotest.test_case "stuck worker hedged, exactly-once" `Quick
+      test_pool_stall_hedged_exactly_once;
+    Alcotest.test_case "hedged batch finishes exactly once" `Quick
+      test_pool_hedge_single_finish;
+    Alcotest.test_case "conflict order survives a crash" `Quick
+      test_pool_conflict_order_survives_crash;
+    Alcotest.test_case "middleware worker faults checker-clean" `Quick
+      test_middleware_worker_faults_clean;
   ]
