@@ -847,7 +847,9 @@ let faults_sweep ~duration ~json () =
   | Some path ->
     let open Ds_obs.Json in
     let payload =
-      Obj
+      Ds_dst.Stamp.add ~seed:Middleware.default_config.Middleware.seed
+        ~config:[ ("experiment", Str "faults"); ("duration", Num duration) ]
+    @@ Obj
         [
           ("experiment", Str "faults");
           ("duration", Num duration);
@@ -1022,7 +1024,14 @@ let index_scaling ~json ~history_sizes ~cycles ~batch () =
   | Some path ->
     let open Ds_obs.Json in
     let payload =
-      Obj
+      Ds_dst.Stamp.add ~seed:0
+        ~config:
+          [
+            ("experiment", Str "index");
+            ("cycles", Num (float_of_int cycles));
+            ("batch", Num (float_of_int batch));
+          ]
+    @@ Obj
         [
           ("experiment", Str "index");
           ("cycles", Num (float_of_int cycles));
@@ -1214,7 +1223,9 @@ let parallel_scaling ~duration ~json () =
   | Some path ->
     let open Ds_obs.Json in
     let payload =
-      Obj
+      Ds_dst.Stamp.add ~seed:Middleware.default_config.Middleware.seed
+        ~config:[ ("experiment", Str "parallel"); ("duration", Num duration) ]
+    @@ Obj
         [
           ("experiment", Str "parallel");
           ("duration", Num duration);
@@ -1413,7 +1424,9 @@ let recovery_bench ~duration ~json () =
   | Some path ->
     let open Ds_obs.Json in
     let payload =
-      Obj
+      Ds_dst.Stamp.add ~seed:Middleware.default_config.Middleware.seed
+        ~config:[ ("experiment", Str "recovery"); ("duration", Num duration) ]
+    @@ Obj
         [
           ("experiment", Str "recovery");
           ("duration", Num duration);
@@ -1464,6 +1477,62 @@ let recovery_bench ~duration ~json () =
     note "wrote %s" path
 
 (* ------------------------------------------------------------------ *)
+(* Swarm: simulation-testing throughput                               *)
+(* ------------------------------------------------------------------ *)
+
+(* How fast the DST harness burns through scenarios: N generated scenarios
+   through the full middleware + journal + invariant battery, reported as
+   scenarios/second and invariant verdict counts. The verdicts themselves
+   are deterministic in (n, seed); only the timing is wall-clock. *)
+let swarm_bench ~n ~seed ~json () =
+  section "Swarm: deterministic-simulation scenarios through the full stack";
+  let t0 = Unix.gettimeofday () in
+  let report = Ds_dst.Swarm.run ~shrink:true ~n ~seed () in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let failed = List.length (Ds_dst.Swarm.failed report) in
+  let checks = n * List.length Ds_dst.Invariant.names in
+  let t =
+    Tablefmt.create
+      ~aligns:[ Tablefmt.Right; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right ]
+      [ "scenarios"; "failed"; "invariant checks"; "elapsed (s)"; "scen/s" ]
+  in
+  Tablefmt.add_row t
+    [
+      string_of_int n;
+      string_of_int failed;
+      string_of_int checks;
+      Printf.sprintf "%.2f" elapsed;
+      Printf.sprintf "%.1f" (float_of_int n /. elapsed);
+    ];
+  Tablefmt.print t;
+  note
+    "Every scenario runs the real middleware/scheduler/worker-pool/journal \
+     stack and the complete battery (%s); failures would be shrunk to \
+     minimal repros. Verdicts are a pure function of (n, seed)."
+    (String.concat ", " Ds_dst.Invariant.names);
+  match json with
+  | None -> ()
+  | Some path ->
+    let open Ds_obs.Json in
+    let payload =
+      Ds_dst.Stamp.add ~seed
+        ~config:[ ("experiment", Str "swarm"); ("n", Num (float_of_int n)) ]
+        (Obj
+           [
+             ("experiment", Str "swarm");
+             ("scenarios", Num (float_of_int n));
+             ("failed", Num (float_of_int failed));
+             ("invariant_checks", Num (float_of_int checks));
+             ("elapsed_s", Num elapsed);
+             ("scenarios_per_s", Num (float_of_int n /. elapsed));
+           ])
+    in
+    Out_channel.with_open_text path (fun oc ->
+        output_string oc (to_string payload);
+        output_char oc '\n');
+    note "wrote %s" path
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1491,7 +1560,8 @@ let all_experiments ~window ~runs ~duration ~cycle_scale ~json () =
   faults_sweep ~duration ~json:None ();
   obs_overhead ~duration ();
   parallel_scaling ~duration ~json:None ();
-  recovery_bench ~duration ~json:None ()
+  recovery_bench ~duration ~json:None ();
+  swarm_bench ~n:25 ~seed:42 ~json:None ()
 
 let () =
   let open Cmdliner in
@@ -1517,12 +1587,18 @@ let () =
   let batch =
     Arg.(value & opt int 30 & info [ "batch" ] ~doc:"Fresh requests submitted per cycle in the index experiment.")
   in
+  let swarm_n =
+    Arg.(value & opt int 100 & info [ "swarm-n" ] ~doc:"Scenarios for the swarm experiment.")
+  in
+  let swarm_seed =
+    Arg.(value & opt int 42 & info [ "swarm-seed" ] ~doc:"Sweep base seed for the swarm experiment.")
+  in
   let experiment =
     Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT"
-           ~doc:"One of: all, table1, table2, figure2, native-overhead, declarative-overhead, crossover, listing1-micro, succinctness, datalog-vs-sql, optimizer, index, triggers, relaxed, batch-sweep, open-loop, mpl, deadlock-policy, pruning, faults, obs, parallel, recovery, list.")
+           ~doc:"One of: all, table1, table2, figure2, native-overhead, declarative-overhead, crossover, listing1-micro, succinctness, datalog-vs-sql, optimizer, index, triggers, relaxed, batch-sweep, open-loop, mpl, deadlock-policy, pruning, faults, obs, parallel, recovery, swarm, list.")
   in
   let main experiment window runs duration cycle_scale json history_sizes
-      cycles batch =
+      cycles batch swarm_n swarm_seed =
     match experiment with
     | "all" -> all_experiments ~window ~runs ~duration ~cycle_scale ~json ()
     | "table1" -> table1 ()
@@ -1547,12 +1623,13 @@ let () =
     | "obs" -> obs_overhead ~duration ()
     | "parallel" -> parallel_scaling ~duration ~json ()
     | "recovery" -> recovery_bench ~duration ~json ()
+    | "swarm" -> swarm_bench ~n:swarm_n ~seed:swarm_seed ~json ()
     | "list" ->
       print_endline
         "all table1 table2 figure2 native-overhead declarative-overhead \
          crossover listing1-micro succinctness datalog-vs-sql optimizer \
          index triggers relaxed batch-sweep open-loop mpl deadlock-policy \
-         pruning faults obs parallel recovery"
+         pruning faults obs parallel recovery swarm"
     | other ->
       Printf.eprintf "unknown experiment %s (try 'list')\n" other;
       exit 2
@@ -1560,7 +1637,7 @@ let () =
   let term =
     Term.(
       const main $ experiment $ window $ runs $ duration $ cycle_scale $ json
-      $ history_sizes $ cycles $ batch)
+      $ history_sizes $ cycles $ batch $ swarm_n $ swarm_seed)
   in
   let info =
     Cmd.info "bench"

@@ -606,6 +606,137 @@ let trace_view_cmd =
   in
   Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ file $ ta $ top $ sql)
 
+let swarm_cmd =
+  let doc =
+    "Deterministic simulation swarm: run N generated scenarios through the \
+     real middleware/scheduler/worker-pool/journal stack, check the full \
+     invariant battery on each, shrink any failure to a minimal repro and \
+     emit a JSON report. The same --n/--seed always produces a \
+     byte-identical report; failures print a '--replay' token that \
+     reproduces them bit-for-bit."
+  in
+  let n =
+    Arg.(
+      value
+      & opt (pos_int_conv "-n") 50
+      & info [ "n"; "scenarios" ] ~docv:"N" ~doc:"Scenarios to run.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Sweep base seed.") in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the JSON report here (default: stdout).")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"SEED-OR-FILE"
+          ~doc:
+            "Replay one scenario instead of sweeping: a scenario seed from a \
+             report, or a JSON scenario file (the report's 'scenario' \
+             object).")
+  in
+  let no_shrink =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ] ~doc:"Report failures without minimizing them.")
+  in
+  let max_shrink_runs =
+    Arg.(
+      value
+      & opt (pos_int_conv "--max-shrink-runs") 120
+      & info [ "max-shrink-runs" ] ~docv:"N"
+          ~doc:"Re-executions the shrinker may spend per failure.")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ] ~doc:"Print per-scenario progress on stderr.")
+  in
+  let run n seed out replay no_shrink max_shrink_runs verbose =
+    let shrink = not no_shrink in
+    let emit json =
+      let text = Ds_obs.Json.to_string json in
+      match out with
+      | None -> print_endline text
+      | Some file ->
+        let oc = open_out file in
+        output_string oc text;
+        output_char oc '\n';
+        close_out oc
+    in
+    match replay with
+    | Some token ->
+      let scenario, scenario_seed =
+        match int_of_string_opt (String.trim token) with
+        | Some s -> (Ds_dst.Gen.of_seed s, Some s)
+        | None -> (
+          let ic = open_in token in
+          let len = in_channel_length ic in
+          let text = really_input_string ic len in
+          close_in ic;
+          match Ds_obs.Json.of_string text with
+          | exception Ds_obs.Json.Parse_error m ->
+            Printf.eprintf "swarm: %s: bad JSON: %s\n" token m;
+            exit 2
+          | json -> (
+            (* Accept either a bare scenario object or a swarm result that
+               embeds one under "scenario". *)
+            let candidate =
+              match Ds_obs.Json.mem "scenario" json with
+              | Some s -> s
+              | None -> json
+            in
+            match Ds_dst.Scenario.of_json candidate with
+            | Ok s -> (s, None)
+            | Error m ->
+              Printf.eprintf "swarm: %s: %s\n" token m;
+              exit 2))
+      in
+      let result =
+        Ds_dst.Swarm.replay ~shrink ~max_shrink_runs ?scenario_seed scenario
+      in
+      emit (Ds_dst.Swarm.result_json result);
+      let failures = Ds_dst.Runner.failures result.Ds_dst.Swarm.outcome in
+      if failures <> [] then begin
+        Format.eprintf "replay FAILED: %s@."
+          (Ds_dst.Scenario.to_string scenario);
+        List.iter
+          (fun (name, detail) -> Format.eprintf "  %s: %s@." name detail)
+          failures;
+        (match result.Ds_dst.Swarm.shrunk with
+        | Some s ->
+          Format.eprintf "  shrunk (%d runs): %s@." s.Ds_dst.Shrink.runs
+            (Ds_dst.Scenario.to_string s.Ds_dst.Shrink.shrunk)
+        | None -> ());
+        exit 1
+      end
+      else Format.eprintf "replay ok: all invariants hold@."
+    | None ->
+      let progress =
+        if verbose then
+          Some
+            (fun i o ->
+              Format.eprintf "[%d] %s %s@." i
+                (if Ds_dst.Runner.ok o then "ok  " else "FAIL")
+                (Ds_dst.Scenario.to_string o.Ds_dst.Runner.scenario))
+        else None
+      in
+      let report =
+        Ds_dst.Swarm.run ~shrink ~max_shrink_runs ?progress ~n ~seed ()
+      in
+      emit (Ds_dst.Swarm.report_json report);
+      Format.eprintf "%a" Ds_dst.Swarm.pp_summary report;
+      if Ds_dst.Swarm.failed report <> [] then exit 1
+  in
+  Cmd.v (Cmd.info "swarm" ~doc)
+    Term.(
+      const run $ n $ seed $ out $ replay $ no_shrink $ max_shrink_runs
+      $ verbose)
+
 let recover_cmd =
   let doc = "Inspect a scheduler journal: recovered pending/history state." in
   let file =
@@ -658,5 +789,5 @@ let () =
           [
             protocols_cmd; table1_cmd; sql_cmd; demo_cmd; run_cmd; native_cmd;
             rules_cmd; trace_gen_cmd; qualify_cmd; check_cmd; recover_cmd;
-            trace_view_cmd;
+            trace_view_cmd; swarm_cmd;
           ]))

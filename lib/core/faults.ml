@@ -71,6 +71,8 @@ let plan_of_string s =
   let parse_field plan kv =
     match String.split_on_char '=' (String.trim kv) with
     | [ "" ] -> Ok plan
+    (* plan_to_string renders the empty plan as "none"; accept it back. *)
+    | [ "none" ] -> Ok plan
     | [ key; value ] -> (
       let fl () =
         match float_of_string_opt value with

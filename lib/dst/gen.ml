@@ -1,0 +1,46 @@
+open Ds_core
+open Ds_sim
+
+(* SplitMix-style finalizer so consecutive indexes land on well-separated
+   Rng streams (Rng.create of nearby ints is fine, but keep tokens visibly
+   distinct in reports). Masked to a non-negative int. *)
+let scenario_seed ~base i =
+  let z = (base * 0x9E3779B9) + (i * 0xBF58476D) + 0x94D049BB in
+  z land max_int
+
+let pick rng arr = Rng.pick rng arr
+
+let of_seed seed =
+  let rng = Rng.create seed in
+  let workers = pick rng [| 1; 1; 2; 4; 8 |] in
+  let worker_faulty = workers > 1 && Rng.float rng < 0.5 in
+  let faults =
+    {
+      Faults.batch_fail_rate = pick rng [| 0.; 0.; 0.05; 0.15 |];
+      stall_rate = pick rng [| 0.; 0.; 0.05 |];
+      stall_duration = 0.05;
+      poison_rate = pick rng [| 0.; 0.; 0.01 |];
+      disconnect_rate = pick rng [| 0.; 0.; 0.05 |];
+      crash_at_cycle = pick rng [| None; None; Some 10; Some 25 |];
+      worker_crash_rate = (if worker_faulty then pick rng [| 0.; 0.1; 0.2 |] else 0.);
+      worker_death_rate = (if worker_faulty then pick rng [| 0.; 0.02 |] else 0.);
+      worker_stall_rate = (if worker_faulty then pick rng [| 0.; 0.2 |] else 0.);
+      worker_stall_duration = 0.05;
+    }
+  in
+  {
+    Scenario.seed = 1 + Rng.int rng 1_000_000;
+    clients = pick rng [| 4; 8; 12; 16; 24 |];
+    duration = pick rng [| 1.0; 2.0; 3.0 |];
+    n_objects = pick rng [| 200; 2000; 20000 |];
+    stmts_per_txn = pick rng [| 1; 2; 4; 6 |];
+    access = pick rng [| Scenario.Uniform; Scenario.Zipf; Scenario.Hotspot |];
+    sla_mix = Rng.bool rng;
+    protocol = pick rng (Array.of_list Scenario.protocols);
+    workers;
+    faults;
+    checkpoint = pick rng [| None; None; Some 5; Some 20 |];
+    queue_cap = pick rng [| None; None; Some 16; Some 48 |];
+    hedging = workers > 1 && Rng.bool rng;
+    inject = None;
+  }

@@ -1,0 +1,16 @@
+(** Seeded scenario generator: samples the full configuration cross-product
+    the swarm sweeps — workload shape x SLA mix x protocol x worker count x
+    fault plan (worker faults and crash points included) x checkpoint
+    interval x queue bound x hedging.
+
+    One integer fully determines one scenario ({!of_seed}), so a scenario
+    seed printed in a swarm report is itself a replayable repro token.
+    Generated scenarios never carry a test-only injection. *)
+
+(** Derive the [i]-th scenario seed of a sweep from its base seed. Pure
+    mixing — scenario [i] can be regenerated without generating [0..i-1]. *)
+val scenario_seed : base:int -> int -> int
+
+(** The scenario fully determined by one seed; always passes
+    {!Scenario.validate}. *)
+val of_seed : int -> Scenario.t

@@ -1,0 +1,139 @@
+open Ds_model
+
+type ctx = {
+  scenario : Scenario.t;
+  stats : Ds_core.Middleware.stats;
+  rte : Request.t list;
+  merged : Request.t list;
+  trace_events : Ds_obs.Trace.event list;
+  recovered : Ds_core.Journal.recovered;
+  pending_live : Request.t list;
+  history_live : Request.t list;
+  dead_live : Request.t list;
+}
+
+let sorted_keys rs =
+  List.sort_uniq compare (List.map Request.key rs)
+
+let check_serializability ctx =
+  let report =
+    Ds_check.Serializability.check_committed
+      (Ds_check.Conflict_graph.events_of_requests ctx.rte)
+  in
+  if Ds_check.Serializability.is_clean report then Ok ()
+  else
+    Error (Format.asprintf "%a" Ds_check.Serializability.pp_report report)
+
+(* A crash replaces the scheduler: pre-crash assignment rows (the merged
+   delivery order) are discarded with it, and recovered work is re-delivered
+   as if newly admitted. Conflicting pairs that span the crash can therefore
+   legitimately reorder against the surviving rte log, so for crash scenarios
+   the ordering clause is checked per incarnation only (vacuously here) while
+   the set-level clauses — no duplicate deliveries, no deliveries the
+   scheduler never admitted — still hold unconditionally. *)
+let check_equivalence ctx =
+  let report =
+    Ds_check.Equivalence.check ~reference:ctx.rte ~candidate:ctx.merged ()
+  in
+  let crashed =
+    ctx.scenario.Scenario.faults.Ds_core.Faults.crash_at_cycle <> None
+  in
+  let fatal =
+    List.filter
+      (fun v ->
+        match v with
+        | Ds_check.Equivalence.Conflict_reordered _ -> not crashed
+        | Ds_check.Equivalence.Unknown_request _
+        | Ds_check.Equivalence.Duplicate_delivery _
+        | Ds_check.Equivalence.Missing_request _ -> true)
+      report.Ds_check.Equivalence.violations
+  in
+  if fatal = [] then Ok ()
+  else
+    Error
+      (Format.asprintf "%a" Ds_check.Equivalence.pp_report
+         { report with Ds_check.Equivalence.violations = fatal })
+
+let check_trace ctx = Ds_obs.Span.validate ctx.trace_events
+
+(* The journal must replay into exactly the state the scheduler is left
+   holding. Dead letters are durable facts (never pruned), so the sets must
+   coincide. Pending and history are compared by containment: the replay
+   additionally holds queue-resident submissions the scheduler never drained
+   (pending) and already-pruned rows of finished transactions (history) —
+   both journalled facts the live tables legitimately dropped. *)
+let check_recovery ctx =
+  let r = ctx.recovered in
+  let subset ~what smaller larger =
+    let keys = Hashtbl.create (2 * List.length larger) in
+    List.iter (fun k -> Hashtbl.replace keys k ()) (List.map Request.key larger);
+    match
+      List.find_opt
+        (fun req -> not (Hashtbl.mem keys (Request.key req)))
+        smaller
+    with
+    | None -> Ok ()
+    | Some req ->
+      Error
+        (Printf.sprintf "%s row %s missing from the journal replay" what
+           (Request.to_string req))
+  in
+  if r.Ds_core.Journal.corrupt_dropped > 0 then
+    Error
+      (Printf.sprintf "journal dropped %d corrupt line(s) after a clean close"
+         r.Ds_core.Journal.corrupt_dropped)
+  else if
+    sorted_keys r.Ds_core.Journal.dead <> sorted_keys ctx.dead_live
+  then Error "recovered dead-letter set differs from the dead relation"
+  else
+    match subset ~what:"pending" ctx.pending_live r.Ds_core.Journal.pending with
+    | Error _ as e -> e
+    | Ok () ->
+      (* Abort markers live in history only as synthetic rows; the journal
+         records them as 'A' lines, not 'Q' lines. *)
+      let data_history =
+        List.filter (fun req -> not (Request.is_abort_marker req)) ctx.history_live
+      in
+      subset ~what:"history" data_history r.Ds_core.Journal.history
+
+let check_dead_letter ctx =
+  let s = ctx.stats in
+  let n_dead = List.length ctx.dead_live in
+  if n_dead <> s.Ds_core.Middleware.dead_lettered then
+    Error
+      (Printf.sprintf "dead relation has %d rows but dead_lettered=%d" n_dead
+         s.Ds_core.Middleware.dead_lettered)
+  else if
+    s.Ds_core.Middleware.aborted_txns
+    < s.Ds_core.Middleware.dead_lettered + s.Ds_core.Middleware.shed_txns
+      + s.Ds_core.Middleware.disconnects
+  then
+    Error
+      (Printf.sprintf
+         "abort accounting: aborted=%d < dead=%d + shed=%d + disconnects=%d"
+         s.Ds_core.Middleware.aborted_txns s.Ds_core.Middleware.dead_lettered
+         s.Ds_core.Middleware.shed_txns s.Ds_core.Middleware.disconnects)
+  else Ok ()
+
+(* Whether whole transactions fit in the virtual window is a workload-length
+   property (hotspot contention with long transactions legitimately commits
+   nothing in a short run); a wedged scheduler shows up as an empty execution
+   log. *)
+let check_progress ctx =
+  if ctx.stats.Ds_core.Middleware.committed_txns > 0 || ctx.rte <> [] then
+    Ok ()
+  else Error "scheduler executed nothing (empty rte log, no commits)"
+
+let battery =
+  [
+    ("serializability", check_serializability);
+    ("conflict-equivalence", check_equivalence);
+    ("trace-wellformed", check_trace);
+    ("recovery-identity", check_recovery);
+    ("dead-letter", check_dead_letter);
+    ("progress", check_progress);
+  ]
+
+let names = List.map fst battery
+
+let apply ctx = List.map (fun (name, check) -> (name, check ctx)) battery

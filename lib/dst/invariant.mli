@@ -1,0 +1,51 @@
+(** The invariant battery: every correctness predicate the repo knows, run
+    against the artifacts of one completed scenario. The paper's central
+    claim is that a declarative scheduler is auditable — the protocol is a
+    query, so its decisions can be checked against the data it ran on; the
+    battery is that audit, applied end to end (middleware, scheduler, worker
+    pool, journal) instead of per-subsystem:
+
+    - {b serializability}: the committed projection of the continuous [rte]
+      log passes conflict-serializability (with witness cycle), strictness,
+      rigor and commit-order consistency ({!Ds_check.Serializability});
+    - {b conflict-equivalence}: the merged (delivery-order) schedule of the
+      worker pool agrees with the admitted [rte] order on every conflicting
+      pair ({!Ds_check.Equivalence});
+    - {b trace-wellformed}: the lifecycle trace passes the span battery —
+      per-transaction time monotonicity, exactly one terminal per terminated
+      transaction, no execution without admission ({!Ds_obs.Span.validate});
+    - {b recovery-identity}: replaying the run's journal reproduces the live
+      scheduler state — equal dead set, live pending/history contained in
+      the replay, no corrupt records after a clean close;
+    - {b dead-letter}: the dead relation, the dead-letter counter and the
+      abort accounting agree (every shed/disconnected/dead-lettered
+      transaction was aborted);
+    - {b progress}: the run committed at least one transaction (scenario
+      ranges are sized so a live system always can). *)
+
+open Ds_model
+
+(** Everything a completed scenario run leaves behind. [rte] and [merged]
+    are the {e observed} schedules — a test-only {!Scenario.inject} has
+    already been applied to them when the scenario carries one. *)
+type ctx = {
+  scenario : Scenario.t;
+  stats : Ds_core.Middleware.stats;
+  rte : Request.t list;  (** the continuous execution log, qualification order *)
+  merged : Request.t list;  (** delivery order across workers ([assignment].pos) *)
+  trace_events : Ds_obs.Trace.event list;
+  recovered : Ds_core.Journal.recovered;  (** post-run journal replay *)
+  pending_live : Request.t list;  (** scheduler [requests] table at run end *)
+  history_live : Request.t list;  (** scheduler [history] table at run end *)
+  dead_live : Request.t list;  (** dead-letter relation at run end *)
+}
+
+(** The battery, in reporting order. Names are stable — they key the swarm
+    report and the shrinker's failure-preservation test. *)
+val battery : (string * (ctx -> (unit, string) result)) list
+
+val names : string list
+
+(** Run the complete battery (never short-circuits: every invariant is
+    checked on every scenario). *)
+val apply : ctx -> (string * (unit, string) result) list

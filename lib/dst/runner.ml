@@ -1,0 +1,154 @@
+open Ds_core
+open Ds_model
+
+type outcome = {
+  scenario : Scenario.t;
+  stats : Middleware.stats;
+  invariants : (string * (unit, string) result) list;
+}
+
+let spec_of (s : Scenario.t) =
+  {
+    Ds_workload.Spec.paper_default with
+    Ds_workload.Spec.n_objects = s.Scenario.n_objects;
+    selects_per_txn = s.Scenario.stmts_per_txn;
+    updates_per_txn = s.Scenario.stmts_per_txn;
+    access =
+      (match s.Scenario.access with
+      | Scenario.Uniform -> Ds_workload.Spec.Uniform
+      | Scenario.Zipf -> Ds_workload.Spec.Zipf 0.8
+      | Scenario.Hotspot -> Ds_workload.Spec.Hotspot (0.1, 0.8));
+    sla_mix =
+      (if s.Scenario.sla_mix then
+         [ (Sla.premium, 0.2); (Sla.standard, 0.5); (Sla.free, 0.3) ]
+       else Ds_workload.Spec.paper_default.Ds_workload.Spec.sla_mix);
+  }
+
+let config_of (s : Scenario.t) ~journal_path ~trace =
+  let protocol =
+    match Builtin.find s.Scenario.protocol with
+    | Some p -> p
+    | None -> invalid_arg ("Runner: unknown protocol " ^ s.Scenario.protocol)
+  in
+  let faulty = not (Faults.is_none s.Scenario.faults) in
+  {
+    Middleware.default_config with
+    Middleware.n_clients = s.Scenario.clients;
+    duration = s.Scenario.duration;
+    spec = spec_of s;
+    workers = s.Scenario.workers;
+    seed = s.Scenario.seed;
+    protocol;
+    extended_relations = true;
+    (* Wall-clock cycle charging would make the simulation depend on the
+       host; scenario runs must reproduce exactly from the seed. *)
+    charge_scheduler_time = false;
+    faults = s.Scenario.faults;
+    batch_timeout = (if faulty then Some 0.25 else None);
+    queue_capacity = s.Scenario.queue_cap;
+    journal_path = Some journal_path;
+    checkpoint_interval = s.Scenario.checkpoint;
+    hedging = s.Scenario.hedging;
+    client_redo = faulty;
+    trace = Some trace;
+  }
+
+(* The test-only corruption hook: mutate the observed schedules (never the
+   run itself) so the failure-reporting and shrinking paths can be exercised
+   against a scheduler that is actually correct. Indices wrap so shrunk runs
+   keep the injection in range. *)
+let apply_inject inject ~rte ~merged =
+  match inject with
+  | None -> (rte, merged)
+  | Some (Scenario.Dup_delivery k) -> (
+    match merged with
+    | [] -> (rte, merged)
+    | _ ->
+      let i = k mod List.length merged in
+      let dup = List.nth merged i in
+      (rte, List.concat_map (fun r -> if Request.key r = Request.key dup then [ r; r ] else [ r ]) merged))
+  | Some (Scenario.Drop_rte k) -> (
+    match rte with
+    | [] -> (rte, merged)
+    | _ ->
+      let i = k mod List.length rte in
+      (List.filteri (fun j _ -> j <> i) rte, merged))
+  | Some (Scenario.Swap_rte k) -> (
+    match rte with
+    | [] | [ _ ] -> (rte, merged)
+    | _ ->
+      (* Swap the k-th rte entry that has a later conflicting partner with
+         that partner. Swapping commuting entries is unobservable, and under
+         2PL conflicting requests are never adjacent (locks persist to
+         commit), so the swap reaches across the schedule to a pair whose
+         order actually matters. No-op when nothing conflicts at all. *)
+      let arr = Array.of_list rte in
+      let n = Array.length arr in
+      let partner i =
+        let rec find j =
+          if j >= n then None
+          else if Request.conflicts arr.(i) arr.(j) then Some j
+          else find (j + 1)
+        in
+        find (i + 1)
+      in
+      let sites = ref [] in
+      for i = n - 2 downto 0 do
+        match partner i with
+        | Some j -> sites := (i, j) :: !sites
+        | None -> ()
+      done;
+      (match !sites with
+      | [] -> ()
+      | sites ->
+        let i, j = List.nth sites (k mod List.length sites) in
+        let tmp = arr.(i) in
+        arr.(i) <- arr.(j);
+        arr.(j) <- tmp);
+      (Array.to_list arr, merged))
+
+let run (s : Scenario.t) =
+  (match Scenario.validate s with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Runner.run: " ^ m));
+  let journal_path = Filename.temp_file "ds_swarm" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove journal_path with Sys_error _ -> ())
+    (fun () ->
+      let trace = Ds_obs.Trace.create () in
+      let stats, sched =
+        Middleware.run_full (config_of s ~journal_path ~trace)
+      in
+      let rels = Scheduler.relations sched in
+      let rte = Relations.rte_requests rels in
+      let by_key = Hashtbl.create (2 * List.length rte) in
+      List.iter (fun r -> Hashtbl.replace by_key (Request.key r) r) rte;
+      let merged =
+        List.filter_map
+          (fun key -> Hashtbl.find_opt by_key key)
+          (Relations.execution_order rels)
+      in
+      let rte, merged = apply_inject s.Scenario.inject ~rte ~merged in
+      let recovered = Journal.recover journal_path in
+      let ctx =
+        {
+          Invariant.scenario = s;
+          stats;
+          rte;
+          merged;
+          trace_events = Ds_obs.Trace.events trace;
+          recovered;
+          pending_live = Relations.pending rels;
+          history_live = Relations.history_requests rels;
+          dead_live = Relations.dead_requests rels;
+        }
+      in
+      { scenario = s; stats; invariants = Invariant.apply ctx })
+
+let failures o =
+  List.filter_map
+    (fun (name, r) ->
+      match r with Ok () -> None | Error detail -> Some (name, detail))
+    o.invariants
+
+let ok o = failures o = []

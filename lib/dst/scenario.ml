@@ -1,0 +1,191 @@
+open Ds_core
+
+type access = Uniform | Zipf | Hotspot
+
+type inject =
+  | Dup_delivery of int
+  | Drop_rte of int
+  | Swap_rte of int
+
+type t = {
+  seed : int;
+  clients : int;
+  duration : float;
+  n_objects : int;
+  stmts_per_txn : int;
+  access : access;
+  sla_mix : bool;
+  protocol : string;
+  workers : int;
+  faults : Faults.plan;
+  checkpoint : int option;
+  queue_cap : int option;
+  hedging : bool;
+  inject : inject option;
+}
+
+(* Every protocol here carries Protocol.Serializable, so the battery's
+   serializability predicates apply to its schedules. *)
+let protocols =
+  [
+    "ss2pl-sql";
+    "ss2pl-datalog";
+    "ss2pl-ocaml";
+    "ss2pl-ordered-sql";
+    "ss2pl-ordered-datalog";
+    "c2pl";
+    "sla-ordered";
+  ]
+
+let access_to_string = function
+  | Uniform -> "uniform"
+  | Zipf -> "zipf"
+  | Hotspot -> "hotspot"
+
+let access_of_string = function
+  | "uniform" -> Ok Uniform
+  | "zipf" -> Ok Zipf
+  | "hotspot" -> Ok Hotspot
+  | s -> Error (Printf.sprintf "unknown access pattern %S" s)
+
+let validate t =
+  if not (List.mem t.protocol protocols) then
+    Error
+      (Printf.sprintf "protocol %S is not in the serializable scenario set"
+         t.protocol)
+  else if t.clients < 1 then Error "clients must be >= 1"
+  else if t.duration <= 0. then Error "duration must be positive"
+  else if t.n_objects < 1 then Error "n_objects must be >= 1"
+  else if t.stmts_per_txn < 1 then Error "stmts_per_txn must be >= 1"
+  else if t.workers < 1 then Error "workers must be >= 1"
+  else if (match t.checkpoint with Some n -> n <= 0 | None -> false) then
+    Error "checkpoint must be positive"
+  else if (match t.queue_cap with Some n -> n <= 0 | None -> false) then
+    Error "queue_cap must be positive"
+  else Faults.validate t.faults
+
+let inject_to_json = function
+  | Dup_delivery k ->
+    Ds_obs.Json.Obj
+      [ ("kind", Ds_obs.Json.Str "dup-delivery"); ("at", Ds_obs.Json.Num (float_of_int k)) ]
+  | Drop_rte k ->
+    Ds_obs.Json.Obj
+      [ ("kind", Ds_obs.Json.Str "drop-rte"); ("at", Ds_obs.Json.Num (float_of_int k)) ]
+  | Swap_rte k ->
+    Ds_obs.Json.Obj
+      [ ("kind", Ds_obs.Json.Str "swap-rte"); ("at", Ds_obs.Json.Num (float_of_int k)) ]
+
+let inject_of_json j =
+  let open Ds_obs.Json in
+  match (Option.bind (mem "kind" j) str, Option.bind (mem "at" j) num) with
+  | Some "dup-delivery", Some k -> Ok (Dup_delivery (int_of_float k))
+  | Some "drop-rte", Some k -> Ok (Drop_rte (int_of_float k))
+  | Some "swap-rte", Some k -> Ok (Swap_rte (int_of_float k))
+  | Some kind, _ -> Error (Printf.sprintf "unknown injection kind %S" kind)
+  | None, _ -> Error "injection without a kind"
+
+let to_json t =
+  let open Ds_obs.Json in
+  let opt_int = function None -> Null | Some n -> Num (float_of_int n) in
+  Obj
+    ([
+       ("seed", Num (float_of_int t.seed));
+       ("clients", Num (float_of_int t.clients));
+       ("duration", Num t.duration);
+       ("objects", Num (float_of_int t.n_objects));
+       ("stmts", Num (float_of_int t.stmts_per_txn));
+       ("access", Str (access_to_string t.access));
+       ("sla_mix", Bool t.sla_mix);
+       ("protocol", Str t.protocol);
+       ("workers", Num (float_of_int t.workers));
+       ("faults", Str (Faults.plan_to_string t.faults));
+       ("checkpoint", opt_int t.checkpoint);
+       ("queue_cap", opt_int t.queue_cap);
+       ("hedging", Bool t.hedging);
+     ]
+    @ match t.inject with None -> [] | Some i -> [ ("inject", inject_to_json i) ])
+
+let of_json j =
+  let open Ds_obs.Json in
+  let ( let* ) = Result.bind in
+  let req_num name =
+    match Option.bind (mem name j) num with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "scenario: missing number %S" name)
+  in
+  let req_str name =
+    match Option.bind (mem name j) str with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "scenario: missing string %S" name)
+  in
+  let req_bool name =
+    match mem name j with
+    | Some (Bool b) -> Ok b
+    | _ -> Error (Printf.sprintf "scenario: missing bool %S" name)
+  in
+  let opt_int name =
+    match mem name j with
+    | Some (Num v) -> Ok (Some (int_of_float v))
+    | Some Null | None -> Ok None
+    | Some _ -> Error (Printf.sprintf "scenario: bad field %S" name)
+  in
+  let* seed = req_num "seed" in
+  let* clients = req_num "clients" in
+  let* duration = req_num "duration" in
+  let* n_objects = req_num "objects" in
+  let* stmts = req_num "stmts" in
+  let* access_s = req_str "access" in
+  let* access = access_of_string access_s in
+  let* sla_mix = req_bool "sla_mix" in
+  let* protocol = req_str "protocol" in
+  let* workers = req_num "workers" in
+  let* faults_s = req_str "faults" in
+  let* faults = Faults.plan_of_string faults_s in
+  let* checkpoint = opt_int "checkpoint" in
+  let* queue_cap = opt_int "queue_cap" in
+  let* hedging = req_bool "hedging" in
+  let* inject =
+    match mem "inject" j with
+    | None -> Ok None
+    | Some ij -> Result.map Option.some (inject_of_json ij)
+  in
+  let t =
+    {
+      seed = int_of_float seed;
+      clients = int_of_float clients;
+      duration;
+      n_objects = int_of_float n_objects;
+      stmts_per_txn = int_of_float stmts;
+      access;
+      sla_mix;
+      protocol;
+      workers = int_of_float workers;
+      faults;
+      checkpoint;
+      queue_cap;
+      hedging;
+      inject;
+    }
+  in
+  let* () = validate t in
+  Ok t
+
+let to_string t =
+  let opt = function None -> "-" | Some n -> string_of_int n in
+  let faults =
+    let s = Faults.plan_to_string t.faults in
+    if s = "" then "-" else s
+  in
+  Printf.sprintf
+    "seed=%d clients=%d dur=%g obj=%d stmts=%d access=%s mix=%b proto=%s K=%d \
+     faults=%s ckpt=%s cap=%s hedge=%b%s"
+    t.seed t.clients t.duration t.n_objects t.stmts_per_txn
+    (access_to_string t.access) t.sla_mix t.protocol t.workers faults
+    (opt t.checkpoint) (opt t.queue_cap) t.hedging
+    (match t.inject with
+    | None -> ""
+    | Some i -> " inject=" ^ Ds_obs.Json.to_string (inject_to_json i))
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let equal a b = to_json a = to_json b

@@ -1,0 +1,70 @@
+(** Deterministic-simulation scenarios: one point in the configuration
+    cross-product the swarm harness sweeps.
+
+    A scenario fully determines a middleware run — workload shape, SLA mix,
+    protocol, worker count, fault plan (worker faults and crash/recover
+    points included), checkpoint interval and queue bound — plus the
+    middleware seed. Running the same scenario twice produces bit-identical
+    schedules and counters, so a scenario value {e is} the repro: the swarm
+    report embeds it as JSON and [dsched swarm --replay] re-runs it.
+
+    Scenarios only use protocols with a serializability guarantee, because
+    the invariant battery ({!Invariant}) checks the executed schedule with
+    the full serializability predicate set. *)
+
+open Ds_core
+
+type access = Uniform | Zipf | Hotspot
+
+(** Test-only fault hook: a deterministic corruption applied to the {e
+    observed} run artifacts (the rte log and the merged delivery order)
+    before the invariant battery runs — never to the run itself. It
+    simulates a buggy scheduler so the shrinker and the failure-reporting
+    path can be exercised (and regression-tested) without actually breaking
+    the scheduler. The generator never samples injections; they enter only
+    through hand-written scenarios and replay files. Indices wrap modulo the
+    artifact length, so a shrunk run keeps its injection valid. *)
+type inject =
+  | Dup_delivery of int  (** duplicate the k-th entry of the merged order *)
+  | Drop_rte of int  (** delete the k-th rte entry (merged keeps it) *)
+  | Swap_rte of int
+      (** swap the k-th rte entry that has a later conflicting partner with
+          that partner (commuting swaps are unobservable, and under 2PL
+          conflicting entries are never adjacent; no-op if nothing
+          conflicts) *)
+
+type t = {
+  seed : int;  (** middleware + workload seed *)
+  clients : int;
+  duration : float;  (** virtual seconds *)
+  n_objects : int;
+  stmts_per_txn : int;  (** SELECTs and UPDATEs per transaction (each) *)
+  access : access;
+  sla_mix : bool;  (** premium/standard/free mix vs all-standard *)
+  protocol : string;  (** a {!Ds_core.Builtin} name from {!protocols} *)
+  workers : int;  (** pool size K *)
+  faults : Faults.plan;
+  checkpoint : int option;  (** journal checkpoint interval, cycles *)
+  queue_cap : int option;  (** incoming-queue bound (shedding/backpressure) *)
+  hedging : bool;
+  inject : inject option;
+}
+
+(** Builtin protocol names eligible for scenarios (serializable guarantee
+    only). *)
+val protocols : string list
+
+(** @return [Error _] on an unknown/non-serializable protocol, non-positive
+    sizes, or an invalid fault plan. *)
+val validate : t -> (unit, string) result
+
+val to_json : t -> Ds_obs.Json.t
+
+(** @return [Error _] on malformed JSON or a scenario failing {!validate}. *)
+val of_json : Ds_obs.Json.t -> (t, string) result
+
+(** One-line [key=value] rendering for logs and failure messages. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

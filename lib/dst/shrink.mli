@@ -1,0 +1,26 @@
+(** Delta-debugging shrinker: minimize a failing scenario while preserving
+    its failure.
+
+    Greedy fixed-point reduction over a transformation ladder — halve the
+    run (duration, clients, statements per transaction), collapse the pool
+    (K -> 1), zero each fault channel, drop the crash point / checkpointing
+    / queue bound / hedging, and simplify workload and protocol. A candidate
+    is accepted when re-running it still fails {e at least one of the
+    invariants the original failed} (secondary failures are allowed to
+    disappear); the pass restarts after every acceptance and the whole
+    process stops at a fixed point or after [max_runs] re-executions.
+
+    Because every step re-runs the scenario through the real stack, the
+    shrunk scenario is a genuine minimal repro: replaying it reproduces the
+    minimized failure bit-identically. *)
+
+type result = {
+  shrunk : Scenario.t;
+  outcome : Runner.outcome;  (** the shrunk scenario's (failing) outcome *)
+  runs : int;  (** scenario re-executions the search spent *)
+}
+
+(** [shrink scenario ~failed] — [failed] is the original failing invariant
+    name set ({!Runner.failures} names). [max_runs] defaults to 120.
+    @raise Invalid_argument when [failed] is empty. *)
+val shrink : ?max_runs:int -> Scenario.t -> failed:string list -> result

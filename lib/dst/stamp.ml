@@ -1,0 +1,44 @@
+let read_first_line path =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> try Some (String.trim (input_line ic)) with End_of_file -> None)
+
+(* Walk up from [dir] looking for .git/HEAD; follow one "ref: ..." hop. *)
+let rec head_of dir depth =
+  if depth > 12 then None
+  else
+    let head = Filename.concat (Filename.concat dir ".git") "HEAD" in
+    match read_first_line head with
+    | Some line -> (
+      match String.split_on_char ' ' line with
+      | [ "ref:"; ref ] ->
+        read_first_line (Filename.concat (Filename.concat dir ".git") ref)
+      | _ -> Some line)
+    | None ->
+      let parent = Filename.dirname dir in
+      if parent = dir then None else head_of parent (depth + 1)
+
+let git_commit () =
+  match Sys.getenv_opt "DS_GIT_COMMIT" with
+  | Some c when String.trim c <> "" -> String.trim c
+  | _ -> (
+    match head_of (Sys.getcwd ()) 0 with
+    | Some c when c <> "" -> c
+    | _ -> "unknown")
+
+let fields ~seed ~config () =
+  Ds_obs.Json.Obj
+    [
+      ("commit", Ds_obs.Json.Str (git_commit ()));
+      ("seed", Ds_obs.Json.Num (float_of_int seed));
+      ("config", Ds_obs.Json.Obj config);
+    ]
+
+let add ~seed ~config payload =
+  match payload with
+  | Ds_obs.Json.Obj members ->
+    Ds_obs.Json.Obj (("stamp", fields ~seed ~config ()) :: members)
+  | other -> other

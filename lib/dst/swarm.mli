@@ -1,0 +1,54 @@
+(** The swarm driver: sample N scenarios from the cross-product, run each
+    through the real stack with the complete invariant battery, shrink every
+    failure to a minimal repro, and render a deterministic JSON report.
+
+    Determinism contract: [run ~n ~seed] twice yields byte-identical
+    {!report_json} output (no timestamps, no wall-clock-derived numbers),
+    and replaying any reported scenario — by its scenario seed or from its
+    embedded JSON — reproduces its outcome bit-identically. *)
+
+type result = {
+  scenario_seed : int option;
+      (** the {!Gen.of_seed} token; [None] for file-replayed scenarios *)
+  outcome : Runner.outcome;
+  shrunk : Shrink.result option;  (** present iff the scenario failed and shrinking ran *)
+}
+
+type report = {
+  base_seed : int;
+  n : int;
+  shrink_enabled : bool;
+  results : result list;  (** in scenario-index order *)
+}
+
+(** [run ~n ~seed ()] — scenarios [Gen.of_seed (Gen.scenario_seed ~base:seed i)]
+    for [i < n]. [shrink] (default true) minimizes each failure.
+    [progress] is called after each scenario (index, outcome) for live
+    output. *)
+val run :
+  ?shrink:bool ->
+  ?max_shrink_runs:int ->
+  ?progress:(int -> Runner.outcome -> unit) ->
+  n:int ->
+  seed:int ->
+  unit ->
+  report
+
+(** Replay one scenario (the [--replay] path) under the same battery and
+    shrinking policy. *)
+val replay :
+  ?shrink:bool ->
+  ?max_shrink_runs:int ->
+  ?scenario_seed:int ->
+  Scenario.t ->
+  result
+
+val failed : report -> result list
+
+val result_json : result -> Ds_obs.Json.t
+
+(** The full report, stamped (git commit, base seed, sweep config). *)
+val report_json : report -> Ds_obs.Json.t
+
+(** Human summary: totals, per-invariant failure counts, repro commands. *)
+val pp_summary : Format.formatter -> report -> unit

@@ -72,19 +72,39 @@ let requests_of_triples triples =
       | _ -> Request.make ~id:!id ~ta ~intrata ~op:Op.Abort ())
     triples
 
-(* Pool size for the whole middleware-driven suite: CI runs the tests at
-   both DS_WORKERS=1 (default) and DS_WORKERS=4. A malformed value fails
-   loudly — a typo silently running the suite at K=1 would void the
-   parallel coverage CI thinks it has. *)
-let env_workers () =
-  match Sys.getenv_opt "DS_WORKERS" with
-  | Some s -> (
-    match int_of_string_opt (String.trim s) with
-    | Some n when n >= 1 -> n
-    | Some n ->
-      failwith
-        (Printf.sprintf "DS_WORKERS must be a positive integer, got %d" n)
-    | None ->
-      failwith
-        (Printf.sprintf "DS_WORKERS must be a positive integer, got %S" s))
-  | None -> 1
+(* All environment knobs the test suites honour, in one place (documented
+   in README.md). Every parser fails loudly on a malformed value — a typo
+   silently falling back to the default would void the coverage CI thinks
+   it has (e.g. the whole middleware suite running at K=1 when the job
+   meant K=4). *)
+module Config = struct
+  let pos_int_env name ~default =
+    match Sys.getenv_opt name with
+    | None -> default
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some n ->
+        failwith
+          (Printf.sprintf "%s must be a positive integer, got %d" name n)
+      | None ->
+        failwith
+          (Printf.sprintf "%s must be a positive integer, got %S" name s))
+
+  (* Pool size for the middleware-driven suites: CI runs the tests at both
+     DS_WORKERS=1 (default) and DS_WORKERS=4. *)
+  let workers () = pos_int_env "DS_WORKERS" ~default:1
+
+  (* Scenarios the swarm smoke test runs; CI's PR job uses the default,
+     the nightly job raises it. *)
+  let swarm_n () = pos_int_env "DS_SWARM_N" ~default:25
+
+  (* Multiplier on property-test case counts, for soak runs
+     (DS_QCHECK_FACTOR=10 runs every property 10x longer). *)
+  let qcheck_factor () = pos_int_env "DS_QCHECK_FACTOR" ~default:1
+
+  let qcheck_count base = base * qcheck_factor ()
+end
+
+(* Backwards-compatible alias; new code should use [Config.workers]. *)
+let env_workers = Config.workers

@@ -20,4 +20,6 @@ let () =
       ("obs", Test_obs.tests);
       ("integration", Test_integration.tests);
       ("edges", Test_edges.tests);
+      ("swarm", Test_swarm.tests);
+      ("examples", Test_examples.tests);
     ]

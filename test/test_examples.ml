@@ -1,0 +1,71 @@
+(* The examples/ directory is documentation that compiles — these tests keep
+   it running. Each example is executed as a subprocess (dune builds them as
+   test dependencies); a test asserts a clean exit plus a few key output
+   lines that capture what the example demonstrates, not exact counters. *)
+
+let run_example name =
+  let path = Filename.concat "../examples" (name ^ ".exe") in
+  if not (Sys.file_exists path) then
+    Alcotest.failf "example binary %s not found (cwd %s)" path (Sys.getcwd ());
+  let ic = Unix.open_process_in (Filename.quote path ^ " 2>&1") in
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  (status, Buffer.contents buf)
+
+let check_example name key_lines () =
+  let status, output = run_example name in
+  (match status with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED n ->
+    Alcotest.failf "%s exited with %d; output:\n%s" name n output
+  | Unix.WSIGNALED n | Unix.WSTOPPED n ->
+    Alcotest.failf "%s killed by signal %d; output:\n%s" name n output);
+  List.iter
+    (fun line ->
+      if not (Helpers.contains output line) then
+        Alcotest.failf "%s output is missing %S; output:\n%s" name line output)
+    key_lines
+
+let tests =
+  [
+    Alcotest.test_case "quickstart runs" `Quick
+      (check_example "quickstart"
+         [
+           "protocol: ss2pl-sql";
+           "incoming requests";
+           "read-committed drops read locks";
+         ]);
+    Alcotest.test_case "sla_tiers runs" `Quick
+      (check_example "sla_tiers"
+         [
+           "premium-first (rule language):";
+           "ss2pl + fcfs order (baseline):";
+           "under the declarative SLA rule";
+         ]);
+    Alcotest.test_case "relaxed_consistency runs" `Quick
+      (check_example "relaxed_consistency"
+         [
+           "holiday-rush workload:";
+           "rationing-1000";
+           "throughput: ss2pl";
+         ]);
+    Alcotest.test_case "webshop runs" `Quick
+      (check_example "webshop"
+         [
+           "protocol: webshop";
+           "plain SS2PL on the same batch";
+           "stock-range guarantees";
+         ]);
+    Alcotest.test_case "recovery runs" `Quick
+      (check_example "recovery"
+         [
+           "*** crash";
+           "recovered:";
+           "after T1 commits, T2 unblocks";
+         ]);
+  ]

@@ -16,7 +16,7 @@ let cfg ?(protocol = Builtin.ss2pl_ocaml) ?(n_clients = 15) ?(duration = 3.) () 
     protocol;
     charge_scheduler_time = false;
     (* keep integration runs deterministic across machines *)
-    workers = Helpers.env_workers ();
+    workers = Helpers.Config.workers ();
     (* CI exercises this whole suite at DS_WORKERS=1 and DS_WORKERS=4 *)
   }
 

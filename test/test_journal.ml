@@ -346,6 +346,49 @@ let checkpoint_equals_full_replay =
               in
               observe rc = observe rf)))
 
+let test_repair_empty_journal () =
+  (* --repair on a zero-byte journal: nothing to drop, nothing to truncate,
+     fully empty recovered state. *)
+  with_journal_file (fun path ->
+      Out_channel.with_open_bin path (fun _ -> ());
+      let r = Journal.recover ~repair:true path in
+      Alcotest.(check int) "nothing replayed" 0 r.Journal.replayed;
+      Alcotest.(check int) "nothing dropped" 0 r.Journal.corrupt_dropped;
+      Alcotest.(check bool) "no checkpoint" true
+        (r.Journal.checkpoint_cycle = None);
+      Alcotest.(check int) "no pending" 0 (List.length r.Journal.pending);
+      Alcotest.(check int) "no history" 0 (List.length r.Journal.history);
+      Alcotest.(check int) "no dead letters" 0 (List.length r.Journal.dead);
+      Alcotest.(check int) "file still empty" 0 (Unix.stat path).Unix.st_size;
+      (* Restoring the empty state into fresh relations is a no-op. *)
+      let fresh = Scheduler.create Builtin.ss2pl_sql in
+      Journal.restore r (Scheduler.relations fresh);
+      Alcotest.(check int) "restored pending empty" 0
+        (List.length (Relations.pending (Scheduler.relations fresh))))
+
+let test_repair_checkpoint_only_journal () =
+  (* A journal holding nothing but one checkpoint block (empty snapshot):
+     recovery uses the checkpoint, replays no suffix, and a repair pass
+     changes nothing. *)
+  with_journal_file (fun path ->
+      let j = Journal.open_ path in
+      Journal.checkpoint j ~cycle:1;
+      Journal.close j;
+      let size = (Unix.stat path).Unix.st_size in
+      let r = Journal.recover ~repair:true path in
+      Alcotest.(check bool) "checkpoint used" true
+        (r.Journal.checkpoint_cycle = Some 1);
+      Alcotest.(check int) "no suffix replayed" 0 r.Journal.replayed;
+      Alcotest.(check int) "nothing dropped" 0 r.Journal.corrupt_dropped;
+      Alcotest.(check int) "no pending" 0 (List.length r.Journal.pending);
+      Alcotest.(check int) "repair left the file intact" size
+        (Unix.stat path).Unix.st_size;
+      let fresh = Scheduler.create Builtin.ss2pl_sql in
+      Journal.restore r (Scheduler.relations fresh);
+      let q, _ = Scheduler.cycle fresh in
+      Alcotest.(check int) "restored scheduler qualifies nothing" 0
+        (List.length q))
+
 let tests =
   [
     Alcotest.test_case "journal roundtrip + recovery decision" `Quick
@@ -364,5 +407,9 @@ let tests =
       test_crc_repair_truncates;
     Alcotest.test_case "mid-record kill with checkpoints" `Quick
       test_kill_mid_record_with_checkpoints;
+    Alcotest.test_case "repair on an empty journal" `Quick
+      test_repair_empty_journal;
+    Alcotest.test_case "repair on a checkpoint-only journal" `Quick
+      test_repair_checkpoint_only_journal;
     QCheck_alcotest.to_alcotest checkpoint_equals_full_replay;
   ]

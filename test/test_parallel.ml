@@ -52,6 +52,44 @@ let partition_is_true_partition =
         classes;
       true)
 
+let test_partition_empty () =
+  Alcotest.(check int) "empty batch partitions to no classes" 0
+    (List.length (Partition.partition []))
+
+let test_partition_single_txn () =
+  (* One transaction touching disjoint objects: same-TA requests must stay
+     in one class regardless of object overlap, in batch order. *)
+  let batch =
+    [ req 1 7 1 Op.Read 10; req 2 7 2 Op.Write 20; terminal 3 7 3 Op.Commit ]
+  in
+  match Partition.partition batch with
+  | [ c ] ->
+    Alcotest.(check (list (pair int int)))
+      "single class holds the whole txn in order"
+      (List.map Request.key batch)
+      (List.map Request.key c.Partition.requests)
+  | classes ->
+    Alcotest.failf "single-txn batch split into %d classes"
+      (List.length classes)
+
+let test_partition_fully_conflicting () =
+  (* Distinct transactions all writing one object: one class, batch order
+     preserved — the parallel backend degrades to sequential here. *)
+  let qcheck_conflicting =
+    QCheck2.Test.make ~name:"fully-conflicting batch is one class"
+      ~count:(Helpers.Config.qcheck_count 100)
+      QCheck2.Gen.(int_range 2 12)
+      (fun n ->
+        let batch = List.init n (fun i -> req (i + 1) (i + 1) 1 Op.Write 5) in
+        match Partition.partition batch with
+        | [ c ] ->
+          List.map Request.key c.Partition.requests = List.map Request.key batch
+        | _ -> false)
+  in
+  match QCheck2.Test.check_exn qcheck_conflicting with
+  | () -> ()
+  | exception QCheck2.Test.Test_fail (name, _) -> Alcotest.fail name
+
 let test_partition_examples () =
   (* Two independent writers, one shared-object pair, one read-only group. *)
   let batch =
@@ -511,6 +549,12 @@ let tests =
   [
     QCheck_alcotest.to_alcotest partition_is_true_partition;
     Alcotest.test_case "partition examples" `Quick test_partition_examples;
+    Alcotest.test_case "partition of the empty batch" `Quick
+      test_partition_empty;
+    Alcotest.test_case "partition keeps a single txn together" `Quick
+      test_partition_single_txn;
+    Alcotest.test_case "fully-conflicting batch is one class" `Quick
+      test_partition_fully_conflicting;
     Alcotest.test_case "pool speedup on independent batch" `Quick
       test_pool_speedup;
     Alcotest.test_case "conflicting batch serializes" `Quick

@@ -1,0 +1,271 @@
+(* Deterministic simulation testing harness (lib/dst): scenario codec and
+   generator determinism, the swarm sweep with the full invariant battery,
+   the test-only corruption injections, the delta-debugging shrinker, and
+   the committed minimal repro as a regression. *)
+
+open Ds_dst
+
+let scenario_eq = Alcotest.testable Scenario.pp Scenario.equal
+
+(* --- scenario codec ------------------------------------------------ *)
+
+let scenario_roundtrip =
+  QCheck2.Test.make ~name:"scenario JSON roundtrip"
+    ~count:(Helpers.Config.qcheck_count 200)
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let s = Gen.of_seed seed in
+      match Scenario.of_json (Scenario.to_json s) with
+      | Ok s' -> Scenario.equal s s'
+      | Error m -> QCheck2.Test.fail_reportf "decode failed: %s" m)
+
+let test_inject_roundtrip () =
+  (* Injections only enter via hand-written scenarios; their codec still
+     has to roundtrip for replay files to work. *)
+  List.iter
+    (fun inject ->
+      let s = { (Gen.of_seed 7) with Scenario.inject = Some inject } in
+      match Scenario.of_json (Scenario.to_json s) with
+      | Ok s' -> Alcotest.check scenario_eq "roundtrip with inject" s s'
+      | Error m -> Alcotest.failf "decode failed: %s" m)
+    [ Scenario.Dup_delivery 3; Scenario.Drop_rte 0; Scenario.Swap_rte 12 ]
+
+let test_of_json_rejects_invalid () =
+  let cases =
+    [
+      ("not an object", Ds_obs.Json.Str "hello");
+      ( "unknown protocol",
+        Scenario.to_json { (Gen.of_seed 1) with Scenario.protocol = "fcfs" } );
+      ( "zero clients",
+        Scenario.to_json { (Gen.of_seed 1) with Scenario.clients = 0 } );
+    ]
+  in
+  List.iter
+    (fun (what, json) ->
+      match Scenario.of_json json with
+      | Ok _ -> Alcotest.failf "%s was accepted" what
+      | Error _ -> ())
+    cases
+
+(* --- generator ------------------------------------------------------ *)
+
+let test_generator_deterministic () =
+  List.iter
+    (fun i ->
+      let seed = Gen.scenario_seed ~base:99 i in
+      Alcotest.check scenario_eq
+        (Printf.sprintf "of_seed %d is stable" seed)
+        (Gen.of_seed seed) (Gen.of_seed seed);
+      Alcotest.(check int)
+        "scenario_seed is a pure function" seed
+        (Gen.scenario_seed ~base:99 i))
+    [ 0; 1; 2; 17; 1000 ]
+
+let test_generator_valid_and_diverse () =
+  let scenarios =
+    List.init 100 (fun i -> Gen.of_seed (Gen.scenario_seed ~base:5 i))
+  in
+  List.iter
+    (fun s ->
+      match Scenario.validate s with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "generated invalid scenario: %s" m)
+    scenarios;
+  let distinct f = List.sort_uniq compare (List.map f scenarios) in
+  (* The sweep has to actually cover the cross-product dimensions. *)
+  Alcotest.(check bool) "several protocols" true
+    (List.length (distinct (fun s -> s.Scenario.protocol)) >= 3);
+  Alcotest.(check bool) "several worker counts" true
+    (List.length (distinct (fun s -> s.Scenario.workers)) >= 3);
+  Alcotest.(check bool) "faulty and fault-free plans" true
+    (List.length
+       (distinct (fun s -> Ds_core.Faults.is_none s.Scenario.faults))
+    = 2);
+  Alcotest.(check bool) "checkpointing on and off" true
+    (List.length (distinct (fun s -> s.Scenario.checkpoint = None)) = 2);
+  Alcotest.(check bool) "bounded and unbounded queues" true
+    (List.length (distinct (fun s -> s.Scenario.queue_cap = None)) = 2);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "generator never injects" true
+        (s.Scenario.inject = None))
+    scenarios
+
+(* --- swarm sweep ---------------------------------------------------- *)
+
+let test_swarm_invariants_hold () =
+  (* The PR-smoke sweep: DS_SWARM_N scenarios (default 25), every invariant
+     on every scenario, zero failures expected against the real stack. *)
+  let n = Helpers.Config.swarm_n () in
+  let report = Swarm.run ~shrink:false ~n ~seed:11 () in
+  let failed = Swarm.failed report in
+  if failed <> [] then begin
+    let r = List.hd failed in
+    let name, detail =
+      List.hd (Runner.failures r.Swarm.outcome)
+    in
+    Alcotest.failf "%d/%d scenarios failed; first: %s [%s: %s]"
+      (List.length failed) n
+      (Scenario.to_string r.Swarm.outcome.Runner.scenario)
+      name detail
+  end;
+  List.iter
+    (fun r ->
+      Alcotest.(check int) "complete battery on every scenario"
+        (List.length Invariant.names)
+        (List.length r.Swarm.outcome.Runner.invariants))
+    report.Swarm.results
+
+let test_swarm_report_deterministic () =
+  let render () =
+    Ds_obs.Json.to_string
+      (Swarm.report_json (Swarm.run ~shrink:false ~n:8 ~seed:3 ()))
+  in
+  Alcotest.(check string) "same n+seed => byte-identical report" (render ())
+    (render ())
+
+let test_replay_bit_identical () =
+  (* A reported scenario seed is the repro token: replaying it must
+     reproduce the same counters and verdicts exactly. *)
+  let seed = Gen.scenario_seed ~base:11 4 in
+  let render () =
+    Ds_obs.Json.to_string
+      (Swarm.result_json
+         (Swarm.replay ~shrink:false ~scenario_seed:seed (Gen.of_seed seed)))
+  in
+  Alcotest.(check string) "replay is bit-identical" (render ()) (render ())
+
+(* --- injections ----------------------------------------------------- *)
+
+(* Fully explicit known-bad scenario (fault-free, no crash) so every
+   injected corruption lands inside the compared schedule window. *)
+let base_bad =
+  {
+    Scenario.seed = 12345;
+    clients = 8;
+    duration = 1.0;
+    n_objects = 300;
+    stmts_per_txn = 2;
+    access = Scenario.Uniform;
+    sla_mix = false;
+    protocol = "ss2pl-sql";
+    workers = 2;
+    faults = Ds_core.Faults.none;
+    checkpoint = None;
+    queue_cap = None;
+    hedging = false;
+    inject = Some (Scenario.Dup_delivery 17);
+  }
+
+let test_inject_dup_delivery_fails () =
+  let outcome = Runner.run base_bad in
+  let failed = List.map fst (Runner.failures outcome) in
+  Alcotest.(check bool)
+    (Printf.sprintf "conflict-equivalence among %s"
+       (String.concat "," failed))
+    true
+    (List.mem "conflict-equivalence" failed)
+
+let test_inject_drop_rte_fails () =
+  let outcome =
+    Runner.run { base_bad with Scenario.inject = Some (Scenario.Drop_rte 5) }
+  in
+  (* The merged order then delivers a request the rte log never admitted. *)
+  Alcotest.(check bool) "dropping an rte entry trips the battery" true
+    (Runner.failures outcome <> [])
+
+let test_inject_swap_rte_fails () =
+  (* A contended workload guarantees adjacent conflicting rte pairs for the
+     swap to target. *)
+  let outcome =
+    Runner.run
+      {
+        base_bad with
+        Scenario.n_objects = 20;
+        inject = Some (Scenario.Swap_rte 9);
+      }
+  in
+  Alcotest.(check bool) "swapping conflicting rte entries trips the battery"
+    true
+    (Runner.failures outcome <> [])
+
+(* --- shrinker ------------------------------------------------------- *)
+
+let test_shrinker_minimizes () =
+  (* The acceptance demo: a seeded known-bad scenario (injected duplicate
+     delivery) must shrink to a minimal configuration while preserving the
+     failure. *)
+  let outcome = Runner.run base_bad in
+  let failed = List.map fst (Runner.failures outcome) in
+  Alcotest.(check bool) "starting scenario fails" true (failed <> []);
+  let r = Shrink.shrink base_bad ~failed in
+  let s = r.Shrink.shrunk in
+  Alcotest.(check bool) "shrunk scenario still fails" true
+    (List.exists
+       (fun (name, _) -> List.mem name failed)
+       (Runner.failures r.Shrink.outcome));
+  Alcotest.(check int) "collapsed to one client" 1 s.Scenario.clients;
+  Alcotest.(check int) "collapsed to one worker" 1 s.Scenario.workers;
+  Alcotest.(check int) "collapsed to one stmt per txn" 1 s.Scenario.stmts_per_txn;
+  Alcotest.(check bool) "fault plan emptied" true
+    (Ds_core.Faults.is_none s.Scenario.faults);
+  Alcotest.(check bool) "duration halved to the floor" true
+    (s.Scenario.duration <= 0.5);
+  Alcotest.(check bool) "repro is a handful of transactions" true
+    (r.Shrink.outcome.Runner.stats.Ds_core.Middleware.committed_txns <= 20);
+  Alcotest.(check bool) "search bounded" true (r.Shrink.runs <= 120)
+
+let test_shrinker_rejects_passing_scenario () =
+  match Shrink.shrink (Gen.of_seed 42) ~failed:[ "serializability" ] with
+  | _ -> Alcotest.fail "shrinking a passing scenario should raise"
+  | exception Invalid_argument _ -> ()
+
+(* --- committed minimal repro ---------------------------------------- *)
+
+let repro_path = "data/shrunk_dup_delivery.json"
+
+let test_committed_repro_still_fails () =
+  (* Regression: the shrunk repro emitted by the shrinker (committed as a
+     file, same format 'dsched swarm --replay FILE' reads) keeps failing
+     exactly the invariant it was minimized for. *)
+  let text = In_channel.with_open_text repro_path In_channel.input_all in
+  match Scenario.of_json (Ds_obs.Json.of_string text) with
+  | Error m -> Alcotest.failf "%s did not decode: %s" repro_path m
+  | Ok scenario ->
+    Alcotest.(check bool) "repro is minimal: one client" true
+      (scenario.Scenario.clients = 1);
+    let outcome = Runner.run scenario in
+    let failed = List.map fst (Runner.failures outcome) in
+    Alcotest.(check (list string))
+      "fails conflict-equivalence and nothing else"
+      [ "conflict-equivalence" ] failed
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest scenario_roundtrip;
+    Alcotest.test_case "inject codec roundtrip" `Quick test_inject_roundtrip;
+    Alcotest.test_case "of_json rejects invalid scenarios" `Quick
+      test_of_json_rejects_invalid;
+    Alcotest.test_case "generator is deterministic" `Quick
+      test_generator_deterministic;
+    Alcotest.test_case "generator covers the cross-product" `Quick
+      test_generator_valid_and_diverse;
+    Alcotest.test_case "swarm: all invariants hold" `Slow
+      test_swarm_invariants_hold;
+    Alcotest.test_case "swarm: report deterministic" `Quick
+      test_swarm_report_deterministic;
+    Alcotest.test_case "swarm: replay bit-identical" `Quick
+      test_replay_bit_identical;
+    Alcotest.test_case "inject: duplicate delivery caught" `Quick
+      test_inject_dup_delivery_fails;
+    Alcotest.test_case "inject: dropped rte entry caught" `Quick
+      test_inject_drop_rte_fails;
+    Alcotest.test_case "inject: swapped rte entries caught" `Quick
+      test_inject_swap_rte_fails;
+    Alcotest.test_case "shrinker minimizes a known-bad scenario" `Slow
+      test_shrinker_minimizes;
+    Alcotest.test_case "shrinker rejects a passing scenario" `Quick
+      test_shrinker_rejects_passing_scenario;
+    Alcotest.test_case "committed shrunk repro still fails" `Quick
+      test_committed_repro_still_fails;
+  ]
