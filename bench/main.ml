@@ -1257,6 +1257,170 @@ let parallel_scaling ~duration ~json () =
     note "wrote %s" path
 
 (* ------------------------------------------------------------------ *)
+(* Sharded scheduler scaling                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The router sends a transaction to shard [obj mod S] when its footprint
+   touches a single object group. Partitioned(8, esc) gives every
+   transaction a home group out of 8, and 8 is divisible by every sweep
+   point, so the identical workload stays single-group at S in {1,2,4,8};
+   the [esc] fraction of statements escape to a uniform object, keeping the
+   barrier-fenced global lane honest (escape is per statement: at 40
+   statements/txn, esc = 0.005 leaves ~0.995^40 = 82%% of transactions
+   shard-local). Scheduler cycle cost is superlinear
+   in the live relation sizes (protocol queries join requests x history),
+   so S lanes each holding ~1/S of the transactions do less total query
+   work — that is the speedup being measured, not parallel hardware. *)
+let shards_scaling ~duration ~json () =
+  section
+    "Sharded scheduler: S lanes + barrier-fenced global lane \
+     (partitioned workload; every point checker-validated)";
+  let spec =
+    {
+      Spec.paper_default with
+      Spec.n_objects = 20_000;
+      Spec.access = Spec.Partitioned (8, 0.005);
+    }
+  in
+  let cfg shards =
+    {
+      (middleware_cfg ~protocol:Builtin.ss2pl_ocaml
+         ~trigger:(Trigger.Hybrid (0.01, 50))
+         ~clients:80 ~duration ~spec)
+      with
+      Middleware.shards;
+      (* identical virtual-time behavior at every S: don't charge
+         wall-clock scheduler time *)
+      charge_scheduler_time = false;
+    }
+  in
+  (* S=1 must be the single-scheduler code path bit for bit: same rte log,
+     same delivery order. *)
+  let s1_identical =
+    let _, sched = Middleware.run_full (cfg 1) in
+    let _, h = Middleware.run_sharded (cfg 1) in
+    let rels = Scheduler.relations sched in
+    List.map Ds_model.Request.to_string (Relations.rte_requests rels)
+    = List.map Ds_model.Request.to_string h.Middleware.merged_rte
+    && Relations.execution_order rels = h.Middleware.merged_execution_order
+  in
+  note "S=1 bit-identical to the unsharded scheduler: %b" s1_identical;
+  let t =
+    Tablefmt.create
+      ~aligns:
+        [
+          Tablefmt.Right; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right;
+          Tablefmt.Right; Tablefmt.Right; Tablefmt.Right; Tablefmt.Left;
+          Tablefmt.Left;
+        ]
+      [
+        "shards"; "committed"; "cycles"; "global txns"; "deferrals";
+        "sched time (s)"; "speedup"; "checker"; "conflict-equivalent";
+      ]
+  in
+  let base_time = ref None in
+  let points = ref [] in
+  List.iter
+    (fun shards ->
+      let s, h = Middleware.run_sharded (cfg shards) in
+      let rte = h.Middleware.merged_rte in
+      let by_key = Hashtbl.create (2 * List.length rte) in
+      List.iter
+        (fun r -> Hashtbl.replace by_key (Ds_model.Request.key r) r)
+        rte;
+      let merged =
+        List.filter_map
+          (fun key -> Hashtbl.find_opt by_key key)
+          h.Middleware.merged_execution_order
+      in
+      let report =
+        Ds_check.Serializability.check_committed
+          (Ds_check.Conflict_graph.events_of_requests rte)
+      in
+      let equiv =
+        if shards > 1 then
+          Ds_check.Equivalence.check_sharded ~shards
+            ~shard_of:h.Middleware.shard_of ~reference:rte ~candidate:merged
+            ()
+        else Ds_check.Equivalence.check ~reference:rte ~candidate:merged ()
+      in
+      let sched_time = s.Middleware.scheduler_time in
+      if shards = 1 then base_time := Some sched_time;
+      let speedup =
+        match !base_time with
+        | Some base when sched_time > 0. -> base /. sched_time
+        | _ -> 1.
+      in
+      let clean = Ds_check.Serializability.is_clean report in
+      let equivalent = Ds_check.Equivalence.is_equivalent equiv in
+      points :=
+        (shards, s.Middleware.committed_txns, s.Middleware.cycles,
+         s.Middleware.global_lane_txns, s.Middleware.shard_deferrals,
+         sched_time, speedup, clean, equivalent)
+        :: !points;
+      Tablefmt.add_row t
+        [
+          string_of_int shards;
+          string_of_int s.Middleware.committed_txns;
+          string_of_int s.Middleware.cycles;
+          string_of_int s.Middleware.global_lane_txns;
+          string_of_int s.Middleware.shard_deferrals;
+          Printf.sprintf "%.3f" sched_time;
+          Printf.sprintf "%.2fx" speedup;
+          (if clean then "clean" else "DIRTY");
+          (if equivalent then "yes" else "NO");
+        ])
+    [ 1; 2; 4; 8 ];
+  Tablefmt.print t;
+  note
+    "speedup = total scheduler wall time at S=1 / at S (virtual-time \
+     behavior held fixed). 'global txns' crossed shard boundaries and ran \
+     on the barrier-fenced global lane; 'deferrals' are admissions parked \
+     while the barrier drained. 'checker' validates the stamp-merged rte \
+     (serializability battery); 'conflict-equivalent' additionally checks \
+     router soundness — no conflicting pair split across shard lanes.";
+  match json with
+  | None -> ()
+  | Some path ->
+    let open Ds_obs.Json in
+    let payload =
+      Ds_dst.Stamp.add ~seed:Middleware.default_config.Middleware.seed
+        ~config:[ ("experiment", Str "shards"); ("duration", Num duration) ]
+      @@ Obj
+          [
+            ("experiment", Str "shards");
+            ("duration", Num duration);
+            ("s1_bit_identical", Bool s1_identical);
+            ( "points",
+              List
+                (List.rev_map
+                   (fun (shards, committed, cycles, global_txns, deferrals,
+                         sched_time, speedup, clean, equivalent) ->
+                     Obj
+                       [
+                         ("shards", Num (float_of_int shards));
+                         ( "seed",
+                           Num
+                             (float_of_int
+                                Middleware.default_config.Middleware.seed) );
+                         ("committed", Num (float_of_int committed));
+                         ("cycles", Num (float_of_int cycles));
+                         ("global_lane_txns", Num (float_of_int global_txns));
+                         ("shard_deferrals", Num (float_of_int deferrals));
+                         ("scheduler_time_s", Num sched_time);
+                         ("speedup", Num speedup);
+                         ("checker_clean", Bool clean);
+                         ("conflict_equivalent", Bool equivalent);
+                       ])
+                   !points) );
+          ]
+    in
+    Out_channel.with_open_text path (fun oc ->
+        output_string oc (to_string payload);
+        output_char oc '\n');
+    note "wrote %s" path
+
+(* ------------------------------------------------------------------ *)
 (* Recovery: checkpointed replay vs journal length                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -1560,6 +1724,7 @@ let all_experiments ~window ~runs ~duration ~cycle_scale ~json () =
   faults_sweep ~duration ~json:None ();
   obs_overhead ~duration ();
   parallel_scaling ~duration ~json:None ();
+  shards_scaling ~duration ~json:None ();
   recovery_bench ~duration ~json:None ();
   swarm_bench ~n:25 ~seed:42 ~json:None ()
 
@@ -1595,7 +1760,7 @@ let () =
   in
   let experiment =
     Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT"
-           ~doc:"One of: all, table1, table2, figure2, native-overhead, declarative-overhead, crossover, listing1-micro, succinctness, datalog-vs-sql, optimizer, index, triggers, relaxed, batch-sweep, open-loop, mpl, deadlock-policy, pruning, faults, obs, parallel, recovery, swarm, list.")
+           ~doc:"One of: all, table1, table2, figure2, native-overhead, declarative-overhead, crossover, listing1-micro, succinctness, datalog-vs-sql, optimizer, index, triggers, relaxed, batch-sweep, open-loop, mpl, deadlock-policy, pruning, faults, obs, parallel, shards, recovery, swarm, list.")
   in
   let main experiment window runs duration cycle_scale json history_sizes
       cycles batch swarm_n swarm_seed =
@@ -1622,6 +1787,7 @@ let () =
     | "faults" -> faults_sweep ~duration ~json ()
     | "obs" -> obs_overhead ~duration ()
     | "parallel" -> parallel_scaling ~duration ~json ()
+    | "shards" -> shards_scaling ~duration ~json ()
     | "recovery" -> recovery_bench ~duration ~json ()
     | "swarm" -> swarm_bench ~n:swarm_n ~seed:swarm_seed ~json ()
     | "list" ->
@@ -1629,7 +1795,7 @@ let () =
         "all table1 table2 figure2 native-overhead declarative-overhead \
          crossover listing1-micro succinctness datalog-vs-sql optimizer \
          index triggers relaxed batch-sweep open-loop mpl deadlock-policy \
-         pruning faults obs parallel recovery swarm"
+         pruning faults obs parallel shards recovery swarm"
     | other ->
       Printf.eprintf "unknown experiment %s (try 'list')\n" other;
       exit 2

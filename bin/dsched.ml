@@ -136,6 +136,19 @@ let run_cmd =
              the placement is queryable in the workers/assignment relations \
              ('dsched sql').")
   in
+  let shards =
+    Arg.(
+      value
+      & opt (pos_int_conv "--shards") 1
+      & info [ "shards" ] ~docv:"S"
+          ~doc:
+            "Scheduler shards. With $(docv) > 1 transactions are routed by \
+             object-group footprint to $(docv) independent scheduler lanes \
+             plus a barrier-fenced global lane for multi-group work; the \
+             routing is queryable in the shards/shard_assignment relations \
+             and --journal becomes a segment directory (one journal per \
+             lane, merged on recovery).")
+  in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
   let log_rte =
     Arg.(
@@ -238,9 +251,9 @@ let run_cmd =
             "Print per-SLA-tier latency quantiles (p50/p95/p99) and \
              per-cycle scheduler metrics after the run.")
   in
-  let run protocol clients duration objects passthrough workers seed log_rte
-      faults max_retries queue_cap batch_timeout journal checkpoint hedge
-      trace_out metrics =
+  let run protocol clients duration objects passthrough workers shards seed
+      log_rte faults max_retries queue_cap batch_timeout journal checkpoint
+      hedge trace_out metrics =
     let faulty = not (Faults.is_none faults) in
     let sink = Option.map (fun _ -> Ds_obs.Trace.create ()) trace_out in
     let mets = if metrics then Some (Ds_obs.Metrics.create ()) else None in
@@ -250,6 +263,7 @@ let run_cmd =
         Middleware.n_clients = clients;
         duration;
         workers;
+        shards;
         seed;
         protocol;
         passthrough;
@@ -277,14 +291,18 @@ let run_cmd =
     in
     if faulty then
       Format.printf "fault plan: %a (seed %d)@." Faults.pp_plan faults seed;
-    let s, sched = Middleware.run_full cfg in
+    let s, h = Middleware.run_sharded cfg in
     Format.printf "%a@." Middleware.pp_stats s;
     List.iter
       (fun (tier, mean, p95, n) ->
         Format.printf "  %-8s n=%d latency mean=%.3fs p95=%.3fs@."
           (Sla.tier_to_string tier) n mean p95)
       s.Middleware.latency_by_tier;
-    let dead = Relations.dead_requests (Scheduler.relations sched) in
+    let dead =
+      List.concat_map
+        (fun sched -> Relations.dead_requests (Scheduler.relations sched))
+        (Array.to_list h.Middleware.lane_schedulers)
+    in
     if dead <> [] then begin
       Format.printf "dead-letter relation (%d):@." (List.length dead);
       List.iter (fun r -> Format.printf "  %s@." (Request.to_string r)) dead
@@ -302,7 +320,10 @@ let run_cmd =
     match log_rte with
     | None -> ()
     | Some file ->
-      let log = Relations.rte_requests (Scheduler.relations sched) in
+      (* At S=1 this is exactly the single lane's rte log; at S>1 the
+         admission-stamped merge across lanes, so 'dsched check FILE' sees
+         one globally ordered schedule. *)
+      let log = h.Middleware.merged_rte in
       Ds_workload.Trace.save file log;
       Printf.printf "rte execution log (%d requests) written to %s\n"
         (List.length log) file
@@ -310,7 +331,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ protocol_arg $ clients $ duration $ objects $ passthrough
-      $ workers $ seed $ log_rte $ faults $ max_retries $ queue_cap
+      $ workers $ shards $ seed $ log_rte $ faults $ max_retries $ queue_cap
       $ batch_timeout $ journal $ checkpoint $ hedge $ trace_out $ metrics)
 
 let native_cmd =
@@ -740,7 +761,14 @@ let swarm_cmd =
 let recover_cmd =
   let doc = "Inspect a scheduler journal: recovered pending/history state." in
   let file =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"JOURNAL" ~doc:"Journal file.")
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"JOURNAL"
+          ~doc:
+            "Journal file, or a sharded segment directory (written by 'run \
+             --shards S --journal DIR'); segments are merged into one \
+             admission-ordered replay.")
   in
   let repair =
     Arg.(
@@ -751,7 +779,14 @@ let recover_cmd =
              checksum-valid prefix.")
   in
   let run repair file =
-    let r = Journal.recover ~repair file in
+    let r =
+      if Journal.is_segment_dir file then begin
+        Printf.printf "segment directory: merging %d lane journal(s)\n"
+          (List.length (Journal.segment_paths file));
+        Journal.recover_dir ~repair file
+      end
+      else Journal.recover ~repair file
+    in
     (match r.Journal.checkpoint_cycle with
     | Some c ->
       Printf.printf

@@ -9,6 +9,13 @@ type violation =
       first : int * int;
       second : int * int;
     }
+  | Cross_shard_conflict of {
+      obj : int;
+      first : int * int;
+      second : int * int;
+      shard_a : int;
+      shard_b : int;
+    }
 
 type report = {
   reference_len : int;
@@ -36,6 +43,12 @@ let pp_violation ppf = function
       "conflicting pair on object %d reordered: reference runs %a before %a, \
        candidate the other way"
       obj pp_key first pp_key second
+  | Cross_shard_conflict { obj; first; second; shard_a; shard_b } ->
+    Format.fprintf ppf
+      "conflicting pair on object %d split across shard lanes: %a on lane %d \
+       vs %a on lane %d (the router must escalate such transactions to the \
+       global lane)"
+      obj pp_key first shard_a pp_key second shard_b
 
 let pp_report ppf r =
   Format.fprintf ppf "reference=%d candidate=%d conflicting pairs=%d %s"
@@ -50,7 +63,12 @@ let pp_report ppf r =
    of the comparison should see them. *)
 let executed rs = List.filter (fun r -> not (Request.is_abort_marker r)) rs
 
-let check ?(complete = false) ~reference ~candidate () =
+(* [shard] is [(s_count, shard_of)] when checking a sharded run: any
+   conflicting reference pair whose transactions sit on two {e distinct
+   shard lanes} (neither being the global lane [s_count]) is a router
+   soundness failure — per-lane SS2PL cannot order a conflict it never
+   sees, so such pairs must have been escalated to the global lane. *)
+let check_gen ?shard ?(complete = false) ~reference ~candidate () =
   let reference = executed reference and candidate = executed candidate in
   let violations = ref [] in
   let add v = violations := v :: !violations in
@@ -102,15 +120,34 @@ let check ?(complete = false) ~reference ~candidate () =
             (fun (b : Request.t) ->
               if Request.conflicts a b then begin
                 incr pairs;
-                match
-                  ( Hashtbl.find_opt cand_pos (Request.key a),
-                    Hashtbl.find_opt cand_pos (Request.key b) )
-                with
+                (match
+                   ( Hashtbl.find_opt cand_pos (Request.key a),
+                     Hashtbl.find_opt cand_pos (Request.key b) )
+                 with
                 | Some pa, Some pb when pa > pb ->
                   add
                     (Conflict_reordered
                        { obj; first = Request.key a; second = Request.key b })
-                | _ -> ()
+                | _ -> ());
+                match shard with
+                | None -> ()
+                | Some (s_count, shard_of) -> (
+                  match
+                    (shard_of a.Request.ta, shard_of b.Request.ta)
+                  with
+                  | Some sa, Some sb
+                    when sa <> sb && sa < s_count && sb < s_count
+                         && a.Request.ta <> b.Request.ta ->
+                    add
+                      (Cross_shard_conflict
+                         {
+                           obj;
+                           first = Request.key a;
+                           second = Request.key b;
+                           shard_a = sa;
+                           shard_b = sb;
+                         })
+                  | _ -> ())
               end)
             rest;
           walk rest
@@ -123,3 +160,11 @@ let check ?(complete = false) ~reference ~candidate () =
     pairs_checked = !pairs;
     violations = List.rev !violations;
   }
+
+let check ?complete ~reference ~candidate () =
+  check_gen ?complete ~reference ~candidate ()
+
+let check_sharded ?complete ~shards ~shard_of ~reference ~candidate () =
+  if shards < 2 then
+    invalid_arg "Equivalence.check_sharded: needs at least 2 shards";
+  check_gen ~shard:(shards, shard_of) ?complete ~reference ~candidate ()

@@ -28,6 +28,17 @@ type violation =
       first : int * int;  (** earlier in the reference, [(ta, intrata)] *)
       second : int * int;
     }  (** a conflicting pair the candidate runs in the opposite order *)
+  | Cross_shard_conflict of {
+      obj : int;
+      first : int * int;
+      second : int * int;
+      shard_a : int;  (** lane of [first]'s transaction *)
+      shard_b : int;  (** lane of [second]'s transaction *)
+    }
+      (** only from {!check_sharded}: a conflicting pair whose transactions
+          were routed to two distinct shard lanes — the router failed to
+          escalate a cross-shard conflict to the global lane, so no lane
+          ever ordered it *)
 
 type report = {
   reference_len : int;  (** executed requests (abort markers dropped) *)
@@ -40,6 +51,24 @@ type report = {
     the reference. Abort markers are dropped from both sides first. *)
 val check :
   ?complete:bool ->
+  reference:Request.t list ->
+  candidate:Request.t list ->
+  unit ->
+  report
+
+(** [check_sharded ~shards ~shard_of ~reference ~candidate ()] is {!check}
+    plus {e router soundness}: over the same conflicting reference pairs, if
+    both transactions were routed ([shard_of ta = Some lane]) to two
+    {e distinct} shard lanes (neither being the global lane [shards]), a
+    {!constructor-Cross_shard_conflict} violation is reported — per-lane
+    SS2PL cannot serialize a conflict no single lane observes. Together
+    with per-pair order agreement this certifies global serializability of
+    the merged per-shard rte against the admitted order.
+    @raise Invalid_argument for [shards < 2]. *)
+val check_sharded :
+  ?complete:bool ->
+  shards:int ->
+  shard_of:(int -> int option) ->
   reference:Request.t list ->
   candidate:Request.t list ->
   unit ->

@@ -33,6 +33,9 @@ type replay_state = {
   submitted : (int * int, Request.t) Hashtbl.t;
   mutable order : (int * int) list;  (* submission order, reversed *)
   mutable hist : Request.t list;  (* reversed *)
+  stamps : (int * int, int) Hashtbl.t;
+      (* global admission sequence per qualified key; only sharded journal
+         segments write stamps, so this is empty for unsharded journals *)
   mutable aborts : int list;  (* reversed *)
   mutable dead_ : Request.t list;  (* reversed *)
 }
@@ -42,6 +45,7 @@ let fresh_state () =
     submitted = Hashtbl.create 64;
     order = [];
     hist = [];
+    stamps = Hashtbl.create 64;
     aborts = [];
     dead_ = [];
   }
@@ -50,11 +54,12 @@ let st_submit st r =
   Hashtbl.replace st.submitted (Request.key r) r;
   st.order <- Request.key r :: st.order
 
-let st_qualify st key =
+let st_qualify ?gseq st key =
   match Hashtbl.find_opt st.submitted key with
   | Some r ->
     Hashtbl.remove st.submitted key;
     st.hist <- r :: st.hist;
+    Option.iter (fun g -> Hashtbl.replace st.stamps key g) gseq;
     true
   | None -> false
 
@@ -117,6 +122,17 @@ let log_qualified t keys =
       write_line t (Printf.sprintf "Q %d %d" ta intrata))
     keys
 
+(* Sharded variant: each qualification carries its global admission sequence
+   number (gseq), the merge key that lets {!recover_dir} reassemble one
+   continuous rte across per-shard segments. Unsharded journals keep the
+   2-field Q record byte-for-byte. *)
+let log_qualified_stamped t entries =
+  List.iter
+    (fun (((ta, intrata) as key), gseq) ->
+      ignore (st_qualify ~gseq t.state key);
+      write_line t (Printf.sprintf "Q %d %d %d" ta intrata gseq))
+    entries
+
 let log_abort t ta =
   st_abort t.state ta;
   write_line t (Printf.sprintf "A %d" ta)
@@ -160,8 +176,16 @@ let checkpoint t ~cycle =
   List.iter
     (fun r -> write_line t ("c P " ^ Ds_workload.Trace.line_of_request r))
     pending;
+  (* History entries carry their admission stamp when one was recorded
+     ('c G gseq request'), so a sharded segment's checkpoint preserves the
+     cross-segment merge order; unstamped entries keep the 'c H' form. *)
   List.iter
-    (fun r -> write_line t ("c H " ^ Ds_workload.Trace.line_of_request r))
+    (fun r ->
+      match Hashtbl.find_opt t.state.stamps (Request.key r) with
+      | Some g ->
+        write_line t
+          (Printf.sprintf "c G %d %s" g (Ds_workload.Trace.line_of_request r))
+      | None -> write_line t ("c H " ^ Ds_workload.Trace.line_of_request r))
     hist;
   List.iter (fun ta -> write_line t (Printf.sprintf "c A %d" ta)) aborts;
   List.iter
@@ -195,6 +219,10 @@ let crash t =
 type recovered = {
   pending : Request.t list;
   history : Request.t list;
+  history_stamped : (Request.t * int option) list;
+      (* [history] paired with each entry's global admission sequence, when
+         the journal recorded one (sharded segments only); the merge key
+         {!recover_dir} sorts by *)
   aborted : int list;
   dead : Request.t list;
   replayed : int;
@@ -218,13 +246,21 @@ let apply st lineno line =
     | 'S', rest ->
       st_submit st (Ds_workload.Trace.request_of_line ~lineno rest)
     | 'Q', rest -> (
-      match String.split_on_char ' ' (String.trim rest) with
-      | [ ta; intrata ] -> (
+      (* 2-field: "Q ta intrata" (unsharded); 3-field adds the global
+         admission sequence: "Q ta intrata gseq" (sharded segments). *)
+      let qualify ?gseq ta intrata =
         match (int_of_string_opt ta, int_of_string_opt intrata) with
         | Some ta, Some intrata ->
-          if not (st_qualify st (ta, intrata)) then
+          if not (st_qualify ?gseq st (ta, intrata)) then
             fail "qualified a request that was never submitted"
-        | _ -> fail "malformed Q entry")
+        | _ -> fail "malformed Q entry"
+      in
+      match String.split_on_char ' ' (String.trim rest) with
+      | [ ta; intrata ] -> qualify ta intrata
+      | [ ta; intrata; gseq ] -> (
+        match int_of_string_opt gseq with
+        | Some g -> qualify ~gseq:g ta intrata
+        | None -> fail "malformed Q entry")
       | _ -> fail "malformed Q entry")
     | 'A', rest -> (
       match int_of_string_opt (String.trim rest) with
@@ -338,6 +374,18 @@ let recover ?(repair = false) path =
         | 'H' ->
           st.hist <-
             Ds_workload.Trace.request_of_line ~lineno:(i + 1) rest :: st.hist
+        | 'G' -> (
+          (* stamped history entry: "c G gseq request-line" *)
+          match String.index_opt rest ' ' with
+          | None -> failwith "bad checkpoint entry"
+          | Some sp ->
+            let gseq = int_of_string (String.sub rest 0 sp) in
+            let r =
+              Ds_workload.Trace.request_of_line ~lineno:(i + 1)
+                (String.sub rest (sp + 1) (String.length rest - sp - 1))
+            in
+            Hashtbl.replace st.stamps (Request.key r) gseq;
+            st.hist <- r :: st.hist)
         | 'A' -> st.aborts <- int_of_string (String.trim rest) :: st.aborts
         | 'D' ->
           st.dead_ <-
@@ -461,9 +509,14 @@ let recover ?(repair = false) path =
      done
    with Exit -> ());
   if repair && !valid_bytes < file_len then Unix.truncate path !valid_bytes;
+  let history = List.rev st.hist in
   {
     pending = pending_of_state st;
-    history = List.rev st.hist;
+    history;
+    history_stamped =
+      List.map
+        (fun r -> (r, Hashtbl.find_opt st.stamps (Request.key r)))
+        history;
     aborted = List.rev st.aborts;
     dead = List.rev st.dead_;
     replayed = !replayed;
@@ -605,6 +658,10 @@ let open_ ?(sync = false) ?state path =
   | Some r ->
     List.iter (st_submit st) r.pending;
     st.hist <- List.rev r.history;
+    List.iter
+      (fun (req, g) ->
+        Option.iter (fun g -> Hashtbl.replace st.stamps (Request.key req) g) g)
+      r.history_stamped;
     st.aborts <- List.rev r.aborted;
     st.dead_ <- List.rev r.dead);
   {
@@ -615,6 +672,116 @@ let open_ ?(sync = false) ?state path =
     state = st;
     n_checkpoints = 0;
     n_lines = count_file_lines path;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Segment directories (sharded journals)                              *)
+(*                                                                     *)
+(* A sharded run journals into a directory of per-lane segment files   *)
+(* instead of one flat file:                                           *)
+(*                                                                     *)
+(*   dir/MANIFEST          "dsched-journal-segments 1\nshards S\n"     *)
+(*   dir/shard-<i>.journal i in 0..S-1, lane i's records               *)
+(*   dir/global.journal    the cross-shard (global) lane's records     *)
+(*                                                                     *)
+(* Each segment is an ordinary journal; its Q records carry the global *)
+(* admission sequence (gseq), which [recover_dir] uses to merge the    *)
+(* per-segment histories back into one continuous rte.                 *)
+(* ------------------------------------------------------------------ *)
+
+let manifest_magic = "dsched-journal-segments 1"
+let manifest_path dir = Filename.concat dir "MANIFEST"
+
+let is_segment_dir path =
+  Sys.file_exists path
+  && Sys.is_directory path
+  && Sys.file_exists (manifest_path path)
+
+(* Lane-ordered segment file paths: shard 0..S-1, then the global lane. *)
+let segment_paths_of ~shards dir =
+  List.init shards (fun i ->
+      Filename.concat dir (Printf.sprintf "shard-%d.journal" i))
+  @ [ Filename.concat dir "global.journal" ]
+
+let read_manifest dir =
+  let ic = open_in_bin (manifest_path dir) in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let magic = try input_line ic with End_of_file -> "" in
+  if String.trim magic <> manifest_magic then
+    failwith (Printf.sprintf "%s: not a journal segment manifest" dir);
+  let shards_line = try input_line ic with End_of_file -> "" in
+  match String.split_on_char ' ' (String.trim shards_line) with
+  | [ "shards"; n ] -> (
+    match int_of_string_opt n with
+    | Some s when s > 1 -> s
+    | _ -> failwith (Printf.sprintf "%s: bad shard count in manifest" dir))
+  | _ -> failwith (Printf.sprintf "%s: bad shard count in manifest" dir)
+
+let segment_paths dir = segment_paths_of ~shards:(read_manifest dir) dir
+
+let init_segment_dir dir ~shards =
+  if shards < 2 then
+    invalid_arg "Journal.init_segment_dir: needs at least 2 shards";
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then
+    failwith (Printf.sprintf "%s: exists and is not a directory" dir);
+  let oc = open_out_bin (manifest_path dir) in
+  output_string oc (Printf.sprintf "%s\nshards %d\n" manifest_magic shards);
+  close_out oc;
+  segment_paths_of ~shards dir
+
+let recover_dir ?(repair = false) dir =
+  let paths = segment_paths dir in
+  let segs =
+    List.map
+      (fun p ->
+        if Sys.file_exists p then recover ~repair p
+        else
+          {
+            pending = [];
+            history = [];
+            history_stamped = [];
+            aborted = [];
+            dead = [];
+            replayed = 0;
+            checkpoint_cycle = None;
+            skipped = 0;
+            corrupt_dropped = 0;
+            valid_bytes = 0;
+          })
+      paths
+  in
+  (* Merge: histories interleave by gseq (the admission order each segment
+     persisted); everything else concatenates in lane order.  Entries
+     without a stamp (legacy records in a segment) sort after all stamped
+     ones, preserving their relative order — stable sort. *)
+  let stamped = List.concat_map (fun s -> s.history_stamped) segs in
+  let merged =
+    List.stable_sort
+      (fun (_, a) (_, b) ->
+        compare
+          (Option.value a ~default:max_int)
+          (Option.value b ~default:max_int))
+      stamped
+  in
+  let sum f = List.fold_left (fun acc s -> acc + f s) 0 segs in
+  {
+    pending = List.concat_map (fun s -> s.pending) segs;
+    history = List.map fst merged;
+    history_stamped = merged;
+    aborted = List.concat_map (fun s -> s.aborted) segs;
+    dead = List.concat_map (fun s -> s.dead) segs;
+    replayed = sum (fun s -> s.replayed);
+    checkpoint_cycle =
+      List.fold_left
+        (fun acc s ->
+          match (acc, s.checkpoint_cycle) with
+          | None, c | c, None -> c
+          | Some a, Some b -> Some (max a b))
+        None segs;
+    skipped = sum (fun s -> s.skipped);
+    corrupt_dropped = sum (fun s -> s.corrupt_dropped);
+    valid_bytes = sum (fun s -> s.valid_bytes);
   }
 
 let restore ?(rte = false) recovered rels =

@@ -7,11 +7,17 @@
 
     {v
     S id,ta,intrata,op,obj,sla,arrival    request submitted (Trace format)
-    Q ta intrata                          request qualified -> history
+    Q ta intrata [gseq]                   request qualified -> history
     A ta                                  transaction aborted by the scheduler
     D id,ta,intrata,op,obj,sla,arrival    request dead-lettered (poison)
     P                                     history pruned
     v}
+
+    The optional third [Q] field is the {e global admission sequence}
+    (gseq), written only by sharded runs ({!log_qualified_stamped}): each
+    scheduler lane journals into its own segment, and the gseq is the merge
+    key that lets {!recover_dir} reassemble one continuous rte across
+    segments. Unsharded journals keep the 2-field record byte-for-byte.
 
     Every record is framed as [!crc32 payload] (8 lowercase hex digits), so
     recovery can tell a torn or corrupted record from a valid one instead of
@@ -19,7 +25,9 @@
     still readable.
 
     Periodic {e checkpoints} snapshot the journal's logical state as a block
-    of framed lines ([C BEGIN cycle lines] / [c P|H|A|D entry]* / [C END n]),
+    of framed lines ([C BEGIN cycle lines] / [c P|H|G|A|D entry]* /
+    [C END n] — [c G gseq request] is a history entry carrying its admission
+    stamp),
     where [lines] counts the journal lines preceding the block. Recovery
     seeks backwards for the last complete, checksum-valid block, reads
     {e only} the tail from that point, loads the snapshot directly and
@@ -43,6 +51,9 @@ type t
 type recovered = {
   pending : Request.t list;  (** submitted, not yet qualified, not aborted *)
   history : Request.t list;  (** qualified, in qualification order *)
+  history_stamped : (Request.t * int option) list;
+      (** [history] paired with each entry's global admission sequence when
+          the journal recorded one ([None] for unsharded journals) *)
   aborted : int list;  (** transactions aborted by the middleware *)
   dead : Request.t list;  (** dead-lettered (poison) requests *)
   replayed : int;  (** journal lines applied (suffix only when a checkpoint was used) *)
@@ -66,6 +77,12 @@ val open_ : ?sync:bool -> ?state:recovered -> string -> t
 val close : t -> unit
 val log_submit : t -> Request.t -> unit
 val log_qualified : t -> (int * int) list -> unit
+
+(** Sharded variant of {!log_qualified}: each key carries its global
+    admission sequence number, persisted as a 3-field [Q] record. The gseq
+    is the cross-segment merge key for {!recover_dir}. *)
+val log_qualified_stamped : t -> ((int * int) * int) list -> unit
+
 val log_abort : t -> int -> unit
 
 (** Records a dead-lettered (poison) request so recovery keeps it out of
@@ -112,6 +129,43 @@ val crash : t -> unit
     of the file (a bad record with checksum-valid records after it, or
     unparseable legacy data before the end) raises [Failure]. *)
 val recover : ?repair:bool -> string -> recovered
+
+(** {2 Segment directories (sharded journals)}
+
+    A sharded run ([--shards S], S > 1) journals into a {e directory} of
+    per-lane segment files instead of one flat file:
+
+    {v
+    dir/MANIFEST           "dsched-journal-segments 1" + "shards S"
+    dir/shard-<i>.journal  lane i's records, i in 0..S-1
+    dir/global.journal     the cross-shard (global) lane's records
+    v}
+
+    Each segment is an ordinary journal whose [Q] records carry the global
+    admission sequence, so the per-segment histories can be merged back
+    into the one continuous rte the run actually produced. *)
+
+(** [init_segment_dir dir ~shards] creates [dir] (if missing) and its
+    manifest, returning the lane-ordered segment paths: shards [0..S-1]
+    followed by the global lane.
+    @raise Invalid_argument for [shards < 2]. *)
+val init_segment_dir : string -> shards:int -> string list
+
+(** True iff [path] is a directory containing a segment manifest — how the
+    CLI and recovery tell a sharded journal from a flat file. *)
+val is_segment_dir : string -> bool
+
+(** Lane-ordered segment paths per the directory's manifest.
+    @raise Failure on a missing or malformed manifest. *)
+val segment_paths : string -> string list
+
+(** Recovers every segment in the directory and merges the results into one
+    logical journal: histories interleave by gseq (stable — unstamped
+    legacy entries sort last in lane order), pending/aborted/dead
+    concatenate in lane order, counters sum, and [checkpoint_cycle] is the
+    max across segments. Missing segment files recover as empty (a lane
+    that never journaled anything). [~repair] is applied per segment. *)
+val recover_dir : ?repair:bool -> string -> recovered
 
 (** Rebuilds a relation set from a recovery result: pending requests are
     reinserted into [requests]; the history is restored in order, with abort

@@ -8,6 +8,7 @@ type config = {
   spec : Spec.t;
   cost : Ds_server.Cost_model.t;
   workers : int;
+  shards : int;
   seed : int;
   protocol : Protocol.t;
   trigger : Trigger.t;
@@ -39,6 +40,7 @@ let default_config =
     spec = Spec.paper_default;
     cost = Ds_server.Cost_model.default;
     workers = 1;
+    shards = 1;
     seed = 42;
     protocol = Builtin.ss2pl_ocaml;
     trigger = Trigger.Hybrid (0.01, 50);
@@ -98,6 +100,9 @@ type stats = {
   recovery_replayed : int;
   recovery_skipped : int;
   recovery_time : float;
+  shards : int;
+  global_lane_txns : int;
+  shard_deferrals : int;
 }
 
 type client = {
@@ -113,6 +118,10 @@ type client = {
       (** injected fault: client disconnects after this many data stmts *)
   mutable redo : Txn.t option;
       (** with [client_redo], the txn to re-run after a middleware abort *)
+  mutable lane : int;  (** scheduler lane the current txn is routed to *)
+  mutable entered : bool;
+      (** the current txn has submitted at least one request to its lane
+          (counted in the lane's [active]) and has not yet ended *)
 }
 
 (* One dispatch attempt of a batch. [closed] flips when the attempt ends
@@ -124,24 +133,50 @@ type attempt = {
   mutable undelivered : Request.t list;
 }
 
+(* One scheduler lane. At S=1 there is exactly one lane holding today's
+   single scheduler; at S>1 there are S shard lanes (lane [i] owns object
+   group [i]) plus the global lane at index S, which runs the multi-group
+   transactions behind a drain barrier. Each lane owns a full scheduler
+   (requests/history relations, prepared protocol query), its own backend
+   pool and its own journal segment. *)
+type lane = {
+  lane_id : int;
+  pool : Ds_server.Worker_pool.t;
+  mutable sched : Scheduler.t;
+  mutable journal : Journal.t option;
+  journal_path : string option;
+  mutable fire_pending : bool;
+  mutable last_cycle_at : float;
+  mutable active : int;
+      (** entered, unfinished transactions routed to this lane *)
+  mutable holding : int;
+      (** transactions with admitted (= lock-holding, under SS2PL)
+          requests in this lane; only maintained at S>1 *)
+}
+
 type sim = {
   cfg : config;
   engine : Engine.t;
-  pool : Ds_server.Worker_pool.t;
-  mutable sched : Scheduler.t;
+  lanes : lane array;
   clients : client array;
   by_ta : (int, client) Hashtbl.t;
   rng : Rng.t;
-  journal_path : string option;
-  mutable journal : Journal.t option;
+  route_of : (int, int) Hashtbl.t;
+      (** ta -> lane id, for the whole run (never pruned: the checker's
+          shard_of view) *)
+  holding_tas : (int, unit) Hashtbl.t;
+      (** transactions currently counted in some lane's [holding] *)
+  stamps : (int * int, int) Hashtbl.t;
+      (** qualified key -> global admission sequence (S>1 only) *)
+  gseq : int ref;  (** next global admission sequence number *)
+  stamp : (Request.t -> int) option;
+      (** the {!Scheduler.create} stamp hook shared by every lane (S>1) *)
   mutable faults : Faults.t option;
   mutable epoch : int;  (** bumped at crash; stale server callbacks check it *)
   mutable crash_done : bool;
   mutable cycles_done : int;
   mutable ta_counter : int;
   mutable req_counter : int;
-  mutable cycle_fire_pending : bool;
-  mutable last_cycle_at : float;
   mutable deliveries : int;
       (** run-global delivery counter — the [pos] column of [assignment] *)
   mutable committed_txns : int;
@@ -156,6 +191,8 @@ type sim = {
   mutable dead_lettered : int;
   mutable disconnects : int;
   mutable crashes : int;
+  mutable global_lane_txns : int;
+  mutable shard_deferrals : int;
   mutable checkpoints_acc : int;
       (** checkpoints written by journals already crashed and replaced *)
   mutable recovery_replayed : int;
@@ -177,6 +214,78 @@ let fresh_ta sim client =
 let renumber sim (r : Request.t) =
   sim.req_counter <- sim.req_counter + 1;
   { r with Request.id = sim.req_counter; arrival = Engine.now sim.engine }
+
+(* Deterministic shard router: a transaction's object-group footprint is the
+   set of [obj mod S] over its data operations. Single-group transactions go
+   to the owning shard lane; terminal-only ones (no data footprint) hash by
+   TA; multi-group transactions escalate to the global lane [S]. *)
+let route sim (txn : Txn.t) ~ta =
+  let s = sim.cfg.shards in
+  if s <= 1 then 0
+  else begin
+    let groups = Hashtbl.create 8 in
+    List.iter
+      (fun (r : Request.t) ->
+        match r.Request.obj with
+        | Some o -> Hashtbl.replace groups (o mod s) ()
+        | None -> ())
+      txn.Txn.requests;
+    match Hashtbl.length groups with
+    | 0 -> ta mod s
+    | 1 -> Hashtbl.fold (fun g () _ -> g) groups 0
+    | _ -> s
+  end
+
+let lane_of sim ta =
+  match Hashtbl.find_opt sim.route_of ta with
+  | Some l -> sim.lanes.(l)
+  | None -> sim.lanes.(0)
+
+(* A lane with queued, pending or in-flight transactions. "In-flight"
+   ([active]) matters because a transaction between statements — last
+   response delivered, next not yet submitted — is invisible to both queue
+   and pending counts. *)
+let lane_busy lane =
+  lane.active > 0
+  || Scheduler.queue_length lane.sched > 0
+  || Scheduler.pending_count lane.sched > 0
+
+(* SS2PL across lanes: the global lane admits work only when every shard
+   lane is fully drained (its conflicts may span any pair of shards), and
+   shard lanes admit work only while no global transaction holds locks.
+   Global transactions merely *queued* don't block shard cycles — the
+   shard lanes must keep cycling to drain toward the barrier. *)
+let barrier_clear sim lane =
+  let s = sim.cfg.shards in
+  if s <= 1 then true
+  else if lane.lane_id = s then begin
+    let clear = ref true in
+    for i = 0 to s - 1 do
+      if lane_busy sim.lanes.(i) then clear := false
+    done;
+    !clear
+  end
+  else sim.lanes.(s).holding = 0
+
+(* Centralized transaction teardown: every way a transaction leaves the
+   system (terminal delivered, starved, shed, dead-lettered, disconnected,
+   reconciled away after a crash) goes through here so the lane [active] /
+   [holding] counts the barrier relies on stay consistent. *)
+let end_txn sim ta =
+  (match Hashtbl.find_opt sim.by_ta ta with
+  | Some c ->
+    Hashtbl.remove sim.by_ta ta;
+    if c.entered then begin
+      c.entered <- false;
+      let l = lane_of sim ta in
+      l.active <- l.active - 1
+    end
+  | None -> ());
+  if Hashtbl.mem sim.holding_tas ta then begin
+    Hashtbl.remove sim.holding_tas ta;
+    let l = lane_of sim ta in
+    l.holding <- l.holding - 1
+  end
 
 let rec start_txn sim client =
   let ta = fresh_ta sim client in
@@ -204,7 +313,39 @@ let rec start_txn sim client =
        in
        Faults.draw_disconnect_after f ~data_stmts:data
      | None -> None));
-  submit_next sim client
+  let lane_id = route sim client.txn ~ta in
+  client.lane <- lane_id;
+  client.entered <- false;
+  Hashtbl.replace sim.route_of ta lane_id;
+  if sim.cfg.shards > 1 then begin
+    if lane_id = sim.cfg.shards then
+      sim.global_lane_txns <- sim.global_lane_txns + 1;
+    Relations.record_shard_assignment
+      (Scheduler.relations sim.lanes.(lane_id).sched)
+      ~cycle:sim.cycles_done ~shard:lane_id ~ta;
+    Ds_obs.Trace.emit sim.cfg.trace Ds_obs.Trace.Shard_route ~ta ~seq:(-1)
+      ~arg:lane_id ()
+  end;
+  begin_txn sim client
+
+(* Lane admission control: a NEW shard-lane transaction holds off (timer
+   retry) while the global lane has outstanding work, so the shard lanes
+   drain toward the barrier instead of starving the global lane forever.
+   Global-lane transactions enqueue immediately — they wait at the barrier
+   inside their own lane. Never defers at S=1. *)
+and begin_txn sim client =
+  let s = sim.cfg.shards in
+  if s > 1 && client.lane < s && lane_busy sim.lanes.(s) then begin
+    sim.shard_deferrals <- sim.shard_deferrals + 1;
+    ignore
+      (Engine.schedule sim.engine ~after:0.001 (fun () -> begin_txn sim client))
+  end
+  else begin
+    client.entered <- true;
+    let l = sim.lanes.(client.lane) in
+    l.active <- l.active + 1;
+    submit_next sim client
+  end
 
 and restart_client ?(redo = false) sim client =
   if redo && sim.cfg.client_redo then client.redo <- Some client.txn;
@@ -216,6 +357,7 @@ and submit_next sim client =
   | [] -> ()
   | req :: rest -> (
     let req = renumber sim req in
+    let lane = sim.lanes.(client.lane) in
     let accept () =
       client.remaining <- rest;
       client.outstanding <- Some req;
@@ -224,28 +366,30 @@ and submit_next sim client =
     match sim.cfg.queue_capacity with
     | None ->
       accept ();
-      Scheduler.submit sim.sched req;
-      maybe_fire sim
+      Scheduler.submit lane.sched req;
+      maybe_fire sim lane
     | Some cap -> (
-      match Scheduler.submit_bounded sim.sched ~capacity:cap req with
+      match Scheduler.submit_bounded lane.sched ~capacity:cap req with
       | `Accepted ->
         accept ();
-        maybe_fire sim
+        maybe_fire sim lane
       | `Accepted_shed victim ->
         (* Overload: the queue made room by shedding its least urgent
-           request; that transaction is aborted and its client restarts. *)
+           request; that transaction is aborted and its client restarts.
+           The victim was queued in this same lane, so the abort marker
+           lands in the right history. *)
         accept ();
         sim.shed_txns <- sim.shed_txns + 1;
         sim.aborted_txns <- sim.aborted_txns + 1;
         let vta = victim.Request.ta in
-        ignore (Scheduler.abort_txn sim.sched vta);
+        ignore (Scheduler.abort_txn lane.sched vta);
         (match Hashtbl.find_opt sim.by_ta vta with
         | Some vc ->
-          Hashtbl.remove sim.by_ta vta;
+          end_txn sim vta;
           vc.outstanding <- None;
           restart_client ~redo:true sim vc
         | None -> ());
-        maybe_fire sim
+        maybe_fire sim lane
       | `Rejected ->
         (* Backpressure: nothing queued, nothing journalled — hold the
            request at the client and try again shortly. *)
@@ -255,21 +399,21 @@ and submit_next sim client =
           (Engine.schedule sim.engine ~after:wait (fun () ->
                submit_next sim client))))
 
-and maybe_fire sim =
-  let elapsed = Engine.now sim.engine -. sim.last_cycle_at in
+and maybe_fire sim lane =
+  let elapsed = Engine.now sim.engine -. lane.last_cycle_at in
   if
-    (not sim.cycle_fire_pending)
+    (not lane.fire_pending)
     && Trigger.due sim.cfg.trigger
-         ~queue_len:(Scheduler.queue_length sim.sched)
+         ~queue_len:(Scheduler.queue_length lane.sched)
          ~elapsed
   then begin
-    sim.cycle_fire_pending <- true;
-    ignore (Engine.schedule sim.engine ~after:0. (fun () -> run_cycle sim))
+    lane.fire_pending <- true;
+    ignore (Engine.schedule sim.engine ~after:0. (fun () -> run_cycle sim lane))
   end
 
-and run_cycle sim =
-  sim.cycle_fire_pending <- false;
-  sim.last_cycle_at <- Engine.now sim.engine;
+and run_cycle sim lane =
+  lane.fire_pending <- false;
+  lane.last_cycle_at <- Engine.now sim.engine;
   let crash_now =
     match sim.faults with
     | Some f -> (
@@ -282,13 +426,33 @@ and run_cycle sim =
     sim.crash_done <- true;
     crash_and_recover sim
   end
+  else if not (barrier_clear sim lane) then begin
+    (* Cross-shard barrier: this lane may not admit work right now. Hold
+       the fire and retry shortly — deliveries on the other lanes are what
+       eventually clear it. Never taken at S=1. *)
+    lane.fire_pending <- true;
+    ignore
+      (Engine.schedule sim.engine ~after:0.001 (fun () -> run_cycle sim lane))
+  end
   else if
-    Scheduler.queue_length sim.sched > 0 || Scheduler.pending_count sim.sched > 0
+    Scheduler.queue_length lane.sched > 0
+    || Scheduler.pending_count lane.sched > 0
   then begin
     let qualified, stats =
-      Scheduler.cycle ~passthrough:sim.cfg.passthrough sim.sched
+      Scheduler.cycle ~passthrough:sim.cfg.passthrough lane.sched
     in
     sim.cycles_done <- sim.cycles_done + 1;
+    if sim.cfg.shards > 1 then
+      (* lock-holder accounting for the barrier: a transaction holds locks
+         from its first admitted request until it ends *)
+      List.iter
+        (fun (r : Request.t) ->
+          let ta = r.Request.ta in
+          if not (Hashtbl.mem sim.holding_tas ta) then begin
+            Hashtbl.replace sim.holding_tas ta ();
+            lane.holding <- lane.holding + 1
+          end)
+        qualified;
     let dt = Scheduler.total_time stats.Scheduler.times in
     Ds_stats.Summary.add sim.cycle_times dt;
     Ds_stats.Histogram.add sim.cycle_times_hist dt;
@@ -303,8 +467,11 @@ and run_cycle sim =
           ~query_time:stats.Scheduler.times.Scheduler.query
           ~index_time:stats.Scheduler.index_time ())
       sim.cfg.metrics;
-    (* Starvation accounting: clients whose outstanding request is still
-       pending after this cycle. *)
+    (* Starvation accounting: clients routed to THIS lane whose outstanding
+       request is still pending after this cycle. (A request can only ever
+       qualify in its own lane's cycles, so other lanes' clients are not
+       stalled by this one.) At S=1 every client is on lane 0, which is the
+       historical behavior. *)
     let qualified_keys = Hashtbl.create 64 in
     List.iter
       (fun r -> Hashtbl.replace qualified_keys (Request.key r) ())
@@ -312,12 +479,14 @@ and run_cycle sim =
     Array.iter
       (fun c ->
         match c.outstanding with
-        | Some o when not (Hashtbl.mem qualified_keys (Request.key o)) ->
+        | Some o
+          when c.lane = lane.lane_id
+               && not (Hashtbl.mem qualified_keys (Request.key o)) ->
           c.stall_cycles <- c.stall_cycles + 1;
           if c.stall_cycles >= sim.cfg.starvation_cycles then begin
             let ta = o.Request.ta in
-            ignore (Scheduler.abort_txn sim.sched ta);
-            Hashtbl.remove sim.by_ta ta;
+            ignore (Scheduler.abort_txn lane.sched ta);
+            end_txn sim ta;
             sim.aborted_txns <- sim.aborted_txns + 1;
             c.outstanding <- None;
             restart_client ~redo:true sim c
@@ -329,10 +498,10 @@ and run_cycle sim =
     let cycle = sim.cycles_done in
     ignore
       (Engine.schedule sim.engine ~after:dispatch_delay (fun () ->
-           if sim.epoch = epoch then dispatch sim ~epoch ~cycle qualified))
+           if sim.epoch = epoch then dispatch sim lane ~epoch ~cycle qualified))
   end
 
-and dispatch sim ~epoch ~cycle requests =
+and dispatch sim lane ~epoch ~cycle requests =
   if requests <> [] then begin
     List.iter
       (fun r -> Ds_obs.Trace.emit_req sim.cfg.trace Ds_obs.Trace.Dispatched r)
@@ -349,10 +518,11 @@ and dispatch sim ~epoch ~cycle requests =
                  sim.timeouts <- sim.timeouts + 1;
                  match att.undelivered with
                  | [] -> ()
-                 | r :: _ -> handle_failure sim ~epoch ~cycle r att.undelivered
+                 | r :: _ ->
+                   handle_failure sim lane ~epoch ~cycle r att.undelivered
                end)))
       sim.cfg.batch_timeout;
-    Ds_server.Worker_pool.execute sim.pool requests
+    Ds_server.Worker_pool.execute lane.pool requests
       ~on_each:(fun ~worker ~cls ~pos:_ r ->
         if live () then begin
           (* Parallel workers complete out of batch order, so drop the
@@ -364,7 +534,7 @@ and dispatch sim ~epoch ~cycle requests =
           let pos = sim.deliveries in
           sim.deliveries <- sim.deliveries + 1;
           Relations.record_assignment
-            (Scheduler.relations sim.sched)
+            (Scheduler.relations lane.sched)
             ~cycle ~cls ~worker ~pos r;
           deliver sim r
         end)
@@ -373,11 +543,11 @@ and dispatch sim ~epoch ~cycle requests =
           att.closed <- true;
           match result with
           | `Completed -> ()
-          | `Failed r -> handle_failure sim ~epoch ~cycle r att.undelivered
+          | `Failed r -> handle_failure sim lane ~epoch ~cycle r att.undelivered
         end)
   end
 
-and handle_failure sim ~epoch ~cycle failed undelivered =
+and handle_failure sim lane ~epoch ~cycle failed undelivered =
   let key = Request.key failed in
   let streak =
     1 + Option.value ~default:0 (Hashtbl.find_opt sim.fail_streaks key)
@@ -389,17 +559,17 @@ and handle_failure sim ~epoch ~cycle failed undelivered =
     Hashtbl.remove sim.fail_streaks key;
     sim.dead_lettered <- sim.dead_lettered + 1;
     sim.aborted_txns <- sim.aborted_txns + 1;
-    Scheduler.dead_letter sim.sched failed;
+    Scheduler.dead_letter lane.sched failed;
     let ta = failed.Request.ta in
-    ignore (Scheduler.abort_txn sim.sched ta);
+    ignore (Scheduler.abort_txn lane.sched ta);
     (match Hashtbl.find_opt sim.by_ta ta with
     | Some c ->
-      Hashtbl.remove sim.by_ta ta;
+      end_txn sim ta;
       c.outstanding <- None;
       restart_client ~redo:true sim c
     | None -> ());
     let rest = List.filter (fun q -> Request.key q <> key) undelivered in
-    dispatch sim ~epoch ~cycle rest
+    dispatch sim lane ~epoch ~cycle rest
   end
   else begin
     sim.retries <- sim.retries + 1;
@@ -411,7 +581,7 @@ and handle_failure sim ~epoch ~cycle failed undelivered =
     in
     ignore
       (Engine.schedule sim.engine ~after:backoff (fun () ->
-           if sim.epoch = epoch then dispatch sim ~epoch ~cycle undelivered))
+           if sim.epoch = epoch then dispatch sim lane ~epoch ~cycle undelivered))
   end
 
 and deliver sim (req : Request.t) =
@@ -430,15 +600,15 @@ and deliver sim (req : Request.t) =
           sim.disconnects <- sim.disconnects + 1;
           sim.aborted_txns <- sim.aborted_txns + 1;
           let ta = req.Request.ta in
-          ignore (Scheduler.abort_txn sim.sched ta);
-          Hashtbl.remove sim.by_ta ta;
+          ignore (Scheduler.abort_txn (lane_of sim ta).sched ta);
+          end_txn sim ta;
           restart_client sim client
         | _ -> submit_next sim client
       end
       else begin
         (* Terminal executed: transaction complete. *)
         let now = Engine.now sim.engine in
-        Hashtbl.remove sim.by_ta req.Request.ta;
+        end_txn sim req.Request.ta;
         Ds_obs.Trace.emit_txn sim.cfg.trace
           ~tier:(Sla.tier_to_string client.txn.Txn.sla.Sla.tier)
           (if Op.equal req.Request.op Op.Commit then Ds_obs.Trace.Commit
@@ -472,69 +642,111 @@ and deliver sim (req : Request.t) =
     | Some _ | None -> ())
 
 and crash_and_recover sim =
-  let path =
-    match sim.journal_path with
-    | Some p -> p
-    | None -> invalid_arg "Middleware: crash fault requires a journal"
-  in
   sim.crashes <- sim.crashes + 1;
   (* The epoch bump orphans every in-flight server callback: whatever the
-     backend was executing dies with the middleware process. *)
+     backends were executing dies with the middleware process. *)
   sim.epoch <- sim.epoch + 1;
-  (match sim.journal with
-  | Some j ->
-    sim.checkpoints_acc <- sim.checkpoints_acc + Journal.checkpoints_written j;
-    Journal.crash j
-  | None -> assert false);
   (* Recovery is wall-clock timed end to end (read + replay + restore): with
      checkpointing on, this is the number the recovery bench shows staying
      sublinear in journal length. ~repair truncates any torn tail so the
-     reopened journal appends after the trusted prefix. *)
+     reopened journal appends after the trusted prefix. Every lane crashes
+     and recovers its own journal segment. *)
   let t0 = Unix.gettimeofday () in
-  let recovered = Journal.recover ~repair:true path in
-  (* ~state seeds the new journal's state mirror; a checkpoint written after
-     a blind reopen would snapshot an empty state. *)
-  let j = Journal.open_ ~sync:sim.cfg.sync_journal ~state:recovered path in
-  let sched =
-    Scheduler.create ~extended:sim.cfg.extended_relations
-      ~prune_history_each_cycle:sim.cfg.prune_history ~journal:j
-      ?checkpoint_every:sim.cfg.checkpoint_interval ?trace:sim.cfg.trace
-      sim.cfg.protocol
+  let recovered_by_lane =
+    Array.map
+      (fun lane ->
+        let path =
+          match lane.journal_path with
+          | Some p -> p
+          | None -> invalid_arg "Middleware: crash fault requires a journal"
+        in
+        (match lane.journal with
+        | Some j ->
+          sim.checkpoints_acc <-
+            sim.checkpoints_acc + Journal.checkpoints_written j;
+          Journal.crash j
+        | None -> assert false);
+        let recovered = Journal.recover ~repair:true path in
+        (* ~state seeds the new journal's state mirror; a checkpoint written
+           after a blind reopen would snapshot an empty state. *)
+        let j =
+          Journal.open_ ~sync:sim.cfg.sync_journal ~state:recovered path
+        in
+        let sched =
+          Scheduler.create ~extended:sim.cfg.extended_relations
+            ~prune_history_each_cycle:sim.cfg.prune_history ~journal:j
+            ?checkpoint_every:sim.cfg.checkpoint_interval ?trace:sim.cfg.trace
+            ?stamp:sim.stamp sim.cfg.protocol
+        in
+        (* ~rte keeps the execution log continuous across the crash, so the
+           whole run still check-validates as one schedule. *)
+        Journal.restore ~rte:true recovered (Scheduler.relations sched);
+        sim.recovery_replayed <-
+          sim.recovery_replayed + recovered.Journal.replayed;
+        sim.recovery_skipped <- sim.recovery_skipped + recovered.Journal.skipped;
+        Relations.register_workers (Scheduler.relations sched)
+          ~workers:sim.cfg.workers
+          ~cores:sim.cfg.cost.Ds_server.Cost_model.n_cores;
+        Relations.register_shards (Scheduler.relations sched)
+          ~shards:sim.cfg.shards;
+        lane.journal <- Some j;
+        lane.sched <- sched;
+        lane.fire_pending <- false;
+        recovered)
+      sim.lanes
   in
-  (* ~rte keeps the execution log continuous across the crash, so the whole
-     run still check-validates as one schedule. *)
-  Journal.restore ~rte:true recovered (Scheduler.relations sched);
   sim.recovery_time <- sim.recovery_time +. (Unix.gettimeofday () -. t0);
-  sim.recovery_replayed <- sim.recovery_replayed + recovered.Journal.replayed;
-  sim.recovery_skipped <- sim.recovery_skipped + recovered.Journal.skipped;
-  Relations.register_workers (Scheduler.relations sched)
-    ~workers:sim.cfg.workers ~cores:sim.cfg.cost.Ds_server.Cost_model.n_cores;
-  sim.journal <- Some j;
-  sim.sched <- sched;
-  sim.cycle_fire_pending <- false;
+  (* The admission-order clock survives the crash: reseed the stamp table
+     from the recovered segments and continue the gseq sequence past the
+     largest stamp any segment persisted. *)
+  if sim.cfg.shards > 1 then begin
+    Hashtbl.reset sim.stamps;
+    Array.iter
+      (fun (r : Journal.recovered) ->
+        List.iter
+          (fun ((req : Request.t), g) ->
+            match g with
+            | Some g ->
+              Hashtbl.replace sim.stamps (Request.key req) g;
+              if g >= !(sim.gseq) then sim.gseq := g + 1
+            | None -> ())
+          r.Journal.history_stamped)
+      recovered_by_lane
+  end;
   (* In-flight retry bookkeeping died with the process. *)
   Hashtbl.reset sim.fail_streaks;
-  (* Reconcile every connected client against the recovered relations. *)
+  (* Reconcile every connected client against its own lane's recovered
+     relations (at S=1 there is exactly one lane, the historical path). *)
   let mem_keys rs =
     let tbl = Hashtbl.create (2 * List.length rs) in
     List.iter (fun r -> Hashtbl.replace tbl (Request.key r) ()) rs;
     fun key -> Hashtbl.mem tbl key
   in
-  let in_history = mem_keys recovered.Journal.history in
-  let in_dead = mem_keys recovered.Journal.dead in
-  let in_pending = mem_keys recovered.Journal.pending in
-  let aborted = Hashtbl.create 16 in
-  List.iter (fun ta -> Hashtbl.replace aborted ta ()) recovered.Journal.aborted;
+  let views =
+    Array.map
+      (fun (r : Journal.recovered) ->
+        let aborted = Hashtbl.create 16 in
+        List.iter
+          (fun ta -> Hashtbl.replace aborted ta ())
+          r.Journal.aborted;
+        ( mem_keys r.Journal.history,
+          mem_keys r.Journal.dead,
+          mem_keys r.Journal.pending,
+          aborted ))
+      recovered_by_lane
+  in
   Array.iter
     (fun c ->
       match c.outstanding with
       | None -> ()
       | Some req ->
+        let in_history, in_dead, in_pending, aborted = views.(c.lane) in
+        let lane = sim.lanes.(c.lane) in
         let key = Request.key req in
         let ta = req.Request.ta in
         if Hashtbl.mem aborted ta || in_dead key then begin
           (* The middleware had already given up on this transaction. *)
-          Hashtbl.remove sim.by_ta ta;
+          end_txn sim ta;
           c.outstanding <- None;
           restart_client ~redo:true sim c
         end
@@ -545,9 +757,9 @@ and crash_and_recover sim =
                it now instead of re-delivering. *)
             sim.dead_lettered <- sim.dead_lettered + 1;
             sim.aborted_txns <- sim.aborted_txns + 1;
-            Scheduler.dead_letter sim.sched req;
-            ignore (Scheduler.abort_txn sim.sched ta);
-            Hashtbl.remove sim.by_ta ta;
+            Scheduler.dead_letter lane.sched req;
+            ignore (Scheduler.abort_txn lane.sched ta);
+            end_txn sim ta;
             c.outstanding <- None;
             restart_client ~redo:true sim c
           | _ ->
@@ -563,11 +775,44 @@ and crash_and_recover sim =
         else
           (* The S record was still in the channel buffer when the process
              died; the client resubmits. *)
-          Scheduler.submit sim.sched req)
+          Scheduler.submit lane.sched req)
     sim.clients;
-  maybe_fire sim
+  (* Rebuild the barrier accounting from surviving state: [active] from the
+     clients still connected to a live transaction, [holding] from the
+     restored (lock-holding) histories. *)
+  if sim.cfg.shards > 1 then begin
+    Hashtbl.reset sim.holding_tas;
+    Array.iter
+      (fun l ->
+        l.active <- 0;
+        l.holding <- 0)
+      sim.lanes;
+    Array.iter
+      (fun c ->
+        if c.entered then begin
+          let l = sim.lanes.(c.lane) in
+          l.active <- l.active + 1
+        end)
+      sim.clients;
+    Array.iter
+      (fun l ->
+        List.iter
+          (fun (r : Request.t) ->
+            let ta = r.Request.ta in
+            if
+              (not (Request.is_abort_marker r))
+              && Hashtbl.mem sim.by_ta ta
+              && not (Hashtbl.mem sim.holding_tas ta)
+            then begin
+              Hashtbl.replace sim.holding_tas ta ();
+              l.holding <- l.holding + 1
+            end)
+          (Relations.history_requests (Scheduler.relations l.sched)))
+      sim.lanes
+  end;
+  Array.iter (fun l -> maybe_fire sim l) sim.lanes
 
-let run_full (cfg : config) =
+let run_sim (cfg : config) =
   (match Spec.validate cfg.spec with
   | Ok () -> ()
   | Error m -> invalid_arg ("Middleware.run: " ^ m));
@@ -577,6 +822,7 @@ let run_full (cfg : config) =
   if cfg.max_retries < 0 then
     invalid_arg "Middleware.run: max_retries must be non-negative";
   if cfg.workers < 1 then invalid_arg "Middleware.run: workers must be >= 1";
+  if cfg.shards < 1 then invalid_arg "Middleware.run: shards must be >= 1";
   (match cfg.checkpoint_interval with
   | Some n when n <= 0 ->
     invalid_arg "Middleware.run: checkpoint_interval must be positive"
@@ -590,24 +836,80 @@ let run_full (cfg : config) =
     (fun tr -> Ds_obs.Trace.set_clock tr (fun () -> Engine.now engine))
     cfg.trace;
   let master = Rng.create cfg.seed in
+  (* S shard lanes + 1 global lane; at S=1 a single lane, the historical
+     single-scheduler layout. *)
+  let n_lanes = if cfg.shards > 1 then cfg.shards + 1 else 1 in
   let journal_path, auto_journal =
     match (cfg.journal_path, cfg.faults.Faults.crash_at_cycle) with
     | Some p, _ -> (Some p, false)
-    | None, Some _ -> (Some (Filename.temp_file "dsched" ".journal"), true)
+    | None, Some _ ->
+      let p =
+        if cfg.shards > 1 then begin
+          (* temp_file both reserves and creates the name; drop the file so
+             init_segment_dir can make the directory. *)
+          let p = Filename.temp_file "dsched" ".journal.d" in
+          Sys.remove p;
+          p
+        end
+        else Filename.temp_file "dsched" ".journal"
+      in
+      (Some p, true)
     | None, None -> (None, false)
   in
-  let journal = Option.map (fun p -> Journal.open_ ~sync:cfg.sync_journal p) journal_path in
-  let sched =
-    Scheduler.create ~extended:cfg.extended_relations
-      ~prune_history_each_cycle:cfg.prune_history ?journal
-      ?checkpoint_every:cfg.checkpoint_interval ?trace:cfg.trace cfg.protocol
+  let lane_paths =
+    match journal_path with
+    | None -> Array.make n_lanes None
+    | Some p ->
+      if cfg.shards > 1 then
+        Array.of_list
+          (List.map Option.some (Journal.init_segment_dir p ~shards:cfg.shards))
+      else [| Some p |]
+  in
+  (* The global admission clock (S>1 only): every qualification, in every
+     lane, draws the next gseq through this hook. The scheduler journals the
+     stamp with the Q record, so the merged order is recoverable. *)
+  let stamps = Hashtbl.create 1024 in
+  let gseq = ref 0 in
+  let stamp_hook =
+    if cfg.shards > 1 then
+      Some
+        (fun (r : Request.t) ->
+          let g = !gseq in
+          incr gseq;
+          Hashtbl.replace stamps (Request.key r) g;
+          g)
+    else None
+  in
+  let lanes =
+    Array.init n_lanes (fun i ->
+        let journal =
+          Option.map
+            (fun p -> Journal.open_ ~sync:cfg.sync_journal p)
+            lane_paths.(i)
+        in
+        let sched =
+          Scheduler.create ~extended:cfg.extended_relations
+            ~prune_history_each_cycle:cfg.prune_history ?journal
+            ?checkpoint_every:cfg.checkpoint_interval ?trace:cfg.trace
+            ?stamp:stamp_hook cfg.protocol
+        in
+        {
+          lane_id = i;
+          pool = Ds_server.Worker_pool.create engine cfg.cost ~workers:cfg.workers;
+          sched;
+          journal;
+          journal_path = lane_paths.(i);
+          fire_pending = false;
+          last_cycle_at = 0.;
+          active = 0;
+          holding = 0;
+        })
   in
   let sim =
     {
       cfg;
       engine;
-      pool = Ds_server.Worker_pool.create engine cfg.cost ~workers:cfg.workers;
-      sched;
+      lanes;
       clients =
         Array.init cfg.n_clients (fun i ->
             {
@@ -621,19 +923,22 @@ let run_full (cfg : config) =
               data_stmts = 0;
               disconnect_after = None;
               redo = None;
+              lane = 0;
+              entered = false;
             });
       by_ta = Hashtbl.create (4 * cfg.n_clients);
       rng = Rng.split master;
-      journal_path;
-      journal;
+      route_of = Hashtbl.create (4 * cfg.n_clients);
+      holding_tas = Hashtbl.create 64;
+      stamps;
+      gseq;
+      stamp = stamp_hook;
       faults = None;
       epoch = 0;
       crash_done = false;
       cycles_done = 0;
       ta_counter = 0;
       req_counter = 0;
-      cycle_fire_pending = false;
-      last_cycle_at = 0.;
       deliveries = 0;
       committed_txns = 0;
       committed_stmts = 0;
@@ -646,6 +951,8 @@ let run_full (cfg : config) =
       dead_lettered = 0;
       disconnects = 0;
       crashes = 0;
+      global_lane_txns = 0;
+      shard_deferrals = 0;
       checkpoints_acc = 0;
       recovery_replayed = 0;
       recovery_skipped = 0;
@@ -660,77 +967,85 @@ let run_full (cfg : config) =
   in
   (* Split the fault stream after clients and sim.rng so no-fault runs keep
      the exact RNG draws (and behavior) they had before faults existed. *)
-  Ds_server.Worker_pool.set_trace sim.pool cfg.trace;
-  Relations.register_workers (Scheduler.relations sched) ~workers:cfg.workers
-    ~cores:cfg.cost.Ds_server.Cost_model.n_cores;
-  (* Supervision deadlines: explicit factor wins; otherwise armed with a
-     conservative default only when the plan injects worker faults (so
-     fault-free runs keep their exact event timing). *)
-  (match cfg.deadline_factor with
-  | Some f -> Ds_server.Worker_pool.set_deadline_factor sim.pool (Some f)
-  | None ->
-    if Faults.has_worker_faults cfg.faults then
-      Ds_server.Worker_pool.set_deadline_factor sim.pool (Some 4.0));
-  if cfg.hedging then Ds_server.Worker_pool.set_hedging sim.pool true;
-  if cfg.workers > 1 then
-    (* Supervisor decisions land in the [supervision] relation and the trace.
-       The hook reads [sim.sched] at event time, so it survives the scheduler
-       swap done by crash recovery. *)
-    Ds_server.Worker_pool.set_event_hook sim.pool
-      (Some
-         (fun ev ->
-           let rels = Scheduler.relations sim.sched in
-           let cycle = sim.cycles_done in
-           match ev with
-           | Ds_server.Worker_pool.Worker_crashed { worker } ->
-             Relations.record_supervision rels ~cycle ~worker ~event:"crash"
-               ~cls:(-1);
-             Ds_obs.Trace.emit cfg.trace Ds_obs.Trace.Worker_down ~ta:(-1)
-               ~seq:(-1) ~arg:worker ()
-           | Ds_server.Worker_pool.Worker_died { worker } ->
-             Relations.record_supervision rels ~cycle ~worker ~event:"death"
-               ~cls:(-1);
-             Ds_obs.Trace.emit cfg.trace Ds_obs.Trace.Worker_down ~ta:(-1)
-               ~seq:(-1) ~arg:worker ()
-           | Ds_server.Worker_pool.Worker_stuck { worker; cls } ->
-             Relations.record_supervision rels ~cycle ~worker ~event:"stuck"
-               ~cls;
-             Ds_obs.Trace.emit cfg.trace Ds_obs.Trace.Worker_down ~ta:(-1)
-               ~seq:(-1) ~obj:cls ~arg:worker ()
-           | Ds_server.Worker_pool.Class_reassigned { cls; from_; to_ } ->
-             Relations.record_supervision rels ~cycle ~worker:from_
-               ~event:"reassign" ~cls;
-             Ds_obs.Trace.emit cfg.trace Ds_obs.Trace.Reassign ~ta:(-1)
-               ~seq:(-1) ~obj:cls ~arg:to_ ()
-           | Ds_server.Worker_pool.Class_hedged { cls; from_; to_ } ->
-             Relations.record_supervision rels ~cycle ~worker:from_
-               ~event:"hedge" ~cls;
-             Ds_obs.Trace.emit cfg.trace Ds_obs.Trace.Reassign ~ta:(-1)
-               ~seq:(-1) ~obj:cls ~arg:to_ ()));
+  Array.iter
+    (fun lane ->
+      Ds_server.Worker_pool.set_trace lane.pool cfg.trace;
+      Relations.register_workers (Scheduler.relations lane.sched)
+        ~workers:cfg.workers ~cores:cfg.cost.Ds_server.Cost_model.n_cores;
+      Relations.register_shards (Scheduler.relations lane.sched)
+        ~shards:cfg.shards;
+      (* Supervision deadlines: explicit factor wins; otherwise armed with a
+         conservative default only when the plan injects worker faults (so
+         fault-free runs keep their exact event timing). *)
+      (match cfg.deadline_factor with
+      | Some f -> Ds_server.Worker_pool.set_deadline_factor lane.pool (Some f)
+      | None ->
+        if Faults.has_worker_faults cfg.faults then
+          Ds_server.Worker_pool.set_deadline_factor lane.pool (Some 4.0));
+      if cfg.hedging then Ds_server.Worker_pool.set_hedging lane.pool true;
+      if cfg.workers > 1 then
+        (* Supervisor decisions land in the [supervision] relation and the
+           trace. The hook reads [lane.sched] at event time, so it survives
+           the scheduler swap done by crash recovery. *)
+        Ds_server.Worker_pool.set_event_hook lane.pool
+          (Some
+             (fun ev ->
+               let rels = Scheduler.relations lane.sched in
+               let cycle = sim.cycles_done in
+               match ev with
+               | Ds_server.Worker_pool.Worker_crashed { worker } ->
+                 Relations.record_supervision rels ~cycle ~worker ~event:"crash"
+                   ~cls:(-1);
+                 Ds_obs.Trace.emit cfg.trace Ds_obs.Trace.Worker_down ~ta:(-1)
+                   ~seq:(-1) ~arg:worker ()
+               | Ds_server.Worker_pool.Worker_died { worker } ->
+                 Relations.record_supervision rels ~cycle ~worker ~event:"death"
+                   ~cls:(-1);
+                 Ds_obs.Trace.emit cfg.trace Ds_obs.Trace.Worker_down ~ta:(-1)
+                   ~seq:(-1) ~arg:worker ()
+               | Ds_server.Worker_pool.Worker_stuck { worker; cls } ->
+                 Relations.record_supervision rels ~cycle ~worker ~event:"stuck"
+                   ~cls;
+                 Ds_obs.Trace.emit cfg.trace Ds_obs.Trace.Worker_down ~ta:(-1)
+                   ~seq:(-1) ~obj:cls ~arg:worker ()
+               | Ds_server.Worker_pool.Class_reassigned { cls; from_; to_ } ->
+                 Relations.record_supervision rels ~cycle ~worker:from_
+                   ~event:"reassign" ~cls;
+                 Ds_obs.Trace.emit cfg.trace Ds_obs.Trace.Reassign ~ta:(-1)
+                   ~seq:(-1) ~obj:cls ~arg:to_ ()
+               | Ds_server.Worker_pool.Class_hedged { cls; from_; to_ } ->
+                 Relations.record_supervision rels ~cycle ~worker:from_
+                   ~event:"hedge" ~cls;
+                 Ds_obs.Trace.emit cfg.trace Ds_obs.Trace.Reassign ~ta:(-1)
+                   ~seq:(-1) ~obj:cls ~arg:to_ ())))
+    sim.lanes;
   if not (Faults.is_none cfg.faults) then begin
     let f = Faults.create cfg.faults (Rng.split master) in
     sim.faults <- Some f;
-    Ds_server.Worker_pool.set_fault_hook sim.pool (Faults.request_outcome f);
-    if Faults.has_worker_faults cfg.faults then
-      Ds_server.Worker_pool.set_worker_fault_hook sim.pool
-        (Some
-           (fun ~alive ->
-             List.map
-               (function
-                 | Faults.Worker_crash { worker; after } ->
-                   Ds_server.Worker_pool.Crash { worker; after }
-                 | Faults.Worker_death { worker } ->
-                   Ds_server.Worker_pool.Die { worker }
-                 | Faults.Worker_stall { worker; delay } ->
-                   Ds_server.Worker_pool.Slow { worker; delay })
-               (Faults.draw_worker_faults f ~alive)))
+    Array.iter
+      (fun lane ->
+        Ds_server.Worker_pool.set_fault_hook lane.pool (Faults.request_outcome f);
+        if Faults.has_worker_faults cfg.faults then
+          Ds_server.Worker_pool.set_worker_fault_hook lane.pool
+            (Some
+               (fun ~alive ->
+                 List.map
+                   (function
+                     | Faults.Worker_crash { worker; after } ->
+                       Ds_server.Worker_pool.Crash { worker; after }
+                     | Faults.Worker_death { worker } ->
+                       Ds_server.Worker_pool.Die { worker }
+                     | Faults.Worker_stall { worker; delay } ->
+                       Ds_server.Worker_pool.Slow { worker; delay })
+                   (Faults.draw_worker_faults f ~alive))))
+      sim.lanes
   end;
   (* Periodic timer for time-based triggers; it re-checks pending work even
      when no client is submitting. *)
   (match Trigger.period cfg.trigger with
   | Some dt ->
     let rec tick () =
-      maybe_fire sim;
+      Array.iter (fun l -> maybe_fire sim l) sim.lanes;
       if Engine.now engine < cfg.duration then
         ignore (Engine.schedule engine ~after:dt tick)
     in
@@ -738,16 +1053,19 @@ let run_full (cfg : config) =
   | None ->
     (* Pure fill triggers can stall when every client is blocked with
        queue_len < k; a slow fallback timer keeps firing as long as work is
-       sitting in the incoming queue or the pending table. *)
+       sitting in an incoming queue or a pending table. *)
     let rec tick () =
-      if
-        (Scheduler.queue_length sim.sched > 0
-        || Scheduler.pending_count sim.sched > 0)
-        && not sim.cycle_fire_pending
-      then begin
-        sim.cycle_fire_pending <- true;
-        ignore (Engine.schedule engine ~after:0. (fun () -> run_cycle sim))
-      end;
+      Array.iter
+        (fun l ->
+          if
+            (Scheduler.queue_length l.sched > 0
+            || Scheduler.pending_count l.sched > 0)
+            && not l.fire_pending
+          then begin
+            l.fire_pending <- true;
+            ignore (Engine.schedule engine ~after:0. (fun () -> run_cycle sim l))
+          end)
+        sim.lanes;
       if Engine.now engine < cfg.duration then
         ignore (Engine.schedule engine ~after:0.05 tick)
     in
@@ -756,40 +1074,60 @@ let run_full (cfg : config) =
     (fun c -> ignore (Engine.schedule engine ~after:0. (fun () -> start_txn sim c)))
     sim.clients;
   Engine.run_until engine ~until:cfg.duration;
-  let makespans = Ds_server.Worker_pool.makespans sim.pool in
+  let sum_pools f = Array.fold_left (fun acc l -> acc + f l.pool) 0 sim.lanes in
+  let makespans =
+    if n_lanes = 1 then Ds_server.Worker_pool.makespans sim.lanes.(0).pool
+    else begin
+      let merged = Ds_stats.Histogram.create () in
+      Array.iter
+        (fun l ->
+          Ds_stats.Histogram.merge_into ~dst:merged
+            (Ds_server.Worker_pool.makespans l.pool))
+        sim.lanes;
+      merged
+    end
+  in
   Option.iter
     (fun m ->
       Ds_obs.Metrics.set_parallel m
         {
           Ds_obs.Metrics.workers = cfg.workers;
-          batches = Ds_server.Worker_pool.batch_count sim.pool;
+          batches = sum_pools Ds_server.Worker_pool.batch_count;
           makespan_mean = Ds_stats.Histogram.mean makespans;
           makespan_p95 = Ds_stats.Histogram.p95 makespans;
           makespan_max = Ds_stats.Histogram.max_observed makespans;
           per_worker =
-            List.map
-              (fun (worker, executed, busy, utilization) ->
-                { Ds_obs.Metrics.worker; executed; busy; utilization })
-              (Ds_server.Worker_pool.worker_stats sim.pool);
+            List.concat_map
+              (fun l ->
+                List.map
+                  (fun (worker, executed, busy, utilization) ->
+                    { Ds_obs.Metrics.worker; executed; busy; utilization })
+                  (Ds_server.Worker_pool.worker_stats l.pool))
+              (Array.to_list sim.lanes);
         })
     cfg.metrics;
   let checkpoints =
     sim.checkpoints_acc
-    + (match sim.journal with
-      | Some j -> Journal.checkpoints_written j
-      | None -> 0)
+    + Array.fold_left
+        (fun acc l ->
+          acc
+          +
+          match l.journal with
+          | Some j -> Journal.checkpoints_written j
+          | None -> 0)
+        0 sim.lanes
   in
   Option.iter
     (fun m ->
       Ds_obs.Metrics.set_supervision m
         {
           Ds_obs.Metrics.worker_crashes =
-            Ds_server.Worker_pool.worker_crashes sim.pool;
-          worker_deaths = Ds_server.Worker_pool.worker_deaths sim.pool;
+            sum_pools Ds_server.Worker_pool.worker_crashes;
+          worker_deaths = sum_pools Ds_server.Worker_pool.worker_deaths;
           stalls_detected =
-            Ds_server.Worker_pool.worker_stalls_detected sim.pool;
-          reassigned = Ds_server.Worker_pool.reassigned_classes sim.pool;
-          hedged = Ds_server.Worker_pool.hedged_classes sim.pool;
+            sum_pools Ds_server.Worker_pool.worker_stalls_detected;
+          reassigned = sum_pools Ds_server.Worker_pool.reassigned_classes;
+          hedged = sum_pools Ds_server.Worker_pool.hedged_classes;
           checkpoints;
           recoveries = sim.crashes;
           recovery_replayed = sim.recovery_replayed;
@@ -797,9 +1135,20 @@ let run_full (cfg : config) =
           recovery_time = sim.recovery_time;
         })
     cfg.metrics;
-  Option.iter Journal.close sim.journal;
+  Array.iter (fun l -> Option.iter Journal.close l.journal) sim.lanes;
   if auto_journal then
-    Option.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) journal_path;
+    Option.iter
+      (fun p ->
+        if cfg.shards > 1 then (
+          try
+            List.iter
+              (fun seg -> try Sys.remove seg with Sys_error _ -> ())
+              (Journal.segment_paths p);
+            Sys.remove (Filename.concat p "MANIFEST");
+            Sys.rmdir p
+          with Sys_error _ | Failure _ -> ())
+        else try Sys.remove p with Sys_error _ -> ())
+      journal_path;
   let tiers =
     Hashtbl.fold
       (fun tier (hist, count) acc ->
@@ -833,22 +1182,88 @@ let run_full (cfg : config) =
       disconnects = sim.disconnects;
       crashes = sim.crashes;
       workers = cfg.workers;
-      batches_dispatched = Ds_server.Worker_pool.batch_count sim.pool;
+      batches_dispatched = sum_pools Ds_server.Worker_pool.batch_count;
       mean_batch_makespan = Ds_stats.Histogram.mean makespans;
       p95_batch_makespan = Ds_stats.Histogram.p95 makespans;
-      worker_crashes = Ds_server.Worker_pool.worker_crashes sim.pool;
-      worker_deaths = Ds_server.Worker_pool.worker_deaths sim.pool;
-      worker_stalls = Ds_server.Worker_pool.worker_stalls_detected sim.pool;
-      reassigned_classes = Ds_server.Worker_pool.reassigned_classes sim.pool;
-      hedged_classes = Ds_server.Worker_pool.hedged_classes sim.pool;
+      worker_crashes = sum_pools Ds_server.Worker_pool.worker_crashes;
+      worker_deaths = sum_pools Ds_server.Worker_pool.worker_deaths;
+      worker_stalls = sum_pools Ds_server.Worker_pool.worker_stalls_detected;
+      reassigned_classes = sum_pools Ds_server.Worker_pool.reassigned_classes;
+      hedged_classes = sum_pools Ds_server.Worker_pool.hedged_classes;
       checkpoints;
       recovery_replayed = sim.recovery_replayed;
       recovery_skipped = sim.recovery_skipped;
       recovery_time = sim.recovery_time;
+      shards = cfg.shards;
+      global_lane_txns = sim.global_lane_txns;
+      shard_deferrals = sim.shard_deferrals;
     },
-    sim.sched )
+    sim )
 
-let run cfg = fst (run_full cfg)
+let run_full (cfg : config) =
+  if cfg.shards > 1 then
+    invalid_arg "Middleware.run_full: shards > 1 requires run_sharded";
+  let stats, sim = run_sim cfg in
+  (stats, sim.lanes.(0).sched)
+
+let run cfg = fst (run_sim cfg)
+
+type handle = {
+  lane_schedulers : Scheduler.t array;
+  shard_of : int -> int option;
+  merged_rte : Request.t list;
+  merged_execution_order : (int * int) list;
+}
+
+let run_sharded (cfg : config) =
+  let stats, sim = run_sim cfg in
+  let lane_schedulers = Array.map (fun l -> l.sched) sim.lanes in
+  let shard_of ta = Hashtbl.find_opt sim.route_of ta in
+  let merged_rte =
+    if Array.length sim.lanes = 1 then
+      Relations.rte_requests (Scheduler.relations sim.lanes.(0).sched)
+    else
+      (* The per-lane rte logs interleave by admission stamp: every executed
+         request was qualified, hence stamped, so the merge reconstructs the
+         one global admission order the stamp hook handed out. *)
+      Array.to_list sim.lanes
+      |> List.concat_map (fun l ->
+             Relations.rte_requests (Scheduler.relations l.sched))
+      |> List.map (fun (r : Request.t) ->
+             ( (match Hashtbl.find_opt sim.stamps (Request.key r) with
+               | Some g -> g
+               | None -> max_int),
+               r ))
+      |> List.stable_sort (fun (a, _) (b, _) -> compare a b)
+      |> List.map snd
+  in
+  let merged_execution_order =
+    if Array.length sim.lanes = 1 then
+      Relations.execution_order (Scheduler.relations sim.lanes.(0).sched)
+    else
+      (* Delivery positions come from the run-global [sim.deliveries]
+         counter, so sorting the union of per-lane assignment rows by [pos]
+         is the actual cross-lane delivery order. *)
+      Array.to_list sim.lanes
+      |> List.concat_map (fun l ->
+             List.filter_map
+               (fun row ->
+                 match row with
+                 | [|
+                     _;
+                     _;
+                     _;
+                     Ds_relal.Value.Int ta;
+                     Ds_relal.Value.Int intrata;
+                     Ds_relal.Value.Int pos;
+                   |] ->
+                   Some (pos, (ta, intrata))
+                 | _ -> None)
+               (Relations.table_facts (Scheduler.relations l.sched) "assignment"))
+      |> List.sort compare
+      |> List.map snd
+  in
+  (stats, { lane_schedulers; shard_of; merged_rte; merged_execution_order })
 
 let pp_stats ppf (s : stats) =
   Format.fprintf ppf
@@ -887,4 +1302,7 @@ let pp_stats ppf (s : stats) =
     Format.fprintf ppf
       " recovery(checkpoints=%d replayed=%d skipped=%d time=%.3fms)"
       s.checkpoints s.recovery_replayed s.recovery_skipped
-      (1000. *. s.recovery_time)
+      (1000. *. s.recovery_time);
+  if s.shards > 1 then
+    Format.fprintf ppf " shards(lanes=%d global_txns=%d deferrals=%d)" s.shards
+      s.global_lane_txns s.shard_deferrals

@@ -44,7 +44,34 @@
       death, stall) are survived by the pool supervisor: unstarted conflict
       classes move to surviving workers, stragglers are detected against
       per-class execution deadlines and optionally hedged, and every
-      decision is logged in the [supervision] relation and the trace. *)
+      decision is logged in the [supervision] relation and the trace.
+
+    {2 Sharding}
+
+    With [shards = S > 1] the middleware runs S+1 scheduler {e lanes}: shard
+    lane [i] owns object group [i] (objects with [obj mod S = i]) and a
+    global lane at index [S] runs every transaction whose footprint spans
+    more than one group. Each lane is a full scheduler — its own
+    [requests]/[history] relations, prepared protocol query, trigger state,
+    backend pool and journal segment ([journal_path] becomes a directory of
+    per-lane segments with a manifest; see {!Journal.init_segment_dir}).
+
+    Routing is deterministic from the transaction's object footprint, done
+    once at submission ({e before} any statement runs), and recorded in the
+    routed lane's [shard_assignment] relation. Cross-shard SS2PL is kept by
+    a drain barrier: the global lane admits work only when every shard lane
+    is idle, and shard lanes admit work only while no global transaction
+    holds locks; newly arriving shard transactions defer (counted in
+    [shard_deferrals]) while the global lane has outstanding work. Every
+    qualification draws a run-global admission stamp that is journalled with
+    the Q record, so the per-lane execution logs merge into one totally
+    ordered schedule — {!run_sharded} returns it, and
+    {!Ds_check.Equivalence.check_sharded} verifies it, including that no
+    conflicting pair was ever split across two shard lanes.
+
+    [shards = 1] (default) is bit-identical to the historical
+    single-scheduler middleware: one lane, no stamps, no barrier, and a
+    plain single-file journal. *)
 
 open Ds_model
 open Ds_workload
@@ -61,6 +88,11 @@ type config = {
           being logged in the [workers]/[assignment] relations. [1]
           (default) is the paper's single sequential server, bit-identical
           to the pre-pool behavior. *)
+  shards : int;
+      (** scheduler lanes; [1] (default) is the single scheduler, [S > 1]
+          runs S shard lanes plus a global lane for cross-shard
+          transactions (see {e Sharding} above). Each lane gets its own
+          [workers]-sized pool. *)
   seed : int;
   protocol : Protocol.t;
   trigger : Trigger.t;
@@ -145,12 +177,43 @@ type stats = {
   recovery_replayed : int;  (** journal lines replayed across recoveries *)
   recovery_skipped : int;  (** lines skipped thanks to checkpoints *)
   recovery_time : float;  (** real seconds spent in crash recovery *)
+  shards : int;  (** shard lanes the run executed with (1 = unsharded) *)
+  global_lane_txns : int;
+      (** transactions routed to the global lane (0 when [shards = 1]) *)
+  shard_deferrals : int;
+      (** shard-lane transaction starts held back by the cross-shard
+          barrier (0 when [shards = 1]) *)
 }
 
 val run : config -> stats
 
 (** Like {!run}, also returning the scheduler so callers can inspect the
-    relations afterwards (e.g. the [rte] execution log). *)
+    relations afterwards (e.g. the [rte] execution log). Only valid for
+    [shards = 1] configs; raises [Invalid_argument] otherwise — sharded runs
+    go through {!run_sharded}, which exposes every lane. *)
 val run_full : config -> stats * Scheduler.t
+
+(** Post-run inspection surface of a (possibly) sharded run. *)
+type handle = {
+  lane_schedulers : Scheduler.t array;
+      (** lane [i]'s scheduler; index [shards] is the global lane. A single
+          element when [shards = 1]. *)
+  shard_of : int -> int option;
+      (** the lane each transaction was routed to, for the whole run
+          (including aborted and retried transactions) — the view
+          {!Ds_check.Equivalence.check_sharded} consumes *)
+  merged_rte : Request.t list;
+      (** per-lane [rte] logs merged by global admission stamp: the run's
+          single serial-equivalent execution order. At [shards = 1] this is
+          exactly the one lane's [rte]. *)
+  merged_execution_order : (int * int) list;
+      (** [(ta, intrata)] per delivered request in cross-lane delivery
+          order (the union of per-lane [assignment] rows sorted by the
+          run-global position column) *)
+}
+
+(** {!run} for any [shards >= 1], returning the lanes and the merged
+    cross-shard artifacts for checking. *)
+val run_sharded : config -> stats * handle
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -10,6 +10,8 @@ type t = {
   workers : Table.t;
   assignment : Table.t;
   supervision : Table.t;
+  shards : Table.t;
+  shard_assignment : Table.t;
   extended : bool;
 }
 
@@ -64,6 +66,23 @@ let supervision_schema =
       Schema.column "cls" Schema.Tint;
     ]
 
+(* The sharding configuration and routing decisions, kept relational like
+   every other scheduler decision: [shards] maps each scheduler lane to the
+   object group it owns ([groups] = -1 for the global lane, which owns every
+   group), [shard_assignment] logs which lane each transaction was routed to
+   and at which scheduler cycle the routing happened. *)
+let shards_schema =
+  Schema.of_list
+    [ Schema.column "shard" Schema.Tint; Schema.column "groups" Schema.Tint ]
+
+let shard_assignment_schema =
+  Schema.of_list
+    [
+      Schema.column "cycle" Schema.Tint;
+      Schema.column "shard" Schema.Tint;
+      Schema.column "ta" Schema.Tint;
+    ]
+
 let create ?(extended = false) () =
   let s = schema ~extended in
   let requests = Table.create ~name:"requests" s in
@@ -87,9 +106,18 @@ let create ?(extended = false) () =
   Table.create_index assignment [ 2 ];
   (* worker: per-worker sub-schedule probes *)
   let supervision = Table.create ~name:"supervision" supervision_schema in
+  let shards = Table.create ~name:"shards" shards_schema in
+  let shard_assignment =
+    Table.create ~name:"shard_assignment" shard_assignment_schema
+  in
+  Table.create_index shard_assignment [ 1 ];
+  (* shard: per-lane routing probes *)
   let catalog = Ds_sql.Catalog.create () in
   List.iter (Ds_sql.Catalog.register catalog)
-    [ requests; history; rte; dead; workers; assignment; supervision ];
+    [
+      requests; history; rte; dead; workers; assignment; supervision; shards;
+      shard_assignment;
+    ];
   {
     catalog;
     requests;
@@ -99,6 +127,8 @@ let create ?(extended = false) () =
     workers;
     assignment;
     supervision;
+    shards;
+    shard_assignment;
     extended;
   }
 
@@ -306,6 +336,24 @@ let record_assignment t ~cycle ~cls ~worker ~pos (r : Request.t) =
 
 let assignment_count t = Table.row_count t.assignment
 
+(* One row per shard lane: shard s owns object group s (objects with
+   [obj mod shards = s]); the global lane, when present, is lane [shards]
+   with [groups] = -1 ("all groups"). *)
+let register_shards t ~shards:n =
+  Table.clear t.shards;
+  if n > 1 then
+    Table.insert_many t.shards
+      (List.init (n + 1) (fun s ->
+           [| Value.Int s; Value.Int (if s = n then -1 else s) |]))
+
+let shard_count t = Table.row_count t.shards
+
+let record_shard_assignment t ~cycle ~shard ~ta =
+  Table.insert t.shard_assignment
+    [| Value.Int cycle; Value.Int shard; Value.Int ta |]
+
+let shard_assignment_count t = Table.row_count t.shard_assignment
+
 let record_supervision t ~cycle ~worker ~event ~cls =
   Table.insert t.supervision
     [| Value.Int cycle; Value.Int worker; Value.Str event; Value.Int cls |]
@@ -339,6 +387,8 @@ let table_facts t name =
   | "workers" -> Table.rows t.workers
   | "assignment" -> Table.rows t.assignment
   | "supervision" -> Table.rows t.supervision
+  | "shards" -> Table.rows t.shards
+  | "shard_assignment" -> Table.rows t.shard_assignment
   | _ -> invalid_arg ("Relations.table_facts: unknown table " ^ name)
 
 let clear t =
@@ -348,4 +398,6 @@ let clear t =
   Table.clear t.dead;
   Table.clear t.workers;
   Table.clear t.assignment;
-  Table.clear t.supervision
+  Table.clear t.supervision;
+  Table.clear t.shards;
+  Table.clear t.shard_assignment

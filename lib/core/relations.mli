@@ -31,6 +31,14 @@ type t = {
       (** supervisor decision log: [cycle | worker | event | cls] — worker
           crashes/deaths/stalls, class reassignments, hedged re-executions
           and journal checkpoints, queryable like everything else *)
+  shards : Table.t;
+      (** sharding map: [shard | groups] — shard lane [s] owns object group
+          [s] (objects with [obj mod S = s]); the global lane is row
+          [(S, -1)]. Empty for unsharded (S=1) runs. *)
+  shard_assignment : Table.t;
+      (** routing log: [cycle | shard | ta] — the lane each transaction was
+          routed to, stamped with the scheduler cycle count at routing
+          time *)
   extended : bool;
 }
 
@@ -107,14 +115,28 @@ val record_supervision :
 
 val supervision_count : t -> int
 
+(** [register_shards t ~shards] (re)populates the [shards] relation: rows
+    [(0,0) .. (S-1,S-1)] — lane [s] owns object group [s] — plus the global
+    lane row [(S,-1)]. A no-op (beyond clearing) for [shards <= 1]: an
+    unsharded scheduler has no routing to describe. *)
+val register_shards : t -> shards:int -> unit
+
+val shard_count : t -> int
+
+(** Logs one routing decision into [shard_assignment]. *)
+val record_shard_assignment : t -> cycle:int -> shard:int -> ta:int -> unit
+
+val shard_assignment_count : t -> int
+
 (** The merged parallel schedule as [(ta, intrata)] keys, sorted by the
     [pos] column — the delivery order across all workers, which the checker
     compares against [rte] order for conflict equivalence. *)
 val execution_order : t -> (int * int) list
 
 (** Raw rows of a relation by its public name ([requests], [history], [rte],
-    [dead], [workers], [assignment], [supervision]) — the bridge for loading
-    scheduler state into a datalog engine via [Dl_engine.load_rows].
+    [dead], [workers], [assignment], [supervision], [shards],
+    [shard_assignment]) — the bridge for loading scheduler state into a
+    datalog engine via [Dl_engine.load_rows].
     @raise Invalid_argument on an unknown name. *)
 val table_facts : t -> string -> Value.t array list
 

@@ -22,6 +22,9 @@ type t = {
   journal : Journal.t option;
   checkpoint_every : int option;
   trace : Ds_obs.Trace.t option;
+  stamp : (Request.t -> int) option;
+      (* sharded runs: assigns each qualified request its global admission
+         sequence number at cycle time; journals the 3-field Q record *)
   terminated : (int, unit) Hashtbl.t;
       (* transactions that already got their terminal trace event. A
          dead-letter is followed by an abort_txn, and a starved (aborted)
@@ -33,7 +36,7 @@ type t = {
 }
 
 let create ?(extended = false) ?(prune_history_each_cycle = true) ?journal
-    ?checkpoint_every ?trace proto =
+    ?checkpoint_every ?trace ?stamp proto =
   (match checkpoint_every with
   | Some n when n <= 0 ->
     invalid_arg "Scheduler.create: checkpoint_every must be positive"
@@ -48,6 +51,7 @@ let create ?(extended = false) ?(prune_history_each_cycle = true) ?journal
     journal;
     checkpoint_every;
     trace;
+    stamp;
     terminated = Hashtbl.create 16;
     abort_seq = 0;
     cycles = 0;
@@ -148,6 +152,16 @@ let maybe_checkpoint t j =
       ~arg:t.cycles ()
   | _ -> ()
 
+(* Stamps are drawn in admission order whether or not a journal is attached,
+   so a sharded run's merged rte order is well-defined even unjournaled. *)
+let stamp_batch t reqs =
+  Option.map (fun f -> List.map (fun r -> (Request.key r, f r)) reqs) t.stamp
+
+let journal_qualified j ~stamped reqs =
+  match stamped with
+  | Some entries -> Journal.log_qualified_stamped j entries
+  | None -> Journal.log_qualified j (List.map Request.key reqs)
+
 let cycle ?(passthrough = false) t =
   t.cycles <- t.cycles + 1;
   if passthrough then begin
@@ -158,9 +172,10 @@ let cycle ?(passthrough = false) t =
         Ds_obs.Trace.emit_req t.trace Ds_obs.Trace.Drained r;
         Ds_obs.Trace.emit_req t.trace Ds_obs.Trace.Sched_admit r)
       reqs;
+    let stamped = stamp_batch t reqs in
     Option.iter
       (fun j ->
-        Journal.log_qualified j (List.map Request.key reqs);
+        journal_qualified j ~stamped reqs;
         Journal.flush j;
         maybe_checkpoint t j)
       t.journal;
@@ -210,9 +225,10 @@ let cycle ?(passthrough = false) t =
             Ds_obs.Trace.Sched_defer r)
         (Relations.pending t.rels)
     end;
+    let stamped = stamp_batch t qualified in
     Option.iter
       (fun j ->
-        Journal.log_qualified j (List.map Request.key qualified);
+        journal_qualified j ~stamped qualified;
         if t.prune then Journal.log_prune j;
         Journal.flush j;
         maybe_checkpoint t j)

@@ -45,13 +45,22 @@ type t
 
     [trace] (optional) receives lifecycle events ([enqueued], [drained],
     [sched_admit], [sched_defer], [dead_letter], [abort]); see
-    {!Ds_obs.Trace}. At most one terminal event is emitted per transaction. *)
+    {!Ds_obs.Trace}. At most one terminal event is emitted per transaction.
+
+    [stamp] (optional) is called once per qualified request, in admission
+    order, and must return its global admission sequence number — the hook
+    sharded runs use to stamp one scheduler lane's admissions into the
+    run-wide order. When set, journaled qualifications use the 3-field
+    [Q ta intrata gseq] record ({!Journal.log_qualified_stamped}); stamps
+    are drawn even without a journal so the merged order exists either
+    way. *)
 val create :
   ?extended:bool ->
   ?prune_history_each_cycle:bool ->
   ?journal:Journal.t ->
   ?checkpoint_every:int ->
   ?trace:Ds_obs.Trace.t ->
+  ?stamp:(Ds_model.Request.t -> int) ->
   Protocol.t ->
   t
 

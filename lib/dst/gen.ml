@@ -28,19 +28,25 @@ let of_seed seed =
       worker_stall_duration = 0.05;
     }
   in
-  {
-    Scenario.seed = 1 + Rng.int rng 1_000_000;
-    clients = pick rng [| 4; 8; 12; 16; 24 |];
-    duration = pick rng [| 1.0; 2.0; 3.0 |];
-    n_objects = pick rng [| 200; 2000; 20000 |];
-    stmts_per_txn = pick rng [| 1; 2; 4; 6 |];
-    access = pick rng [| Scenario.Uniform; Scenario.Zipf; Scenario.Hotspot |];
-    sla_mix = Rng.bool rng;
-    protocol = pick rng (Array.of_list Scenario.protocols);
-    workers;
-    faults;
-    checkpoint = pick rng [| None; None; Some 5; Some 20 |];
-    queue_cap = pick rng [| None; None; Some 16; Some 48 |];
-    hedging = workers > 1 && Rng.bool rng;
-    inject = None;
-  }
+  let s =
+    {
+      Scenario.seed = 1 + Rng.int rng 1_000_000;
+      clients = pick rng [| 4; 8; 12; 16; 24 |];
+      duration = pick rng [| 1.0; 2.0; 3.0 |];
+      n_objects = pick rng [| 200; 2000; 20000 |];
+      stmts_per_txn = pick rng [| 1; 2; 4; 6 |];
+      access = pick rng [| Scenario.Uniform; Scenario.Zipf; Scenario.Hotspot |];
+      sla_mix = Rng.bool rng;
+      protocol = pick rng (Array.of_list Scenario.protocols);
+      workers;
+      shards = 1;
+      faults;
+      checkpoint = pick rng [| None; None; Some 5; Some 20 |];
+      queue_cap = pick rng [| None; None; Some 16; Some 48 |];
+      hedging = workers > 1 && Rng.bool rng;
+      inject = None;
+    }
+  in
+  (* drawn after the record so every pre-sharding dimension keeps the exact
+     same stream position for a given seed *)
+  { s with Scenario.shards = pick rng [| 1; 1; 1; 2; 4 |] }

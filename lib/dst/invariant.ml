@@ -10,6 +10,8 @@ type ctx = {
   pending_live : Request.t list;
   history_live : Request.t list;
   dead_live : Request.t list;
+  shards : int;
+  shard_of : int -> int option;
 }
 
 let sorted_keys rs =
@@ -33,7 +35,10 @@ let check_serializability ctx =
    scheduler never admitted — still hold unconditionally. *)
 let check_equivalence ctx =
   let report =
-    Ds_check.Equivalence.check ~reference:ctx.rte ~candidate:ctx.merged ()
+    if ctx.shards > 1 then
+      Ds_check.Equivalence.check_sharded ~shards:ctx.shards
+        ~shard_of:ctx.shard_of ~reference:ctx.rte ~candidate:ctx.merged ()
+    else Ds_check.Equivalence.check ~reference:ctx.rte ~candidate:ctx.merged ()
   in
   let crashed =
     ctx.scenario.Scenario.faults.Ds_core.Faults.crash_at_cycle <> None
@@ -45,7 +50,10 @@ let check_equivalence ctx =
         | Ds_check.Equivalence.Conflict_reordered _ -> not crashed
         | Ds_check.Equivalence.Unknown_request _
         | Ds_check.Equivalence.Duplicate_delivery _
-        | Ds_check.Equivalence.Missing_request _ -> true)
+        | Ds_check.Equivalence.Missing_request _
+        (* router soundness never relaxes: a conflict split across shard
+           lanes is a bug whether or not the run crashed *)
+        | Ds_check.Equivalence.Cross_shard_conflict _ -> true)
       report.Ds_check.Equivalence.violations
   in
   if fatal = [] then Ok ()

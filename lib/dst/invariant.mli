@@ -35,9 +35,15 @@ type ctx = {
   merged : Request.t list;  (** delivery order across workers ([assignment].pos) *)
   trace_events : Ds_obs.Trace.event list;
   recovered : Ds_core.Journal.recovered;  (** post-run journal replay *)
-  pending_live : Request.t list;  (** scheduler [requests] table at run end *)
-  history_live : Request.t list;  (** scheduler [history] table at run end *)
-  dead_live : Request.t list;  (** dead-letter relation at run end *)
+  pending_live : Request.t list;
+      (** scheduler [requests] tables at run end (all lanes) *)
+  history_live : Request.t list;
+      (** scheduler [history] tables at run end (all lanes) *)
+  dead_live : Request.t list;  (** dead-letter relations at run end (all lanes) *)
+  shards : int;  (** lanes the run executed with (1 = single scheduler) *)
+  shard_of : int -> int option;
+      (** routed lane per transaction; drives the cross-shard router
+          soundness clause of the equivalence check when [shards > 1] *)
 }
 
 (** The battery, in reporting order. Names are stable — they key the swarm

@@ -37,6 +37,7 @@ let config_of (s : Scenario.t) ~journal_path ~trace =
     duration = s.Scenario.duration;
     spec = spec_of s;
     workers = s.Scenario.workers;
+    shards = s.Scenario.shards;
     seed = s.Scenario.seed;
     protocol;
     extended_relations = true;
@@ -111,25 +112,50 @@ let run (s : Scenario.t) =
   (match Scenario.validate s with
   | Ok () -> ()
   | Error m -> invalid_arg ("Runner.run: " ^ m));
-  let journal_path = Filename.temp_file "ds_swarm" ".journal" in
-  Fun.protect
-    ~finally:(fun () -> try Sys.remove journal_path with Sys_error _ -> ())
-    (fun () ->
+  let sharded = s.Scenario.shards > 1 in
+  let journal_path =
+    if sharded then begin
+      (* sharded runs journal into a segment directory; reserve the name and
+         let the middleware create the directory + manifest *)
+      let p = Filename.temp_file "ds_swarm" ".journal.d" in
+      Sys.remove p;
+      p
+    end
+    else Filename.temp_file "ds_swarm" ".journal"
+  in
+  let cleanup () =
+    if Journal.is_segment_dir journal_path then begin
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        (Journal.segment_paths journal_path);
+      (try Sys.remove (Filename.concat journal_path "MANIFEST")
+       with Sys_error _ -> ());
+      try Sys.rmdir journal_path with Sys_error _ -> ()
+    end
+    else try Sys.remove journal_path with Sys_error _ -> ()
+  in
+  Fun.protect ~finally:cleanup (fun () ->
       let trace = Ds_obs.Trace.create () in
-      let stats, sched =
-        Middleware.run_full (config_of s ~journal_path ~trace)
-      in
-      let rels = Scheduler.relations sched in
-      let rte = Relations.rte_requests rels in
+      let stats, h = Middleware.run_sharded (config_of s ~journal_path ~trace) in
+      (* At S=1 these are exactly the single lane's rte and delivery order;
+         at S>1 the stamp-merged cross-lane equivalents. *)
+      let rte = h.Middleware.merged_rte in
       let by_key = Hashtbl.create (2 * List.length rte) in
       List.iter (fun r -> Hashtbl.replace by_key (Request.key r) r) rte;
       let merged =
         List.filter_map
           (fun key -> Hashtbl.find_opt by_key key)
-          (Relations.execution_order rels)
+          h.Middleware.merged_execution_order
       in
       let rte, merged = apply_inject s.Scenario.inject ~rte ~merged in
-      let recovered = Journal.recover journal_path in
+      let recovered =
+        if sharded then Journal.recover_dir journal_path
+        else Journal.recover journal_path
+      in
+      let lane_rels =
+        Array.to_list
+          (Array.map Scheduler.relations h.Middleware.lane_schedulers)
+      in
       let ctx =
         {
           Invariant.scenario = s;
@@ -138,9 +164,11 @@ let run (s : Scenario.t) =
           merged;
           trace_events = Ds_obs.Trace.events trace;
           recovered;
-          pending_live = Relations.pending rels;
-          history_live = Relations.history_requests rels;
-          dead_live = Relations.dead_requests rels;
+          pending_live = List.concat_map Relations.pending lane_rels;
+          history_live = List.concat_map Relations.history_requests lane_rels;
+          dead_live = List.concat_map Relations.dead_requests lane_rels;
+          shards = s.Scenario.shards;
+          shard_of = h.Middleware.shard_of;
         }
       in
       { scenario = s; stats; invariants = Invariant.apply ctx })

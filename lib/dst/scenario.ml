@@ -17,6 +17,7 @@ type t = {
   sla_mix : bool;
   protocol : string;
   workers : int;
+  shards : int;
   faults : Faults.plan;
   checkpoint : int option;
   queue_cap : int option;
@@ -58,6 +59,7 @@ let validate t =
   else if t.n_objects < 1 then Error "n_objects must be >= 1"
   else if t.stmts_per_txn < 1 then Error "stmts_per_txn must be >= 1"
   else if t.workers < 1 then Error "workers must be >= 1"
+  else if t.shards < 1 then Error "shards must be >= 1"
   else if (match t.checkpoint with Some n -> n <= 0 | None -> false) then
     Error "checkpoint must be positive"
   else if (match t.queue_cap with Some n -> n <= 0 | None -> false) then
@@ -98,6 +100,7 @@ let to_json t =
        ("sla_mix", Bool t.sla_mix);
        ("protocol", Str t.protocol);
        ("workers", Num (float_of_int t.workers));
+       ("shards", Num (float_of_int t.shards));
        ("faults", Str (Faults.plan_to_string t.faults));
        ("checkpoint", opt_int t.checkpoint);
        ("queue_cap", opt_int t.queue_cap);
@@ -139,6 +142,14 @@ let of_json j =
   let* sla_mix = req_bool "sla_mix" in
   let* protocol = req_str "protocol" in
   let* workers = req_num "workers" in
+  (* optional with default 1: scenario files predating sharding replay
+     unchanged *)
+  let* shards =
+    match mem "shards" j with
+    | Some (Num v) -> Ok (int_of_float v)
+    | None -> Ok 1
+    | Some _ -> Error "scenario: bad field \"shards\""
+  in
   let* faults_s = req_str "faults" in
   let* faults = Faults.plan_of_string faults_s in
   let* checkpoint = opt_int "checkpoint" in
@@ -160,6 +171,7 @@ let of_json j =
       sla_mix;
       protocol;
       workers = int_of_float workers;
+      shards;
       faults;
       checkpoint;
       queue_cap;
@@ -178,9 +190,9 @@ let to_string t =
   in
   Printf.sprintf
     "seed=%d clients=%d dur=%g obj=%d stmts=%d access=%s mix=%b proto=%s K=%d \
-     faults=%s ckpt=%s cap=%s hedge=%b%s"
+     S=%d faults=%s ckpt=%s cap=%s hedge=%b%s"
     t.seed t.clients t.duration t.n_objects t.stmts_per_txn
-    (access_to_string t.access) t.sla_mix t.protocol t.workers faults
+    (access_to_string t.access) t.sla_mix t.protocol t.workers t.shards faults
     (opt t.checkpoint) (opt t.queue_cap) t.hedging
     (match t.inject with
     | None -> ""

@@ -43,6 +43,10 @@ type t = {
   sla_mix : bool;  (** premium/standard/free mix vs all-standard *)
   protocol : string;  (** a {!Ds_core.Builtin} name from {!protocols} *)
   workers : int;  (** pool size K *)
+  shards : int;
+      (** scheduler lanes S ({!Ds_core.Middleware.config.shards}); [1] is
+          the single-scheduler middleware. Optional in the JSON codec
+          (default 1), so pre-sharding scenario files replay unchanged. *)
   faults : Faults.plan;
   checkpoint : int option;  (** journal checkpoint interval, cycles *)
   queue_cap : int option;  (** incoming-queue bound (shedding/backpressure) *)

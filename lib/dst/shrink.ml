@@ -40,6 +40,9 @@ let transformations : (string * (Scenario.t -> Scenario.t option)) list =
                 worker_stall_rate = 0.;
               };
           } );
+    ( "single-shard",
+      fun s ->
+        some_if (s.Scenario.shards > 1) { s with Scenario.shards = 1 } );
     ( "drop-crash",
       fun s ->
         some_if (s.Scenario.faults.Faults.crash_at_cycle <> None)

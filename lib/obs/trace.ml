@@ -15,6 +15,7 @@ type kind =
   | Worker_down
   | Reassign
   | Checkpoint
+  | Shard_route
 
 let kind_to_string = function
   | Enqueued -> "enqueued"
@@ -33,6 +34,7 @@ let kind_to_string = function
   | Worker_down -> "worker_down"
   | Reassign -> "reassign"
   | Checkpoint -> "checkpoint"
+  | Shard_route -> "shard_route"
 
 let kind_of_string = function
   | "enqueued" -> Some Enqueued
@@ -51,13 +53,14 @@ let kind_of_string = function
   | "worker_down" -> Some Worker_down
   | "reassign" -> Some Reassign
   | "checkpoint" -> Some Checkpoint
+  | "shard_route" -> Some Shard_route
   | _ -> None
 
 let is_terminal = function
   | Commit | Abort | Dead_letter -> true
   | Enqueued | Drained | Sched_admit | Sched_defer | Dispatched | Lock_wait
   | Lock_grant | Exec_start | Exec_done | Retry | Worker_down | Reassign
-  | Checkpoint ->
+  | Checkpoint | Shard_route ->
     false
 
 type event = {

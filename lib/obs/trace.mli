@@ -46,6 +46,10 @@ type kind =
   | Checkpoint
       (** the journal wrote a snapshot record; [ta = -1], [arg] is the
           cycle number of the watermark *)
+  | Shard_route
+      (** the sharding router assigned a transaction to a scheduler lane;
+          [seq = -1], [arg] is the lane (shard id, or S for the global
+          lane). Only emitted by sharded (S > 1) runs *)
 
 val kind_to_string : kind -> string
 val kind_of_string : string -> kind option

@@ -55,12 +55,27 @@ let bucket_mid t b =
     let hi_exp = t.log_lo +. (float_of_int b /. t.scale) in
     Float.pow 10. ((lo_exp +. hi_exp) /. 2.)
 
+(* Rank of the q-quantile among n samples, 1-indexed: ceil(q*n), clamped to
+   at least 1 so q=0 means "the smallest observed sample" (min-bucket), never
+   an empty prefix. The ceil runs on an epsilon-corrected product because
+   binary floats make exact boundaries dirty — 0.95 *. 20. is
+   19.000000000000004, and ceiling that straight to 20 silently shifts the
+   quantile one whole rank at precisely the q values benchmarks report. *)
+let rank ~n q =
+  let raw = q *. float_of_int n in
+  let nearest = Float.round raw in
+  let k =
+    if Float.abs (raw -. nearest) <= 1e-9 *. Float.max 1. nearest then
+      int_of_float nearest
+    else int_of_float (ceil raw)
+  in
+  if k < 1 then 1 else k
+
 let quantile t q =
   if q < 0. || q > 1. then invalid_arg "Histogram.quantile";
   if t.n = 0 then 0.
   else begin
-    let target = int_of_float (ceil (q *. float_of_int t.n)) in
-    let target = if target < 1 then 1 else target in
+    let target = rank ~n:t.n q in
     let rec loop b acc =
       if b > t.nbuckets + 1 then t.max_seen
       else

@@ -16,7 +16,11 @@ val count : t -> int
 val mean : t -> float
 
 (** [quantile t q] with [0 <= q <= 1]; 0.0 when empty. The estimate is the
-    geometric midpoint of the bucket containing the q-th sample. *)
+    geometric midpoint of the bucket containing the [ceil (q*n)]-th smallest
+    sample (computed with an epsilon correction so exact boundaries like
+    [0.95 *. 20.] do not round up a rank), clamped to rank 1 — so [q = 0.]
+    reports the bucket of the smallest observed sample, and [q = 1.] the
+    bucket containing [max_observed]. *)
 val quantile : t -> float -> float
 
 val median : t -> float

@@ -47,9 +47,11 @@ let in_range t t0 t1 =
     (fun acc (w, c) -> if w >= t0 && w < t1 then acc + c else acc)
     0 (series t)
 
+(* Convention: a window with no measurable span (zero or one distinct
+   timestamp) has no defined rate and reports 0. — returning the raw count
+   would let a single-event window masquerade as "total events per second". *)
 let rate t =
   if t.total = 0 then 0.
   else
     let span = t.t_max -. t.t_min in
-    if span <= 0. then float_of_int t.total
-    else float_of_int t.total /. span
+    if span <= 0. then 0. else float_of_int t.total /. span

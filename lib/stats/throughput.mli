@@ -20,5 +20,8 @@ val series : t -> (float * int) list
 (** Events in [\[t0, t1)]. *)
 val in_range : t -> float -> float -> int
 
-(** Average events/second over the populated span; 0 when empty. *)
+(** Average events/second over the populated span ([t_max - t_min]); 0 when
+    empty {e and} when the span is zero (all events share one timestamp) —
+    a spanless window has no defined rate, and the count itself would be a
+    lie in events/second. *)
 val rate : t -> float

@@ -15,7 +15,7 @@ let create spec rng =
   let zipf =
     match spec.Spec.access with
     | Spec.Zipf theta -> Some (Dist.Zipf.create ~n:spec.Spec.n_objects ~theta)
-    | Spec.Uniform | Spec.Hotspot _ -> None
+    | Spec.Uniform | Spec.Hotspot _ | Spec.Partitioned _ -> None
   in
   let total_sla_weight =
     List.fold_left (fun acc (_, w) -> acc +. w) 0. spec.Spec.sla_mix
@@ -30,7 +30,9 @@ let draw_sla t =
   in
   pick 0. t.spec.Spec.sla_mix
 
-let draw_object t =
+(* [home] is the transaction's object group for [Partitioned] access (drawn
+   once per transaction in [next_txn]); unused by the other patterns. *)
+let draw_object ?home t =
   let spec = t.spec in
   match spec.Spec.access with
   | Spec.Uniform -> Rng.int t.rng spec.Spec.n_objects
@@ -39,15 +41,25 @@ let draw_object t =
     let hot_count = max 1 (int_of_float (frac *. float_of_int spec.Spec.n_objects)) in
     if Rng.float t.rng < prob then Rng.int t.rng hot_count
     else hot_count + Rng.int t.rng (spec.Spec.n_objects - hot_count)
+  | Spec.Partitioned (groups, escape) ->
+    let g = match home with Some g -> g | None -> Rng.int t.rng groups in
+    if escape > 0. && Rng.float t.rng < escape then
+      Rng.int t.rng spec.Spec.n_objects
+    else begin
+      (* objects of group g are g, g+groups, g+2*groups, ... *)
+      let group_size = (spec.Spec.n_objects - g + groups - 1) / groups in
+      g + (groups * Rng.int t.rng group_size)
+    end
 
-let draw_objects t n =
-  if not t.spec.Spec.distinct_objects then List.init n (fun _ -> draw_object t)
+let draw_objects ?home t n =
+  if not t.spec.Spec.distinct_objects then
+    List.init n (fun _ -> draw_object ?home t)
   else begin
     let seen = Hashtbl.create (2 * n) in
     let rec draw acc k =
       if k = 0 then List.rev acc
       else
-        let o = draw_object t in
+        let o = draw_object ?home t in
         if Hashtbl.mem seen o then draw acc k
         else begin
           Hashtbl.add seen o ();
@@ -68,7 +80,12 @@ let next_txn t ~ta =
     then (ns + nu, 0)
     else (ns, nu)
   in
-  let objects = Array.of_list (draw_objects t (ns + nu)) in
+  let home =
+    match spec.Spec.access with
+    | Spec.Partitioned (groups, _) -> Some (Rng.int t.rng groups)
+    | Spec.Uniform | Spec.Zipf _ | Spec.Hotspot _ -> None
+  in
+  let objects = Array.of_list (draw_objects ?home t (ns + nu)) in
   let ops =
     match spec.Spec.order with
     | Spec.Reads_first ->

@@ -2,7 +2,17 @@ open Ds_model
 
 type order = Interleaved | Reads_first | Shuffled
 
-type access = Uniform | Zipf of float | Hotspot of float * float
+type access =
+  | Uniform
+  | Zipf of float
+  | Hotspot of float * float
+  | Partitioned of int * float
+      (* (groups, escape): each transaction homes on one of [groups] object
+         groups (object o belongs to group [o mod groups]) and draws its
+         objects there; each statement escapes to a uniform draw over all
+         objects with probability [escape]. The workload shape behind the
+         shard-sweep benchmark: group-local transactions stay on one shard
+         lane, escapes exercise the global lane. *)
 
 type t = {
   n_objects : int;
@@ -72,7 +82,16 @@ let validate t =
     | Hotspot (frac, prob)
       when frac <= 0. || frac >= 1. || prob < 0. || prob > 1. ->
       Error "hotspot parameters out of range"
-    | Uniform | Zipf _ | Hotspot _ -> Ok ()
+    | Partitioned (groups, escape)
+      when groups < 1 || groups > t.n_objects || escape < 0. || escape > 1. ->
+      Error "partitioned parameters out of range"
+    | Partitioned (groups, escape)
+      when t.distinct_objects && escape = 0.
+           && t.selects_per_txn + t.updates_per_txn > t.n_objects / groups ->
+      (* with no escape every draw stays in the home group, which must then
+         hold enough distinct objects for a whole transaction *)
+      Error "partitioned groups too small for distinct_objects"
+    | Uniform | Zipf _ | Hotspot _ | Partitioned _ -> Ok ()
 
 let pp ppf t =
   Format.fprintf ppf
@@ -85,5 +104,6 @@ let pp ppf t =
     (match t.access with
     | Uniform -> "uniform"
     | Zipf theta -> Printf.sprintf "zipf(%.2f)" theta
-    | Hotspot (f, p) -> Printf.sprintf "hotspot(%.2f,%.2f)" f p)
+    | Hotspot (f, p) -> Printf.sprintf "hotspot(%.2f,%.2f)" f p
+    | Partitioned (g, e) -> Printf.sprintf "partitioned(%d,%.2f)" g e)
     t.abort_fraction

@@ -17,6 +17,14 @@ type access =
   | Uniform
   | Zipf of float  (** skew theta in [0,1) *)
   | Hotspot of float * float  (** (hot fraction of objects, prob of hot access) *)
+  | Partitioned of int * float
+      (** [(groups, escape)]: each transaction homes on one of [groups]
+          object groups (object [o] belongs to group [o mod groups]) and
+          draws its objects there; each statement instead escapes to a
+          uniform draw over {e all} objects with probability [escape]. The
+          workload shape behind the shard-sweep benchmark — group-local
+          transactions route to one shard lane, escapes exercise the
+          cross-shard global lane. *)
 
 type t = {
   n_objects : int;

@@ -19,6 +19,7 @@ let () =
       ("differential", Test_differential.tests);
       ("obs", Test_obs.tests);
       ("integration", Test_integration.tests);
+      ("sharding", Test_sharding.tests);
       ("edges", Test_edges.tests);
       ("swarm", Test_swarm.tests);
       ("examples", Test_examples.tests);

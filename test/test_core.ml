@@ -15,7 +15,17 @@ let test_table2_schema () =
     names;
   let rels = Relations.create () in
   Alcotest.(check (list string)) "all scheduler tables registered"
-    [ "assignment"; "dead"; "history"; "requests"; "rte"; "supervision"; "workers" ]
+    [
+      "assignment";
+      "dead";
+      "history";
+      "requests";
+      "rte";
+      "shard_assignment";
+      "shards";
+      "supervision";
+      "workers";
+    ]
     (Ds_sql.Catalog.names rels.Relations.catalog)
 
 let test_request_roundtrip () =

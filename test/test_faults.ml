@@ -220,6 +220,29 @@ let test_shed_victim_is_least_urgent () =
   | `Rejected -> ()
   | _ -> Alcotest.fail "equal urgency must not evict"
 
+(* Pins the tie-break inside the victim tier: among equally-urgent queued
+   requests the most recently queued one is shed, so earlier arrivals keep
+   their place in line and repeated overload drains the queue from the
+   tail deterministically. *)
+let test_shed_tie_break_is_most_recent () =
+  let sched = Scheduler.create Builtin.ss2pl_ocaml in
+  let req ta sla = { (Request.v ta 1 Op.Read ta) with Request.sla } in
+  List.iter
+    (fun (ta, sla) ->
+      match Scheduler.submit_bounded sched ~capacity:3 (req ta sla) with
+      | `Accepted -> ()
+      | _ -> Alcotest.fail "queue below capacity must accept")
+    [ (1, Sla.premium); (2, Sla.free); (3, Sla.free) ];
+  (match Scheduler.submit_bounded sched ~capacity:3 (req 4 Sla.standard) with
+  | `Accepted_shed v ->
+    Alcotest.(check int) "newest free entry shed first" 3 v.Request.ta
+  | _ -> Alcotest.fail "queue was full; expected a shed");
+  (* The surviving free request is next in line for the same tie-break. *)
+  match Scheduler.submit_bounded sched ~capacity:3 (req 5 Sla.premium) with
+  | `Accepted_shed v ->
+    Alcotest.(check int) "older free entry shed second" 2 v.Request.ta
+  | _ -> Alcotest.fail "queue was full again; expected a shed"
+
 (* --- client disconnects --------------------------------------------------- *)
 
 let test_disconnects_cleaned_up () =
@@ -481,6 +504,8 @@ let tests =
       test_bounded_queue_sheds_by_tier;
     Alcotest.test_case "shed victim is the least urgent" `Quick
       test_shed_victim_is_least_urgent;
+    Alcotest.test_case "shed tie-break is deterministic" `Quick
+      test_shed_tie_break_is_most_recent;
     Alcotest.test_case "disconnects are cleaned up" `Quick
       test_disconnects_cleaned_up;
     Alcotest.test_case "crash recovery end to end" `Quick

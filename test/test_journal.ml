@@ -389,6 +389,98 @@ let test_repair_checkpoint_only_journal () =
       Alcotest.(check int) "restored scheduler qualifies nothing" 0
         (List.length q))
 
+(* --- sharded journal segments --------------------------------------------- *)
+
+let with_segment_dir ~shards f =
+  let dir = Filename.temp_file "ds_journal" ".seg.d" in
+  Sys.remove dir;
+  let paths = Journal.init_segment_dir dir ~shards in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) paths;
+      (try Sys.remove (Filename.concat dir "MANIFEST") with Sys_error _ -> ());
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () -> f dir paths)
+
+let test_stamped_roundtrip () =
+  with_journal_file (fun path ->
+      let j = Journal.open_ path in
+      let r1 = Request.v 1 1 Op.Write 5 and r2 = Request.v 2 1 Op.Read 9 in
+      Journal.log_submit j r1;
+      Journal.log_submit j r2;
+      Journal.log_qualified_stamped j [ ((1, 1), 7); ((2, 1), 3) ];
+      Journal.close j;
+      let r = Journal.recover path in
+      let stamps =
+        List.map (fun (req, g) -> (Request.key req, g)) r.Journal.history_stamped
+      in
+      Alcotest.(check (list (pair (pair int int) (option int))))
+        "gseq stamps survive the roundtrip"
+        [ ((1, 1), Some 7); ((2, 1), Some 3) ]
+        stamps;
+      (* The unstamped view is unchanged: plain history in file order. *)
+      Alcotest.(check (list (pair int int)))
+        "plain history still in file order"
+        [ (1, 1); (2, 1) ]
+        (List.map Request.key r.Journal.history))
+
+let test_unstamped_records_sort_last () =
+  with_journal_file (fun path ->
+      let j = Journal.open_ path in
+      Journal.log_submit j (Request.v 1 1 Op.Write 5);
+      Journal.log_submit j (Request.v 2 1 Op.Read 9);
+      (* A legacy (unstamped) Q record followed by a stamped one. *)
+      Journal.log_qualified j [ (1, 1) ];
+      Journal.log_qualified_stamped j [ ((2, 1), 0) ];
+      Journal.close j;
+      let r = Journal.recover path in
+      Alcotest.(check (list (pair (pair int int) (option int))))
+        "unstamped entry carries no gseq"
+        [ ((1, 1), None); ((2, 1), Some 0) ]
+        (List.map
+           (fun (req, g) -> (Request.key req, g))
+           r.Journal.history_stamped))
+
+let test_segment_dir_merges_by_gseq () =
+  with_segment_dir ~shards:2 (fun dir paths ->
+      (* Interleaved admissions across lanes: shard 0 stamps 0 and 2, the
+         global lane stamps 1. Shard 1 never opened its segment — a lane
+         that admitted nothing leaves no file, and recovery must not care. *)
+      let shard0 = List.nth paths 0 and global = List.nth paths 2 in
+      let j0 = Journal.open_ shard0 in
+      Journal.log_submit j0 (Request.v 1 1 Op.Write 5);
+      Journal.log_qualified_stamped j0 [ ((1, 1), 0) ];
+      Journal.log_submit j0 (Request.v 3 1 Op.Read 9);
+      Journal.log_qualified_stamped j0 [ ((3, 1), 2) ];
+      Journal.close j0;
+      let jg = Journal.open_ global in
+      Journal.log_submit jg (Request.v 2 1 Op.Write 7);
+      Journal.log_qualified_stamped jg [ ((2, 1), 1) ];
+      Journal.close jg;
+      Alcotest.(check bool) "manifest makes it a segment dir" true
+        (Journal.is_segment_dir dir);
+      let r = Journal.recover_dir dir in
+      Alcotest.(check (list (pair int int)))
+        "merged history interleaves lanes by gseq"
+        [ (1, 1); (2, 1); (3, 1) ]
+        (List.map Request.key r.Journal.history);
+      Alcotest.(check bool) "replay counted across segments" true
+        (r.Journal.replayed >= 6))
+
+let test_segment_dir_rejects_bad_manifest () =
+  with_segment_dir ~shards:2 (fun dir _paths ->
+      let oc = open_out_bin (Filename.concat dir "MANIFEST") in
+      output_string oc "not a manifest\n";
+      close_out oc;
+      Alcotest.(check bool) "garbage manifest refused" true
+        (try
+           ignore (Journal.recover_dir dir);
+           false
+         with Failure _ -> true);
+      Alcotest.check_raises "single shard refused"
+        (Invalid_argument "Journal.init_segment_dir: needs at least 2 shards")
+        (fun () -> ignore (Journal.init_segment_dir dir ~shards:1)))
+
 let tests =
   [
     Alcotest.test_case "journal roundtrip + recovery decision" `Quick
@@ -412,4 +504,11 @@ let tests =
     Alcotest.test_case "repair on a checkpoint-only journal" `Quick
       test_repair_checkpoint_only_journal;
     QCheck_alcotest.to_alcotest checkpoint_equals_full_replay;
+    Alcotest.test_case "gseq stamps roundtrip" `Quick test_stamped_roundtrip;
+    Alcotest.test_case "unstamped records sort last" `Quick
+      test_unstamped_records_sort_last;
+    Alcotest.test_case "segment dir merges by gseq" `Quick
+      test_segment_dir_merges_by_gseq;
+    Alcotest.test_case "segment dir rejects bad manifest" `Quick
+      test_segment_dir_rejects_bad_manifest;
   ]

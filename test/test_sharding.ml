@@ -1,0 +1,297 @@
+(* Sharded middleware: routing, the cross-shard barrier, S=1 identity with
+   the single-scheduler path, merged-schedule checking and crash recovery
+   across journal segments. *)
+
+open Ds_core
+open Ds_model
+
+let spec ?(access = Ds_workload.Spec.Uniform) ?(n_objects = 400) () =
+  {
+    Ds_workload.Spec.small with
+    Ds_workload.Spec.n_objects;
+    access;
+    selects_per_txn = 3;
+    updates_per_txn = 3;
+  }
+
+let cfg ?(shards = 1) ?(n_clients = 12) ?(duration = 2.) ?spec:(sp = spec ())
+    () =
+  {
+    Middleware.default_config with
+    Middleware.n_clients;
+    duration;
+    spec = sp;
+    shards;
+    charge_scheduler_time = false;
+  }
+
+let keys rs = List.map Request.key rs
+
+(* Delivery-order candidate schedule, resolved against the merged rte the
+   same way the swarm runner builds its [merged]. *)
+let merged_schedule (h : Middleware.handle) =
+  let by_key =
+    Hashtbl.create (2 * List.length h.Middleware.merged_rte)
+  in
+  List.iter
+    (fun r -> Hashtbl.replace by_key (Request.key r) r)
+    h.Middleware.merged_rte;
+  List.filter_map
+    (fun key -> Hashtbl.find_opt by_key key)
+    h.Middleware.merged_execution_order
+
+let check_clean ?(allow_reorder = false) ~shards (h : Middleware.handle) =
+  let report =
+    Ds_check.Equivalence.check_sharded ~shards ~shard_of:h.Middleware.shard_of
+      ~reference:h.Middleware.merged_rte ~candidate:(merged_schedule h) ()
+  in
+  let fatal =
+    List.filter
+      (fun v ->
+        match v with
+        | Ds_check.Equivalence.Conflict_reordered _ -> not allow_reorder
+        | _ -> true)
+      report.Ds_check.Equivalence.violations
+  in
+  if fatal <> [] then
+    Alcotest.failf "sharded checker found violations: %a"
+      Ds_check.Equivalence.pp_report
+      { report with Ds_check.Equivalence.violations = fatal }
+
+let check_serializable rte =
+  let report =
+    Ds_check.Serializability.check_committed
+      (Ds_check.Conflict_graph.events_of_requests rte)
+  in
+  if not (Ds_check.Serializability.is_clean report) then
+    Alcotest.failf "merged rte not serializable: %a"
+      Ds_check.Serializability.pp_report report
+
+(* shards=1 must be the single-scheduler middleware, bit for bit: same
+   deterministic counters, same rte sequence, same delivery order. *)
+let test_s1_identity () =
+  let stats_a, sched = Middleware.run_full (cfg ()) in
+  let stats_b, h = Middleware.run_sharded (cfg ()) in
+  Alcotest.(check int) "committed" stats_a.Middleware.committed_txns
+    stats_b.Middleware.committed_txns;
+  Alcotest.(check int) "stmts" stats_a.Middleware.committed_stmts
+    stats_b.Middleware.committed_stmts;
+  Alcotest.(check int) "aborted" stats_a.Middleware.aborted_txns
+    stats_b.Middleware.aborted_txns;
+  Alcotest.(check int) "cycles" stats_a.Middleware.cycles
+    stats_b.Middleware.cycles;
+  Alcotest.(check int) "one lane" 1
+    (Array.length h.Middleware.lane_schedulers);
+  Alcotest.(check int) "no global traffic" 0 stats_b.Middleware.global_lane_txns;
+  Alcotest.(check int) "no deferrals" 0 stats_b.Middleware.shard_deferrals;
+  let rels = Scheduler.relations sched in
+  Alcotest.(check (list (pair int int)))
+    "identical rte"
+    (keys (Relations.rte_requests rels))
+    (keys h.Middleware.merged_rte);
+  Alcotest.(check (list (pair int int)))
+    "identical delivery order"
+    (Relations.execution_order rels)
+    h.Middleware.merged_execution_order
+
+let test_run_full_rejects_shards () =
+  Alcotest.check_raises "run_full refuses shards > 1"
+    (Invalid_argument "Middleware.run_full: shards > 1 requires run_sharded")
+    (fun () -> ignore (Middleware.run_full (cfg ~shards:2 ())))
+
+(* A perfectly partitioned workload (groups = shards, no escapes) routes
+   every transaction to its home shard lane; the global lane stays idle. *)
+let test_partitioned_routing () =
+  let sp = spec ~access:(Ds_workload.Spec.Partitioned (4, 0.)) () in
+  let stats, h = Middleware.run_sharded (cfg ~shards:4 ~spec:sp ()) in
+  Alcotest.(check bool) "commits happen" true
+    (stats.Middleware.committed_txns > 0);
+  Alcotest.(check int) "global lane idle" 0 stats.Middleware.global_lane_txns;
+  (* every executed request's transaction was routed to a shard lane owning
+     exactly its objects' group *)
+  List.iter
+    (fun (r : Request.t) ->
+      match (h.Middleware.shard_of r.Request.ta, r.Request.obj) with
+      | Some lane, Some o ->
+        if lane >= 4 then Alcotest.failf "ta %d escalated needlessly" r.Request.ta;
+        Alcotest.(check int)
+          (Printf.sprintf "object %d in lane %d's group" o lane)
+          lane (o mod 4)
+      | Some _, None -> ()
+      | None, _ -> Alcotest.failf "ta %d never routed" r.Request.ta)
+    h.Middleware.merged_rte;
+  (* the per-lane rte logs cover 4 distinct shard lanes *)
+  let lanes_used =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (r : Request.t) -> h.Middleware.shard_of r.Request.ta)
+         h.Middleware.merged_rte)
+  in
+  Alcotest.(check (list int)) "all shard lanes used" [ 0; 1; 2; 3 ] lanes_used;
+  check_clean ~shards:4 h;
+  check_serializable h.Middleware.merged_rte
+
+(* Mixed traffic: escapes force some transactions onto the global lane, and
+   the drain barrier must still yield one serializable merged schedule. *)
+let test_mixed_traffic_barrier () =
+  let sp = spec ~access:(Ds_workload.Spec.Partitioned (2, 0.3)) () in
+  let stats, h = Middleware.run_sharded (cfg ~shards:2 ~spec:sp ()) in
+  Alcotest.(check bool) "commits happen" true
+    (stats.Middleware.committed_txns > 0);
+  Alcotest.(check bool) "global lane used" true
+    (stats.Middleware.global_lane_txns > 0);
+  let shard_routed =
+    List.exists
+      (fun (r : Request.t) ->
+        match h.Middleware.shard_of r.Request.ta with
+        | Some l -> l < 2
+        | None -> false)
+      h.Middleware.merged_rte
+  in
+  Alcotest.(check bool) "shard lanes used too" true shard_routed;
+  check_clean ~shards:2 h;
+  check_serializable h.Middleware.merged_rte
+
+(* Uniform access over many objects makes nearly every transaction span both
+   groups: the global lane carries the run and still checks out. *)
+let test_global_heavy () =
+  let stats, h = Middleware.run_sharded (cfg ~shards:2 ()) in
+  Alcotest.(check bool) "commits happen" true
+    (stats.Middleware.committed_txns > 0);
+  Alcotest.(check bool) "mostly global" true
+    (stats.Middleware.global_lane_txns > 0);
+  check_clean ~shards:2 h;
+  check_serializable h.Middleware.merged_rte
+
+let test_sharded_determinism () =
+  let sp = spec ~access:(Ds_workload.Spec.Partitioned (2, 0.3)) () in
+  let a, ha = Middleware.run_sharded (cfg ~shards:2 ~spec:sp ()) in
+  let b, hb = Middleware.run_sharded (cfg ~shards:2 ~spec:sp ()) in
+  Alcotest.(check int) "same commits" a.Middleware.committed_txns
+    b.Middleware.committed_txns;
+  Alcotest.(check int) "same global traffic" a.Middleware.global_lane_txns
+    b.Middleware.global_lane_txns;
+  Alcotest.(check (list (pair int int)))
+    "same merged rte"
+    (keys ha.Middleware.merged_rte)
+    (keys hb.Middleware.merged_rte)
+
+(* The declarative view: every lane carries the shards relation and the
+   routed transactions land in shard_assignment rows of their own lane. *)
+let test_shard_relations () =
+  let sp = spec ~access:(Ds_workload.Spec.Partitioned (2, 0.3)) () in
+  let _, h = Middleware.run_sharded (cfg ~shards:2 ~spec:sp ()) in
+  Array.iteri
+    (fun i sched ->
+      let rels = Scheduler.relations sched in
+      Alcotest.(check int)
+        (Printf.sprintf "lane %d shards rows" i)
+        3 (* 2 shard lanes + the global lane row *)
+        (Relations.shard_count rels))
+    h.Middleware.lane_schedulers;
+  let total_assigned =
+    Array.fold_left
+      (fun acc sched ->
+        acc + Relations.shard_assignment_count (Scheduler.relations sched))
+      0 h.Middleware.lane_schedulers
+  in
+  Alcotest.(check bool) "shard_assignment populated" true (total_assigned > 0)
+
+(* Crash mid-run with S=2: every lane's journal segment recovers, the
+   admission clock survives, and the whole run still checks out (set-level;
+   conflicting pairs may legitimately reorder across the crash). *)
+let test_sharded_crash_recovery () =
+  let sp = spec ~access:(Ds_workload.Spec.Partitioned (2, 0.3)) () in
+  let config =
+    {
+      (cfg ~shards:2 ~duration:3. ~spec:sp ()) with
+      Middleware.faults =
+        { Ds_core.Faults.none with Ds_core.Faults.crash_at_cycle = Some 8 };
+      client_redo = true;
+    }
+  in
+  let stats, h = Middleware.run_sharded config in
+  Alcotest.(check int) "crashed once" 1 stats.Middleware.crashes;
+  Alcotest.(check bool) "commits after recovery" true
+    (stats.Middleware.committed_txns > 0);
+  Alcotest.(check bool) "replayed journal lines" true
+    (stats.Middleware.recovery_replayed > 0);
+  check_clean ~allow_reorder:true ~shards:2 h;
+  (* stamps stay strictly increasing across the crash: the merged rte has no
+     duplicate keys *)
+  let ks = keys h.Middleware.merged_rte in
+  Alcotest.(check int) "no duplicate executions"
+    (List.length (List.sort_uniq compare ks))
+    (List.length ks)
+
+(* Sharded runs with a journal write a segment directory; recover_dir merges
+   the per-lane histories back into one stamped order. *)
+let test_segment_dir_layout () =
+  let dir = Filename.temp_file "dsched_test" ".journal.d" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Ds_core.Journal.is_segment_dir dir then begin
+        List.iter
+          (fun p -> try Sys.remove p with Sys_error _ -> ())
+          (Ds_core.Journal.segment_paths dir);
+        (try Sys.remove (Filename.concat dir "MANIFEST") with Sys_error _ -> ());
+        try Sys.rmdir dir with Sys_error _ -> ()
+      end)
+    (fun () ->
+      let sp = spec ~access:(Ds_workload.Spec.Partitioned (2, 0.3)) () in
+      let config =
+        { (cfg ~shards:2 ~spec:sp ()) with Middleware.journal_path = Some dir }
+      in
+      let _, h = Middleware.run_sharded config in
+      Alcotest.(check bool) "manifest dir written" true
+        (Ds_core.Journal.is_segment_dir dir);
+      Alcotest.(check int) "segments per lane" 3
+        (List.length (Ds_core.Journal.segment_paths dir));
+      let recovered = Ds_core.Journal.recover_dir dir in
+      (* the merged history replays in stamp order: its data rows are exactly
+         the merged rte's prefix set (rte = executed; history may hold
+         admitted-but-unexecuted tails) *)
+      let hist_keys =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun ((r : Request.t), _) ->
+               if Request.is_abort_marker r then None else Some (Request.key r))
+             recovered.Ds_core.Journal.history_stamped)
+      in
+      List.iter
+        (fun (r : Request.t) ->
+          if not (List.mem (Request.key r) hist_keys) then
+            Alcotest.failf "executed request %s missing from merged recovery"
+              (Request.to_string r))
+        h.Middleware.merged_rte;
+      (* stamped entries arrive in non-decreasing stamp order *)
+      let stamps =
+        List.filter_map snd recovered.Ds_core.Journal.history_stamped
+      in
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> a <= b && sorted rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "merged history in stamp order" true (sorted stamps))
+
+let tests =
+  [
+    Alcotest.test_case "S=1 identical to run_full" `Quick test_s1_identity;
+    Alcotest.test_case "run_full rejects shards>1" `Quick
+      test_run_full_rejects_shards;
+    Alcotest.test_case "partitioned workload routes by group" `Quick
+      test_partitioned_routing;
+    Alcotest.test_case "mixed traffic crosses the barrier" `Quick
+      test_mixed_traffic_barrier;
+    Alcotest.test_case "global-heavy traffic stays serializable" `Quick
+      test_global_heavy;
+    Alcotest.test_case "sharded runs are deterministic" `Quick
+      test_sharded_determinism;
+    Alcotest.test_case "shards/shard_assignment relations" `Quick
+      test_shard_relations;
+    Alcotest.test_case "crash recovery across segments" `Quick
+      test_sharded_crash_recovery;
+    Alcotest.test_case "journal segment directory" `Quick
+      test_segment_dir_layout;
+  ]

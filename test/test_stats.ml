@@ -65,7 +65,9 @@ let histogram_quantile_monotone =
     (fun xs ->
       let h = Histogram.create () in
       List.iter (fun x -> Histogram.add h (Float.abs x)) xs;
-      let qs = List.map (Histogram.quantile h) [ 0.1; 0.5; 0.9; 0.99 ] in
+      let qs =
+        List.map (Histogram.quantile h) [ 0.; 0.1; 0.5; 0.9; 0.99; 1.0 ]
+      in
       let rec mono = function
         | a :: (b :: _ as rest) -> a <= b +. 1e-9 && mono rest
         | _ -> true
@@ -99,6 +101,26 @@ let histogram_quantile_vs_sorted =
           let truth = naive_quantile xs q in
           est >= truth /. tol && est <= truth *. tol)
         [ 0.; 0.1; 0.5; 0.9; 0.99; 1.0 ])
+
+(* The two ends of the quantile range pin down the fixed edge-case bugs:
+   q = 0. must land in the bucket of the smallest sample (not an empty
+   prefix), and q = 1. must land in the bucket holding max_observed. *)
+let histogram_quantile_extremes =
+  QCheck2.Test.make
+    ~name:"Histogram.quantile endpoints bucket-consistent with min/max"
+    ~count:300
+    QCheck2.Gen.(list_size (int_range 1 300) (float_range 1e-3 1e3))
+    (fun xs ->
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) xs;
+      let tol = Float.pow 10. (1. /. 20.) in
+      let lo = Histogram.quantile h 0. in
+      let hi = Histogram.quantile h 1.0 in
+      let mn = List.fold_left Float.min Float.infinity xs in
+      let mx = Histogram.max_observed h in
+      lo >= mn /. tol && lo <= mn *. tol
+      && hi >= mx /. tol
+      && hi <= mx *. tol)
 
 let histogram_merge_prop =
   QCheck2.Test.make ~name:"Histogram.merge_into = concat" ~count:200
@@ -191,6 +213,16 @@ let test_throughput () =
     (Throughput.series t);
   Alcotest.(check int) "in_range" 2 (Throughput.in_range t 0. 1.)
 
+let test_throughput_rate () =
+  let t = Throughput.create ~window:1.0 () in
+  Alcotest.(check (float 0.)) "empty rate" 0. (Throughput.rate t);
+  (* All events at one timestamp: the span is zero, so there is no defined
+     rate — the old behavior returned the raw count here. *)
+  Throughput.record_n t 5.0 4;
+  Alcotest.(check (float 0.)) "zero-span rate" 0. (Throughput.rate t);
+  Throughput.record t 7.0;
+  Alcotest.(check (float 1e-9)) "spanned rate" 2.5 (Throughput.rate t)
+
 let test_run_average () =
   let r = Run_average.create () in
   Run_average.observe r ~key:10 1.0;
@@ -213,11 +245,13 @@ let tests =
     Alcotest.test_case "histogram errors" `Quick test_histogram_errors;
     QCheck_alcotest.to_alcotest histogram_quantile_monotone;
     QCheck_alcotest.to_alcotest histogram_quantile_vs_sorted;
+    QCheck_alcotest.to_alcotest histogram_quantile_extremes;
     QCheck_alcotest.to_alcotest histogram_merge_prop;
     QCheck_alcotest.to_alcotest run_average_prop;
     QCheck_alcotest.to_alcotest throughput_prop;
     Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
     Alcotest.test_case "counter registry" `Quick test_counter;
     Alcotest.test_case "throughput windows" `Quick test_throughput;
+    Alcotest.test_case "throughput rate span rule" `Quick test_throughput_rate;
     Alcotest.test_case "run average" `Quick test_run_average;
   ]

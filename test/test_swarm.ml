@@ -150,6 +150,7 @@ let base_bad =
     sla_mix = false;
     protocol = "ss2pl-sql";
     workers = 2;
+    shards = 1;
     faults = Ds_core.Faults.none;
     checkpoint = None;
     queue_cap = None;
@@ -188,6 +189,43 @@ let test_inject_swap_rte_fails () =
   Alcotest.(check bool) "swapping conflicting rte entries trips the battery"
     true
     (Runner.failures outcome <> [])
+
+(* --- sharded scenarios ---------------------------------------------- *)
+
+let test_sharded_scenario_battery () =
+  (* A sharded scenario with a mid-run crash exercises the whole DST path:
+     segment-directory journalling, per-lane recovery, the stamp-merged rte
+     and the cross-shard equivalence clause. *)
+  let s =
+    {
+      base_bad with
+      Scenario.clients = 12;
+      shards = 4;
+      inject = None;
+      faults =
+        { Ds_core.Faults.none with Ds_core.Faults.crash_at_cycle = Some 10 };
+    }
+  in
+  let outcome = Runner.run s in
+  Alcotest.(check bool) "crashed" true
+    (outcome.Runner.stats.Ds_core.Middleware.crashes = 1);
+  Alcotest.(check int) "ran sharded" 4
+    outcome.Runner.stats.Ds_core.Middleware.shards;
+  match Runner.failures outcome with
+  | [] -> ()
+  | fs ->
+    Alcotest.failf "sharded scenario failed the battery: %s"
+      (String.concat "; " (List.map (fun (n, d) -> n ^ ": " ^ d) fs))
+
+let test_shrinker_single_shard () =
+  (* The injected failure survives dropping to one shard, so the ladder's
+     single-shard rung must take it there. *)
+  let start = { base_bad with Scenario.shards = 2 } in
+  let outcome = Runner.run start in
+  let failed = List.map fst (Runner.failures outcome) in
+  Alcotest.(check bool) "sharded starting scenario fails" true (failed <> []);
+  let r = Shrink.shrink start ~failed in
+  Alcotest.(check int) "collapsed to one shard" 1 r.Shrink.shrunk.Scenario.shards
 
 (* --- shrinker ------------------------------------------------------- *)
 
@@ -262,6 +300,10 @@ let tests =
       test_inject_drop_rte_fails;
     Alcotest.test_case "inject: swapped rte entries caught" `Quick
       test_inject_swap_rte_fails;
+    Alcotest.test_case "sharded scenario passes the battery" `Quick
+      test_sharded_scenario_battery;
+    Alcotest.test_case "shrinker collapses shards" `Slow
+      test_shrinker_single_shard;
     Alcotest.test_case "shrinker minimizes a known-bad scenario" `Slow
       test_shrinker_minimizes;
     Alcotest.test_case "shrinker rejects a passing scenario" `Quick
