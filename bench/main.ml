@@ -1697,6 +1697,248 @@ let swarm_bench ~n ~seed ~json () =
     note "wrote %s" path
 
 (* ------------------------------------------------------------------ *)
+(* Failover: hot-standby replication under link faults                *)
+(* ------------------------------------------------------------------ *)
+
+(* {async, sync} x {clean, lossy, partition} link, each run killed by a
+   permanent primary crash (pcrash) mid-flight and failed over to the hot
+   standby. The durability verdict per point comes from
+   [Equivalence.check_failover]: every transaction a client saw committed
+   before the failover is looked up in the promoted standby journal —
+   sync mode must lose none, async mode may lose only records above the
+   standby's watermark (the lag window). 'fenced' counts the old primary's
+   stragglers the promoted standby refused by stale epoch. *)
+let failover_bench ~duration ~json () =
+  section
+    "Failover: hot-standby promotion under replication-link faults \
+     (pcrash at cycle 150; durability checked per point)";
+  let module Link = Ds_replica.Link in
+  let module Session = Ds_replica.Session in
+  (* tas physically present ('Q' records) in the standby journal file *)
+  let standby_tas path =
+    let tas = Hashtbl.create 256 in
+    In_channel.with_open_bin path (fun ic ->
+        try
+          while true do
+            let line = input_line ic in
+            (* framing: '!' + crc32 hex + ' ' + payload *)
+            if String.length line > 12 && String.sub line 10 2 = "Q " then
+              match String.split_on_char ' ' line with
+              | _ :: "Q" :: ta :: _ -> (
+                match int_of_string_opt ta with
+                | Some ta -> Hashtbl.replace tas ta ()
+                | None -> ())
+              | _ -> ()
+          done
+        with End_of_file -> ());
+    tas
+  in
+  let links =
+    [
+      ("clean", Link.none);
+      ( "lossy",
+        { Link.none with Link.drop_rate = 0.05; dup_rate = 0.02; reorder_rate = 0.1 } );
+      (* the outage must open at least one txn-latency (~0.5 s) before the
+         crash (cycle 150 at ~1.5 s virtual): a transaction's records are
+         streamed at admission, so only txns admitted during the outage and
+         acked before the crash are unreplicated when the primary dies —
+         async mode loses exactly those, sync mode holds their acks *)
+      ( "partition",
+        { Link.none with Link.drop_rate = 0.02; partition_at = Some 0.9; partition_for = 0.8 } );
+    ]
+  in
+  let t =
+    Tablefmt.create
+      ~aligns:
+        [
+          Tablefmt.Left; Tablefmt.Left; Tablefmt.Right; Tablefmt.Right;
+          Tablefmt.Right; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right;
+          Tablefmt.Right; Tablefmt.Left;
+        ]
+      [
+        "mode"; "link"; "committed"; "acked@crash"; "lost<=wm"; "lost>wm";
+        "watermark"; "fenced"; "diverg"; "durability";
+      ]
+  in
+  let points = ref [] in
+  List.iter
+    (fun mode ->
+      List.iter
+        (fun (link_name, plan) ->
+          let dir = Filename.temp_file "ds_bench_repl" "" in
+          Sys.remove dir;
+          let journal = Filename.temp_file "ds_bench" ".journal" in
+          Fun.protect ~finally:(fun () ->
+              List.iter
+                (fun p -> try Sys.remove p with Sys_error _ -> ())
+                [
+                  journal;
+                  Session.standby_path_of dir;
+                  Filename.concat dir "REPL";
+                ];
+              try Sys.rmdir dir with Sys_error _ -> ())
+          @@ fun () ->
+          let trace = Ds_obs.Trace.create () in
+          let session =
+            Session.create ~mode ~plan ~seed:42 ~trace ~dir ()
+          in
+          let spec = { Spec.paper_default with Spec.n_objects = 20_000 } in
+          let cfg =
+            {
+              (middleware_cfg ~protocol:Builtin.ss2pl_ocaml
+                 ~trigger:(Trigger.Hybrid (0.01, 50))
+                 ~clients:30 ~duration ~spec)
+              with
+              Middleware.journal_path = Some journal;
+              checkpoint_interval = Some 10;
+              (* late enough that a meaningful set of transactions has been
+                 acked to clients before the primary dies *)
+              faults = { Faults.none with Faults.pcrash_at_cycle = Some 150 };
+              client_redo = true;
+              repl = Some (Session.hooks session);
+              trace = Some trace;
+              charge_scheduler_time = false;
+            }
+          in
+          let s = Middleware.run cfg in
+          Session.close session;
+          let events = Ds_obs.Trace.events trace in
+          let failover_at =
+            List.fold_left
+              (fun acc (e : Ds_obs.Trace.event) ->
+                if e.Ds_obs.Trace.kind = Ds_obs.Trace.Failover then
+                  Float.min acc e.Ds_obs.Trace.at
+                else acc)
+              infinity events
+          in
+          let acked_tas = Hashtbl.create 64 in
+          List.iter
+            (fun (e : Ds_obs.Trace.event) ->
+              if
+                e.Ds_obs.Trace.kind = Ds_obs.Trace.Commit
+                && e.Ds_obs.Trace.at < failover_at
+              then Hashtbl.replace acked_tas e.Ds_obs.Trace.ta ())
+            events;
+          let lsn_of = Hashtbl.create 256 in
+          List.iter
+            (fun (ta, lsn) -> Hashtbl.replace lsn_of ta lsn)
+            (Session.ta_lsns session);
+          let acked =
+            Hashtbl.fold
+              (fun ta () acc ->
+                (ta, Option.value ~default:0 (Hashtbl.find_opt lsn_of ta))
+                :: acc)
+              acked_tas []
+            |> List.sort compare
+          in
+          let present = standby_tas (Session.standby_path session) in
+          let report =
+            Ds_check.Equivalence.check_failover ~sync:(mode = Session.Sync)
+              ~watermark:(Session.watermark session)
+              ~acked
+              ~survived:(Hashtbl.mem present)
+              ()
+          in
+          let ok = Ds_check.Equivalence.failover_ok report in
+          points :=
+            (mode, link_name, s, session, report, ok) :: !points;
+          Tablefmt.add_row t
+            [
+              Session.mode_to_string mode;
+              link_name;
+              string_of_int s.Middleware.committed_txns;
+              string_of_int report.Ds_check.Equivalence.acked;
+              string_of_int
+                (List.length report.Ds_check.Equivalence.lost_below_watermark);
+              string_of_int
+                (List.length report.Ds_check.Equivalence.lost_above_watermark);
+              string_of_int (Session.watermark session);
+              string_of_int (Session.fenced session);
+              string_of_int (Session.divergences session);
+              (if ok then "ok" else "VIOLATION");
+            ])
+        links)
+    [ Session.Async; Session.Sync ];
+  Tablefmt.print t;
+  let sync_zero_loss =
+    List.for_all
+      (fun (mode, _, _, _, (r : Ds_check.Equivalence.failover_report), ok) ->
+        match mode with
+        | Session.Sync ->
+          ok && r.Ds_check.Equivalence.lost_above_watermark = []
+        | Session.Async -> true)
+      !points
+  in
+  let async_loss_bounded =
+    List.for_all
+      (fun (mode, _, _, _, (r : Ds_check.Equivalence.failover_report), _) ->
+        match mode with
+        | Session.Async -> r.Ds_check.Equivalence.lost_below_watermark = []
+        | Session.Sync -> true)
+      !points
+  in
+  let fenced_witnessed =
+    List.exists
+      (fun (_, _, _, session, _, _) -> Session.fenced session > 0)
+      !points
+  in
+  note
+    "sync zero-loss: %b; async loss bounded by watermark: %b; stale-epoch \
+     fencing witnessed: %b; every run failed over exactly once (epoch 0 -> 1)."
+    sync_zero_loss async_loss_bounded fenced_witnessed;
+  match json with
+  | None -> ()
+  | Some path ->
+    let open Ds_obs.Json in
+    let payload =
+      Ds_dst.Stamp.add ~seed:42
+        ~config:[ ("experiment", Str "failover"); ("duration", Num duration) ]
+    @@ Obj
+        [
+          ("experiment", Str "failover");
+          ("duration", Num duration);
+          ("sync_zero_loss", Bool sync_zero_loss);
+          ("async_loss_bounded", Bool async_loss_bounded);
+          ("fenced_witnessed", Bool fenced_witnessed);
+          ( "points",
+            List
+              (List.rev_map
+                 (fun ( mode, link_name, (s : Middleware.stats), session,
+                        (r : Ds_check.Equivalence.failover_report), ok ) ->
+                   Obj
+                     [
+                       ("mode", Str (Session.mode_to_string mode));
+                       ("link", Str link_name);
+                       ("seed", Num 42.);
+                       ("committed", Num (float_of_int s.Middleware.committed_txns));
+                       ("failovers", Num (float_of_int s.Middleware.failovers));
+                       ("epoch", Num (float_of_int (Session.epoch session)));
+                       ("watermark", Num (float_of_int (Session.watermark session)));
+                       ("acked_at_crash", Num (float_of_int r.Ds_check.Equivalence.acked));
+                       ( "lost_below_watermark",
+                         Num
+                           (float_of_int
+                              (List.length
+                                 r.Ds_check.Equivalence.lost_below_watermark)) );
+                       ( "lost_above_watermark",
+                         Num
+                           (float_of_int
+                              (List.length
+                                 r.Ds_check.Equivalence.lost_above_watermark)) );
+                       ("fenced", Num (float_of_int (Session.fenced session)));
+                       ( "divergences",
+                         Num (float_of_int (Session.divergences session)) );
+                       ("durability_ok", Bool ok);
+                     ])
+                 !points) );
+        ]
+    in
+    Out_channel.with_open_text path (fun oc ->
+        output_string oc (to_string payload);
+        output_char oc '\n');
+    note "wrote %s" path
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1726,6 +1968,7 @@ let all_experiments ~window ~runs ~duration ~cycle_scale ~json () =
   parallel_scaling ~duration ~json:None ();
   shards_scaling ~duration ~json:None ();
   recovery_bench ~duration ~json:None ();
+  failover_bench ~duration ~json:None ();
   swarm_bench ~n:25 ~seed:42 ~json:None ()
 
 let () =
@@ -1741,7 +1984,7 @@ let () =
     Arg.(value & opt float 1. & info [ "cycle-scale" ] ~doc:"Scale factor on declarative cycle times (emulates the paper's slower scheduler DBMS; try 100).")
   in
   let json =
-    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc:"Write the experiment's results as JSON to $(docv) (index, faults, parallel and recovery).")
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc:"Write the experiment's results as JSON to $(docv) (index, faults, parallel, recovery and failover).")
   in
   let history_sizes =
     Arg.(value & opt (list int) default_history_sizes & info [ "history-sizes" ] ~doc:"History sizes for the index experiment (comma-separated).")
@@ -1760,7 +2003,7 @@ let () =
   in
   let experiment =
     Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT"
-           ~doc:"One of: all, table1, table2, figure2, native-overhead, declarative-overhead, crossover, listing1-micro, succinctness, datalog-vs-sql, optimizer, index, triggers, relaxed, batch-sweep, open-loop, mpl, deadlock-policy, pruning, faults, obs, parallel, shards, recovery, swarm, list.")
+           ~doc:"One of: all, table1, table2, figure2, native-overhead, declarative-overhead, crossover, listing1-micro, succinctness, datalog-vs-sql, optimizer, index, triggers, relaxed, batch-sweep, open-loop, mpl, deadlock-policy, pruning, faults, obs, parallel, shards, recovery, failover, swarm, list.")
   in
   let main experiment window runs duration cycle_scale json history_sizes
       cycles batch swarm_n swarm_seed =
@@ -1789,13 +2032,14 @@ let () =
     | "parallel" -> parallel_scaling ~duration ~json ()
     | "shards" -> shards_scaling ~duration ~json ()
     | "recovery" -> recovery_bench ~duration ~json ()
+    | "failover" -> failover_bench ~duration ~json ()
     | "swarm" -> swarm_bench ~n:swarm_n ~seed:swarm_seed ~json ()
     | "list" ->
       print_endline
         "all table1 table2 figure2 native-overhead declarative-overhead \
          crossover listing1-micro succinctness datalog-vs-sql optimizer \
          index triggers relaxed batch-sweep open-loop mpl deadlock-policy \
-         pruning faults obs parallel shards recovery swarm"
+         pruning faults obs parallel shards recovery failover swarm"
     | other ->
       Printf.eprintf "unknown experiment %s (try 'list')\n" other;
       exit 2

@@ -180,8 +180,67 @@ let run_cmd =
              vanishes mid-txn), crash (middleware crash at that cycle, with \
              live journal recovery), wcrash/wdeath/wstall (per-batch worker \
              crash / permanent death / stall rates, needs --workers > 1; \
-             wstall-dur seconds). Implies deterministic scheduling \
-             (scheduler wall-time not charged).")
+             wstall-dur seconds), pcrash (permanent primary crash at that \
+             cycle — fails over to the hot standby, needs --standby). \
+             Implies deterministic scheduling (scheduler wall-time not \
+             charged).")
+  in
+  let standby =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "standby" ] ~docv:"DIR"
+          ~doc:
+            "Replicate the journal to a hot standby rooted at $(docv) \
+             (needs --journal): every record is streamed over a simulated \
+             link into $(docv)/standby.journal, kept a byte-prefix of the \
+             primary's. A $(b,pcrash=N) fault fails over to it mid-run; \
+             otherwise promote it later with 'dsched failover $(docv)'.")
+  in
+  let repl_faults =
+    let conv_plan =
+      let parse s =
+        match Ds_replica.Link.plan_of_string s with
+        | Ok p -> Ok p
+        | Error m -> Error (`Msg m)
+      in
+      Arg.conv (parse, Ds_replica.Link.pp_plan)
+    in
+    Arg.(
+      value
+      & opt conv_plan Ds_replica.Link.none
+      & info [ "repl-faults" ] ~docv:"SPEC"
+          ~doc:
+            "Replication-link fault plan, e.g. \
+             $(b,drop=0.05,dup=0.02,reorder=0.1,delay=0.05,partition=1.5,flap=0.8). \
+             Keys: drop/dup/reorder/delay (per-record rates), base/spike \
+             (latency seconds), partition (one-shot outage at that virtual \
+             second, + partition-dur), flap (periodic outage every that many \
+             seconds, + flap-down). Records caught in an outage are held \
+             and delivered at heal time — after a failover they arrive with \
+             a stale epoch and are fenced.")
+  in
+  let repl_mode =
+    let conv_mode =
+      let parse s =
+        match Ds_replica.Session.mode_of_string (String.trim s) with
+        | Some m -> Ok m
+        | None -> Error (`Msg (Printf.sprintf "repl-mode must be async or sync, got '%s'" s))
+      in
+      Arg.conv
+        (parse, fun ppf m ->
+          Format.pp_print_string ppf (Ds_replica.Session.mode_to_string m))
+    in
+    Arg.(
+      value
+      & opt conv_mode Ds_replica.Session.Async
+      & info [ "repl-mode" ] ~docv:"MODE"
+          ~doc:
+            "$(b,async) (default): commit acks return immediately, a \
+             failover may lose up to the replication lag. $(b,sync): commit \
+             acks are held until the transaction's journal records are at or \
+             below the standby watermark — zero acked-transaction loss \
+             across failover.")
   in
   let checkpoint =
     Arg.(
@@ -253,10 +312,27 @@ let run_cmd =
   in
   let run protocol clients duration objects passthrough workers shards seed
       log_rte faults max_retries queue_cap batch_timeout journal checkpoint
-      hedge trace_out metrics =
+      hedge trace_out metrics standby repl_faults repl_mode =
     let faulty = not (Faults.is_none faults) in
     let sink = Option.map (fun _ -> Ds_obs.Trace.create ()) trace_out in
     let mets = if metrics then Some (Ds_obs.Metrics.create ()) else None in
+    (match standby with
+    | None ->
+      if not (Ds_replica.Link.is_none repl_faults) then begin
+        prerr_endline "run: --repl-faults needs --standby";
+        exit 2
+      end
+    | Some _ when journal = None ->
+      prerr_endline "run: --standby needs --journal (there is nothing to replicate)";
+      exit 2
+    | Some _ -> ());
+    let session =
+      Option.map
+        (fun dir ->
+          Ds_replica.Session.create ~mode:repl_mode ~plan:repl_faults ~seed
+            ?trace:sink ~dir ())
+        standby
+    in
     let cfg =
       {
         Middleware.default_config with
@@ -280,6 +356,7 @@ let run_cmd =
         checkpoint_interval = checkpoint;
         hedging = hedge;
         client_redo = faulty;
+        repl = Option.map Ds_replica.Session.hooks session;
         trace = sink;
         metrics = mets;
         (* Wall-clock cycle charging is non-deterministic; fault runs must
@@ -293,6 +370,25 @@ let run_cmd =
       Format.printf "fault plan: %a (seed %d)@." Faults.pp_plan faults seed;
     let s, h = Middleware.run_sharded cfg in
     Format.printf "%a@." Middleware.pp_stats s;
+    Option.iter
+      (fun sess ->
+        Ds_replica.Session.close sess;
+        Format.printf
+          "standby %s: mode=%s epoch=%d primary_lsn=%d watermark=%d lag=%d \
+           retransmits=%d stale=%d fenced=%d hash_checks=%d divergences=%d%s@."
+          (Ds_replica.Session.dir sess)
+          (Ds_replica.Session.mode_to_string (Ds_replica.Session.mode sess))
+          (Ds_replica.Session.epoch sess)
+          (Ds_replica.Session.primary_lsn sess)
+          (Ds_replica.Session.watermark sess)
+          (Ds_replica.Session.lag sess)
+          (Ds_replica.Session.retransmits sess)
+          (Ds_replica.Session.stale_deliveries sess)
+          (Ds_replica.Session.fenced sess)
+          (Ds_replica.Session.hash_checks sess)
+          (Ds_replica.Session.divergences sess)
+          (if Ds_replica.Session.promoted sess then " (promoted)" else ""))
+      session;
     List.iter
       (fun (tier, mean, p95, n) ->
         Format.printf "  %-8s n=%d latency mean=%.3fs p95=%.3fs@."
@@ -332,7 +428,8 @@ let run_cmd =
     Term.(
       const run $ protocol_arg $ clients $ duration $ objects $ passthrough
       $ workers $ shards $ seed $ log_rte $ faults $ max_retries $ queue_cap
-      $ batch_timeout $ journal $ checkpoint $ hedge $ trace_out $ metrics)
+      $ batch_timeout $ journal $ checkpoint $ hedge $ trace_out $ metrics
+      $ standby $ repl_faults $ repl_mode)
 
 let native_cmd =
   let doc = "Run the native (lock-based) scheduler experiment (4.2)." in
@@ -758,6 +855,47 @@ let swarm_cmd =
       const run $ n $ seed $ out $ replay $ no_shrink $ max_shrink_runs
       $ verbose)
 
+let failover_cmd =
+  let doc =
+    "Promote a hot-standby session directory (written by 'run --standby \
+     DIR') to primary: recover the standby journal, repairing any torn \
+     tail, and stamp the next promotion epoch into it. The promoted journal \
+     then drives a new run ('run --journal DIR/standby.journal'); any late \
+     write from the fenced old epoch is refused at replay."
+  in
+  let dir =
+    Arg.(
+      required
+      & pos 0 (some dir) None
+      & info [] ~docv:"DIR" ~doc:"Replication session directory.")
+  in
+  let run dir =
+    match Ds_replica.Failover.promote dir with
+    | r ->
+      let open Ds_replica in
+      Printf.printf "promoted %s (mode %s) to epoch %d\n" dir
+        (Session.mode_to_string r.Failover.mode)
+        r.Failover.epoch;
+      let rec_ = r.Failover.recovered in
+      Printf.printf
+        "standby state: %d executed, %d pending, %d aborted, %d dead\n"
+        (List.length rec_.Journal.history)
+        (List.length rec_.Journal.pending)
+        (List.length rec_.Journal.aborted)
+        (List.length rec_.Journal.dead);
+      if rec_.Journal.corrupt_dropped > 0 then
+        Printf.printf "repaired torn tail: dropped %d line(s), kept %d bytes\n"
+          rec_.Journal.corrupt_dropped rec_.Journal.valid_bytes;
+      if rec_.Journal.epoch > 0 then
+        Printf.printf "previous promotion epoch replayed: %d\n"
+          rec_.Journal.epoch;
+      Printf.printf "primary journal: %s\n" (Session.standby_path_of dir)
+    | exception Failure m ->
+      Printf.eprintf "failover: %s\n" m;
+      exit 1
+  in
+  Cmd.v (Cmd.info "failover" ~doc) Term.(const run $ dir)
+
 let recover_cmd =
   let doc = "Inspect a scheduler journal: recovered pending/history state." in
   let file =
@@ -783,7 +921,22 @@ let recover_cmd =
       if Journal.is_segment_dir file then begin
         Printf.printf "segment directory: merging %d lane journal(s)\n"
           (List.length (Journal.segment_paths file));
-        Journal.recover_dir ~repair file
+        (* Per-segment recovery first, so --repair reports which lane had
+           the torn tail (repair is per segment; a torn tail in one lane
+           never blocks its siblings). *)
+        let segs = Journal.recover_segments ~repair file in
+        List.iter
+          (fun (name, (sr : Journal.recovered)) ->
+            if sr.Journal.corrupt_dropped > 0 then
+              Printf.printf
+                "  %s: replayed %d, dropped %d corrupt tail line(s)%s; \
+                 trusted prefix %d bytes\n"
+                name sr.Journal.replayed sr.Journal.corrupt_dropped
+                (if repair then " (truncated)" else "")
+                sr.Journal.valid_bytes
+            else Printf.printf "  %s: replayed %d, clean\n" name sr.Journal.replayed)
+          segs;
+        Journal.recover_dir file
       end
       else Journal.recover ~repair file
     in
@@ -824,5 +977,5 @@ let () =
           [
             protocols_cmd; table1_cmd; sql_cmd; demo_cmd; run_cmd; native_cmd;
             rules_cmd; trace_gen_cmd; qualify_cmd; check_cmd; recover_cmd;
-            trace_view_cmd; swarm_cmd;
+            failover_cmd; trace_view_cmd; swarm_cmd;
           ]))

@@ -168,3 +168,50 @@ let check_sharded ?complete ~shards ~shard_of ~reference ~candidate () =
   if shards < 2 then
     invalid_arg "Equivalence.check_sharded: needs at least 2 shards";
   check_gen ~shard:(shards, shard_of) ?complete ~reference ~candidate ()
+
+(* ------------------------------------------------------------------ *)
+(* failover durability                                                *)
+(* ------------------------------------------------------------------ *)
+
+type failover_report = {
+  sync : bool;
+  watermark : int;
+  acked : int;
+  survived_acked : int;
+  lost_below_watermark : (int * int) list;
+  lost_above_watermark : (int * int) list;
+}
+
+let check_failover ~sync ~watermark ~acked ~survived () =
+  let below = ref [] and above = ref [] and kept = ref 0 in
+  List.iter
+    (fun (ta, lsn) ->
+      if survived ta then incr kept
+      else if lsn <= watermark then below := (ta, lsn) :: !below
+      else above := (ta, lsn) :: !above)
+    acked;
+  let order = List.sort compare in
+  {
+    sync;
+    watermark;
+    acked = List.length acked;
+    survived_acked = !kept;
+    lost_below_watermark = order !below;
+    lost_above_watermark = order !above;
+  }
+
+let failover_ok r =
+  r.lost_below_watermark = [] && ((not r.sync) || r.lost_above_watermark = [])
+
+let pp_failover_report ppf r =
+  Format.fprintf ppf
+    "mode=%s watermark=%d acked=%d survived=%d lost(below)=%d lost(above)=%d \
+     %s"
+    (if r.sync then "sync" else "async")
+    r.watermark r.acked r.survived_acked
+    (List.length r.lost_below_watermark)
+    (List.length r.lost_above_watermark)
+    (if failover_ok r then "ok"
+     else if r.lost_below_watermark <> [] then
+       "VIOLATION: acked transactions at or below the watermark were lost"
+     else "VIOLATION: sync mode lost acked transactions")

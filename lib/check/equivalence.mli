@@ -77,3 +77,41 @@ val check_sharded :
 val is_equivalent : report -> bool
 val pp_violation : Format.formatter -> violation -> unit
 val pp_report : Format.formatter -> report -> unit
+
+(** {2 Failover durability}
+
+    After a hot-standby promotion, every transaction the old primary
+    {e acknowledged to a client} should still be present in the promoted
+    state — modulo the replication mode's contract. A loss at or below the
+    standby's watermark is always a bug (the standby acked those records); a
+    loss above the watermark is the advertised async-mode window and a bug
+    only in sync mode, where commit acks were gated on the watermark. *)
+
+type failover_report = {
+  sync : bool;  (** the replication mode the run used *)
+  watermark : int;  (** standby watermark at promotion *)
+  acked : int;  (** acked transactions checked *)
+  survived_acked : int;  (** of those, present in the promoted state *)
+  lost_below_watermark : (int * int) list;
+      (** lost [(ta, lsn)] with [lsn <= watermark] — always a violation *)
+  lost_above_watermark : (int * int) list;
+      (** lost [(ta, lsn)] in the lag window — a violation in sync mode *)
+}
+
+(** [check_failover ~sync ~watermark ~acked ~survived ()] classifies each
+    acked transaction — [(ta, high-water journal LSN)] pairs, the LSN being
+    the last journal record the transaction produced on the old primary —
+    by whether [survived ta] holds in the promoted state and which side of
+    the watermark its LSN fell on. *)
+val check_failover :
+  sync:bool ->
+  watermark:int ->
+  acked:(int * int) list ->
+  survived:(int -> bool) ->
+  unit ->
+  failover_report
+
+(** No loss below the watermark, and in sync mode no loss at all. *)
+val failover_ok : failover_report -> bool
+
+val pp_failover_report : Format.formatter -> failover_report -> unit

@@ -12,6 +12,7 @@ type plan = {
   worker_death_rate : float;
   worker_stall_rate : float;
   worker_stall_duration : float;
+  pcrash_at_cycle : int option;
 }
 
 let none =
@@ -26,6 +27,7 @@ let none =
     worker_death_rate = 0.;
     worker_stall_rate = 0.;
     worker_stall_duration = 0.05;
+    pcrash_at_cycle = None;
   }
 
 let is_none p =
@@ -34,6 +36,7 @@ let is_none p =
   && p.crash_at_cycle = None
   && p.worker_crash_rate = 0. && p.worker_death_rate = 0.
   && p.worker_stall_rate = 0.
+  && p.pcrash_at_cycle = None
 
 let has_worker_faults p =
   p.worker_crash_rate > 0. || p.worker_death_rate > 0.
@@ -65,7 +68,10 @@ let validate p =
   else
     match p.crash_at_cycle with
     | Some c when c <= 0 -> Error "crash cycle must be positive"
-    | _ -> Ok ()
+    | _ -> (
+      match p.pcrash_at_cycle with
+      | Some c when c <= 0 -> Error "pcrash cycle must be positive"
+      | _ -> Ok ())
 
 let plan_of_string s =
   let parse_field plan kv =
@@ -91,6 +97,10 @@ let plan_of_string s =
         match int_of_string_opt value with
         | Some c -> Ok { plan with crash_at_cycle = Some c }
         | None -> Error (Printf.sprintf "bad cycle %S for crash" value))
+      | "pcrash" -> (
+        match int_of_string_opt value with
+        | Some c -> Ok { plan with pcrash_at_cycle = Some c }
+        | None -> Error (Printf.sprintf "bad cycle %S for pcrash" value))
       | "wcrash" ->
         Result.map (fun f -> { plan with worker_crash_rate = f }) (fl ())
       | "wdeath" ->
@@ -143,11 +153,21 @@ let plan_to_string p =
         (if p.worker_stall_rate > 0. then
            Some (Printf.sprintf "wstall-dur=%g" p.worker_stall_duration)
          else None);
+        Option.map (Printf.sprintf "pcrash=%d") p.pcrash_at_cycle;
       ]
   in
   if parts = [] then "none" else String.concat "," parts
 
 let pp_plan ppf p = Format.pp_print_string ppf (plan_to_string p)
+
+(* Capped exponential backoff shared by the middleware retry ladder.  The
+   exponent is clamped before shifting: [2^attempt] overflows a native int
+   past attempt 61, and even the float conversion saturates far below a
+   useful cap, so attempts beyond 10 all pay [base * 1024] (then the cap).
+   Monotone non-decreasing in [attempt] and always <= [cap]. *)
+let backoff ~base ~cap ~attempt =
+  let exp = float_of_int (1 lsl min 10 (max 0 attempt)) in
+  Float.min cap (base *. exp)
 
 type t = {
   plan : plan;

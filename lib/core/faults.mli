@@ -42,6 +42,11 @@ type plan = {
       (** per dispatched batch: one pool worker turns straggler, adding
           [worker_stall_duration]-scaled latency to each class it runs *)
   worker_stall_duration : float;  (** straggler slowdown scale, in seconds *)
+  pcrash_at_cycle : int option;
+      (** kill the {e primary} permanently at this scheduler cycle and
+          promote the hot standby (needs a replication session — see
+          [Middleware.config.repl]); unlike [crash_at_cycle] the dead
+          primary's disk is never consulted *)
 }
 
 (** The zero plan: no faults. [Middleware.default_config] uses it. *)
@@ -59,12 +64,19 @@ val validate : plan -> (unit, string) result
 
 (** Parses a compact spec like
     ["batch=0.1,stall=0.05,stall-dur=0.05,poison=0.01,disconnect=0.02,crash=40"].
-    Worker-scoped faults use [wcrash=R,wdeath=R,wstall=R,wstall-dur=S].
+    Worker-scoped faults use [wcrash=R,wdeath=R,wstall=R,wstall-dur=S];
+    [pcrash=N] kills the primary at cycle [N] (hot-standby failover).
     Every key is optional; unknown keys are errors. *)
 val plan_of_string : string -> (plan, string) result
 
 val plan_to_string : plan -> string
 val pp_plan : Format.formatter -> plan -> unit
+
+(** [backoff ~base ~cap ~attempt] — capped exponential retry backoff:
+    [min cap (base *. 2^(min 10 attempt))]. The exponent clamp keeps the
+    shift well inside native-int range for any attempt count; the result is
+    monotone non-decreasing in [attempt] and never exceeds [cap]. *)
+val backoff : base:float -> cap:float -> attempt:int -> float
 
 type t
 

@@ -38,6 +38,8 @@ type replay_state = {
          segments write stamps, so this is empty for unsharded journals *)
   mutable aborts : int list;  (* reversed *)
   mutable dead_ : Request.t list;  (* reversed *)
+  mutable epoch : int;
+      (* promotion epoch ('E' records); 0 until a failover ever happened *)
 }
 
 let fresh_state () =
@@ -48,6 +50,7 @@ let fresh_state () =
     stamps = Hashtbl.create 64;
     aborts = [];
     dead_ = [];
+    epoch = 0;
   }
 
 let st_submit st r =
@@ -102,6 +105,12 @@ type t = {
       (* lines in the file so far; embedded in each C BEGIN so recovery can
          report how many prefix lines the checkpoint let it skip without
          ever reading the prefix *)
+  mutable sink : (int -> string -> unit) option;
+      (* replication tap: called with (lsn, payload) for every record written
+         through this handle — the primary side of a replication session *)
+  mutable hash_checkpoints : bool;
+      (* when set, every checkpoint block is followed by an 'H' record
+         carrying the writer-mirror state hash (divergence detection) *)
 }
 
 (* Every record is framed as [!crc32-hex payload]; recovery verifies the
@@ -109,7 +118,13 @@ type t = {
    readable. *)
 let write_line t payload =
   t.n_lines <- t.n_lines + 1;
-  output_string t.oc (Printf.sprintf "!%08x %s\n" (crc32 payload) payload)
+  output_string t.oc (Printf.sprintf "!%08x %s\n" (crc32 payload) payload);
+  match t.sink with None -> () | Some f -> f t.n_lines payload
+
+let set_sink t f = t.sink <- Some f
+let clear_sink t = t.sink <- None
+let set_hash_checkpoints t b = t.hash_checkpoints <- b
+let lines_written t = t.n_lines
 
 let log_submit t r =
   st_submit t.state r;
@@ -147,21 +162,65 @@ let log_dead t r =
    active transactions — rather than the full log. Replay of the 'P' record
    itself stays a no-op: a full (checkpoint-free) replay keeps the complete
    history so the restored [rte] log spans the whole run. *)
-let log_prune t =
+let prune_mirror st =
   let terminal = Hashtbl.create 16 in
   List.iter
     (fun (r : Request.t) ->
       match r.Request.op with
       | Op.Commit | Op.Abort -> Hashtbl.replace terminal r.Request.ta ()
       | _ -> ())
-    t.state.hist;
-  List.iter (fun ta -> Hashtbl.replace terminal ta ()) t.state.aborts;
-  t.state.hist <-
+    st.hist;
+  List.iter (fun ta -> Hashtbl.replace terminal ta ()) st.aborts;
+  st.hist <-
     List.filter
       (fun (r : Request.t) -> not (Hashtbl.mem terminal r.Request.ta))
-      t.state.hist;
-  t.state.aborts <- [];
+      st.hist;
+  st.aborts <- []
+
+let log_prune t =
+  prune_mirror t.state;
   write_line t "P"
+
+(* Canonical serialization of the writer mirror, folded through CRC32.  The
+   traversal order is fully determined by the record order (no hashtable
+   iteration), so a standby that applied the same record stream computes the
+   same hash — any difference is replay divergence. *)
+let state_hash_of st =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "E%d\n" st.epoch);
+  List.iter
+    (fun r ->
+      Buffer.add_string buf ("P " ^ Ds_workload.Trace.line_of_request r ^ "\n"))
+    (pending_of_state st);
+  List.iter
+    (fun r ->
+      let stamp =
+        match Hashtbl.find_opt st.stamps (Request.key r) with
+        | Some g -> string_of_int g
+        | None -> "-"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "H %s %s\n" stamp (Ds_workload.Trace.line_of_request r)))
+    (List.rev st.hist);
+  List.iter
+    (fun ta -> Buffer.add_string buf (Printf.sprintf "A %d\n" ta))
+    (List.rev st.aborts);
+  List.iter
+    (fun r ->
+      Buffer.add_string buf ("D " ^ Ds_workload.Trace.line_of_request r ^ "\n"))
+    (List.rev st.dead_);
+  crc32 (Buffer.contents buf)
+
+let state_hash t = state_hash_of t.state
+
+(* [log_epoch t e] stamps a promotion epoch into the journal.  All records
+   after it belong to epoch [e]; replaying an 'E' record with a {e lower}
+   epoch than the state's current one is fenced (stale-primary write). *)
+let log_epoch t e =
+  t.state.epoch <- e;
+  write_line t (Printf.sprintf "E %d" e)
+
+let writer_epoch t = t.state.epoch
 
 let checkpoint t ~cycle =
   let pending = pending_of_state t.state in
@@ -171,8 +230,15 @@ let checkpoint t ~cycle =
   let entries =
     List.length pending + List.length hist + List.length aborts
     + List.length dead
+    + if t.state.epoch > 0 then 1 else 0
   in
   write_line t (Printf.sprintf "C BEGIN %d %d" cycle t.n_lines);
+  (* The promotion epoch is part of the snapshot: checkpoint-suffix recovery
+     never reads past records, so without this a recovered post-failover
+     journal would fall back to epoch 0 and stop fencing stale-primary
+     writes. Epoch-0 journals write no entry — their bytes are unchanged. *)
+  if t.state.epoch > 0 then
+    write_line t (Printf.sprintf "c E %d" t.state.epoch);
   List.iter
     (fun r -> write_line t ("c P " ^ Ds_workload.Trace.line_of_request r))
     pending;
@@ -192,6 +258,11 @@ let checkpoint t ~cycle =
     (fun r -> write_line t ("c D " ^ Ds_workload.Trace.line_of_request r))
     dead;
   write_line t (Printf.sprintf "C END %d" entries);
+  (* Replicated journals stamp each checkpoint with the writer-mirror state
+     hash so a standby can compare its own replayed mirror ('H' replay is a
+     no-op, so unreplicated journals and their recovery are untouched). *)
+  if t.hash_checkpoints then
+    write_line t (Printf.sprintf "H %d %08x" cycle (state_hash_of t.state));
   t.n_checkpoints <- t.n_checkpoints + 1
 
 let checkpoints_written t = t.n_checkpoints
@@ -230,10 +301,15 @@ type recovered = {
   skipped : int;
   corrupt_dropped : int;
   valid_bytes : int;
+  epoch : int;
 }
 
-(* State machine over journal payload lines. *)
-let apply st lineno line =
+(* State machine over journal payload lines.  [writer] selects writer-mirror
+   semantics for 'P' records (prune the mirror, as [log_prune] does) instead
+   of the replay no-op — the standby side of a replication session applies
+   the primary's record stream with writer semantics so its mirror (and
+   state hash) tracks the primary's. *)
+let apply_record ~writer st lineno line =
   let fail msg = failwith (Printf.sprintf "journal line %d: %s" lineno msg) in
   if String.length line < 1 then fail "empty line"
   else
@@ -267,10 +343,37 @@ let apply st lineno line =
       | Some ta -> st_abort st ta
       | None -> fail "malformed A entry")
     | 'D', rest -> st_dead st (Ds_workload.Trace.request_of_line ~lineno rest)
-    | 'P', _ -> () (* pruning is an optimization; replay keeps full history *)
+    | 'P', _ ->
+      (* pruning is an optimization; replay keeps full history so the
+         restored rte spans the whole run, while the writer-semantics
+         standby mirror prunes exactly like the primary's writer did *)
+      if writer then prune_mirror st
+    | 'E', rest -> (
+      (* promotion epoch: monotonic.  A lower epoch than the state already
+         carries is a stale-primary write from a fenced old incarnation. *)
+      match int_of_string_opt (String.trim rest) with
+      | Some e ->
+        if e < st.epoch then
+          fail
+            (Printf.sprintf
+               "stale epoch %d fenced (journal already at epoch %d)" e
+               st.epoch)
+        else st.epoch <- e
+      | None -> fail "malformed E entry")
+    | 'H', _ -> () (* state-hash stamp: checked by the replica layer *)
     | 'C', _ | 'c', _ ->
       () (* checkpoint blocks are snapshots, not transitions *)
     | _ -> fail "unknown entry kind"
+
+let apply st lineno line = apply_record ~writer:false st lineno line
+
+(* Standby-side append: applies [payload] to the writer mirror with writer
+   semantics, then writes the identical framed record — the standby journal
+   file stays a byte-prefix of the primary's.
+   @raise Failure on a malformed record or a fenced stale epoch. *)
+let append_raw t payload =
+  apply_record ~writer:true t.state (t.n_lines + 1) payload;
+  write_line t payload
 
 (* Raw lines with their byte offset in the file.  [base] is the absolute
    file offset [content] starts at, so a tail read still yields absolute
@@ -390,6 +493,7 @@ let recover ?(repair = false) path =
         | 'D' ->
           st.dead_ <-
             Ds_workload.Trace.request_of_line ~lineno:(i + 1) rest :: st.dead_
+        | 'E' -> st.epoch <- int_of_string (String.trim rest)
         | _ -> failwith "bad checkpoint entry")
       | Empty -> ()
       | _ -> failwith "bad checkpoint entry"
@@ -524,6 +628,7 @@ let recover ?(repair = false) path =
     skipped;
     corrupt_dropped = !corrupt_dropped;
     valid_bytes = !valid_bytes;
+    epoch = st.epoch;
   }
   in
   (* Fast path: locate the last checkpoint block by a backward chunked byte
@@ -663,7 +768,8 @@ let open_ ?(sync = false) ?state path =
         Option.iter (fun g -> Hashtbl.replace st.stamps (Request.key req) g) g)
       r.history_stamped;
     st.aborts <- List.rev r.aborted;
-    st.dead_ <- List.rev r.dead);
+    st.dead_ <- List.rev r.dead;
+    st.epoch <- r.epoch);
   {
     oc;
     path;
@@ -672,6 +778,8 @@ let open_ ?(sync = false) ?state path =
     state = st;
     n_checkpoints = 0;
     n_lines = count_file_lines path;
+    sink = None;
+    hash_checkpoints = false;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -730,27 +838,40 @@ let init_segment_dir dir ~shards =
   close_out oc;
   segment_paths_of ~shards dir
 
-let recover_dir ?(repair = false) dir =
+let empty_recovered =
+  {
+    pending = [];
+    history = [];
+    history_stamped = [];
+    aborted = [];
+    dead = [];
+    replayed = 0;
+    checkpoint_cycle = None;
+    skipped = 0;
+    corrupt_dropped = 0;
+    valid_bytes = 0;
+    epoch = 0;
+  }
+
+(* Per-segment recovery: each segment repairs (or refuses) independently, so
+   a torn tail in one lane never blocks recovery of its siblings, and a
+   mid-file corruption error names the segment it came from. *)
+let recover_segments ?(repair = false) dir =
   let paths = segment_paths dir in
-  let segs =
-    List.map
-      (fun p ->
-        if Sys.file_exists p then recover ~repair p
-        else
-          {
-            pending = [];
-            history = [];
-            history_stamped = [];
-            aborted = [];
-            dead = [];
-            replayed = 0;
-            checkpoint_cycle = None;
-            skipped = 0;
-            corrupt_dropped = 0;
-            valid_bytes = 0;
-          })
-      paths
-  in
+  List.map
+    (fun p ->
+      let name = Filename.basename p in
+      let r =
+        if Sys.file_exists p then
+          try recover ~repair p
+          with Failure m -> failwith (Printf.sprintf "%s: %s" name m)
+        else empty_recovered
+      in
+      (name, r))
+    paths
+
+let recover_dir ?(repair = false) dir =
+  let segs = List.map snd (recover_segments ~repair dir) in
   (* Merge: histories interleave by gseq (the admission order each segment
      persisted); everything else concatenates in lane order.  Entries
      without a stamp (legacy records in a segment) sort after all stamped
@@ -782,6 +903,7 @@ let recover_dir ?(repair = false) dir =
     skipped = sum (fun s -> s.skipped);
     corrupt_dropped = sum (fun s -> s.corrupt_dropped);
     valid_bytes = sum (fun s -> s.valid_bytes);
+    epoch = List.fold_left (fun acc s -> max acc s.epoch) 0 segs;
   }
 
 let restore ?(rte = false) recovered rels =

@@ -11,6 +11,8 @@
     A ta                                  transaction aborted by the scheduler
     D id,ta,intrata,op,obj,sla,arrival    request dead-lettered (poison)
     P                                     history pruned
+    E epoch                               promotion epoch (failover fencing)
+    H cycle hash                          state hash (replication divergence)
     v}
 
     The optional third [Q] field is the {e global admission sequence}
@@ -62,6 +64,9 @@ type recovered = {
   skipped : int;  (** journal lines before the checkpoint, not replayed *)
   corrupt_dropped : int;  (** torn/corrupt tail lines dropped *)
   valid_bytes : int;  (** length of the trusted prefix, in bytes *)
+  epoch : int;
+      (** highest promotion epoch replayed (['E'] records); [0] for a
+          journal that never went through a failover *)
 }
 
 (** [open_ path] appends to [path] (created if missing). With [~sync:true],
@@ -106,6 +111,51 @@ val checkpoint : t -> cycle:int -> unit
 
 (** Snapshot blocks written through this handle. *)
 val checkpoints_written : t -> int
+
+(** {2 Replication hooks}
+
+    A replication session taps the primary's journal writer with
+    {!set_sink} and applies the streamed records on the standby side with
+    {!append_raw}; {!state_hash} + hash-stamped checkpoints
+    ({!set_hash_checkpoints}) give both ends a cheap divergence witness,
+    and ['E'] epoch records ({!log_epoch}) fence stale-primary writes. *)
+
+(** [set_sink t f] installs a replication tap: [f lsn payload] fires for
+    every record written through [t], where [lsn] is the record's 1-based
+    line number in the file. *)
+val set_sink : t -> (int -> string -> unit) -> unit
+
+val clear_sink : t -> unit
+
+(** Enables the ['H cycle hash'] record after each checkpoint block: the
+    CRC32 of the writer mirror's canonical serialization. Off by default so
+    unreplicated journals stay byte-identical to previous versions
+    (replaying ['H'] is always a no-op). *)
+val set_hash_checkpoints : t -> bool -> unit
+
+(** Records written through this handle so far (the next record's LSN minus
+    one). *)
+val lines_written : t -> int
+
+(** CRC32 over the writer mirror's canonical serialization — equal on
+    primary and standby iff their replayed states agree. *)
+val state_hash : t -> int
+
+(** [append_raw t payload] applies one replicated record to the writer
+    mirror with {e writer} semantics (['P'] prunes the mirror exactly like
+    {!log_prune} on the primary did) and appends the identical framed line,
+    so the standby file stays a byte-prefix of the primary's.
+    @raise Failure on a malformed record or a fenced stale epoch. *)
+val append_raw : t -> string -> unit
+
+(** [log_epoch t e] stamps promotion epoch [e] (an ['E'] record). Replay
+    fences: an ['E'] record with a lower epoch than the replay state already
+    carries raises [Failure] — a stale primary from a fenced old epoch
+    cannot sneak its writes past a promotion. *)
+val log_epoch : t -> int -> unit
+
+(** The writer mirror's current promotion epoch. *)
+val writer_epoch : t -> int
 
 (** Flushes buffered entries to the OS (called by the scheduler at the end of
     every cycle); fsyncs too when the journal was opened with [~sync:true]. *)
@@ -164,8 +214,16 @@ val segment_paths : string -> string list
     legacy entries sort last in lane order), pending/aborted/dead
     concatenate in lane order, counters sum, and [checkpoint_cycle] is the
     max across segments. Missing segment files recover as empty (a lane
-    that never journaled anything). [~repair] is applied per segment. *)
+    that never journaled anything). [~repair] is applied per segment, so a
+    torn tail in one segment never blocks recovery of its siblings; a
+    mid-file corruption [Failure] is prefixed with the segment basename. *)
 val recover_dir : ?repair:bool -> string -> recovered
+
+(** Per-segment recovery results in lane order, keyed by segment basename
+    ([shard-<i>.journal], [global.journal]) — the per-segment truncation
+    counts behind [recover --repair] reporting. Corruption failures are
+    prefixed with the segment basename. *)
+val recover_segments : ?repair:bool -> string -> (string * recovered) list
 
 (** Rebuilds a relation set from a recovery result: pending requests are
     reinserted into [requests]; the history is restored in order, with abort

@@ -2,6 +2,35 @@ open Ds_model
 open Ds_sim
 open Ds_workload
 
+(* Hot-standby replication is provided by the [ds_replica] library, which
+   depends on this one; the middleware sees it only through this closure
+   record (constructed by [Ds_replica.Session.hooks]) so the dependency
+   stays one-way. *)
+type repl_promotion = {
+  rp_recovered : Journal.recovered;
+  rp_journal : Journal.t;
+  rp_epoch : int;
+}
+
+type repl_status = {
+  rs_epoch : int;
+  rs_watermark : int;
+  rs_primary_lsn : int;
+  rs_lag : int;
+  rs_fenced : int;
+  rs_divergences : int;
+  rs_sync : bool;
+}
+
+type repl_hooks = {
+  repl_attach : Journal.t -> unit;
+  repl_set_clock : (unit -> float) -> unit;
+  repl_pump : now:float -> unit;
+  repl_synced : ta:int -> bool;
+  repl_promote : unit -> repl_promotion;
+  repl_status : unit -> repl_status;
+}
+
 type config = {
   n_clients : int;
   duration : float;
@@ -29,6 +58,7 @@ type config = {
   deadline_factor : float option;
   hedging : bool;
   client_redo : bool;
+  repl : repl_hooks option;
   trace : Ds_obs.Trace.t option;
   metrics : Ds_obs.Metrics.t option;
 }
@@ -61,6 +91,7 @@ let default_config =
     deadline_factor = None;
     hedging = false;
     client_redo = false;
+    repl = None;
     trace = None;
     metrics = None;
   }
@@ -103,6 +134,12 @@ type stats = {
   shards : int;
   global_lane_txns : int;
   shard_deferrals : int;
+  failovers : int;
+  repl_epoch : int;
+  repl_watermark : int;
+  repl_lag : int;
+  repl_fenced : int;
+  repl_divergences : int;
 }
 
 type client = {
@@ -174,6 +211,11 @@ type sim = {
   mutable faults : Faults.t option;
   mutable epoch : int;  (** bumped at crash; stale server callbacks check it *)
   mutable crash_done : bool;
+  mutable pcrash_done : bool;
+  mutable failed_over : bool;
+      (** the standby was promoted; sync-mode ack gating is off from here *)
+  mutable failovers : int;
+  repl_sync : bool;  (** replication session present and in sync mode *)
   mutable cycles_done : int;
   mutable ta_counter : int;
   mutable req_counter : int;
@@ -422,9 +464,21 @@ and run_cycle sim lane =
       | None -> false)
     | None -> false
   in
+  let pcrash_now =
+    match sim.faults with
+    | Some f -> (
+      match (Faults.plan f).Faults.pcrash_at_cycle with
+      | Some c -> (not sim.pcrash_done) && sim.cycles_done + 1 >= c
+      | None -> false)
+    | None -> false
+  in
   if crash_now then begin
     sim.crash_done <- true;
     crash_and_recover sim
+  end
+  else if pcrash_now then begin
+    sim.pcrash_done <- true;
+    failover_promote sim
   end
   else if not (barrier_clear sim lane) then begin
     (* Cross-shard barrier: this lane may not admit work right now. Hold
@@ -442,6 +496,14 @@ and run_cycle sim lane =
       Scheduler.cycle ~passthrough:sim.cfg.passthrough lane.sched
     in
     sim.cycles_done <- sim.cycles_done + 1;
+    (match sim.cfg.repl with
+    | Some h ->
+      let st = h.repl_status () in
+      Relations.record_replication
+        (Scheduler.relations lane.sched)
+        ~cycle:sim.cycles_done ~epoch:st.rs_epoch ~watermark:st.rs_watermark
+        ~lag:st.rs_lag
+    | None -> ());
     if sim.cfg.shards > 1 then
       (* lock-holder accounting for the barrier: a transaction holds locks
          from its first admitted request until it ends *)
@@ -575,8 +637,8 @@ and handle_failure sim lane ~epoch ~cycle failed undelivered =
     sim.retries <- sim.retries + 1;
     Ds_obs.Trace.emit_req sim.cfg.trace ~arg:streak Ds_obs.Trace.Retry failed;
     let backoff =
-      let exp = float_of_int (1 lsl min 10 (streak - 1)) in
-      Float.min sim.cfg.retry_cap (sim.cfg.retry_base *. exp)
+      Faults.backoff ~base:sim.cfg.retry_base ~cap:sim.cfg.retry_cap
+        ~attempt:(streak - 1)
       *. (1. +. (0.5 *. Rng.float sim.rng))
     in
     ignore
@@ -589,6 +651,24 @@ and deliver sim (req : Request.t) =
   | None -> () (* aborted meanwhile *)
   | Some client -> (
     match client.outstanding with
+    | Some o
+      when Request.key o = Request.key req
+           && (not (Request.is_data req))
+           && sim.repl_sync
+           && (not sim.failed_over)
+           && not
+                (match sim.cfg.repl with
+                | Some h -> h.repl_synced ~ta:req.Request.ta
+                | None -> true) ->
+      (* Sync replication gates the commit ack: the response stays with the
+         middleware until the transaction's journal records are at or below
+         the standby's watermark. The epoch capture kills a held ack if the
+         primary dies meanwhile — the promoted standby's reconciliation
+         decides the transaction's fate instead. *)
+      let epoch = sim.epoch in
+      ignore
+        (Engine.schedule sim.engine ~after:0.002 (fun () ->
+             if sim.epoch = epoch then deliver sim req))
     | Some o when Request.key o = Request.key req ->
       client.outstanding <- None;
       if Request.is_data req then begin
@@ -715,8 +795,47 @@ and crash_and_recover sim =
   end;
   (* In-flight retry bookkeeping died with the process. *)
   Hashtbl.reset sim.fail_streaks;
-  (* Reconcile every connected client against its own lane's recovered
-     relations (at S=1 there is exactly one lane, the historical path). *)
+  reconcile_clients sim recovered_by_lane;
+  (* Rebuild the barrier accounting from surviving state: [active] from the
+     clients still connected to a live transaction, [holding] from the
+     restored (lock-holding) histories. *)
+  if sim.cfg.shards > 1 then begin
+    Hashtbl.reset sim.holding_tas;
+    Array.iter
+      (fun l ->
+        l.active <- 0;
+        l.holding <- 0)
+      sim.lanes;
+    Array.iter
+      (fun c ->
+        if c.entered then begin
+          let l = sim.lanes.(c.lane) in
+          l.active <- l.active + 1
+        end)
+      sim.clients;
+    Array.iter
+      (fun l ->
+        List.iter
+          (fun (r : Request.t) ->
+            let ta = r.Request.ta in
+            if
+              (not (Request.is_abort_marker r))
+              && Hashtbl.mem sim.by_ta ta
+              && not (Hashtbl.mem sim.holding_tas ta)
+            then begin
+              Hashtbl.replace sim.holding_tas ta ();
+              l.holding <- l.holding + 1
+            end)
+          (Relations.history_requests (Scheduler.relations l.sched)))
+      sim.lanes
+  end;
+  Array.iter (fun l -> maybe_fire sim l) sim.lanes
+
+(* Reconcile every connected client against its own lane's recovered
+   relations (at S=1 there is exactly one lane, the historical path). Shared
+   by live crash recovery and hot-standby failover — the client contract is
+   the same either way. *)
+and reconcile_clients sim recovered_by_lane =
   let mem_keys rs =
     let tbl = Hashtbl.create (2 * List.length rs) in
     List.iter (fun r -> Hashtbl.replace tbl (Request.key r) ()) rs;
@@ -776,41 +895,64 @@ and crash_and_recover sim =
           (* The S record was still in the channel buffer when the process
              died; the client resubmits. *)
           Scheduler.submit lane.sched req)
-    sim.clients;
-  (* Rebuild the barrier accounting from surviving state: [active] from the
-     clients still connected to a live transaction, [holding] from the
-     restored (lock-holding) histories. *)
-  if sim.cfg.shards > 1 then begin
-    Hashtbl.reset sim.holding_tas;
-    Array.iter
-      (fun l ->
-        l.active <- 0;
-        l.holding <- 0)
-      sim.lanes;
-    Array.iter
-      (fun c ->
-        if c.entered then begin
-          let l = sim.lanes.(c.lane) in
-          l.active <- l.active + 1
-        end)
-      sim.clients;
-    Array.iter
-      (fun l ->
-        List.iter
-          (fun (r : Request.t) ->
-            let ta = r.Request.ta in
-            if
-              (not (Request.is_abort_marker r))
-              && Hashtbl.mem sim.by_ta ta
-              && not (Hashtbl.mem sim.holding_tas ta)
-            then begin
-              Hashtbl.replace sim.holding_tas ta ();
-              l.holding <- l.holding + 1
-            end)
-          (Relations.history_requests (Scheduler.relations l.sched)))
-      sim.lanes
-  end;
-  Array.iter (fun l -> maybe_fire sim l) sim.lanes
+    sim.clients
+
+(* Hot-standby failover: the primary dies permanently (its disk is never
+   consulted) and the replication session promotes the warm standby under
+   the next epoch.  Structurally a sibling of [crash_and_recover], but the
+   continuation state comes from the standby's journal — whatever had not
+   crossed the replication watermark is gone, and the client reconciliation
+   below is what turns that loss into resubmissions and redos. *)
+and failover_promote sim =
+  let h =
+    match sim.cfg.repl with Some h -> h | None -> assert false
+    (* validated: pcrash requires a replication session *)
+  in
+  sim.failovers <- sim.failovers + 1;
+  (* The epoch bump orphans every in-flight server callback and every held
+     sync-mode ack: whatever the dead primary still owed its clients is now
+     decided by the promoted standby's recovered state. *)
+  sim.epoch <- sim.epoch + 1;
+  sim.failed_over <- true;
+  let lane = sim.lanes.(0) in
+  (match lane.journal with
+  | Some j ->
+    sim.checkpoints_acc <- sim.checkpoints_acc + Journal.checkpoints_written j;
+    Journal.crash j
+  | None -> assert false);
+  let t0 = Unix.gettimeofday () in
+  let p = h.repl_promote () in
+  let recovered = p.rp_recovered in
+  let j = p.rp_journal in
+  let sched =
+    Scheduler.create ~extended:sim.cfg.extended_relations
+      ~prune_history_each_cycle:sim.cfg.prune_history ~journal:j
+      ?checkpoint_every:sim.cfg.checkpoint_interval ?trace:sim.cfg.trace
+      ?stamp:sim.stamp sim.cfg.protocol
+  in
+  (* ~rte keeps the execution log continuous across the failover, so the
+     whole run still check-validates as one schedule (now truncated at the
+     watermark and continued by the new primary). *)
+  Journal.restore ~rte:true recovered (Scheduler.relations sched);
+  sim.recovery_replayed <- sim.recovery_replayed + recovered.Journal.replayed;
+  sim.recovery_skipped <- sim.recovery_skipped + recovered.Journal.skipped;
+  Relations.register_workers (Scheduler.relations sched)
+    ~workers:sim.cfg.workers
+    ~cores:sim.cfg.cost.Ds_server.Cost_model.n_cores;
+  Relations.register_shards (Scheduler.relations sched) ~shards:sim.cfg.shards;
+  Relations.record_failover
+    (Scheduler.relations sched)
+    ~epoch:p.rp_epoch ~cycle:sim.cycles_done ~reason:"pcrash";
+  Ds_obs.Trace.emit sim.cfg.trace Ds_obs.Trace.Failover ~ta:(-1) ~seq:(-1)
+    ~arg:p.rp_epoch ();
+  lane.journal <- Some j;
+  lane.sched <- sched;
+  lane.fire_pending <- false;
+  sim.recovery_time <- sim.recovery_time +. (Unix.gettimeofday () -. t0);
+  (* In-flight retry bookkeeping died with the primary. *)
+  Hashtbl.reset sim.fail_streaks;
+  reconcile_clients sim [| recovered |];
+  maybe_fire sim lane
 
 let run_sim (cfg : config) =
   (match Spec.validate cfg.spec with
@@ -831,6 +973,19 @@ let run_sim (cfg : config) =
   | Some f when f <= 0. ->
     invalid_arg "Middleware.run: deadline_factor must be positive"
   | _ -> ());
+  (match cfg.repl with
+  | Some _ ->
+    if cfg.shards > 1 then
+      invalid_arg "Middleware.run: replication requires shards = 1";
+    if cfg.journal_path = None then
+      invalid_arg "Middleware.run: replication requires a journal";
+    if cfg.faults.Faults.crash_at_cycle <> None then
+      invalid_arg
+        "Middleware.run: crash fault is incompatible with replication (use \
+         pcrash)"
+  | None ->
+    if cfg.faults.Faults.pcrash_at_cycle <> None then
+      invalid_arg "Middleware.run: pcrash fault requires a replication session");
   let engine = Engine.create () in
   Option.iter
     (fun tr -> Ds_obs.Trace.set_clock tr (fun () -> Engine.now engine))
@@ -936,6 +1091,13 @@ let run_sim (cfg : config) =
       faults = None;
       epoch = 0;
       crash_done = false;
+      pcrash_done = false;
+      failed_over = false;
+      failovers = 0;
+      repl_sync =
+        (match cfg.repl with
+        | Some h -> (h.repl_status ()).rs_sync
+        | None -> false);
       cycles_done = 0;
       ta_counter = 0;
       req_counter = 0;
@@ -1040,6 +1202,22 @@ let run_sim (cfg : config) =
                    (Faults.draw_worker_faults f ~alive))))
       sim.lanes
   end;
+  (* Replication wiring: tap the primary's journal, drive the session's
+     virtual clock off the engine, and pump the link on a short periodic
+     timer (delivery, watermark advance, retransmission). *)
+  Option.iter
+    (fun h ->
+      h.repl_set_clock (fun () -> Engine.now engine);
+      (match sim.lanes.(0).journal with
+      | Some j -> h.repl_attach j
+      | None -> assert false (* validated: repl requires a journal *));
+      let rec rtick () =
+        h.repl_pump ~now:(Engine.now engine);
+        if Engine.now engine < cfg.duration then
+          ignore (Engine.schedule engine ~after:0.005 rtick)
+      in
+      ignore (Engine.schedule engine ~after:0.005 rtick))
+    cfg.repl;
   (* Periodic timer for time-based triggers; it re-checks pending work even
      when no client is submitting. *)
   (match Trigger.period cfg.trigger with
@@ -1074,6 +1252,20 @@ let run_sim (cfg : config) =
     (fun c -> ignore (Engine.schedule engine ~after:0. (fun () -> start_txn sim c)))
     sim.clients;
   Engine.run_until engine ~until:cfg.duration;
+  (* Bounded post-run settle: keep pumping past the end of the run so
+     end-of-run lag reflects genuine loss, not records still on the wire
+     (a partition that outlives the run heals inside this window; after a
+     failover the same pumps surface — and fence — the old primary's
+     stragglers). *)
+  Option.iter
+    (fun h ->
+      let i = ref 0 in
+      while !i < 120 && ((h.repl_status ()).rs_lag > 0 || !i < 20) do
+        incr i;
+        h.repl_pump ~now:(cfg.duration +. (0.025 *. float_of_int !i))
+      done)
+    cfg.repl;
+  let repl_final = Option.map (fun h -> h.repl_status ()) cfg.repl in
   let sum_pools f = Array.fold_left (fun acc l -> acc + f l.pool) 0 sim.lanes in
   let makespans =
     if n_lanes = 1 then Ds_server.Worker_pool.makespans sim.lanes.(0).pool
@@ -1134,6 +1326,22 @@ let run_sim (cfg : config) =
           recovery_skipped = sim.recovery_skipped;
           recovery_time = sim.recovery_time;
         })
+    cfg.metrics;
+  Option.iter
+    (fun m ->
+      match repl_final with
+      | None -> ()
+      | Some s ->
+        Ds_obs.Metrics.set_replication m
+          {
+            Ds_obs.Metrics.repl_sync = s.rs_sync;
+            repl_epoch = s.rs_epoch;
+            repl_watermark = s.rs_watermark;
+            repl_lag = s.rs_lag;
+            repl_fenced = s.rs_fenced;
+            repl_divergences = s.rs_divergences;
+            repl_failovers = sim.failovers;
+          })
     cfg.metrics;
   Array.iter (fun l -> Option.iter Journal.close l.journal) sim.lanes;
   if auto_journal then
@@ -1197,6 +1405,15 @@ let run_sim (cfg : config) =
       shards = cfg.shards;
       global_lane_txns = sim.global_lane_txns;
       shard_deferrals = sim.shard_deferrals;
+      failovers = sim.failovers;
+      repl_epoch =
+        (match repl_final with Some s -> s.rs_epoch | None -> 0);
+      repl_watermark =
+        (match repl_final with Some s -> s.rs_watermark | None -> 0);
+      repl_lag = (match repl_final with Some s -> s.rs_lag | None -> 0);
+      repl_fenced = (match repl_final with Some s -> s.rs_fenced | None -> 0);
+      repl_divergences =
+        (match repl_final with Some s -> s.rs_divergences | None -> 0);
     },
     sim )
 
@@ -1305,4 +1522,10 @@ let pp_stats ppf (s : stats) =
       (1000. *. s.recovery_time);
   if s.shards > 1 then
     Format.fprintf ppf " shards(lanes=%d global_txns=%d deferrals=%d)" s.shards
-      s.global_lane_txns s.shard_deferrals
+      s.global_lane_txns s.shard_deferrals;
+  if s.repl_watermark > 0 || s.failovers > 0 || s.repl_fenced > 0 then
+    Format.fprintf ppf
+      " replication(epoch=%d watermark=%d lag=%d fenced=%d divergences=%d \
+       failovers=%d)"
+      s.repl_epoch s.repl_watermark s.repl_lag s.repl_fenced
+      s.repl_divergences s.failovers

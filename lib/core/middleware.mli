@@ -76,6 +76,45 @@
 open Ds_model
 open Ds_workload
 
+(** {2 Hot-standby replication}
+
+    Replication lives in the [ds_replica] library (which depends on this
+    one); the middleware drives it through this closure record, built by
+    [Ds_replica.Session.hooks]. With [config.repl] set, every journal record
+    the primary writes is streamed to a warm standby; the middleware pumps
+    the link periodically, records the watermark/lag in the [replication]
+    relation each cycle, gates commit acks on the watermark in sync mode,
+    and — on an injected [pcrash] fault — promotes the standby under a fresh
+    epoch and continues the run from its recovered state. *)
+
+(** What a promotion hands the middleware: the standby's recovered state (as
+    of the replication watermark), its reopened journal with the new epoch
+    already stamped, and that epoch. *)
+type repl_promotion = {
+  rp_recovered : Journal.recovered;
+  rp_journal : Journal.t;
+  rp_epoch : int;
+}
+
+type repl_status = {
+  rs_epoch : int;  (** current promotion epoch (0 before any failover) *)
+  rs_watermark : int;  (** highest contiguous journal LSN the standby acked *)
+  rs_primary_lsn : int;  (** last record streamed off the primary *)
+  rs_lag : int;  (** [rs_primary_lsn - rs_watermark]: the async loss bound *)
+  rs_fenced : int;  (** stale-epoch records refused after a promotion *)
+  rs_divergences : int;  (** checkpoint-hash mismatches detected *)
+  rs_sync : bool;  (** session runs in sync (commit-gating) mode *)
+}
+
+type repl_hooks = {
+  repl_attach : Journal.t -> unit;  (** tap the primary's journal writer *)
+  repl_set_clock : (unit -> float) -> unit;  (** virtual clock for the link *)
+  repl_pump : now:float -> unit;  (** deliver/apply/ack/retransmit step *)
+  repl_synced : ta:int -> bool;  (** sync-mode commit gate for one txn *)
+  repl_promote : unit -> repl_promotion;  (** standby becomes primary *)
+  repl_status : unit -> repl_status;
+}
+
 type config = {
   n_clients : int;
   duration : float;  (** virtual seconds *)
@@ -128,6 +167,11 @@ type config = {
       (** clients re-run a middleware-aborted transaction (fresh TA) instead
           of moving on to new work — the realistic client contract under
           faults; off by default to preserve historical fault-free behavior *)
+  repl : repl_hooks option;
+      (** hot-standby replication session (see above). Requires
+          [shards = 1] and a journal; incompatible with [crash_at_cycle]
+          ([pcrash_at_cycle] is the failure model for replicated runs, and
+          requires this to be set). [None] (default) = unreplicated. *)
   trace : Ds_obs.Trace.t option;
       (** lifecycle event sink threaded through scheduler, backend and
           middleware; its clock is set to the simulation's virtual clock.
@@ -183,6 +227,14 @@ type stats = {
   shard_deferrals : int;
       (** shard-lane transaction starts held back by the cross-shard
           barrier (0 when [shards = 1]) *)
+  failovers : int;  (** standby promotions survived (0 or 1) *)
+  repl_epoch : int;  (** final promotion epoch (0 = never failed over) *)
+  repl_watermark : int;  (** final acked replication watermark *)
+  repl_lag : int;
+      (** records above the watermark at the end of the run — the async
+          loss bound; 0 in a settled sync run *)
+  repl_fenced : int;  (** stale-epoch records the standby refused *)
+  repl_divergences : int;  (** checkpoint-hash mismatches detected *)
 }
 
 val run : config -> stats

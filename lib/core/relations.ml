@@ -12,6 +12,8 @@ type t = {
   supervision : Table.t;
   shards : Table.t;
   shard_assignment : Table.t;
+  replication : Table.t;
+  failover : Table.t;
   extended : bool;
 }
 
@@ -83,6 +85,28 @@ let shard_assignment_schema =
       Schema.column "ta" Schema.Tint;
     ]
 
+(* Hot-standby replication progress, one row per scheduler cycle of a
+   replicated run: the primary's journal length, the standby's acked
+   watermark and the resulting lag, all under the current promotion epoch.
+   [failover] records each promotion: the new epoch, the cycle it happened
+   at and why ("pcrash" for an injected primary kill). *)
+let replication_schema =
+  Schema.of_list
+    [
+      Schema.column "cycle" Schema.Tint;
+      Schema.column "epoch" Schema.Tint;
+      Schema.column "watermark" Schema.Tint;
+      Schema.column "lag" Schema.Tint;
+    ]
+
+let failover_schema =
+  Schema.of_list
+    [
+      Schema.column "epoch" Schema.Tint;
+      Schema.column "cycle" Schema.Tint;
+      Schema.column "reason" Schema.Tstr;
+    ]
+
 let create ?(extended = false) () =
   let s = schema ~extended in
   let requests = Table.create ~name:"requests" s in
@@ -112,11 +136,13 @@ let create ?(extended = false) () =
   in
   Table.create_index shard_assignment [ 1 ];
   (* shard: per-lane routing probes *)
+  let replication = Table.create ~name:"replication" replication_schema in
+  let failover = Table.create ~name:"failover" failover_schema in
   let catalog = Ds_sql.Catalog.create () in
   List.iter (Ds_sql.Catalog.register catalog)
     [
       requests; history; rte; dead; workers; assignment; supervision; shards;
-      shard_assignment;
+      shard_assignment; replication; failover;
     ];
   {
     catalog;
@@ -129,6 +155,8 @@ let create ?(extended = false) () =
     supervision;
     shards;
     shard_assignment;
+    replication;
+    failover;
     extended;
   }
 
@@ -360,6 +388,18 @@ let record_supervision t ~cycle ~worker ~event ~cls =
 
 let supervision_count t = Table.row_count t.supervision
 
+let record_replication t ~cycle ~epoch ~watermark ~lag =
+  Table.insert t.replication
+    [| Value.Int cycle; Value.Int epoch; Value.Int watermark; Value.Int lag |]
+
+let replication_count t = Table.row_count t.replication
+
+let record_failover t ~epoch ~cycle ~reason =
+  Table.insert t.failover
+    [| Value.Int epoch; Value.Int cycle; Value.Str reason |]
+
+let failover_count t = Table.row_count t.failover
+
 (* The merged parallel schedule: assignment rows by delivery position. The
    checker compares this against [rte] order for conflict equivalence. *)
 let execution_order t =
@@ -389,6 +429,8 @@ let table_facts t name =
   | "supervision" -> Table.rows t.supervision
   | "shards" -> Table.rows t.shards
   | "shard_assignment" -> Table.rows t.shard_assignment
+  | "replication" -> Table.rows t.replication
+  | "failover" -> Table.rows t.failover
   | _ -> invalid_arg ("Relations.table_facts: unknown table " ^ name)
 
 let clear t =
@@ -400,4 +442,6 @@ let clear t =
   Table.clear t.assignment;
   Table.clear t.supervision;
   Table.clear t.shards;
-  Table.clear t.shard_assignment
+  Table.clear t.shard_assignment;
+  Table.clear t.replication;
+  Table.clear t.failover

@@ -39,6 +39,14 @@ type t = {
       (** routing log: [cycle | shard | ta] — the lane each transaction was
           routed to, stamped with the scheduler cycle count at routing
           time *)
+  replication : Table.t;
+      (** hot-standby progress log: [cycle | epoch | watermark | lag] — the
+          standby's acked replication watermark and its lag behind the
+          primary's journal, one row per scheduler cycle of a replicated
+          run. Empty without a replication session. *)
+  failover : Table.t;
+      (** promotion log: [epoch | cycle | reason] — one row per standby
+          promotion (epoch fencing boundary) *)
   extended : bool;
 }
 
@@ -115,6 +123,18 @@ val record_supervision :
 
 val supervision_count : t -> int
 
+(** Logs one replication-progress row ([lag] = primary journal length minus
+    acked watermark). *)
+val record_replication :
+  t -> cycle:int -> epoch:int -> watermark:int -> lag:int -> unit
+
+val replication_count : t -> int
+
+(** Logs one standby promotion into [failover]. *)
+val record_failover : t -> epoch:int -> cycle:int -> reason:string -> unit
+
+val failover_count : t -> int
+
 (** [register_shards t ~shards] (re)populates the [shards] relation: rows
     [(0,0) .. (S-1,S-1)] — lane [s] owns object group [s] — plus the global
     lane row [(S,-1)]. A no-op (beyond clearing) for [shards <= 1]: an
@@ -135,8 +155,8 @@ val execution_order : t -> (int * int) list
 
 (** Raw rows of a relation by its public name ([requests], [history], [rte],
     [dead], [workers], [assignment], [supervision], [shards],
-    [shard_assignment]) — the bridge for loading scheduler state into a
-    datalog engine via [Dl_engine.load_rows].
+    [shard_assignment], [replication], [failover]) — the bridge for loading
+    scheduler state into a datalog engine via [Dl_engine.load_rows].
     @raise Invalid_argument on an unknown name. *)
 val table_facts : t -> string -> Value.t array list
 

@@ -10,6 +10,19 @@ let scenario_seed ~base i =
 
 let pick rng arr = Rng.pick rng arr
 
+(* The replication-link corner of the sweep: clean, lossy/reordering, spiky
+   latency, a one-shot partition and a periodic flap. Partition/flap windows
+   sit inside every scenario duration (>= 1.0 virtual seconds). *)
+let repl_links =
+  let open Ds_replica.Link in
+  [|
+    none;
+    { none with drop_rate = 0.05; dup_rate = 0.02; reorder_rate = 0.1 };
+    { none with delay_rate = 0.2; spike_delay = 0.2 };
+    { none with drop_rate = 0.02; partition_at = Some 0.3; partition_for = 0.5 };
+    { none with flap_period = Some 0.4; flap_down = 0.08 };
+  |]
+
 let of_seed seed =
   let rng = Rng.create seed in
   let workers = pick rng [| 1; 1; 2; 4; 8 |] in
@@ -26,6 +39,8 @@ let of_seed seed =
       worker_death_rate = (if worker_faulty then pick rng [| 0.; 0.02 |] else 0.);
       worker_stall_rate = (if worker_faulty then pick rng [| 0.; 0.2 |] else 0.);
       worker_stall_duration = 0.05;
+      (* drawn in the post-record repl block below, like shards *)
+      pcrash_at_cycle = None;
     }
   in
   let s =
@@ -45,8 +60,29 @@ let of_seed seed =
       queue_cap = pick rng [| None; None; Some 16; Some 48 |];
       hedging = workers > 1 && Rng.bool rng;
       inject = None;
+      repl = None;
     }
   in
   (* drawn after the record so every pre-sharding dimension keeps the exact
      same stream position for a given seed *)
-  { s with Scenario.shards = pick rng [| 1; 1; 1; 2; 4 |] }
+  let s = { s with Scenario.shards = pick rng [| 1; 1; 1; 2; 4 |] } in
+  (* replication is drawn last of all, and only for single-scheduler runs
+     (the middleware refuses repl at S > 1); a replicated run trades the
+     crash fault for the pcrash failure model, which is what drives the
+     partition-then-promote failover scenarios *)
+  if s.Scenario.shards <> 1 then s
+  else
+    match pick rng [| None; None; None; Some false; Some true |] with
+    | None -> s
+    | Some sync ->
+      {
+        s with
+        Scenario.repl =
+          Some { Scenario.repl_sync = sync; repl_link = pick rng repl_links };
+        faults =
+          {
+            s.Scenario.faults with
+            Faults.crash_at_cycle = None;
+            pcrash_at_cycle = pick rng [| None; Some 10; Some 25 |];
+          };
+      }

@@ -12,6 +12,9 @@ type ctx = {
   dead_live : Request.t list;
   shards : int;
   shard_of : int -> int option;
+  repl_promoted : bool;
+  repl_divergences : int;
+  repl_failover : Ds_check.Equivalence.failover_report option;
 }
 
 let sorted_keys rs =
@@ -40,8 +43,12 @@ let check_equivalence ctx =
         ~shard_of:ctx.shard_of ~reference:ctx.rte ~candidate:ctx.merged ()
     else Ds_check.Equivalence.check ~reference:ctx.rte ~candidate:ctx.merged ()
   in
+  (* A failover replaces the scheduler exactly like a crash does (the
+     standby's recovered work is re-delivered), so promoted runs get the same
+     per-incarnation relaxation of the ordering clause. *)
   let crashed =
     ctx.scenario.Scenario.faults.Ds_core.Faults.crash_at_cycle <> None
+    || ctx.stats.Ds_core.Middleware.failovers > 0
   in
   let fatal =
     List.filter
@@ -107,7 +114,14 @@ let check_recovery ctx =
 let check_dead_letter ctx =
   let s = ctx.stats in
   let n_dead = List.length ctx.dead_live in
-  if n_dead <> s.Ds_core.Middleware.dead_lettered then
+  (* An async failover may lose pre-crash dead-letter records above the
+     replication watermark, so a promoted run's dead relation is allowed to
+     undershoot the counter — never to exceed it. *)
+  let dead_mismatch =
+    if ctx.repl_promoted then n_dead > s.Ds_core.Middleware.dead_lettered
+    else n_dead <> s.Ds_core.Middleware.dead_lettered
+  in
+  if dead_mismatch then
     Error
       (Printf.sprintf "dead relation has %d rows but dead_lettered=%d" n_dead
          s.Ds_core.Middleware.dead_lettered)
@@ -132,6 +146,26 @@ let check_progress ctx =
     Ok ()
   else Error "scheduler executed nothing (empty rte log, no commits)"
 
+(* Replication verdicts. A checkpoint-hash divergence between the primary
+   and standby mirrors is a bug in any replicated run. After a promotion,
+   {!Ds_check.Equivalence.check_failover} has already classified every
+   client-acked transaction: loss at or below the watermark is always a bug,
+   loss above it only in sync mode (async's documented loss window). *)
+let check_failover ctx =
+  if ctx.scenario.Scenario.repl = None then Ok ()
+  else if ctx.repl_divergences > 0 then
+    Error
+      (Printf.sprintf
+         "%d checkpoint-hash divergence(s) between primary and standby"
+         ctx.repl_divergences)
+  else
+    match ctx.repl_failover with
+    | None -> Ok ()
+    | Some r ->
+      if Ds_check.Equivalence.failover_ok r then Ok ()
+      else
+        Error (Format.asprintf "%a" Ds_check.Equivalence.pp_failover_report r)
+
 let battery =
   [
     ("serializability", check_serializability);
@@ -139,6 +173,7 @@ let battery =
     ("trace-wellformed", check_trace);
     ("recovery-identity", check_recovery);
     ("dead-letter", check_dead_letter);
+    ("failover", check_failover);
     ("progress", check_progress);
   ]
 

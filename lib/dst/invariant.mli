@@ -20,6 +20,11 @@
     - {b dead-letter}: the dead relation, the dead-letter counter and the
       abort accounting agree (every shed/disconnected/dead-lettered
       transaction was aborted);
+    - {b failover}: on replicated scenarios, no checkpoint-hash divergence
+      between the primary and standby mirrors; after a promotion, no
+      client-acked transaction at or below the replication watermark was
+      lost (and in sync mode, none at all —
+      {!Ds_check.Equivalence.check_failover});
     - {b progress}: the run committed at least one transaction (scenario
       ranges are sized so a live system always can). *)
 
@@ -44,6 +49,13 @@ type ctx = {
   shard_of : int -> int option;
       (** routed lane per transaction; drives the cross-shard router
           soundness clause of the equivalence check when [shards > 1] *)
+  repl_promoted : bool;  (** the run failed over to its hot standby *)
+  repl_divergences : int;
+      (** checkpoint-hash mismatches the replication session detected *)
+  repl_failover : Ds_check.Equivalence.failover_report option;
+      (** durability audit of a promoted run ([None] when no failover
+          happened): client-acked transactions vs the promoted journal,
+          classified against the replication watermark *)
 }
 
 (** The battery, in reporting order. Names are stable — they key the swarm

@@ -108,6 +108,60 @@ let apply_inject inject ~rte ~merged =
         arr.(j) <- tmp);
       (Array.to_list arr, merged))
 
+(* The failover durability audit, mirroring `bench failover`: which
+   transactions were client-acked strictly before the promotion, and which of
+   those survive as ['Q'] records on the promoted journal — classified
+   against the final replication watermark by
+   {!Ds_check.Equivalence.check_failover}. *)
+let failover_report session ~trace_events ~standby_path =
+  let failover_at =
+    List.fold_left
+      (fun acc (e : Ds_obs.Trace.event) ->
+        match e.Ds_obs.Trace.kind with
+        | Ds_obs.Trace.Failover -> Float.min acc e.Ds_obs.Trace.at
+        | _ -> acc)
+      infinity trace_events
+  in
+  let lsns = Ds_replica.Session.ta_lsns session in
+  let acked =
+    List.filter_map
+      (fun (e : Ds_obs.Trace.event) ->
+        match e.Ds_obs.Trace.kind with
+        | Ds_obs.Trace.Commit when e.Ds_obs.Trace.at < failover_at ->
+          Some
+            ( e.Ds_obs.Trace.ta,
+              Option.value ~default:0
+                (List.assoc_opt e.Ds_obs.Trace.ta lsns) )
+        | _ -> None)
+      trace_events
+    |> List.sort_uniq compare
+  in
+  (* Execution records frame as [!crc32 Q <ta> <intrata>]: payload offset 10.
+     Checkpoint-block copies are prefixed [c ] and don't count — only the
+     continuous log decides survival. *)
+  let present = Hashtbl.create 64 in
+  In_channel.with_open_text standby_path (fun ic ->
+      let rec scan () =
+        match In_channel.input_line ic with
+        | None -> ()
+        | Some line ->
+          (if String.length line > 12 && String.sub line 10 2 = "Q " then
+             match String.split_on_char ' ' line with
+             | _ :: "Q" :: ta :: _ -> (
+               match int_of_string_opt ta with
+               | Some ta -> Hashtbl.replace present ta ()
+               | None -> ())
+             | _ -> ());
+          scan ()
+      in
+      scan ());
+  Ds_check.Equivalence.check_failover
+    ~sync:(Ds_replica.Session.mode session = Ds_replica.Session.Sync)
+    ~watermark:(Ds_replica.Session.watermark session)
+    ~acked
+    ~survived:(fun ta -> Hashtbl.mem present ta)
+    ()
+
 let run (s : Scenario.t) =
   (match Scenario.validate s with
   | Ok () -> ()
@@ -123,20 +177,54 @@ let run (s : Scenario.t) =
     end
     else Filename.temp_file "ds_swarm" ".journal"
   in
+  let repl_dir =
+    Option.map
+      (fun _ ->
+        (* reserve a fresh directory name; Session.create makes it *)
+        let d = Filename.temp_file "ds_swarm" ".repl.d" in
+        Sys.remove d;
+        d)
+      s.Scenario.repl
+  in
   let cleanup () =
-    if Journal.is_segment_dir journal_path then begin
-      List.iter
-        (fun p -> try Sys.remove p with Sys_error _ -> ())
-        (Journal.segment_paths journal_path);
-      (try Sys.remove (Filename.concat journal_path "MANIFEST")
-       with Sys_error _ -> ());
-      try Sys.rmdir journal_path with Sys_error _ -> ()
-    end
-    else try Sys.remove journal_path with Sys_error _ -> ()
+    (if Journal.is_segment_dir journal_path then begin
+       List.iter
+         (fun p -> try Sys.remove p with Sys_error _ -> ())
+         (Journal.segment_paths journal_path);
+       (try Sys.remove (Filename.concat journal_path "MANIFEST")
+        with Sys_error _ -> ());
+       try Sys.rmdir journal_path with Sys_error _ -> ()
+     end
+     else try Sys.remove journal_path with Sys_error _ -> ());
+    Option.iter
+      (fun d ->
+        List.iter
+          (fun p -> try Sys.remove p with Sys_error _ -> ())
+          [ Ds_replica.Session.standby_path_of d; Filename.concat d "REPL" ];
+        try Sys.rmdir d with Sys_error _ -> ())
+      repl_dir
   in
   Fun.protect ~finally:cleanup (fun () ->
       let trace = Ds_obs.Trace.create () in
-      let stats, h = Middleware.run_sharded (config_of s ~journal_path ~trace) in
+      let session =
+        match (s.Scenario.repl, repl_dir) with
+        | Some r, Some dir ->
+          Some
+            (Ds_replica.Session.create
+               ~mode:
+                 (if r.Scenario.repl_sync then Ds_replica.Session.Sync
+                  else Ds_replica.Session.Async)
+               ~plan:r.Scenario.repl_link ~seed:s.Scenario.seed ~trace ~dir ())
+        | _ -> None
+      in
+      let cfg =
+        {
+          (config_of s ~journal_path ~trace) with
+          Middleware.repl = Option.map Ds_replica.Session.hooks session;
+        }
+      in
+      let stats, h = Middleware.run_sharded cfg in
+      Option.iter Ds_replica.Session.close session;
       (* At S=1 these are exactly the single lane's rte and delivery order;
          at S>1 the stamp-merged cross-lane equivalents. *)
       let rte = h.Middleware.merged_rte in
@@ -148,8 +236,19 @@ let run (s : Scenario.t) =
           h.Middleware.merged_execution_order
       in
       let rte, merged = apply_inject s.Scenario.inject ~rte ~merged in
+      let promoted =
+        match session with
+        | Some sess -> Ds_replica.Session.promoted sess
+        | None -> false
+      in
       let recovered =
-        if sharded then Journal.recover_dir journal_path
+        (* After a failover the run's journal of record is the promoted
+           standby journal — the primary file is the crashed instance's
+           abandoned prefix. *)
+        if promoted then
+          Journal.recover
+            (Ds_replica.Session.standby_path (Option.get session))
+        else if sharded then Journal.recover_dir journal_path
         else Journal.recover journal_path
       in
       let lane_rels =
@@ -169,6 +268,19 @@ let run (s : Scenario.t) =
           dead_live = List.concat_map Relations.dead_requests lane_rels;
           shards = s.Scenario.shards;
           shard_of = h.Middleware.shard_of;
+          repl_promoted = promoted;
+          repl_divergences =
+            (match session with
+            | Some sess -> Ds_replica.Session.divergences sess
+            | None -> 0);
+          repl_failover =
+            (match session with
+            | Some sess when promoted ->
+              Some
+                (failover_report sess
+                   ~trace_events:(Ds_obs.Trace.events trace)
+                   ~standby_path:(Ds_replica.Session.standby_path sess))
+            | _ -> None);
         }
       in
       { scenario = s; stats; invariants = Invariant.apply ctx })

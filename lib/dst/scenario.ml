@@ -7,6 +7,8 @@ type inject =
   | Drop_rte of int
   | Swap_rte of int
 
+type repl = { repl_sync : bool; repl_link : Ds_replica.Link.plan }
+
 type t = {
   seed : int;
   clients : int;
@@ -23,6 +25,7 @@ type t = {
   queue_cap : int option;
   hedging : bool;
   inject : inject option;
+  repl : repl option;
 }
 
 (* Every protocol here carries Protocol.Serializable, so the battery's
@@ -64,7 +67,22 @@ let validate t =
     Error "checkpoint must be positive"
   else if (match t.queue_cap with Some n -> n <= 0 | None -> false) then
     Error "queue_cap must be positive"
-  else Faults.validate t.faults
+  else
+    (* Mirror the middleware's own replication preconditions so a scenario
+       that decodes is a scenario that runs. *)
+    match t.repl with
+    | Some r ->
+      if t.shards > 1 then Error "replication requires shards = 1"
+      else if t.faults.Faults.crash_at_cycle <> None then
+        Error "crash fault is incompatible with replication (use pcrash)"
+      else (
+        match Ds_replica.Link.validate r.repl_link with
+        | Error m -> Error ("repl link: " ^ m)
+        | Ok () -> Faults.validate t.faults)
+    | None ->
+      if t.faults.Faults.pcrash_at_cycle <> None then
+        Error "pcrash fault requires replication (repl)"
+      else Faults.validate t.faults
 
 let inject_to_json = function
   | Dup_delivery k ->
@@ -86,6 +104,22 @@ let inject_of_json j =
   | Some kind, _ -> Error (Printf.sprintf "unknown injection kind %S" kind)
   | None, _ -> Error "injection without a kind"
 
+let repl_to_json r =
+  Ds_obs.Json.Obj
+    [
+      ("sync", Ds_obs.Json.Bool r.repl_sync);
+      ("link", Ds_obs.Json.Str (Ds_replica.Link.plan_to_string r.repl_link));
+    ]
+
+let repl_of_json j =
+  let open Ds_obs.Json in
+  match (mem "sync" j, Option.bind (mem "link" j) str) with
+  | Some (Bool sync), Some link -> (
+    match Ds_replica.Link.plan_of_string link with
+    | Ok plan -> Ok { repl_sync = sync; repl_link = plan }
+    | Error m -> Error ("repl link: " ^ m))
+  | _ -> Error "repl without sync/link fields"
+
 let to_json t =
   let open Ds_obs.Json in
   let opt_int = function None -> Null | Some n -> Num (float_of_int n) in
@@ -106,7 +140,8 @@ let to_json t =
        ("queue_cap", opt_int t.queue_cap);
        ("hedging", Bool t.hedging);
      ]
-    @ match t.inject with None -> [] | Some i -> [ ("inject", inject_to_json i) ])
+    @ (match t.inject with None -> [] | Some i -> [ ("inject", inject_to_json i) ])
+    @ match t.repl with None -> [] | Some r -> [ ("repl", repl_to_json r) ])
 
 let of_json j =
   let open Ds_obs.Json in
@@ -160,6 +195,13 @@ let of_json j =
     | None -> Ok None
     | Some ij -> Result.map Option.some (inject_of_json ij)
   in
+  (* optional with default None: scenario files predating replication replay
+     unchanged *)
+  let* repl =
+    match mem "repl" j with
+    | None -> Ok None
+    | Some rj -> Result.map Option.some (repl_of_json rj)
+  in
   let t =
     {
       seed = int_of_float seed;
@@ -177,6 +219,7 @@ let of_json j =
       queue_cap;
       hedging;
       inject;
+      repl;
     }
   in
   let* () = validate t in
@@ -197,6 +240,13 @@ let to_string t =
     (match t.inject with
     | None -> ""
     | Some i -> " inject=" ^ Ds_obs.Json.to_string (inject_to_json i))
+  ^ (match t.repl with
+    | None -> ""
+    | Some r ->
+      Printf.sprintf " repl=%s:%s"
+        (if r.repl_sync then "sync" else "async")
+        (let l = Ds_replica.Link.plan_to_string r.repl_link in
+         if l = "" then "clean" else l))
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 

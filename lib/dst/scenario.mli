@@ -33,6 +33,14 @@ type inject =
           conflicting entries are never adjacent; no-op if nothing
           conflicts) *)
 
+(** Hot-standby replication dimension: the run streams its journal to a warm
+    standby over a faulty {!Ds_replica.Link}, and a [pcrash=N] fault in the
+    scenario's plan fails over to it mid-run (epoch-fenced promotion). *)
+type repl = {
+  repl_sync : bool;  (** gate commit acks on the replication watermark *)
+  repl_link : Ds_replica.Link.plan;
+}
+
 type t = {
   seed : int;  (** middleware + workload seed *)
   clients : int;
@@ -52,6 +60,11 @@ type t = {
   queue_cap : int option;  (** incoming-queue bound (shedding/backpressure) *)
   hedging : bool;
   inject : inject option;
+  repl : repl option;
+      (** hot-standby replication session; requires [shards = 1], excludes
+          the [crash] fault ([pcrash] is the failure model for replicated
+          runs and requires this). Optional in the JSON codec (default
+          [None]), so pre-replication scenario files replay unchanged. *)
 }
 
 (** Builtin protocol names eligible for scenarios (serializable guarantee

@@ -47,6 +47,29 @@ let transformations : (string * (Scenario.t -> Scenario.t option)) list =
       fun s ->
         some_if (s.Scenario.faults.Faults.crash_at_cycle <> None)
           { s with Scenario.faults = { s.Scenario.faults with Faults.crash_at_cycle = None } } );
+    ( "drop-pcrash",
+      fun s ->
+        some_if (s.Scenario.faults.Faults.pcrash_at_cycle <> None)
+          { s with Scenario.faults = { s.Scenario.faults with Faults.pcrash_at_cycle = None } } );
+    ( "clean-repl-link",
+      fun s ->
+        match s.Scenario.repl with
+        | Some r when not (Ds_replica.Link.is_none r.Scenario.repl_link) ->
+          Some
+            {
+              s with
+              Scenario.repl =
+                Some { r with Scenario.repl_link = Ds_replica.Link.none };
+            }
+        | _ -> None );
+    (* pcrash requires a session, so this rung only fires once drop-pcrash
+       has landed — the ladder restarts after every acceptance. *)
+    ( "drop-repl",
+      fun s ->
+        some_if
+          (s.Scenario.repl <> None
+          && s.Scenario.faults.Faults.pcrash_at_cycle = None)
+          { s with Scenario.repl = None } );
     ( "zero-batch-failures",
       fun s ->
         some_if (s.Scenario.faults.Faults.batch_fail_rate > 0.)

@@ -4,7 +4,9 @@
     Greedy fixed-point reduction over a transformation ladder — halve the
     run (duration, clients, statements per transaction), collapse the pool
     (K -> 1), zero each fault channel, drop the crash point / checkpointing
-    / queue bound / hedging, and simplify workload and protocol. A candidate
+    / queue bound / hedging, strip the replication dimension (drop the
+    pcrash failover point, clean the faulty link, then drop the standby
+    entirely), and simplify workload and protocol. A candidate
     is accepted when re-running it still fails {e at least one of the
     invariants the original failed} (secondary failures are allowed to
     disappear); the pass restarts after every acceptance and the whole

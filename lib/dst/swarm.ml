@@ -75,6 +75,10 @@ let counters_json (s : Ds_core.Middleware.stats) =
       i "checkpoints" s.Ds_core.Middleware.checkpoints;
       i "recovery_replayed" s.Ds_core.Middleware.recovery_replayed;
       i "recovery_skipped" s.Ds_core.Middleware.recovery_skipped;
+      i "failovers" s.Ds_core.Middleware.failovers;
+      i "repl_epoch" s.Ds_core.Middleware.repl_epoch;
+      i "repl_fenced" s.Ds_core.Middleware.repl_fenced;
+      i "repl_divergences" s.Ds_core.Middleware.repl_divergences;
     ]
 
 let invariants_json invariants =

@@ -37,12 +37,23 @@ type supervision = {
   recovery_time : float;
 }
 
+type replication = {
+  repl_sync : bool;
+  repl_epoch : int;
+  repl_watermark : int;
+  repl_lag : int;
+  repl_fenced : int;
+  repl_divergences : int;
+  repl_failovers : int;
+}
+
 type t = {
   tiers : (string, Ds_stats.Histogram.t) Hashtbl.t;
   cycle_rows : cycle_row Ds_util.Vec.t;
   mutable n_cycles : int;
   mutable parallel : parallel option;
   mutable supervision : supervision option;
+  mutable replication : replication option;
 }
 
 let create () =
@@ -52,6 +63,7 @@ let create () =
     n_cycles = 0;
     parallel = None;
     supervision = None;
+    replication = None;
   }
 
 let set_parallel t p = t.parallel <- Some p
@@ -61,6 +73,10 @@ let parallel t = t.parallel
 let set_supervision t s = t.supervision <- Some s
 
 let supervision t = t.supervision
+
+let set_replication t r = t.replication <- Some r
+
+let replication t = t.replication
 
 let tier_hist t tier =
   match Hashtbl.find_opt t.tiers tier with
@@ -189,6 +205,16 @@ let render t =
           time=%.3fms\n"
          s.checkpoints s.recoveries s.recovery_replayed s.recovery_skipped
          (1000. *. s.recovery_time)));
+  (match t.replication with
+  | None -> ()
+  | Some r ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "replication (%s): epoch=%d watermark=%d lag=%d fenced=%d \
+          divergences=%d failovers=%d\n"
+         (if r.repl_sync then "sync" else "async")
+         r.repl_epoch r.repl_watermark r.repl_lag r.repl_fenced
+         r.repl_divergences r.repl_failovers));
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)

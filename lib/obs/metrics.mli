@@ -53,6 +53,18 @@ type supervision = {
   recovery_time : float;  (** total wall-clock seconds spent recovering *)
 }
 
+(** Hot-standby replication summary set once at end of run by the
+    middleware when a standby was attached (see {!Ds_core.Middleware}). *)
+type replication = {
+  repl_sync : bool;  (** commit acks gated on the watermark *)
+  repl_epoch : int;  (** final promotion epoch (0 = never failed over) *)
+  repl_watermark : int;  (** highest contiguous LSN the standby applied *)
+  repl_lag : int;  (** primary LSN minus watermark at end of run *)
+  repl_fenced : int;  (** stale-epoch records refused after promotion *)
+  repl_divergences : int;  (** checkpoint state-hash mismatches *)
+  repl_failovers : int;  (** standby promotions during the run *)
+}
+
 type t
 
 val create : unit -> t
@@ -61,6 +73,8 @@ val set_parallel : t -> parallel -> unit
 val parallel : t -> parallel option
 val set_supervision : t -> supervision -> unit
 val supervision : t -> supervision option
+val set_replication : t -> replication -> unit
+val replication : t -> replication option
 
 (** [observe_latency t ~tier dt] adds one request latency (seconds) to the
     tier's histogram. *)
@@ -83,8 +97,9 @@ val tier_quantiles : t -> (string * int * float * float * float) list
 val cycles : t -> cycle_row list
 
 (** Human-readable report: the tier table, cycle aggregates, and — when
-    {!set_parallel} / {!set_supervision} were called — batch makespans with a
-    per-worker utilization table, and the supervision/recovery summary. *)
+    {!set_parallel} / {!set_supervision} / {!set_replication} were called —
+    batch makespans with a per-worker utilization table, the
+    supervision/recovery summary, and the replication summary. *)
 val render : t -> string
 
 (** Per-transaction latencies from a trace: [(tier, seconds)] for every TA

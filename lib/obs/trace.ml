@@ -16,6 +16,9 @@ type kind =
   | Reassign
   | Checkpoint
   | Shard_route
+  | Failover
+  | Repl_fence
+  | Repl_divergence
 
 let kind_to_string = function
   | Enqueued -> "enqueued"
@@ -35,6 +38,9 @@ let kind_to_string = function
   | Reassign -> "reassign"
   | Checkpoint -> "checkpoint"
   | Shard_route -> "shard_route"
+  | Failover -> "failover"
+  | Repl_fence -> "repl_fence"
+  | Repl_divergence -> "repl_divergence"
 
 let kind_of_string = function
   | "enqueued" -> Some Enqueued
@@ -54,13 +60,16 @@ let kind_of_string = function
   | "reassign" -> Some Reassign
   | "checkpoint" -> Some Checkpoint
   | "shard_route" -> Some Shard_route
+  | "failover" -> Some Failover
+  | "repl_fence" -> Some Repl_fence
+  | "repl_divergence" -> Some Repl_divergence
   | _ -> None
 
 let is_terminal = function
   | Commit | Abort | Dead_letter -> true
   | Enqueued | Drained | Sched_admit | Sched_defer | Dispatched | Lock_wait
   | Lock_grant | Exec_start | Exec_done | Retry | Worker_down | Reassign
-  | Checkpoint | Shard_route ->
+  | Checkpoint | Shard_route | Failover | Repl_fence | Repl_divergence ->
     false
 
 type event = {

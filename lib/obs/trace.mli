@@ -50,6 +50,16 @@ type kind =
       (** the sharding router assigned a transaction to a scheduler lane;
           [seq = -1], [arg] is the lane (shard id, or S for the global
           lane). Only emitted by sharded (S > 1) runs *)
+  | Failover
+      (** the hot standby was promoted to primary after an injected primary
+          crash; [ta = -1], [arg] is the new promotion epoch *)
+  | Repl_fence
+      (** the standby refused a replicated record from a fenced (stale)
+          epoch; [ta = -1], [arg] is the record's epoch *)
+  | Repl_divergence
+      (** the standby's incremental state hash disagreed with the primary's
+          journalled checkpoint hash; [ta = -1], [arg] is the checkpoint
+          cycle *)
 
 val kind_to_string : kind -> string
 val kind_of_string : string -> kind option

@@ -174,13 +174,23 @@ and acquire_and_exec sim client req =
 
 and check_deadlock sim client =
   let successors txn = Lock_manager.blockers sim.locks ~txn in
-  match Deadlock.find_cycle ~successors client.attempt with
-  | None -> ()
-  | Some cycle ->
-    sim.deadlocks <- sim.deadlocks + 1;
-    let victim_attempt = Deadlock.pick_victim cycle in
-    let victim = Hashtbl.find sim.by_attempt victim_attempt in
-    abort_attempt sim victim ~restart:true
+  (* One blocked acquire adds a waits-for edge to *every* current holder, so
+     it can close several cycles at once. Aborting a single victim only breaks
+     the one cycle it sits on; the others would never be re-examined (their
+     members are all blocked, so no further acquire fires detection) and would
+     starve. Resolve until no cycle remains through the requester — every
+     newly created cycle must pass through it. *)
+  let rec resolve () =
+    match Deadlock.find_cycle ~successors client.attempt with
+    | None -> ()
+    | Some cycle ->
+      sim.deadlocks <- sim.deadlocks + 1;
+      let victim_attempt = Deadlock.pick_victim cycle in
+      let victim = Hashtbl.find sim.by_attempt victim_attempt in
+      abort_attempt sim victim ~restart:true;
+      if victim_attempt <> client.attempt then resolve ()
+  in
+  resolve ()
 
 (* Wound-wait (Rosenkrantz et al.): an older requester (smaller attempt id)
    wounds every younger transaction blocking it; a younger requester simply

@@ -14,6 +14,8 @@ let () =
       ("core", Test_core.tests);
       ("journal", Test_journal.tests);
       ("faults", Test_faults.tests);
+      ("replica", Test_replica.tests);
+      ("cli", Test_cli.tests);
       ("parallel", Test_parallel.tests);
       ("check", Test_check.tests);
       ("differential", Test_differential.tests);

@@ -1,0 +1,74 @@
+(* CLI argument validation: the strict positive-int converter behind
+   --checkpoint and --shards (the --workers treatment from the checkpoint
+   PR), and the replication flag preconditions. These run the real dsched
+   binary — the tests execute from _build/default/test, next to bin/. *)
+
+let dsched_exe = Filename.concat ".." (Filename.concat "bin" "dsched.exe")
+
+let dsched args =
+  let out = Filename.temp_file "dsched_cli" ".out" in
+  let code =
+    Sys.command
+      (Printf.sprintf "%s %s >%s 2>&1" dsched_exe args (Filename.quote out))
+  in
+  let text = In_channel.with_open_text out In_channel.input_all in
+  Sys.remove out;
+  (code, text)
+
+let contains ~needle haystack =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  nn = 0 || at 0
+
+let check_rejected ~flag ~needle args =
+  let code, text = dsched args in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s rejected (exit %d)" flag code)
+    true (code <> 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s error mentions %S (got: %s)" flag needle text)
+    true (contains ~needle text)
+
+let test_checkpoint_rejects_nonpositive () =
+  check_rejected ~flag:"--checkpoint 0" ~needle:"--checkpoint must be positive"
+    "run --duration 0.1 --journal /tmp/x.journal --checkpoint 0";
+  check_rejected ~flag:"--checkpoint -3" ~needle:"--checkpoint must be positive"
+    "run --duration 0.1 --journal /tmp/x.journal --checkpoint=-3"
+
+let test_checkpoint_rejects_nonnumeric () =
+  check_rejected ~flag:"--checkpoint four"
+    ~needle:"--checkpoint must be a positive integer"
+    "run --duration 0.1 --journal /tmp/x.journal --checkpoint four"
+
+let test_shards_rejects_nonpositive () =
+  check_rejected ~flag:"--shards 0" ~needle:"--shards must be positive"
+    "run --duration 0.1 --shards 0";
+  check_rejected ~flag:"--shards -2" ~needle:"--shards must be positive"
+    "run --duration 0.1 --shards=-2"
+
+let test_shards_rejects_nonnumeric () =
+  check_rejected ~flag:"--shards many"
+    ~needle:"--shards must be a positive integer"
+    "run --duration 0.1 --shards many"
+
+let test_repl_flag_preconditions () =
+  (* The standby needs a primary journal to mirror, and a fault plan for the
+     link needs a standby to run it against. *)
+  check_rejected ~flag:"--standby without --journal" ~needle:"--journal"
+    "run --duration 0.1 --standby /tmp/ds_cli_standby.d";
+  check_rejected ~flag:"--repl-faults without --standby" ~needle:"--standby"
+    "run --duration 0.1 --journal /tmp/x.journal --repl-faults drop=0.1"
+
+let tests =
+  [
+    Alcotest.test_case "--checkpoint rejects non-positive values" `Quick
+      test_checkpoint_rejects_nonpositive;
+    Alcotest.test_case "--checkpoint rejects non-numeric values" `Quick
+      test_checkpoint_rejects_nonnumeric;
+    Alcotest.test_case "--shards rejects non-positive values" `Quick
+      test_shards_rejects_nonpositive;
+    Alcotest.test_case "--shards rejects non-numeric values" `Quick
+      test_shards_rejects_nonnumeric;
+    Alcotest.test_case "replication flags validate their prerequisites" `Quick
+      test_repl_flag_preconditions;
+  ]

@@ -18,7 +18,9 @@ let test_table2_schema () =
     [
       "assignment";
       "dead";
+      "failover";
       "history";
+      "replication";
       "requests";
       "rte";
       "shard_assignment";

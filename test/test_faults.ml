@@ -170,6 +170,36 @@ let test_poison_dead_lettered () =
   Alcotest.(check bool) "unaffected work commits" true
     (s.Middleware.committed_txns > 0)
 
+let backoff_monotone_capped =
+  (* The regression behind the exponent clamp: 2^attempt overflows a native
+     int past attempt 61, which made large attempt counts wrap to garbage
+     delays. For any base/cap and attempts 0..1000 the ladder must be
+     monotone non-decreasing and never exceed the cap. *)
+  QCheck2.Test.make ~name:"retry backoff is monotone and capped (0..1000)"
+    ~count:(Helpers.Config.qcheck_count 200)
+    QCheck2.Gen.(
+      triple (float_range 0.001 2.0) (float_range 0.5 120.0) (int_range 0 999))
+    (fun (base, cap, attempt) ->
+      let b n = Faults.backoff ~base ~cap ~attempt:n in
+      let this = b attempt and next = b (attempt + 1) in
+      if this > next then
+        QCheck2.Test.fail_reportf "not monotone at %d: %g > %g" attempt this
+          next
+      else if this > cap || next > cap then
+        QCheck2.Test.fail_reportf "cap %g exceeded at %d: %g / %g" cap attempt
+          this next
+      else if this < 0. then
+        QCheck2.Test.fail_reportf "negative backoff %g at %d" this attempt
+      else true)
+
+let test_backoff_endpoints () =
+  Alcotest.(check (float 1e-9)) "attempt 0 pays the base" 0.01
+    (Faults.backoff ~base:0.01 ~cap:10. ~attempt:0);
+  Alcotest.(check (float 1e-9)) "deep attempts saturate at the cap" 10.
+    (Faults.backoff ~base:0.01 ~cap:10. ~attempt:1000);
+  Alcotest.(check (float 1e-9)) "negative attempts clamp to the base" 0.01
+    (Faults.backoff ~base:0.01 ~cap:10. ~attempt:(-5))
+
 let test_retries_beat_no_retries () =
   (* The acceptance scenario: transient batch failures plus one mid-run
      crash.  With retries on, the middleware must commit strictly more
@@ -494,6 +524,8 @@ let tests =
       test_backend_hook_stall;
     Alcotest.test_case "transient failures are retried" `Quick
       test_transient_failures_retried;
+    QCheck_alcotest.to_alcotest backoff_monotone_capped;
+    Alcotest.test_case "backoff endpoints" `Quick test_backoff_endpoints;
     Alcotest.test_case "stalls trip the batch timeout" `Quick
       test_stalls_trip_timeout;
     Alcotest.test_case "poison requests are dead-lettered" `Quick

@@ -467,6 +467,72 @@ let test_segment_dir_merges_by_gseq () =
       Alcotest.(check bool) "replay counted across segments" true
         (r.Journal.replayed >= 6))
 
+let test_segment_mid_corruption_names_segment () =
+  with_segment_dir ~shards:2 (fun dir paths ->
+      (* Shard 0 carries garbage in the middle of its log — unrepairable
+         (only tails may be truncated), and the error must say which segment
+         is bad so the operator knows what to restore. *)
+      let shard0 = List.nth paths 0 and global = List.nth paths 2 in
+      let oc = open_out shard0 in
+      output_string oc "S 1,1,1,r,5,standard,0.0\nGARBAGE LINE\nQ 1 1\n";
+      close_out oc;
+      let jg = Journal.open_ global in
+      Journal.log_submit jg (Request.v 2 1 Op.Write 7);
+      Journal.log_qualified_stamped jg [ ((2, 1), 0) ];
+      Journal.close jg;
+      let names_segment m =
+        let needle = Filename.basename shard0 in
+        let nh = String.length m and nn = String.length needle in
+        let rec at i = i + nn <= nh && (String.sub m i nn = needle || at (i + 1)) in
+        at 0
+      in
+      (match Journal.recover_dir dir with
+      | exception Failure m ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error names the bad segment (got: %s)" m)
+          true (names_segment m)
+      | _ -> Alcotest.fail "mid-segment corruption must be refused");
+      (* --repair doesn't paper over it either: truncation only ever drops a
+         torn tail, never a corrupt middle. *)
+      match Journal.recover_segments ~repair:true dir with
+      | exception Failure m ->
+        Alcotest.(check bool) "repair error names the segment too" true
+          (names_segment m)
+      | _ -> Alcotest.fail "repair must refuse mid-segment corruption")
+
+let test_segment_torn_tail_isolated () =
+  with_segment_dir ~shards:2 (fun dir paths ->
+      (* A crash tears the last record of shard 0 only; siblings must
+         recover untouched, and --repair truncates just the torn segment. *)
+      let shard0 = List.nth paths 0 and global = List.nth paths 2 in
+      let j0 = Journal.open_ shard0 in
+      Journal.log_submit j0 (Request.v 1 1 Op.Write 5);
+      Journal.log_qualified_stamped j0 [ ((1, 1), 0) ];
+      Journal.close j0;
+      let oc = open_out_gen [ Open_append ] 0o644 shard0 in
+      output_string oc "S 99,99,1,r";
+      close_out oc;
+      let jg = Journal.open_ global in
+      Journal.log_submit jg (Request.v 2 1 Op.Write 7);
+      Journal.log_qualified_stamped jg [ ((2, 1), 1) ];
+      Journal.close jg;
+      let segs = Journal.recover_segments ~repair:true dir in
+      let seg name = List.assoc name segs in
+      Alcotest.(check int) "torn tail dropped in the bad segment" 1
+        (seg (Filename.basename shard0)).Journal.corrupt_dropped;
+      Alcotest.(check int) "sibling segment replays clean" 0
+        (seg (Filename.basename global)).Journal.corrupt_dropped;
+      (* The merged view still interleaves both lanes' history... *)
+      let r = Journal.recover_dir dir in
+      Alcotest.(check (list (pair int int)))
+        "merged history survives the torn sibling"
+        [ (1, 1); (2, 1) ]
+        (List.map Request.key r.Journal.history);
+      (* ...and the repair physically truncated the torn tail. *)
+      let again = Journal.recover_segments dir in
+      Alcotest.(check int) "repaired segment is clean on re-read" 0
+        (List.assoc (Filename.basename shard0) again).Journal.corrupt_dropped)
+
 let test_segment_dir_rejects_bad_manifest () =
   with_segment_dir ~shards:2 (fun dir _paths ->
       let oc = open_out_bin (Filename.concat dir "MANIFEST") in
@@ -509,6 +575,10 @@ let tests =
       test_unstamped_records_sort_last;
     Alcotest.test_case "segment dir merges by gseq" `Quick
       test_segment_dir_merges_by_gseq;
+    Alcotest.test_case "mid-segment corruption names the segment" `Quick
+      test_segment_mid_corruption_names_segment;
+    Alcotest.test_case "torn segment tail doesn't block siblings" `Quick
+      test_segment_torn_tail_isolated;
     Alcotest.test_case "segment dir rejects bad manifest" `Quick
       test_segment_dir_rejects_bad_manifest;
   ]

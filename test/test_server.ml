@@ -234,15 +234,24 @@ let deadlock_resolution_prop =
             | Lock_manager.Blocked -> (
               Hashtbl.replace blocked txn obj;
               (* A deadlock can only appear when someone blocks; resolve it
-                 the way Native_sim does — abort the cycle's victim. *)
-              match Deadlock.find_cycle ~successors txn with
-              | None -> ()
-              | Some cycle ->
-                let victim = Deadlock.pick_victim cycle in
-                Hashtbl.remove blocked victim;
-                unblock_granted (Lock_manager.release_all lm ~txn:victim);
-                (* Post-resolution invariant: no blocked transaction is in a
-                   waits-for cycle any more. *)
+                 the way Native_sim does — abort victims until no cycle is
+                 left through the requester (one block can close several
+                 cycles at once, one per holder of the contended lock). *)
+              let resolved = ref false in
+              let rec resolve () =
+                match Deadlock.find_cycle ~successors txn with
+                | None -> ()
+                | Some cycle ->
+                  resolved := true;
+                  let victim = Deadlock.pick_victim cycle in
+                  Hashtbl.remove blocked victim;
+                  unblock_granted (Lock_manager.release_all lm ~txn:victim);
+                  if victim <> txn then resolve ()
+              in
+              resolve ();
+              (* Post-resolution invariant: no blocked transaction is in a
+                 waits-for cycle any more. *)
+              if !resolved then
                 List.iter
                   (fun t ->
                     if Deadlock.find_cycle ~successors t <> None then

@@ -85,10 +85,19 @@ let test_generator_valid_and_diverse () =
     (List.length (distinct (fun s -> s.Scenario.checkpoint = None)) = 2);
   Alcotest.(check bool) "bounded and unbounded queues" true
     (List.length (distinct (fun s -> s.Scenario.queue_cap = None)) = 2);
+  Alcotest.(check bool) "replicated and unreplicated runs" true
+    (List.length (distinct (fun s -> s.Scenario.repl = None)) = 2);
   List.iter
     (fun s ->
       Alcotest.(check bool) "generator never injects" true
-        (s.Scenario.inject = None))
+        (s.Scenario.inject = None);
+      match s.Scenario.repl with
+      | None -> ()
+      | Some _ ->
+        Alcotest.(check int) "replication only at one shard" 1
+          s.Scenario.shards;
+        Alcotest.(check bool) "replication excludes the crash fault" true
+          (s.Scenario.faults.Ds_core.Faults.crash_at_cycle = None))
     scenarios
 
 (* --- swarm sweep ---------------------------------------------------- *)
@@ -156,6 +165,7 @@ let base_bad =
     queue_cap = None;
     hedging = false;
     inject = Some (Scenario.Dup_delivery 17);
+    repl = None;
   }
 
 let test_inject_dup_delivery_fails () =
@@ -227,6 +237,73 @@ let test_shrinker_single_shard () =
   let r = Shrink.shrink start ~failed in
   Alcotest.(check int) "collapsed to one shard" 1 r.Shrink.shrunk.Scenario.shards
 
+(* --- replicated scenarios ------------------------------------------- *)
+
+(* Partition-then-promote: sync replication over a partitioned link, primary
+   killed mid-run. The full battery — including the failover durability
+   audit — must hold against the real stack. *)
+let repl_partition_scenario =
+  {
+    base_bad with
+    Scenario.duration = 2.0;
+    inject = None;
+    checkpoint = Some 10;
+    faults =
+      { Ds_core.Faults.none with Ds_core.Faults.pcrash_at_cycle = Some 25 };
+    repl =
+      Some
+        {
+          Scenario.repl_sync = true;
+          repl_link =
+            {
+              Ds_replica.Link.none with
+              Ds_replica.Link.drop_rate = 0.02;
+              partition_at = Some 0.3;
+              partition_for = 0.5;
+            };
+        };
+  }
+
+let test_repl_scenario_battery () =
+  let outcome = Runner.run repl_partition_scenario in
+  Alcotest.(check int) "failed over" 1
+    outcome.Runner.stats.Ds_core.Middleware.failovers;
+  Alcotest.(check int) "promoted to epoch 1" 1
+    outcome.Runner.stats.Ds_core.Middleware.repl_epoch;
+  match Runner.failures outcome with
+  | [] -> ()
+  | fs ->
+    Alcotest.failf "replicated scenario failed the battery: %s"
+      (String.concat "; " (List.map (fun (n, d) -> n ^ ": " ^ d) fs))
+
+let test_repl_codec_roundtrip () =
+  match Scenario.of_json (Scenario.to_json repl_partition_scenario) with
+  | Ok s' ->
+    Alcotest.check scenario_eq "repl dimension roundtrips"
+      repl_partition_scenario s'
+  | Error m -> Alcotest.failf "decode failed: %s" m
+
+let test_shrinker_strips_replication () =
+  (* The acceptance demo for the repl rungs: a seeded partition-then-promote
+     failure (injected duplicate delivery, so the bug survives every
+     transformation) must shrink through drop-pcrash, clean-repl-link and
+     drop-repl down to an unreplicated minimal repro. *)
+  let start =
+    {
+      repl_partition_scenario with
+      Scenario.seed = 4242;
+      inject = Some (Scenario.Dup_delivery 17);
+    }
+  in
+  let outcome = Runner.run start in
+  let failed = List.map fst (Runner.failures outcome) in
+  Alcotest.(check bool) "replicated starting scenario fails" true (failed <> []);
+  let r = Shrink.shrink start ~failed in
+  Alcotest.(check bool) "pcrash dropped" true
+    (r.Shrink.shrunk.Scenario.faults.Ds_core.Faults.pcrash_at_cycle = None);
+  Alcotest.(check bool) "replication dropped" true
+    (r.Shrink.shrunk.Scenario.repl = None)
+
 (* --- shrinker ------------------------------------------------------- *)
 
 let test_shrinker_minimizes () =
@@ -261,6 +338,39 @@ let test_shrinker_rejects_passing_scenario () =
 (* --- committed minimal repro ---------------------------------------- *)
 
 let repro_path = "data/shrunk_dup_delivery.json"
+
+let repl_repro_path = "data/shrunk_repl_partition.json"
+
+let test_committed_repl_repro_matches () =
+  (* The shrinker's output on the seeded partition-then-promote failure is
+     committed as a file; shrinking the same start scenario must land on it
+     exactly (the search is deterministic), and it must still fail. *)
+  let text = In_channel.with_open_text repl_repro_path In_channel.input_all in
+  match Scenario.of_json (Ds_obs.Json.of_string text) with
+  | Error m -> Alcotest.failf "%s did not decode: %s" repl_repro_path m
+  | Ok committed ->
+    Alcotest.(check bool) "repro dropped the replication dimension" true
+      (committed.Scenario.repl = None
+      && committed.Scenario.faults.Ds_core.Faults.pcrash_at_cycle = None);
+    Alcotest.(check int) "repro is minimal: one client" 1
+      committed.Scenario.clients;
+    let start =
+      {
+        repl_partition_scenario with
+        Scenario.seed = 4242;
+        inject = Some (Scenario.Dup_delivery 17);
+      }
+    in
+    let outcome = Runner.run start in
+    let failed = List.map fst (Runner.failures outcome) in
+    let r = Shrink.shrink start ~failed in
+    Alcotest.check scenario_eq "shrink reproduces the committed repro"
+      committed r.Shrink.shrunk;
+    let replayed = Runner.run committed in
+    Alcotest.(check (list string))
+      "committed repro fails conflict-equivalence and nothing else"
+      [ "conflict-equivalence" ]
+      (List.map fst (Runner.failures replayed))
 
 let test_committed_repro_still_fails () =
   (* Regression: the shrunk repro emitted by the shrinker (committed as a
@@ -302,6 +412,14 @@ let tests =
       test_inject_swap_rte_fails;
     Alcotest.test_case "sharded scenario passes the battery" `Quick
       test_sharded_scenario_battery;
+    Alcotest.test_case "replicated scenario passes the battery" `Quick
+      test_repl_scenario_battery;
+    Alcotest.test_case "repl dimension codec roundtrip" `Quick
+      test_repl_codec_roundtrip;
+    Alcotest.test_case "shrinker strips the replication dimension" `Slow
+      test_shrinker_strips_replication;
+    Alcotest.test_case "committed repl repro matches the shrinker" `Slow
+      test_committed_repl_repro_matches;
     Alcotest.test_case "shrinker collapses shards" `Slow
       test_shrinker_single_shard;
     Alcotest.test_case "shrinker minimizes a known-bad scenario" `Slow
